@@ -1,0 +1,132 @@
+// Experiment E3 — on-line periodic testing claims (paper §1-§2):
+//  * permanent faults are detected with latency bounded by the test period;
+//  * intermittent faults "with fairly large duration" are detected when the
+//    test is applied periodically;
+//  * short transients are the domain of concurrent schemes;
+//  * CPU overhead is test_time/period and stays negligible because the SBST
+//    program runs in far less than a quantum.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/tablefmt.hpp"
+#include "core/evaluate.hpp"
+#include "core/periodic.hpp"
+
+using namespace sbst;
+using namespace sbst::core;
+
+int main() {
+  std::puts("==============================================================");
+  std::puts(" E3: on-line periodic testing (latency / detection / overhead)");
+  std::puts("==============================================================");
+
+  // Derive the test execution time and coverage from the real SBST program.
+  ProcessorModel model;
+  TestProgramBuilder builder;
+  builder.add_default_routines(model);
+  const TestProgram program = builder.build();
+  const ProgramEvaluation ev = evaluate_program(model, builder, program);
+  const double test_exec_s =
+      static_cast<double>(ev.total.analytic_total_cycles(0.05, 20)) / 57e6;
+  const double coverage = ev.overall_fc() / 100.0;
+  std::printf("SBST program: exec %.1f us, overall FC %.1f%%\n\n",
+              1e6 * test_exec_s, 100 * coverage);
+
+  Rng rng(2026);
+  PeriodicConfig cfg;
+  cfg.test_exec_s = test_exec_s;
+  cfg.fault_coverage = coverage;
+  cfg.horizon_s = 600.0;
+
+  std::puts("Permanent faults: latency and detection vs test period");
+  Table t({"Test period (s)", "Detection prob.", "Mean latency (s)",
+           "Max latency (s)", "CPU overhead (%)"});
+  for (double period : {0.1, 0.5, 1.0, 5.0, 30.0}) {
+    cfg.test_period_s = period;
+    const PeriodicResult r = simulate_periodic(
+        cfg, {.kind = FaultKind::kPermanent, .arrival_s = 10.0}, 400, rng);
+    t.add_row({Table::num(period, 1), Table::num(r.detection_probability, 3),
+               Table::num(r.mean_latency_s, 3),
+               Table::num(r.max_latency_s, 3),
+               Table::num(100 * r.cpu_overhead, 4)});
+  }
+  t.print();
+
+  std::puts("\nIntermittent faults (period 2 s): detection vs active duration");
+  cfg.test_period_s = 0.5;
+  Table i({"Active per 2 s (s)", "Duty (%)", "Detection prob.",
+           "Mean latency (s)"});
+  for (double active : {0.001, 0.01, 0.1, 0.5, 1.0, 1.9}) {
+    const FaultProcess f{.kind = FaultKind::kIntermittent,
+                         .arrival_s = 5.0,
+                         .period_s = 2.0,
+                         .active_s = active};
+    const PeriodicResult r = simulate_periodic(cfg, f, 400, rng);
+    i.add_row({Table::num(active, 3),
+               Table::num(100 * intermittent_duty_cycle(f), 1),
+               Table::num(r.detection_probability, 3),
+               Table::num(r.mean_latency_s, 2)});
+  }
+  i.print();
+  std::puts("-> intermittent faults with fairly large duration are detected"
+            " (paper s1); very short activations escape, as conceded.");
+
+  std::puts("\nTransient faults: detection vs duration (period 0.5 s)");
+  Table tr({"Transient duration (s)", "Detection prob."});
+  for (double active : {1e-4, 1e-2, 0.25, 1.0, 10.0}) {
+    const FaultProcess f{.kind = FaultKind::kTransient,
+                         .arrival_s = 7.0,
+                         .active_s = active};
+    const PeriodicResult r = simulate_periodic(cfg, f, 400, rng);
+    tr.add_row({Table::num(active, 4),
+                Table::num(r.detection_probability, 3)});
+  }
+  tr.print();
+
+  std::puts("\nLaunch policies (permanent fault, period 1 s):");
+  Table p({"Policy", "Detection prob.", "Mean latency (s)"});
+  for (LaunchPolicy policy :
+       {LaunchPolicy::kTimer, LaunchPolicy::kIdle, LaunchPolicy::kStartup}) {
+    PeriodicConfig c = cfg;
+    c.test_period_s = 1.0;
+    c.policy = policy;
+    const PeriodicResult r = simulate_periodic(
+        c, {.kind = FaultKind::kPermanent, .arrival_s = 20.0}, 400, rng);
+    const char* name = policy == LaunchPolicy::kTimer  ? "timer"
+                       : policy == LaunchPolicy::kIdle ? "idle slots"
+                                                       : "startup only";
+    p.add_row({name, Table::num(r.detection_probability, 3),
+               Table::num(r.mean_latency_s, 2)});
+  }
+  p.print();
+  std::puts("-> startup-only testing leaves faults undetected for the whole"
+            " uptime (paper: 'imposes large fault detection latency').");
+
+  std::printf(
+      "\nQuantum check: the SBST program (%.1f us) uses %.5f%% of a 200 ms "
+      "quantum -- periodic testing never spans a context switch.\n",
+      1e6 * test_exec_s, 100 * test_exec_s / 0.2);
+
+  // What spanning quanta would cost (paper: "this will lead to further
+  // system operation overhead due to larger context switch overheads").
+  std::puts("\nQuantum chunking: overhead if the quantum were tiny");
+  const std::uint64_t program_cycles =
+      ev.total.analytic_total_cycles(0.05, 20);
+  Table q({"Quantum (cycles)", "Chunks", "Switch+refill cycles",
+           "Overhead (%)"});
+  for (std::uint64_t quantum :
+       {std::uint64_t{11400000}, std::uint64_t{57000},
+        std::uint64_t{20000}, std::uint64_t{5000}}) {
+    const ChunkingReport r =
+        chunked_execution(program_cycles, quantum, 5000, 20000);
+    q.add_row({Table::num(quantum),
+               Table::num(static_cast<std::uint64_t>(r.chunks)),
+               Table::num(r.switch_overhead_cycles + r.cache_refill_cycles),
+               Table::num(100 * r.overhead_fraction(), 1)});
+  }
+  q.print();
+  std::puts("-> with a realistic quantum (first row: 200 ms at 57 MHz) the"
+            " whole test is one chunk; only absurdly small quanta make the"
+            " paper's warned-about context-switch overhead material.");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Experiment E2 — the §3.3 TPG-strategy applicability analysis:
+//   * deterministic ATPG: few patterns, needs gate-level model
+//   * pseudorandom: code-cheap but needs many patterns (FC vs N curves;
+//     random-pattern-resistant structures plateau)
+//   * regular deterministic: constant/linear sets, implementation
+//     independent, the workhorse for regular D-VCs
+// Compared on the ALU and the shifter, with routine-level costs.
+#include <cstdio>
+
+#include "atpg/testgen.hpp"
+#include "common/tablefmt.hpp"
+#include "core/codegen.hpp"
+#include "core/program.hpp"
+#include "core/tpg.hpp"
+#include "fault/sim.hpp"
+#include "sim/cpu.hpp"
+
+using namespace sbst;
+using namespace sbst::core;
+
+namespace {
+
+struct CutUnderStudy {
+  const char* name;
+  const netlist::Netlist* nl;
+  fault::ObserveSet observe;
+};
+
+double grade(const CutUnderStudy& cut, const fault::PatternSet& ps,
+             const std::vector<fault::Fault>& faults) {
+  return fault::simulate_comb(*cut.nl, faults, ps, cut.observe).percent();
+}
+
+}  // namespace
+
+int main() {
+  std::puts("==============================================================");
+  std::puts(" E2: TPG strategy applicability (paper s3.3)");
+  std::puts("==============================================================");
+  ProcessorModel model;
+  const auto& alu_info = model.component(CutId::kAlu);
+  const auto& sh_info = model.component(CutId::kShifter);
+
+  fault::ObserveSet alu_obs = alu_info.netlist.output_port("result");
+  alu_obs.push_back(alu_info.netlist.output_port("zero")[0]);
+  const CutUnderStudy cuts[] = {
+      {"ALU", &alu_info.netlist, alu_obs},
+      {"Shifter", &sh_info.netlist, sh_info.netlist.output_nets()},
+  };
+
+  for (const CutUnderStudy& cut : cuts) {
+    fault::FaultUniverse universe(*cut.nl);
+    std::printf("\n--- %s: %zu collapsed faults (%zu uncollapsed) ---\n",
+                cut.name, universe.size(), universe.uncollapsed_count());
+
+    // Pseudorandom FC-vs-N curve.
+    Table r({"Pseudorandom N", "FC (%)"});
+    for (std::size_t n : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 4096u}) {
+      const fault::PatternSet ps = atpg::generate_random_tests(*cut.nl, n, 7);
+      r.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 Table::num(grade(cut, ps, universe.collapsed()), 2)});
+    }
+    r.print();
+
+    // Deterministic ATPG (unconstrained here; the shifter routine uses the
+    // per-op constrained variant).
+    atpg::TestGenOptions tg;
+    tg.random_warmup = 0;
+    tg.podem.backtrack_limit = 200000;
+    const atpg::TestGenResult det =
+        atpg::generate_atpg_tests(*cut.nl, universe.collapsed(), {}, tg,
+                                  cut.observe);
+    std::printf("deterministic ATPG: %zu patterns -> FC %.2f%% "
+                "(%zu untestable, %zu aborted)\n",
+                det.patterns.size(), det.coverage.percent(), det.untestable,
+                det.aborted);
+
+    // Regular deterministic.
+    fault::PatternSet regular(*cut.nl);
+    if (cut.nl == &alu_info.netlist) {
+      regular = alu_pattern_set(*cut.nl, regular_alu_tests(32));
+    } else {
+      regular = shifter_pattern_set(*cut.nl, regular_shifter_tests(32));
+    }
+    std::printf("regular deterministic: %zu patterns -> FC %.2f%%\n",
+                regular.size(), grade(cut, regular, universe.collapsed()));
+  }
+
+  // Routine-level costs on the ALU: same strategy comparison, but measured
+  // as executable self-test routines.
+  std::puts("\nRoutine-level comparison on the ALU (executable code):");
+  TestProgramBuilder builder;
+  struct Row {
+    const char* label;
+    Routine routine;
+  };
+  const std::vector<AluOpnd> regs = regular_alu_tests(32);
+  const std::vector<AluOpnd> first16(regs.begin(), regs.begin() + 16);
+  Row rows[] = {
+      {"RegD (L + I) full routine", make_alu_routine({})},
+      {"PR (L), 1024 iterations",
+       make_fig3_lfsr_routine(rtlgen::AluOp::kAdd, 0x1357u, 0x2468u, 1024,
+                              {})},
+      {"AtpgD (I), 16 immediates", make_fig1_immediate_routine(first16, {})},
+  };
+  Table t({"Strategy/routine", "Words", "CPU cycles", "Data refs"});
+  for (const Row& row : rows) {
+    const TestProgram p = builder.build_standalone(row.routine);
+    sim::Cpu cpu;
+    cpu.reset();
+    cpu.load(p.image);
+    const sim::ExecStats s = cpu.run(p.entry);
+    t.add_row({row.label,
+               Table::num(static_cast<std::uint64_t>(
+                   p.sections[0].size_words())),
+               Table::num(s.cpu_cycles), Table::num(s.data_references())});
+  }
+  t.print();
+
+  std::puts("\nConclusions checked (paper s3.3):");
+  std::puts(" - ATPG yields the smallest pattern counts but needs the");
+  std::puts("   gate-level model and per-instruction constraints.");
+  std::puts(" - Pseudorandom needs orders of magnitude more patterns to");
+  std::puts("   approach deterministic coverage (execution time grows");
+  std::puts("   linearly with N).");
+  std::puts(" - Regular deterministic reaches near-ATPG coverage from a");
+  std::puts("   constant/linear, implementation-independent set -- the");
+  std::puts("   right choice for the regular D-VCs that dominate area.");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fault-injection demo: sample stuck-at faults across three components,
+// inject each into program execution at gate level, and show how the MISR
+// signatures expose them — including the assembly the program actually runs.
+//
+// Usage: fault_injection_demo [samples-per-component]   (default 5)
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "core/inject.hpp"
+#include "core/program.hpp"
+#include "isa/disasm.hpp"
+
+using namespace sbst;
+using namespace sbst::core;
+
+int main(int argc, char** argv) {
+  const int samples = argc > 1 ? std::atoi(argv[1]) : 5;
+
+  ProcessorModel model;
+  TestProgramBuilder builder;
+  builder.add(make_alu_routine(builder.options()))
+      .add(make_shifter_routine(model, builder.options()))
+      .add(make_multiplier_routine(builder.options()));
+  const TestProgram program = builder.build();
+
+  std::printf("SBST program (%zu words). First lines of the ALU routine:\n",
+              program.image.size_words());
+  for (unsigned i = 0; i < 6; ++i) {
+    const std::uint32_t addr = program.sections[0].begin_addr + 4 * i;
+    const std::uint32_t w = program.image.words[(addr - program.image.base) / 4];
+    std::printf("  0x%04x: %s\n", addr, isa::disassemble(w, addr).c_str());
+  }
+  std::puts("");
+
+  Rng rng(1234);
+  int total = 0, caught = 0;
+  for (CutId cut : {CutId::kAlu, CutId::kShifter, CutId::kMultiplier}) {
+    const ComponentInfo& info = model.component(cut);
+    fault::FaultUniverse universe(info.netlist);
+    std::printf("--- %s: %zu collapsed faults, sampling %d ---\n",
+                info.name.c_str(), universe.size(), samples);
+    for (int i = 0; i < samples; ++i) {
+      const fault::Fault f =
+          universe.collapsed()[rng.below(universe.size())];
+      const InjectionOutcome out =
+          run_with_injection(model, program, cut, f);
+      ++total;
+      caught += out.detected;
+      std::printf("  %-28s corrupted %5llu results -> %s\n",
+                  fault::fault_name(info.netlist, f).c_str(),
+                  static_cast<unsigned long long>(out.corrupted_results),
+                  out.detected ? "DETECTED" : "missed");
+    }
+  }
+  std::printf("\ndetected %d / %d sampled faults end-to-end via signatures\n",
+              caught, total);
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "common/bits.hpp"
+
+#include <cstdio>
+
+namespace sbst {
+
+std::string to_binary(std::uint64_t v, unsigned width) {
+  std::string s(width, '0');
+  for (unsigned i = 0; i < width; ++i) {
+    if (bit(v, width - 1 - i)) s[i] = '1';
+  }
+  return s;
+}
+
+std::string to_hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", v);
+  return buf;
+}
+
+}  // namespace sbst

@@ -1,0 +1,48 @@
+// Bit-manipulation utilities shared across the sbst libraries.
+//
+// All word-level helpers operate on uint32_t (the processor word size of the
+// MIPS/Plasma model) or uint64_t (the packed pattern word used by the
+// parallel fault simulators).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace sbst {
+
+/// Returns the n-th bit (0 = LSB) of `w`.
+constexpr bool bit(std::uint64_t w, unsigned n) { return (w >> n) & 1u; }
+
+/// Returns `w` with bit `n` set to `v`.
+constexpr std::uint64_t with_bit(std::uint64_t w, unsigned n, bool v) {
+  return v ? (w | (std::uint64_t{1} << n)) : (w & ~(std::uint64_t{1} << n));
+}
+
+/// A mask with the low `n` bits set (n in [0, 64]).
+constexpr std::uint64_t low_mask(unsigned n) {
+  return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/// Sign-extends the low `bits` bits of `v` to 32 bits.
+constexpr std::uint32_t sign_extend32(std::uint32_t v, unsigned bits) {
+  const std::uint32_t m = std::uint32_t{1} << (bits - 1);
+  v &= static_cast<std::uint32_t>(low_mask(bits));
+  return (v ^ m) - m;
+}
+
+/// Number of set bits.
+constexpr unsigned popcount64(std::uint64_t w) {
+  return static_cast<unsigned>(std::popcount(w));
+}
+
+/// Parity (XOR-reduction) of all bits of `w`.
+constexpr bool parity64(std::uint64_t w) { return std::popcount(w) & 1; }
+
+/// Renders `v` as a fixed-width binary string, MSB first.
+std::string to_binary(std::uint64_t v, unsigned width);
+
+/// Renders `v` as 0x%08x.
+std::string to_hex32(std::uint32_t v);
+
+}  // namespace sbst

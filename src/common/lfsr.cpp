@@ -1,0 +1,3 @@
+#include "common/lfsr.hpp"
+
+// Header-only implementation; this TU anchors the library target.

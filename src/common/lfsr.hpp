@@ -1,0 +1,70 @@
+// Linear-feedback shift registers.
+//
+// Two roles in this project:
+//  * Lfsr32 is the reference model of the *software LFSR* that the paper's
+//    pseudorandom code style (Figure 3) implements in MIPS assembly; the
+//    generated self-test routine must produce exactly this sequence.
+//  * Misr32 models the software MISR used for response compaction ("a shared
+//    software MISR routine"); the test-program builder emits assembly whose
+//    final signature equals Misr32's.
+#pragma once
+
+#include <cstdint>
+
+namespace sbst {
+
+/// Galois-configuration 32-bit LFSR.
+///
+/// step(): if the LSB is 1, shift right and XOR the polynomial mask; else
+/// just shift right. With a primitive polynomial this cycles through all
+/// 2^32-1 non-zero states. The same recurrence is cheap in MIPS assembly
+/// (andi/srl/xor/bne), which is why the Figure 3 code style uses it.
+class Lfsr32 {
+ public:
+  /// Taps of x^32+x^22+x^2+x^1+1 (primitive), Galois mask form.
+  static constexpr std::uint32_t kDefaultPoly = 0x80200003u;
+
+  explicit Lfsr32(std::uint32_t seed = 1u, std::uint32_t poly = kDefaultPoly)
+      : state_(seed), poly_(poly) {}
+
+  std::uint32_t state() const { return state_; }
+  std::uint32_t poly() const { return poly_; }
+
+  /// Advances one step and returns the new state.
+  std::uint32_t step() {
+    const bool lsb = state_ & 1u;
+    state_ >>= 1;
+    if (lsb) state_ ^= poly_;
+    return state_;
+  }
+
+ private:
+  std::uint32_t state_;
+  std::uint32_t poly_;
+};
+
+/// 32-bit multiple-input signature register (software model).
+///
+/// absorb(r): signature <- lfsr_step(signature) XOR r. Aliasing probability
+/// for a random error stream is ~2^-32 per the standard MISR analysis.
+class Misr32 {
+ public:
+  explicit Misr32(std::uint32_t seed = 0xffffffffu,
+                  std::uint32_t poly = Lfsr32::kDefaultPoly)
+      : state_(seed), poly_(poly) {}
+
+  std::uint32_t signature() const { return state_; }
+
+  void absorb(std::uint32_t response) {
+    const bool lsb = state_ & 1u;
+    state_ >>= 1;
+    if (lsb) state_ ^= poly_;
+    state_ ^= response;
+  }
+
+ private:
+  std::uint32_t state_;
+  std::uint32_t poly_;
+};
+
+}  // namespace sbst

@@ -1,0 +1,19 @@
+#include "common/rng.hpp"
+
+#include <bit>
+
+namespace sbst {
+
+std::uint64_t Rng::next64() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+}  // namespace sbst

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation.
+//
+// A small xoshiro-style generator is used instead of <random> engines so that
+// pattern streams are reproducible across platforms and cheap to fork: every
+// experiment in bench/ seeds its generators explicitly.
+#pragma once
+
+#include <cstdint>
+
+namespace sbst {
+
+/// splitmix64: used to expand a single seed into independent stream seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, reproducible PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    for (auto& word : s_) word = splitmix64(seed);
+  }
+
+  std::uint64_t next64();
+
+  /// Uniform in [0, 2^32).
+  std::uint32_t next32() { return static_cast<std::uint32_t>(next64() >> 32); }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next64() % bound; }
+
+  /// Bernoulli(p).
+  bool chance(double p) {
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace sbst

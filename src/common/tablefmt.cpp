@@ -1,0 +1,75 @@
+#include "common/tablefmt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sbst {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(std::max(cells.size(), std::size_t{1}));
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_rule() { rows_.emplace_back(); }
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(std::uint64_t v) {
+  // Thousands separators for readability (matches the paper's "26,080").
+  std::string digits = std::to_string(v);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out += cell;
+      out.append(width[c] - cell.size(), ' ');
+      if (c + 1 < header_.size()) out += " | ";
+    }
+    // Trim trailing spaces.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < header_.size(); ++c) total += width[c] + 3;
+  out.append(total > 3 ? total - 3 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out.append(total > 3 ? total - 3 : total, '-');
+      out += '\n';
+    } else {
+      emit_row(row, out);
+    }
+  }
+  return out;
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace sbst

@@ -1,0 +1,37 @@
+// Minimal fixed-column table printer used by the bench harnesses to emit
+// paper-style tables (e.g. Table 1) to stdout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbst {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded empty).
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  /// Renders the table with ' | ' separators and a rule under the header.
+  std::string str() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+  static std::string num(double v, int precision = 1);
+  static std::string num(std::uint64_t v);
+  static std::string num(int v) { return num(static_cast<std::uint64_t>(v)); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+}  // namespace sbst

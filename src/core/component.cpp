@@ -1,0 +1,238 @@
+#include "core/component.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rtlgen/alu.hpp"
+#include "rtlgen/arith.hpp"
+#include "rtlgen/control.hpp"
+#include "rtlgen/divider.hpp"
+#include "rtlgen/memctrl.hpp"
+#include "rtlgen/multiplier.hpp"
+#include "rtlgen/pipeline.hpp"
+#include "rtlgen/regfile.hpp"
+#include "rtlgen/shifter.hpp"
+
+namespace sbst::core {
+
+const char* class_name(ComponentClass cls) {
+  switch (cls) {
+    case ComponentClass::kDataVisible: return "D-VC";
+    case ComponentClass::kAddressVisible: return "A-VC";
+    case ComponentClass::kMixedVisible: return "M-VC";
+    case ComponentClass::kPartiallyVisible: return "PVC";
+    case ComponentClass::kHidden: return "HC";
+  }
+  return "?";
+}
+
+const char* class_description(ComponentClass cls) {
+  switch (cls) {
+    case ComponentClass::kDataVisible:
+      return "data visible: operands via immediate/register/memory, results "
+             "via register file or data memory";
+    case ComponentClass::kAddressVisible:
+      return "address visible: values depend on instruction/data placement; "
+             "testing needs distributed memory references";
+    case ComponentClass::kMixedVisible:
+      return "mixed address/data visible";
+    case ComponentClass::kPartiallyVisible:
+      return "partially visible: control outputs steer visible components";
+    case ComponentClass::kHidden:
+      return "hidden: performance machinery invisible to the programmer";
+  }
+  return "?";
+}
+
+const char* strategy_name(TpgStrategy s) {
+  switch (s) {
+    case TpgStrategy::kAtpgDeterministic: return "AtpgD";
+    case TpgStrategy::kPseudorandom: return "PR";
+    case TpgStrategy::kRegularDeterministic: return "RegD";
+    case TpgStrategy::kFunctionalTest: return "FT";
+    case TpgStrategy::kNone: return "side-effect";
+  }
+  return "?";
+}
+
+ProcessorModel::ProcessorModel() {
+  using rtlgen::AdderStyle;
+
+  components_.push_back({
+      .id = CutId::kMultiplier,
+      .name = "Parallel Mul.",
+      .cls = ComponentClass::kDataVisible,
+      .default_strategy = TpgStrategy::kRegularDeterministic,
+      .test_priority = 1,
+      .periodic_suitable = true,
+      .excite = "mult, multu",
+      .control = "operands in registers via li",
+      .observe = "mfhi/mflo -> registers -> MISR",
+      .netlist = rtlgen::build_multiplier({.width = 32}),
+  });
+  components_.push_back({
+      .id = CutId::kDivider,
+      .name = "Serial Div.",
+      .cls = ComponentClass::kDataVisible,
+      .default_strategy = TpgStrategy::kRegularDeterministic,
+      .test_priority = 1,
+      .periodic_suitable = true,
+      .excite = "div, divu",
+      .control = "operands in registers via li",
+      .observe = "mfhi/mflo -> registers -> MISR",
+      .netlist = rtlgen::build_divider({.width = 32}),
+  });
+  components_.push_back({
+      .id = CutId::kRegisterFile,
+      .name = "Register File",
+      .cls = ComponentClass::kDataVisible,
+      .default_strategy = TpgStrategy::kRegularDeterministic,
+      .test_priority = 2,
+      .periodic_suitable = true,
+      .excite = "every instruction (2 read ports, 1 write port)",
+      .control = "li writes; two-phase halves to avoid data-memory stores",
+      .observe = "reads feed the MISR registers in the opposite half",
+      .netlist = rtlgen::build_regfile({.num_regs = 32, .width = 32}),
+  });
+  components_.push_back({
+      .id = CutId::kMemCtrl,
+      .name = "Memory controller",
+      .cls = ComponentClass::kMixedVisible,
+      .default_strategy = TpgStrategy::kRegularDeterministic,
+      .test_priority = 3,
+      .periodic_suitable = true,  // its D-VC share (MDR + data muxes)
+      .excite = "lb/lbu/lh/lhu/lw, sb/sh/sw",
+      .control = "store data via registers; addresses via base+offset",
+      .observe = "loaded data -> registers -> MISR",
+      .netlist = rtlgen::build_memctrl(),
+  });
+  components_.push_back({
+      .id = CutId::kShifter,
+      .name = "Shifter",
+      .cls = ComponentClass::kDataVisible,
+      .default_strategy = TpgStrategy::kAtpgDeterministic,
+      .test_priority = 4,
+      .periodic_suitable = true,
+      .excite = "sll/srl/sra, sllv/srlv/srav",
+      .control = "operand via li, shamt immediate or register",
+      .observe = "result register -> MISR",
+      .netlist = rtlgen::build_shifter({.width = 32}),
+  });
+  components_.push_back({
+      .id = CutId::kAlu,
+      .name = "ALU",
+      .cls = ComponentClass::kDataVisible,
+      .default_strategy = TpgStrategy::kRegularDeterministic,
+      .test_priority = 5,
+      .periodic_suitable = true,
+      .excite = "add/addu/sub/subu/and/or/xor/nor/slt/sltu (+imm forms)",
+      .control = "operands via li / immediate fields",
+      .observe = "result register -> MISR",
+      .netlist = rtlgen::build_alu({.width = 32,
+                                    .adder = AdderStyle::kRippleCarry}),
+  });
+  components_.push_back({
+      .id = CutId::kControl,
+      .name = "Control Logic",
+      .cls = ComponentClass::kPartiallyVisible,
+      .default_strategy = TpgStrategy::kFunctionalTest,
+      .test_priority = 6,
+      .periodic_suitable = true,
+      .excite = "every instruction opcode",
+      .control = "opcode/funct fields of executed instructions",
+      .observe = "side effects through the D-VCs",
+      .netlist = rtlgen::build_control(),
+  });
+  components_.push_back({
+      .id = CutId::kForwarding,
+      .name = "Forwarding Unit",
+      .cls = ComponentClass::kHidden,
+      .default_strategy = TpgStrategy::kNone,
+      .test_priority = 7,
+      .periodic_suitable = false,
+      .excite = "register-register dependences of any routine",
+      .control = "implicit via instruction scheduling",
+      .observe = "implicit via forwarded operands",
+      .netlist = rtlgen::build_forwarding_unit(),
+  });
+  {
+    // The PC-relative branch-target adder — the paper's example of an
+    // M-VC (§3.2): one operand is an address (the PC), the other is data
+    // (the sign-extended offset). It becomes visible only through
+    // instruction placement, so like the A-VCs it is not targeted by the
+    // periodic test and is graded from the branch side-effect stream.
+    netlist::Netlist nl("branch_adder");
+    const netlist::Bus pc = nl.input_bus("pc", 32);
+    const netlist::Bus offset = nl.input_bus("offset", 32);
+    const rtlgen::AdderResult sum = rtlgen::build_adder(
+        nl, pc, offset, nl.constant(false), AdderStyle::kRippleCarry);
+    nl.output_bus("target", sum.sum);
+    components_.push_back({
+        .id = CutId::kBranchAdder,
+        .name = "Branch Adder",
+        .cls = ComponentClass::kMixedVisible,
+        .default_strategy = TpgStrategy::kNone,
+        .test_priority = 7,
+        .periodic_suitable = false,
+        .excite = "beq/bne target computation",
+        .control = "instruction placement (PC) + branch offset field",
+        .observe = "taken-branch fetch address",
+        .netlist = std::move(nl),
+    });
+  }
+  components_.push_back({
+      .id = CutId::kPipeline,
+      .name = "Pipeline Regs",
+      .cls = ComponentClass::kHidden,
+      .default_strategy = TpgStrategy::kNone,
+      .test_priority = 7,
+      .periodic_suitable = false,
+      .excite = "every instruction (data fields are D-VC-tested)",
+      .control = "implicit",
+      .observe = "implicit",
+      .netlist = rtlgen::build_pipe_reg({.width = 32}),
+  });
+}
+
+const ComponentInfo& ProcessorModel::component(CutId id) const {
+  for (const ComponentInfo& c : components_) {
+    if (c.id == id) return c;
+  }
+  throw std::out_of_range("ProcessorModel: unknown component");
+}
+
+double ProcessorModel::total_gate_equivalents() const {
+  double total = 0;
+  for (const ComponentInfo& c : components_) total += c.gate_equivalents();
+  return total;
+}
+
+double ProcessorModel::class_area_fraction(ComponentClass cls) const {
+  double total = 0, share = 0;
+  for (const ComponentInfo& c : components_) {
+    const double ge = c.gate_equivalents();
+    total += ge;
+    // The memory controller is mixed: the paper apportions 73% of it to
+    // D-VC, 23% to A-VC (the MAR) and 4% to PVC.
+    if (c.id == CutId::kMemCtrl) {
+      if (cls == ComponentClass::kDataVisible) share += 0.73 * ge;
+      if (cls == ComponentClass::kAddressVisible) share += 0.23 * ge;
+      if (cls == ComponentClass::kPartiallyVisible) share += 0.04 * ge;
+      continue;
+    }
+    if (c.cls == cls) share += ge;
+  }
+  return total == 0 ? 0 : share / total;
+}
+
+std::vector<const ComponentInfo*> ProcessorModel::by_priority() const {
+  std::vector<const ComponentInfo*> out;
+  for (const ComponentInfo& c : components_) out.push_back(&c);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ComponentInfo* a, const ComponentInfo* b) {
+                     return a->test_priority < b->test_priority;
+                   });
+  return out;
+}
+
+}  // namespace sbst::core

@@ -1,0 +1,95 @@
+// Processor component model and classification — Phase A and Phase B of the
+// paper's SBST methodology (§3.1, §3.2).
+//
+// Phase A (information extraction) is embodied in the static metadata each
+// component carries: which instructions excite it, and how its inputs are
+// controlled / outputs observed from assembly.
+// Phase B is the classification scheme itself: Visible (data / address /
+// mixed), Partially Visible, Hidden — with test priority derived from it
+// (D-VCs first: highest testability, dominant area, cache-friendly tests).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace sbst::core {
+
+/// Paper §3.2 classification.
+enum class ComponentClass {
+  kDataVisible,       // D-VC: operands/results reachable via data registers
+  kAddressVisible,    // A-VC: inputs/outputs are memory addresses
+  kMixedVisible,      // M-VC: both (e.g. the PC-relative adder)
+  kPartiallyVisible,  // PVC: control logic steering visible components
+  kHidden,            // HC: pipeline/forwarding/ILP machinery
+};
+
+const char* class_name(ComponentClass cls);      // "D-VC", "A-VC", ...
+const char* class_description(ComponentClass cls);
+
+/// The components of the Plasma-class processor model (paper §4 Table 1
+/// rows, with mul and div split since they are distinct netlists).
+enum class CutId {
+  kMultiplier,
+  kDivider,
+  kRegisterFile,
+  kMemCtrl,
+  kShifter,
+  kAlu,
+  kControl,
+  kForwarding,  // "pipeline" HC row (forwarding unit)
+  kPipeline,    // pipeline registers HC
+  kBranchAdder, // PC-relative target adder — the paper's M-VC example
+};
+
+/// TPG strategy selection (paper §3.3).
+enum class TpgStrategy {
+  kAtpgDeterministic,     // low-level, constrained ATPG ("AtpgD")
+  kPseudorandom,          // low-level, software-LFSR loop ("PR")
+  kRegularDeterministic,  // high-level, regular test sets ("RegD")
+  kFunctionalTest,        // PVC opcode sweep ("FT")
+  kNone,                  // tested only as a side effect (HCs)
+};
+
+const char* strategy_name(TpgStrategy s);
+
+struct ComponentInfo {
+  CutId id;
+  std::string name;
+  ComponentClass cls;
+  TpgStrategy default_strategy;
+  int test_priority;        // 1 = first (paper: D-VCs first)
+  bool periodic_suitable;   // suitable for on-line periodic testing
+  std::string excite;       // instructions that excite the component
+  std::string control;      // controllability: how inputs get values
+  std::string observe;      // observability: how outputs reach memory
+  netlist::Netlist netlist; // gate-level structural model
+
+  double gate_equivalents() const { return netlist.gate_equivalents(); }
+};
+
+/// The full Plasma-class processor: every component with its gate-level
+/// model and classification metadata. Building the netlists is moderately
+/// expensive (the multiplier array alone is ~20k gates), so share instances.
+class ProcessorModel {
+ public:
+  ProcessorModel();
+
+  const std::vector<ComponentInfo>& components() const { return components_; }
+  const ComponentInfo& component(CutId id) const;
+
+  /// Total gate-equivalents over all components.
+  double total_gate_equivalents() const;
+  /// Area share of a classification (paper: D-VCs dominate at 92%).
+  double class_area_fraction(ComponentClass cls) const;
+
+  /// Components ordered by test priority (the paper's development order).
+  std::vector<const ComponentInfo*> by_priority() const;
+
+ private:
+  std::vector<ComponentInfo> components_;
+};
+
+}  // namespace sbst::core

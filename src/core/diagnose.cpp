@@ -1,0 +1,55 @@
+#include "core/diagnose.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sbst::core {
+
+Diagnosis diagnose(const TestProgram& program,
+                   const std::vector<std::uint32_t>& good_signatures,
+                   const std::vector<std::uint32_t>& observed_signatures) {
+  if (good_signatures.size() != observed_signatures.size()) {
+    throw std::invalid_argument("diagnose: signature vector size mismatch");
+  }
+  Diagnosis out;
+  for (unsigned slot = 0; slot < good_signatures.size(); ++slot) {
+    if (good_signatures[slot] != observed_signatures[slot]) {
+      out.failing_slots.push_back(slot);
+    }
+  }
+  if (out.failing_slots.empty()) return out;
+
+  auto add_suspect = [&](CutId id) {
+    if (std::find(out.suspects.begin(), out.suspects.end(), id) ==
+        out.suspects.end()) {
+      out.suspects.push_back(id);
+    }
+  };
+
+  // Map failing slots back to the routines that own them.
+  std::vector<const Routine*> failing_routines;
+  for (unsigned slot : out.failing_slots) {
+    for (const Routine& r : program.routines) {
+      if (r.sig_slot == slot) failing_routines.push_back(&r);
+    }
+  }
+
+  if (failing_routines.size() == 1) {
+    add_suspect(failing_routines.front()->target);
+    return out;
+  }
+
+  // Multiple routines failed: a component every routine leans on is the
+  // prime suspect. Every routine's li/address arithmetic runs through the
+  // ALU, every operand through the register file, every fetch through the
+  // control decoder.
+  if (failing_routines.size() >= program.routines.size() / 2 + 1) {
+    add_suspect(CutId::kAlu);
+    add_suspect(CutId::kRegisterFile);
+    add_suspect(CutId::kControl);
+  }
+  for (const Routine* r : failing_routines) add_suspect(r->target);
+  return out;
+}
+
+}  // namespace sbst::core

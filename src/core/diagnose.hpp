@@ -1,0 +1,37 @@
+// Signature-based error identification (paper §4: "At the end of periodic
+// testing 7 signatures, one for every CUT, are unloaded to data memory for
+// fault detection").
+//
+// Because each routine unloads its own signature word, the *pattern* of
+// mismatching words localises the defect: a multiplier fault flips only the
+// multiplier routine's signature, while an ALU fault — the ALU computes the
+// li/ori constants of every routine — flips nearly all of them. diagnose()
+// turns a signature comparison into a ranked suspect list using exactly
+// that reasoning.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/program.hpp"
+
+namespace sbst::core {
+
+struct Diagnosis {
+  /// Signature slots whose words mismatch, in slot order.
+  std::vector<unsigned> failing_slots;
+  /// CUTs implicated, most specific first:
+  ///  - exactly one failing slot -> that routine's target component;
+  ///  - several failing slots -> a shared resource; the ALU (address/imm
+  ///    computation) and register file (every operand) lead the list,
+  ///    followed by each failing routine's own target.
+  std::vector<CutId> suspects;
+
+  bool fault_detected() const { return !failing_slots.empty(); }
+};
+
+Diagnosis diagnose(const TestProgram& program,
+                   const std::vector<std::uint32_t>& good_signatures,
+                   const std::vector<std::uint32_t>& observed_signatures);
+
+}  // namespace sbst::core

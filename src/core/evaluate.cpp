@@ -1,0 +1,292 @@
+#include "core/evaluate.hpp"
+
+#include <stdexcept>
+
+#include "fault/sim.hpp"
+
+namespace sbst::core {
+
+TraceCollector::TraceCollector(const ProcessorModel& model)
+    : alu_(model.component(CutId::kAlu).netlist),
+      shifter_(model.component(CutId::kShifter).netlist),
+      mul_(model.component(CutId::kMultiplier).netlist),
+      control_(model.component(CutId::kControl).netlist),
+      fwd_(model.component(CutId::kForwarding).netlist),
+      badd_(model.component(CutId::kBranchAdder).netlist),
+      div_(model.component(CutId::kDivider).netlist),
+      rf_(model.component(CutId::kRegisterFile).netlist),
+      mem_(model.component(CutId::kMemCtrl).netlist),
+      pipe_(model.component(CutId::kPipeline).netlist) {}
+
+void TraceCollector::on_alu(rtlgen::AluOp op, std::uint32_t a,
+                            std::uint32_t b) {
+  if (!fresh(alu_seen_, {static_cast<std::uint8_t>(op), a, b})) return;
+  alu_.add({{"a", a}, {"b", b}, {"op", static_cast<std::uint64_t>(op)}});
+}
+
+void TraceCollector::on_shift(rtlgen::ShiftOp op, std::uint32_t value,
+                              std::uint32_t shamt) {
+  if (!fresh(shift_seen_, {static_cast<std::uint8_t>(op), value, shamt})) {
+    return;
+  }
+  shifter_.add(
+      {{"a", value}, {"shamt", shamt}, {"op", static_cast<std::uint64_t>(op)}});
+}
+
+void TraceCollector::on_mult(std::uint32_t a, std::uint32_t b) {
+  if (!fresh(mul_seen_, {a, b})) return;
+  mul_.add({{"a", a}, {"b", b}});
+}
+
+void TraceCollector::on_div(std::uint32_t dividend, std::uint32_t divisor) {
+  // Mirror the serial divider protocol: load, width steps, then idle cycles
+  // while the routine's mflo/mfhi/jal sequence reads the results — the
+  // divider holds its state through them, exercising the recirculation
+  // muxes under observation.
+  div_.add_cycle({{"start", 1}, {"dividend", dividend}, {"divisor", divisor}},
+                 false);
+  for (unsigned i = 0; i < 32; ++i) div_.add_cycle({{"start", 0}}, false);
+  div_.add_cycle({{"start", 0}}, true);
+  div_.add_cycle({{"start", 0}}, true);
+  div_.add_cycle({{"start", 0}}, true);
+}
+
+void TraceCollector::on_regfile(std::uint8_t waddr, std::uint32_t wdata,
+                                bool wen, std::uint8_t raddr1,
+                                std::uint8_t raddr2) {
+  if (pc_ < rf_begin_ || pc_ >= rf_end_ || rf_.size() >= rf_cap_) {
+    // Still collect the pipeline-register side-effect stream (cheap).
+    if (pipe_.size() < pipe_cap_ && wen) {
+      pipe_.add_cycle({{"d", wdata}, {"en", 1}, {"flush", 0}}, true);
+    }
+    return;
+  }
+  rf_.add_cycle({{"waddr", waddr},
+                 {"wdata", wdata},
+                 {"wen", wen ? 1 : 0},
+                 {"raddr1", raddr1},
+                 {"raddr2", raddr2}},
+                raddr1 != 0 || raddr2 != 0);
+  if (pipe_.size() < pipe_cap_ && wen) {
+    pipe_.add_cycle({{"d", wdata}, {"en", 1}, {"flush", 0}}, true);
+  }
+}
+
+void TraceCollector::on_mem(std::uint32_t addr, std::uint32_t wdata,
+                            rtlgen::MemSize size, bool sign, bool wr,
+                            std::uint32_t mem_rdata) {
+  mem_.add_cycle({{"addr", addr},
+                  {"wdata", wdata},
+                  {"size", static_cast<std::uint64_t>(size)},
+                  {"sign", sign ? 1 : 0},
+                  {"wr", wr ? 1 : 0},
+                  {"en", 1}},
+                 false);
+  mem_.add_cycle({{"mem_rdata", mem_rdata},
+                  {"size", static_cast<std::uint64_t>(size)},
+                  {"sign", sign ? 1 : 0},
+                  {"en", 0}},
+                 true);
+}
+
+void TraceCollector::on_branch_target(std::uint32_t pc_plus4,
+                                      std::uint32_t offset) {
+  if (!fresh(badd_seen_, {pc_plus4, offset})) return;
+  badd_.add({{"pc", pc_plus4}, {"offset", offset}});
+}
+
+void TraceCollector::on_branch_flush() {
+  if (pipe_.size() < pipe_cap_) {
+    pipe_.add_cycle({{"d", 0xdeadbeefu}, {"en", 1}, {"flush", 1}}, true);
+  }
+}
+
+void TraceCollector::on_control(std::uint8_t opcode, std::uint8_t funct) {
+  // The decoder physically sees the funct field for every instruction (for
+  // I-types it aliases the low immediate bits); it must ignore it unless
+  // the opcode is R-type — and a fault breaking that is observable.
+  if (!fresh(control_seen_, {opcode, funct})) return;
+  control_.add({{"opcode", opcode}, {"funct", funct}});
+}
+
+void TraceCollector::on_forward(std::uint8_t rs, std::uint8_t rt,
+                                std::uint8_t ex_rd, bool ex_wen,
+                                std::uint8_t mem_rd, bool mem_wen) {
+  if (!fresh(fwd_seen_, {rs, rt, ex_rd, ex_wen, mem_rd, mem_wen})) return;
+  fwd_.add({{"rs", rs},
+            {"rt", rt},
+            {"ex_rd", ex_rd},
+            {"ex_wen", ex_wen ? 1 : 0},
+            {"mem_rd", mem_rd},
+            {"mem_wen", mem_wen ? 1 : 0}});
+}
+
+fault::ObserveSet observation_points(const ComponentInfo& info,
+                                     const EvalOptions& options) {
+  const netlist::Netlist& nl = info.netlist;
+  if (!options.architectural_observability) return nl.output_nets();
+  fault::ObserveSet obs;
+  auto add_port = [&](const char* name) {
+    const netlist::Bus& bus = nl.output_port(name);
+    obs.insert(obs.end(), bus.begin(), bus.end());
+  };
+  switch (info.id) {
+    case CutId::kAlu:
+      // cout/ovf are not MIPS-visible flags; result and the branch zero
+      // condition are.
+      add_port("result");
+      add_port("zero");
+      break;
+    case CutId::kDivider:
+      add_port("quotient");
+      add_port("remainder");
+      break;
+    case CutId::kMemCtrl:
+      add_port("rdata");      // load data -> register -> MISR
+      add_port("mem_wdata");  // store data reaches memory, later reloaded
+      add_port("byte_en");
+      if (options.observe_address_outputs) add_port("mem_addr");  // A-VC
+      break;
+    default:
+      return nl.output_nets();
+  }
+  return obs;
+}
+
+const CutCoverage& ProgramEvaluation::cut(CutId id) const {
+  for (const CutCoverage& c : cuts) {
+    if (c.id == id) return c;
+  }
+  throw std::out_of_range("ProgramEvaluation: unknown cut");
+}
+
+double ProgramEvaluation::overall_fc() const {
+  std::size_t total = 0, detected = 0;
+  for (const CutCoverage& c : cuts) {
+    total += c.coverage.total;
+    detected += c.coverage.detected;
+  }
+  return total == 0 ? 100.0
+                    : 100.0 * static_cast<double>(detected) /
+                          static_cast<double>(total);
+}
+
+double ProgramEvaluation::missing_fc(CutId id) const {
+  std::size_t total = 0;
+  for (const CutCoverage& c : cuts) total += c.coverage.total;
+  const CutCoverage& c = cut(id);
+  return total == 0 ? 0.0
+                    : 100.0 *
+                          static_cast<double>(c.coverage.total -
+                                              c.coverage.detected) /
+                          static_cast<double>(total);
+}
+
+ProgramEvaluation evaluate_program(const ProcessorModel& model,
+                                   const TestProgramBuilder& builder,
+                                   const TestProgram& program,
+                                   const EvalOptions& options) {
+  ProgramEvaluation out;
+
+  // ---- combined run with tracing ------------------------------------------
+  TraceCollector trace(model);
+  for (std::size_t i = 0; i < program.routines.size(); ++i) {
+    if (program.routines[i].target == CutId::kRegisterFile) {
+      trace.restrict_regfile(program.sections[i].begin_addr,
+                             program.sections[i].end_addr);
+    }
+  }
+  sim::Cpu cpu(options.cpu);
+  cpu.reset();
+  cpu.load(program.image);
+  cpu.set_hooks(&trace);
+  out.total = cpu.run(program.entry, options.max_instructions);
+  if (!out.total.halted) {
+    throw std::runtime_error("evaluate_program: program did not halt");
+  }
+  for (unsigned slot = 0; slot < kSignatureSlots; ++slot) {
+    out.signatures.push_back(cpu.read_word(program.signature_address(slot)));
+  }
+
+  // ---- per-component fault grading ----------------------------------------
+  for (const ComponentInfo& info : model.components()) {
+    fault::FaultUniverse universe(info.netlist);
+    const fault::ObserveSet obs = observation_points(info, options);
+    CutCoverage cc;
+    cc.id = info.id;
+    cc.collapsed_faults = universe.size();
+    cc.uncollapsed_faults = universe.uncollapsed_count();
+    switch (info.id) {
+      case CutId::kAlu:
+        cc.stimulus_size = trace.alu_patterns().size();
+        cc.coverage = fault::simulate_comb(info.netlist, universe.collapsed(),
+                                           trace.alu_patterns(), obs);
+        break;
+      case CutId::kShifter:
+        cc.stimulus_size = trace.shifter_patterns().size();
+        cc.coverage = fault::simulate_comb(info.netlist, universe.collapsed(),
+                                           trace.shifter_patterns(), obs);
+        break;
+      case CutId::kMultiplier:
+        cc.stimulus_size = trace.multiplier_patterns().size();
+        cc.coverage = fault::simulate_comb(info.netlist, universe.collapsed(),
+                                           trace.multiplier_patterns(), obs);
+        break;
+      case CutId::kControl:
+        cc.stimulus_size = trace.control_patterns().size();
+        cc.coverage = fault::simulate_comb(info.netlist, universe.collapsed(),
+                                           trace.control_patterns(), obs);
+        break;
+      case CutId::kForwarding:
+        cc.stimulus_size = trace.forwarding_patterns().size();
+        cc.coverage = fault::simulate_comb(info.netlist, universe.collapsed(),
+                                           trace.forwarding_patterns(), obs);
+        break;
+      case CutId::kBranchAdder:
+        cc.stimulus_size = trace.branch_adder_patterns().size();
+        cc.coverage =
+            fault::simulate_comb(info.netlist, universe.collapsed(),
+                                 trace.branch_adder_patterns(), obs);
+        break;
+      case CutId::kDivider:
+        cc.stimulus_size = trace.divider_stimulus().size();
+        cc.coverage = fault::simulate_seq(info.netlist, universe.collapsed(),
+                                          trace.divider_stimulus(), obs);
+        break;
+      case CutId::kRegisterFile:
+        cc.stimulus_size = trace.regfile_stimulus().size();
+        cc.coverage = fault::simulate_seq(info.netlist, universe.collapsed(),
+                                          trace.regfile_stimulus(), obs);
+        break;
+      case CutId::kMemCtrl:
+        cc.stimulus_size = trace.memctrl_stimulus().size();
+        cc.coverage = fault::simulate_seq(info.netlist, universe.collapsed(),
+                                          trace.memctrl_stimulus(), obs);
+        break;
+      case CutId::kPipeline:
+        cc.stimulus_size = trace.pipeline_stimulus().size();
+        cc.coverage = fault::simulate_seq(info.netlist, universe.collapsed(),
+                                          trace.pipeline_stimulus(), obs);
+        break;
+    }
+    out.cuts.push_back(std::move(cc));
+  }
+
+  // ---- standalone per-routine statistics ----------------------------------
+  for (std::size_t i = 0; i < program.routines.size(); ++i) {
+    const Routine& r = program.routines[i];
+    const TestProgram standalone = builder.build_standalone(r);
+    sim::Cpu solo(options.cpu);
+    solo.reset();
+    solo.load(standalone.image);
+    RoutineStats rs;
+    rs.name = r.name;
+    rs.style = r.style;
+    rs.size_words = program.sections[i].size_words();
+    rs.exec = solo.run(standalone.entry, options.max_instructions);
+    out.routines.push_back(std::move(rs));
+  }
+  return out;
+}
+
+}  // namespace sbst::core

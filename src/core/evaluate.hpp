@@ -1,0 +1,141 @@
+// Coverage evaluation: runs the SBST program on the CPU model, captures the
+// pattern stream each component actually receives (via the tracing hooks),
+// and fault-grades every component's gate-level netlist against it — the
+// in-simulation equivalent of the paper's FlexTest runs.
+//
+// Observability follows the architecture: a component output counts as an
+// observation point only if a self-test routine can propagate it (e.g. the
+// ALU's internal carry-out is not a MIPS-visible flag; the memory
+// controller's MAR is A-VC and excluded from the periodic test).
+#pragma once
+
+#include <vector>
+
+#include "core/program.hpp"
+#include "fault/fault.hpp"
+#include "fault/pattern.hpp"
+#include "fault/sim.hpp"
+#include "sim/cpu.hpp"
+
+namespace sbst::core {
+
+/// Captures per-component stimulus from a program execution.
+class TraceCollector : public sim::CpuHooks {
+ public:
+  explicit TraceCollector(const ProcessorModel& model);
+
+  /// Restrict register-file capture to [begin, end) instruction addresses
+  /// (the register-file routine section): every instruction exercises the
+  /// register file, and grading tens of thousands of cycles against a 22k
+  /// fault list is needlessly slow.
+  void restrict_regfile(std::uint32_t begin_addr, std::uint32_t end_addr) {
+    rf_begin_ = begin_addr;
+    rf_end_ = end_addr;
+  }
+  /// Hard caps (cycles / unique patterns) as a second safety net.
+  void set_regfile_cycle_cap(std::size_t cap) { rf_cap_ = cap; }
+  void set_pipeline_cycle_cap(std::size_t cap) { pipe_cap_ = cap; }
+
+  // CpuHooks:
+  void on_instruction_start(std::uint32_t pc) override { pc_ = pc; }
+  void on_alu(rtlgen::AluOp, std::uint32_t, std::uint32_t) override;
+  void on_shift(rtlgen::ShiftOp, std::uint32_t, std::uint32_t) override;
+  void on_mult(std::uint32_t, std::uint32_t) override;
+  void on_div(std::uint32_t, std::uint32_t) override;
+  void on_regfile(std::uint8_t, std::uint32_t, bool, std::uint8_t,
+                  std::uint8_t) override;
+  void on_mem(std::uint32_t, std::uint32_t, rtlgen::MemSize, bool, bool,
+              std::uint32_t) override;
+  void on_control(std::uint8_t, std::uint8_t) override;
+  void on_forward(std::uint8_t, std::uint8_t, std::uint8_t, bool,
+                  std::uint8_t, bool) override;
+  void on_branch_flush() override;
+  void on_branch_target(std::uint32_t, std::uint32_t) override;
+
+  // Captured stimuli (deduplicated for the combinational components).
+  const fault::PatternSet& alu_patterns() const { return alu_; }
+  const fault::PatternSet& shifter_patterns() const { return shifter_; }
+  const fault::PatternSet& multiplier_patterns() const { return mul_; }
+  const fault::PatternSet& control_patterns() const { return control_; }
+  const fault::PatternSet& forwarding_patterns() const { return fwd_; }
+  const fault::PatternSet& branch_adder_patterns() const { return badd_; }
+  const fault::SeqStimulus& divider_stimulus() const { return div_; }
+  const fault::SeqStimulus& regfile_stimulus() const { return rf_; }
+  const fault::SeqStimulus& memctrl_stimulus() const { return mem_; }
+  const fault::SeqStimulus& pipeline_stimulus() const { return pipe_; }
+
+ private:
+  template <typename Tuple>
+  bool fresh(std::set<Tuple>& seen, const Tuple& key) {
+    return seen.insert(key).second;
+  }
+
+  std::uint32_t pc_ = 0;
+  std::uint32_t rf_begin_ = 0, rf_end_ = ~0u;
+  std::size_t rf_cap_ = 40000, pipe_cap_ = 4096;
+
+  fault::PatternSet alu_, shifter_, mul_, control_, fwd_, badd_;
+  fault::SeqStimulus div_, rf_, mem_, pipe_;
+
+  std::set<std::tuple<std::uint8_t, std::uint32_t, std::uint32_t>> alu_seen_;
+  std::set<std::tuple<std::uint8_t, std::uint32_t, std::uint32_t>>
+      shift_seen_;
+  std::set<std::tuple<std::uint32_t, std::uint32_t>> mul_seen_;
+  std::set<std::tuple<std::uint8_t, std::uint8_t>> control_seen_;
+  std::set<std::tuple<std::uint8_t, std::uint8_t, std::uint8_t, bool,
+                      std::uint8_t, bool>>
+      fwd_seen_;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> badd_seen_;
+};
+
+struct EvalOptions {
+  /// Observe only architecturally propagatable outputs (paper-faithful).
+  bool architectural_observability = true;
+  /// Include the A-VC MAR outputs as observation points (ablation: what the
+  /// paper deliberately leaves untested in periodic mode).
+  bool observe_address_outputs = false;
+  sim::CpuConfig cpu{};
+  std::uint64_t max_instructions = 1u << 22;
+};
+
+struct CutCoverage {
+  CutId id;
+  fault::CoverageResult coverage;
+  std::size_t collapsed_faults = 0;
+  std::size_t uncollapsed_faults = 0;
+  std::size_t stimulus_size = 0;  // patterns or cycles
+};
+
+struct RoutineStats {
+  std::string name;
+  std::string style;
+  std::size_t size_words = 0;
+  sim::ExecStats exec;  // standalone execution of just this routine
+};
+
+struct ProgramEvaluation {
+  std::vector<CutCoverage> cuts;
+  std::vector<RoutineStats> routines;
+  sim::ExecStats total;                  // combined program execution
+  std::vector<std::uint32_t> signatures; // fault-free signature words
+
+  const CutCoverage& cut(CutId id) const;
+  /// Overall processor fault coverage: detected / total over all components.
+  double overall_fc() const;
+  /// Contribution of a CUT's undetected faults to the missing overall
+  /// coverage (the paper's "Miss. FC" column).
+  double missing_fc(CutId id) const;
+};
+
+/// Full evaluation: runs the combined program with tracing, grades every
+/// component, and runs each routine standalone for its Table-1 row.
+ProgramEvaluation evaluate_program(const ProcessorModel& model,
+                                   const TestProgramBuilder& builder,
+                                   const TestProgram& program,
+                                   const EvalOptions& options = {});
+
+/// Observation points for a component under the given options.
+fault::ObserveSet observation_points(const ComponentInfo& info,
+                                     const EvalOptions& options);
+
+}  // namespace sbst::core

@@ -1,0 +1,103 @@
+#include "core/inject.hpp"
+
+#include <stdexcept>
+
+#include "core/program.hpp"
+#include "rtlgen/multiplier.hpp"
+
+namespace sbst::core {
+
+GateLevelFaultInjector::GateLevelFaultInjector(const ProcessorModel& model,
+                                               CutId target,
+                                               const fault::Fault& fault)
+    : target_(target), nl_(&model.component(target).netlist) {
+  if (target != CutId::kAlu && target != CutId::kShifter &&
+      target != CutId::kMultiplier) {
+    throw std::invalid_argument(
+        "GateLevelFaultInjector: unsupported component");
+  }
+  eval_ = std::make_unique<netlist::Evaluator>(*nl_);
+  eval_->inject(fault.site, fault.stuck_value, ~std::uint64_t{0});
+}
+
+std::optional<std::uint32_t> GateLevelFaultInjector::alu_result(
+    rtlgen::AluOp op, std::uint32_t a, std::uint32_t b) {
+  if (target_ != CutId::kAlu) return std::nullopt;
+  eval_->set_bus(nl_->input_port("a"), a);
+  eval_->set_bus(nl_->input_port("b"), b);
+  eval_->set_bus(nl_->input_port("op"), static_cast<std::uint64_t>(op));
+  eval_->eval();
+  const auto r = static_cast<std::uint32_t>(
+      eval_->bus_value(nl_->output_port("result")));
+  if (r != rtlgen::alu_ref(op, a, b)) ++corrupted_;
+  return r;
+}
+
+std::optional<std::uint32_t> GateLevelFaultInjector::shift_result(
+    rtlgen::ShiftOp op, std::uint32_t value, std::uint32_t shamt) {
+  if (target_ != CutId::kShifter) return std::nullopt;
+  eval_->set_bus(nl_->input_port("a"), value);
+  eval_->set_bus(nl_->input_port("shamt"), shamt);
+  eval_->set_bus(nl_->input_port("op"), static_cast<std::uint64_t>(op));
+  eval_->eval();
+  const auto r = static_cast<std::uint32_t>(
+      eval_->bus_value(nl_->output_port("result")));
+  if (r != rtlgen::shifter_ref(op, value, shamt)) ++corrupted_;
+  return r;
+}
+
+std::optional<std::uint64_t> GateLevelFaultInjector::mult_result(
+    std::uint32_t a, std::uint32_t b) {
+  if (target_ != CutId::kMultiplier) return std::nullopt;
+  eval_->set_bus(nl_->input_port("a"), a);
+  eval_->set_bus(nl_->input_port("b"), b);
+  eval_->eval();
+  const std::uint64_t r = eval_->bus_value(nl_->output_port("product"));
+  if (r != rtlgen::multiplier_ref(a, b)) ++corrupted_;
+  return r;
+}
+
+InjectionOutcome run_with_injection(const ProcessorModel& model,
+                                    const TestProgram& program,
+                                    CutId target, const fault::Fault& fault,
+                                    const sim::CpuConfig& config) {
+  InjectionOutcome out;
+
+  sim::Cpu good(config);
+  good.reset();
+  good.load(program.image);
+  if (!good.run(program.entry).halted) {
+    throw std::runtime_error("run_with_injection: good run did not halt");
+  }
+
+  GateLevelFaultInjector injector(model, target, fault);
+  sim::Cpu bad(config);
+  bad.reset();
+  bad.load(program.image);
+  bad.set_hooks(&injector);
+  // A fault can corrupt an address computation and crash the program (bus
+  // error) or keep it from ever reaching `break` (hang). Both are caught by
+  // the exception handler / watchdog in a real deployment — architecturally
+  // a detection, recorded here as inverted signatures.
+  bool crashed = false;
+  sim::ExecStats faulty_stats;
+  try {
+    faulty_stats = bad.run(program.entry);
+  } catch (const sim::CpuError&) {
+    crashed = true;
+  }
+
+  for (unsigned slot = 0; slot < kSignatureSlots; ++slot) {
+    out.good_signatures.push_back(
+        good.read_word(program.signature_address(slot)));
+    out.faulty_signatures.push_back(
+        !crashed && faulty_stats.halted
+            ? bad.read_word(program.signature_address(slot))
+            : ~good.read_word(program.signature_address(slot)));
+  }
+  out.corrupted_results = injector.corrupted_results();
+  out.detected = out.good_signatures != out.faulty_signatures;
+  return out;
+}
+
+}  // namespace sbst::core

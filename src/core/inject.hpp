@@ -1,0 +1,58 @@
+// Gate-level fault injection into program execution.
+//
+// Computes ALU / shifter / multiplier results through the component's
+// *faulty* gate-level netlist during CPU simulation, so a stuck-at fault
+// corrupts architectural state exactly as silicon would. Running the SBST
+// program under injection and comparing the unloaded signature words
+// against the fault-free run is the end-to-end detection check the whole
+// methodology rests on (error identification via signatures, paper §3.3).
+#pragma once
+
+#include <memory>
+
+#include "core/component.hpp"
+#include "fault/fault.hpp"
+#include "netlist/eval.hpp"
+#include "sim/cpu.hpp"
+
+namespace sbst::core {
+
+class GateLevelFaultInjector : public sim::CpuHooks {
+ public:
+  /// Supported targets: kAlu, kShifter, kMultiplier (the components whose
+  /// results flow through the CpuHooks override points).
+  GateLevelFaultInjector(const ProcessorModel& model, CutId target,
+                         const fault::Fault& fault);
+
+  std::optional<std::uint32_t> alu_result(rtlgen::AluOp, std::uint32_t,
+                                          std::uint32_t) override;
+  std::optional<std::uint32_t> shift_result(rtlgen::ShiftOp, std::uint32_t,
+                                            std::uint32_t) override;
+  std::optional<std::uint64_t> mult_result(std::uint32_t,
+                                           std::uint32_t) override;
+
+  /// Number of operations whose faulty result differed from the good one.
+  std::uint64_t corrupted_results() const { return corrupted_; }
+
+ private:
+  CutId target_;
+  const netlist::Netlist* nl_;
+  std::unique_ptr<netlist::Evaluator> eval_;
+  std::uint64_t corrupted_ = 0;
+};
+
+/// Runs `image` twice — fault-free and with `fault` injected into `target`
+/// — and reports whether any signature word differs.
+struct InjectionOutcome {
+  bool detected = false;
+  std::uint64_t corrupted_results = 0;
+  std::vector<std::uint32_t> good_signatures;
+  std::vector<std::uint32_t> faulty_signatures;
+};
+
+InjectionOutcome run_with_injection(const ProcessorModel& model,
+                                    const struct TestProgram& program,
+                                    CutId target, const fault::Fault& fault,
+                                    const sim::CpuConfig& config = {});
+
+}  // namespace sbst::core

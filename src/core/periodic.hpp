@@ -1,0 +1,99 @@
+// On-line periodic testing model (paper §1–§2 and the E3 experiment).
+//
+// Models the embedded system at the scheduling level: a round-robin OS with
+// quantum Q runs user processes; the SBST program (execution time t_test,
+// from the evaluated program) is launched by one of the paper's three
+// policies. Operational faults arrive as permanent, intermittent (active
+// with a duty cycle) or transient processes; a test run detects a fault iff
+// the fault is active during the run (the SBST program's measured fault
+// coverage scales the detection probability).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sbst::core {
+
+enum class FaultKind {
+  kPermanent,     // active from arrival onwards
+  kIntermittent,  // active `active_s` out of every `period_s` seconds
+  kTransient,     // active once for `active_s` seconds
+};
+
+struct FaultProcess {
+  FaultKind kind = FaultKind::kPermanent;
+  double arrival_s = 0.0;
+  double period_s = 0.0;  // intermittent: activation period
+  double active_s = 0.0;  // intermittent/transient: active duration
+};
+
+/// Launch policies of paper §2.
+enum class LaunchPolicy {
+  kTimer,    // programmable timer: every test_period_s
+  kIdle,     // scheduler idle slots: uniformly jittered around the period
+  kStartup,  // only at system startup/shutdown boundaries (period = uptime)
+};
+
+struct PeriodicConfig {
+  double quantum_s = 0.2;       // paper: a few hundred ms
+  double test_exec_s = 200e-6;  // from the evaluated SBST program
+  double test_period_s = 1.0;   // timer period between test launches
+  LaunchPolicy policy = LaunchPolicy::kTimer;
+  double fault_coverage = 0.956;  // probability a present fault is caught
+  double horizon_s = 3600.0;      // simulated wall-clock per trial
+};
+
+struct PeriodicResult {
+  std::size_t trials = 0;
+  std::size_t detected = 0;
+  double detection_probability = 0.0;
+  double mean_latency_s = 0.0;   // arrival -> detection (detected trials)
+  double max_latency_s = 0.0;
+  double cpu_overhead = 0.0;     // fraction of CPU time spent testing
+};
+
+/// Monte-Carlo estimate of detection probability and latency for a fault
+/// class under a launch policy.
+PeriodicResult simulate_periodic(const PeriodicConfig& config,
+                                 const FaultProcess& fault,
+                                 std::size_t trials, Rng& rng);
+
+/// Closed-form checks used by tests:
+///  - permanent faults: detection probability -> coverage, latency <= period
+///  - intermittent faults: per-test hit probability ~ duty cycle
+double expected_permanent_latency(const PeriodicConfig& config);
+double intermittent_duty_cycle(const FaultProcess& fault);
+
+/// Whether `fault` is active at absolute time t (arrival-relative phase 0).
+bool fault_active_at(const FaultProcess& fault, double t);
+
+/// Quantum chunking (paper §2): "it is possible to have test program
+/// execution span over more than one quantum time, [but] this will lead to
+/// further system operation overhead due to larger context switch
+/// overheads." Splits a test of `program_cycles` into quantum-sized chunks
+/// and accounts the extra cost: one context switch plus a cache refill per
+/// extra chunk.
+struct ChunkingReport {
+  std::size_t chunks = 1;
+  std::uint64_t switch_overhead_cycles = 0;
+  std::uint64_t cache_refill_cycles = 0;
+  std::uint64_t total_cycles = 0;  // program + overheads
+
+  double overhead_fraction() const {
+    const std::uint64_t extra = switch_overhead_cycles + cache_refill_cycles;
+    return total_cycles == 0
+               ? 0.0
+               : static_cast<double>(extra) /
+                     static_cast<double>(total_cycles);
+  }
+};
+
+ChunkingReport chunked_execution(std::uint64_t program_cycles,
+                                 std::uint64_t quantum_cycles,
+                                 std::uint64_t context_switch_cycles,
+                                 std::uint64_t cache_refill_cycles);
+
+}  // namespace sbst::core

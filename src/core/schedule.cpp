@@ -1,0 +1,270 @@
+#include "core/schedule.hpp"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "isa/encoding.hpp"
+
+namespace sbst::core {
+
+namespace {
+
+struct LineInfo {
+  std::string text;
+  bool is_instruction = false;
+  bool is_branch = false;   // next instruction is its delay slot
+  bool is_barrier = false;  // jal/jr/break: window resets after it
+  int writes = -1;          // architectural register or -1
+  int reads[2] = {-1, -1};
+};
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+std::vector<std::string> operands_of(const std::string& rest) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : rest) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!trim(cur).empty()) out.push_back(trim(cur));
+  return out;
+}
+
+int reg_of(const std::string& token) {
+  const auto r = isa::parse_register(token);
+  return r ? static_cast<int>(*r) : -1;
+}
+
+int base_reg_of(const std::string& mem_operand) {
+  const std::size_t open = mem_operand.find('(');
+  const std::size_t close = mem_operand.find(')');
+  if (open == std::string::npos || close == std::string::npos) return -1;
+  return reg_of(trim(mem_operand.substr(open + 1, close - open - 1)));
+}
+
+LineInfo classify(const std::string& raw) {
+  LineInfo info;
+  info.text = raw;
+  const std::string line = trim(raw);
+  if (line.empty() || line[0] == '#' || line.back() == ':' ||
+      line[0] == '.') {
+    return info;  // blank / comment / label / directive
+  }
+  info.is_instruction = true;
+  const std::size_t sp = line.find_first_of(" \t");
+  const std::string m = line.substr(0, sp);
+  const auto ops =
+      sp == std::string::npos ? std::vector<std::string>{}
+                              : operands_of(line.substr(sp + 1));
+  auto op_reg = [&](std::size_t i) {
+    return i < ops.size() ? reg_of(ops[i]) : -1;
+  };
+
+  if (m == "add" || m == "addu" || m == "sub" || m == "subu" || m == "and" ||
+      m == "or" || m == "xor" || m == "nor" || m == "slt" || m == "sltu" ||
+      m == "sllv" || m == "srlv" || m == "srav") {
+    info.writes = op_reg(0);
+    info.reads[0] = op_reg(1);
+    info.reads[1] = op_reg(2);
+  } else if (m == "sll" || m == "srl" || m == "sra") {
+    info.writes = op_reg(0);
+    info.reads[0] = op_reg(1);
+  } else if (m == "addi" || m == "addiu" || m == "slti" || m == "sltiu" ||
+             m == "andi" || m == "ori" || m == "xori") {
+    info.writes = op_reg(0);
+    info.reads[0] = op_reg(1);
+  } else if (m == "lui" || m == "li" || m == "la") {
+    info.writes = op_reg(0);
+  } else if (m == "move") {
+    info.writes = op_reg(0);
+    info.reads[0] = op_reg(1);
+  } else if (m == "lw" || m == "lb" || m == "lbu" || m == "lh" ||
+             m == "lhu") {
+    info.writes = op_reg(0);
+    info.reads[0] = ops.size() > 1 ? base_reg_of(ops[1]) : -1;
+  } else if (m == "sw" || m == "sb" || m == "sh") {
+    info.reads[0] = op_reg(0);
+    info.reads[1] = ops.size() > 1 ? base_reg_of(ops[1]) : -1;
+  } else if (m == "beq" || m == "bne") {
+    info.is_branch = true;
+    info.reads[0] = op_reg(0);
+    info.reads[1] = op_reg(1);
+  } else if (m == "b" || m == "j") {
+    info.is_branch = true;
+  } else if (m == "jal") {
+    info.is_branch = true;
+    info.is_barrier = true;  // the callee settles every older write
+    info.writes = isa::kRa;
+  } else if (m == "jr") {
+    info.is_branch = true;
+    info.is_barrier = true;
+    info.reads[0] = op_reg(0);
+  } else if (m == "mult" || m == "multu" || m == "div" || m == "divu") {
+    info.reads[0] = op_reg(0);
+    info.reads[1] = op_reg(1);
+  } else if (m == "mfhi" || m == "mflo") {
+    info.writes = op_reg(0);  // HI/LO handled by the md interlock, not nops
+  } else if (m == "mthi" || m == "mtlo") {
+    info.reads[0] = op_reg(0);
+  } else if (m == "nop" || m == "break") {
+    if (m == "break") info.is_barrier = true;
+  }
+  if (info.writes == 0) info.writes = -1;  // $zero writes vanish
+  return info;
+}
+
+// li/la expanding to lui+ori carry an *internal* RAW hazard (the ori reads
+// the register the lui just wrote). Splitting them into explicit lui/ori —
+// with %hi/%lo for symbolic operands — lets the window logic below space
+// them like any other pair.
+std::vector<LineInfo> expand_li(const LineInfo& info) {
+  const std::string line = trim(info.text);
+  const std::size_t sp = line.find_first_of(" \t");
+  const std::string m = line.substr(0, sp);
+  if (m != "li" && m != "la") return {info};
+  const auto ops = operands_of(line.substr(sp + 1));
+  if (ops.size() != 2) return {info};
+  const std::string& rd = ops[0];
+  const std::string& value = ops[1];
+
+  const bool numeric =
+      !value.empty() &&
+      (std::isdigit(static_cast<unsigned char>(value[0])) ||
+       ((value[0] == '-' || value[0] == '+') && value.size() > 1 &&
+        std::isdigit(static_cast<unsigned char>(value[1]))));
+  if (numeric) {
+    const std::uint32_t v = static_cast<std::uint32_t>(
+        std::strtoll(value.c_str(), nullptr, 0));
+    const std::int32_t sv = static_cast<std::int32_t>(v);
+    const bool single = v <= 0xffff || (sv >= -0x8000 && sv < 0) ||
+                        (v & 0xffffu) == 0;
+    if (single) return {info};  // one machine instruction: no internal RAW
+    char buf[64];
+    std::vector<LineInfo> out;
+    std::snprintf(buf, sizeof buf, "  lui  %s, 0x%x", rd.c_str(), v >> 16);
+    out.push_back(classify(buf));
+    std::snprintf(buf, sizeof buf, "  ori  %s, %s, 0x%x", rd.c_str(),
+                  rd.c_str(), v & 0xffffu);
+    out.push_back(classify(buf));
+    return out;
+  }
+  // Symbolic: the assembler always emits lui+ori; mirror it with %hi/%lo.
+  std::vector<LineInfo> out;
+  out.push_back(classify("  lui  " + rd + ", %hi(" + value + ")"));
+  out.push_back(classify("  ori  " + rd + ", " + rd + ", %lo(" + value +
+                         ")"));
+  return out;
+}
+
+}  // namespace
+
+ScheduleResult insert_nops_for_no_forwarding(const std::string& assembly,
+                                             unsigned min_distance) {
+  // Split into lines, classify (expanding li/la), then walk with a window
+  // of the last (min_distance - 1) written registers.
+  std::vector<LineInfo> lines;
+  std::size_t pos = 0;
+  while (pos <= assembly.size()) {
+    const std::size_t eol = assembly.find('\n', pos);
+    const std::string line = assembly.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? assembly.size() + 1 : eol + 1;
+    if (!(line.empty() && pos > assembly.size())) {
+      for (LineInfo& li : expand_li(classify(line))) {
+        lines.push_back(std::move(li));
+      }
+    }
+  }
+
+  ScheduleResult out;
+  // window[d] = register written d+1 instructions ago (-1 if none).
+  std::vector<int> window(min_distance > 1 ? min_distance - 1 : 0, -1);
+  auto push_window = [&](int written) {
+    if (window.empty()) return;
+    for (std::size_t d = window.size(); d-- > 1;) window[d] = window[d - 1];
+    window[0] = written;
+  };
+  auto hazard_distance = [&](const LineInfo& info) -> std::optional<unsigned> {
+    for (std::size_t d = 0; d < window.size(); ++d) {
+      if (window[d] < 0) continue;
+      if (info.reads[0] == window[d] || info.reads[1] == window[d]) {
+        return static_cast<unsigned>(d);
+      }
+    }
+    return std::nullopt;
+  };
+
+  std::string result;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const LineInfo& info = lines[i];
+    if (!info.is_instruction) {
+      result += info.text + "\n";
+      continue;
+    }
+
+    // The delay slot rides with its branch: resolve both hazards by
+    // inserting nops *before the branch*, then emit the pair.
+    const bool has_slot = info.is_branch && i + 1 < lines.size() &&
+                          lines[i + 1].is_instruction;
+    unsigned needed = 0;
+    if (const auto d = hazard_distance(info)) {
+      needed = std::max(needed, static_cast<unsigned>(window.size() - *d));
+    }
+    if (has_slot) {
+      // From the slot's perspective the branch sits between it and the
+      // window, adding one slot of distance.
+      for (std::size_t d = 0; d + 1 < window.size(); ++d) {
+        if (window[d] < 0) continue;
+        if (lines[i + 1].reads[0] == window[d] ||
+            lines[i + 1].reads[1] == window[d]) {
+          needed = std::max(
+              needed, static_cast<unsigned>(window.size() - 1 - d));
+        }
+      }
+    }
+    for (unsigned n = 0; n < needed; ++n) {
+      result += "  nop\n";
+      ++out.nops_inserted;
+      push_window(-1);
+    }
+
+    result += info.text + "\n";
+    push_window(info.is_barrier ? -1 : info.writes);
+    if (info.is_barrier) std::fill(window.begin(), window.end(), -1);
+    if (has_slot) {
+      result += lines[i + 1].text + "\n";
+      push_window(lines[i + 1].writes);
+      if (info.is_barrier) {
+        // Returning from a call: everything older has long retired.
+        std::fill(window.begin(), window.end(), -1);
+      }
+      ++i;
+    }
+  }
+  out.assembly = std::move(result);
+  return out;
+}
+
+Routine schedule_routine(Routine routine, unsigned min_distance) {
+  ScheduleResult r =
+      insert_nops_for_no_forwarding(routine.assembly, min_distance);
+  routine.assembly = std::move(r.assembly);
+  routine.style += " +nops";
+  return routine;
+}
+
+}  // namespace sbst::core

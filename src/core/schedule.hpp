@@ -1,0 +1,36 @@
+// Instruction scheduling for processors without forwarding.
+//
+// Paper §3.3: "We remark that in any case nop instructions are inserted
+// accordingly when forwarding is not supported." This pass analyses a
+// routine's assembly, finds read-after-write pairs closer than the pipeline
+// depth, and inserts the minimum nops so the routine still runs stall-free
+// on a CpuConfig{forwarding = false} machine.
+//
+// Scope: the structured code the generators emit — straight-line blocks,
+// subroutine calls (jal + delay slot, treated as scheduling barriers), and
+// the Figure-4 loop shapes. Branch/delay-slot pairs are never split; nops
+// are hoisted above the branch when its delay slot needs distance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/codegen.hpp"
+
+namespace sbst::core {
+
+struct ScheduleResult {
+  std::string assembly;
+  std::size_t nops_inserted = 0;
+};
+
+/// `min_distance` is the producer->consumer instruction distance that needs
+/// no stall: 3 for the 3-stage pipeline without forwarding (distance 1
+/// costs 2 stalls, distance 2 costs 1).
+ScheduleResult insert_nops_for_no_forwarding(const std::string& assembly,
+                                             unsigned min_distance = 3);
+
+/// Convenience: reschedules a whole routine (code only; data untouched).
+Routine schedule_routine(Routine routine, unsigned min_distance = 3);
+
+}  // namespace sbst::core

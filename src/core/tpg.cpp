@@ -1,0 +1,327 @@
+#include "core/tpg.hpp"
+
+#include "common/bits.hpp"
+#include "rtlgen/control.hpp"
+
+namespace sbst::core {
+
+using rtlgen::AluOp;
+using rtlgen::MemSize;
+using rtlgen::ShiftOp;
+
+namespace {
+
+struct Masks {
+  std::uint32_t ones, c5, ca, c3, cc, c0f, cf0, msb, maxpos;
+  explicit Masks(unsigned w)
+      : ones(static_cast<std::uint32_t>(low_mask(w))),
+        c5(0x55555555u & ones),
+        ca(0xaaaaaaaau & ones),
+        c3(0x33333333u & ones),
+        cc(0xccccccccu & ones),
+        c0f(0x0f0f0f0fu & ones),
+        cf0(0xf0f0f0f0u & ones),
+        msb(std::uint32_t{1} << (w - 1)),
+        maxpos(ones >> 1) {}
+};
+
+}  // namespace
+
+std::vector<AluOpnd> regular_alu_tests(unsigned width) {
+  const Masks m(width);
+  std::vector<AluOpnd> t;
+
+  // Per-bit truth tables of the logic unit: 4 combos + checkerboards that
+  // also exercise the result-mux select paths.
+  for (AluOp op : {AluOp::kAnd, AluOp::kOr, AluOp::kXor, AluOp::kNor}) {
+    t.push_back({op, 0, 0});
+    t.push_back({op, 0, m.ones});
+    t.push_back({op, m.ones, 0});
+    t.push_back({op, m.ones, m.ones});
+    t.push_back({op, m.c5, m.ca});
+    t.push_back({op, m.ca, m.c5});
+  }
+
+  // Adder constants: generate/propagate/kill in every position.
+  for (auto [a, b] : std::initializer_list<std::pair<std::uint32_t,
+                                                     std::uint32_t>>{
+           {0, 0}, {m.ones, 1}, {1, m.ones}, {m.c5, m.c5}, {m.ca, m.ca},
+           {m.c3, m.c3}, {m.cc, m.cc}, {m.c0f, m.cf0}, {m.ones, m.ones},
+           {m.maxpos, 1}, {m.msb, m.msb}}) {
+    t.push_back({AluOp::kAdd, a, b});
+  }
+
+  // Subtractor constants: borrow chains + B-inversion mux.
+  for (auto [a, b] : std::initializer_list<std::pair<std::uint32_t,
+                                                     std::uint32_t>>{
+           {0, 0}, {0, 1}, {m.c5, m.ca}, {m.ca, m.c5}, {m.ones, m.ones},
+           {0, m.ones}, {m.ones, 0}, {m.msb, 1}}) {
+    t.push_back({AluOp::kSub, a, b});
+  }
+
+  // Comparison corners: sign/overflow discrimination of slt vs sltu.
+  for (AluOp op : {AluOp::kSlt, AluOp::kSltu}) {
+    t.push_back({op, 0, 0});
+    t.push_back({op, 1, 0});
+    t.push_back({op, 0, 1});
+    t.push_back({op, m.msb, m.maxpos});
+    t.push_back({op, m.maxpos, m.msb});
+    t.push_back({op, m.ones, 0});
+    t.push_back({op, 0, m.ones});
+    t.push_back({op, m.c5, m.ca});
+  }
+
+  // Linear families (the Figure 4 loop bodies): per-bit carry generate,
+  // carry propagate into each bit, borrow through each bit, and carry
+  // chains of every prefix length (distinguishes the individual propagate
+  // terms of lookahead implementations).
+  for (unsigned i = 0; i < width; ++i) {
+    const std::uint32_t bit = std::uint32_t{1} << i;
+    t.push_back({AluOp::kAdd, bit, bit});
+    t.push_back({AluOp::kAdd, m.ones, bit});
+    t.push_back({AluOp::kSub, 0, bit});
+    t.push_back({AluOp::kAdd, static_cast<std::uint32_t>(low_mask(i + 1)), 1});
+    // Carry chain with a single kill ("hole") at bit i: distinguishes each
+    // propagate input of lookahead product terms (stuck-true p_k).
+    t.push_back({AluOp::kAdd, m.ones ^ bit, 1});
+    // Generate at bit i, propagate through everything above it.
+    t.push_back({AluOp::kAdd, m.ones & ~static_cast<std::uint32_t>(
+                                  low_mask(i)),
+                 bit});
+  }
+  return t;
+}
+
+std::vector<ShiftOpnd> regular_shifter_tests(unsigned width) {
+  const Masks m(width);
+  std::vector<ShiftOpnd> t;
+  const std::uint32_t corner = (m.msb | 1u) & m.ones;
+  for (ShiftOp op : {ShiftOp::kSll, ShiftOp::kSrl, ShiftOp::kSra}) {
+    for (unsigned s = 0; s < width; ++s) {
+      t.push_back({op, m.c5, static_cast<std::uint8_t>(s)});
+      t.push_back({op, m.ca, static_cast<std::uint8_t>(s)});
+      t.push_back({op, corner, static_cast<std::uint8_t>(s)});
+    }
+  }
+  return t;
+}
+
+std::vector<MulOpnd> regular_multiplier_tests(unsigned width) {
+  const Masks m(width);
+  std::vector<MulOpnd> t;
+  for (unsigned i = 0; i < width; ++i) {
+    const std::uint32_t bit = std::uint32_t{1} << i;
+    t.push_back({bit, m.ones});  // one full row of partial products
+    t.push_back({m.ones, bit});  // one full column
+    t.push_back({bit, bit});     // diagonal
+  }
+  for (auto [a, b] : std::initializer_list<std::pair<std::uint32_t,
+                                                     std::uint32_t>>{
+           {0, 0}, {1, 1}, {m.ones, m.ones}, {m.c5, m.c5}, {m.ca, m.ca},
+           {m.c5, m.ca}, {m.ca, m.c5}, {m.c3, m.cc}, {m.cc, m.c3},
+           {m.msb, m.msb}, {m.ones, 1}, {1, m.ones}, {m.c0f, m.cf0}}) {
+    t.push_back({a, b});
+  }
+  return t;
+}
+
+std::vector<DivOpnd> regular_divider_tests(unsigned width) {
+  const Masks m(width);
+  std::vector<DivOpnd> t;
+  t.push_back({m.ones, 1});  // all-ones quotient
+  for (unsigned i = 0; i < width; ++i) {
+    const std::uint32_t bit = std::uint32_t{1} << i;
+    t.push_back({bit, 1});       // walking dividend
+    t.push_back({m.ones, bit});  // walking divisor
+    // Walking remainder: dividend < divisor leaves R = dividend, setting
+    // every prefix pattern in the remainder register.
+    t.push_back({static_cast<std::uint32_t>(low_mask(i + 1)), m.ones});
+  }
+  for (auto [a, b] : std::initializer_list<std::pair<std::uint32_t,
+                                                     std::uint32_t>>{
+           {0, 1}, {5, 0}, {m.ones, m.ones}, {1, m.ones}, {m.msb, 3},
+           {m.c5, m.ca}, {m.ca, m.c5}, {m.c5, 7}, {100, 7},
+           {m.ones ^ 1u, m.ones}, {m.ca, 3}, {m.c5, m.c5}}) {
+    t.push_back({a, b});
+  }
+  return t;
+}
+
+std::vector<RegFileOp> regular_regfile_tests(unsigned num_regs) {
+  std::vector<RegFileOp> ops;
+  // Checkerboard pair per register, read back through both ports.
+  for (std::uint32_t pattern : {0x55555555u, 0xaaaaaaaau}) {
+    for (unsigned r = 1; r < num_regs; ++r) {
+      ops.push_back({.write = true, .addr = static_cast<std::uint8_t>(r),
+                     .data = pattern});
+      ops.push_back({.write = false, .addr = static_cast<std::uint8_t>(r),
+                     .data = 0,
+                     .raddr2 = static_cast<std::uint8_t>(num_regs - r)});
+    }
+  }
+  // Unique value per register, then read all: catches decoder faults that
+  // alias two registers (a checkerboard alone cannot). The multiplicative
+  // hash makes every data bit differ between any two registers.
+  auto unique = [](unsigned r) { return 0x9e3779b9u * r + 0x01010101u; };
+  for (unsigned r = 1; r < num_regs; ++r) {
+    ops.push_back({.write = true, .addr = static_cast<std::uint8_t>(r),
+                   .data = unique(r)});
+  }
+  for (unsigned r = 1; r < num_regs; ++r) {
+    ops.push_back({.write = false, .addr = static_cast<std::uint8_t>(r),
+                   .data = 0,
+                   .raddr2 = static_cast<std::uint8_t>(r ^ 1u)});
+  }
+  // Second pass in descending write order with complemented data: a
+  // decoder alias toward a *higher* register survives an ascending pass
+  // (the later write overwrites the evidence) but not a descending one.
+  for (unsigned r = num_regs - 1; r >= 1; --r) {
+    ops.push_back({.write = true, .addr = static_cast<std::uint8_t>(r),
+                   .data = ~unique(r)});
+  }
+  for (unsigned r = 1; r < num_regs; ++r) {
+    ops.push_back({.write = false, .addr = static_cast<std::uint8_t>(r),
+                   .data = 0,
+                   .raddr2 = static_cast<std::uint8_t>(
+                       (r + num_regs / 2) % num_regs)});
+  }
+  for (unsigned r = 1; r < num_regs; ++r) {
+    ops.push_back({.write = false,
+                   .addr = static_cast<std::uint8_t>(num_regs - 1 - r),
+                   .data = 0,
+                   .raddr2 = static_cast<std::uint8_t>(r)});
+  }
+  return ops;
+}
+
+std::vector<MemOpnd> regular_memctrl_tests() {
+  std::vector<MemOpnd> t;
+  for (std::uint32_t data : {0x55555555u, 0xaaaaaaaau, 0xffffffffu, 0u}) {
+    t.push_back({MemSize::kWord, false, true, 0, data});
+    t.push_back({MemSize::kWord, false, false, 0, data});
+  }
+  for (std::uint8_t off = 0; off < 4; ++off) {
+    t.push_back({MemSize::kByte, false, true, off, 0x55u});
+    t.push_back({MemSize::kByte, false, true, off, 0xaau});
+    t.push_back({MemSize::kByte, true, false, off, 0xa5a5a5a5u});  // lb sign
+    t.push_back({MemSize::kByte, false, false, off, 0xa5a5a5a5u});
+    t.push_back({MemSize::kByte, true, false, off, 0x5a5a5a5au});
+  }
+  for (std::uint8_t off : {std::uint8_t{0}, std::uint8_t{2}}) {
+    t.push_back({MemSize::kHalf, false, true, off, 0x5555u});
+    t.push_back({MemSize::kHalf, false, true, off, 0xaaaau});
+    t.push_back({MemSize::kHalf, true, false, off, 0x8000ffffu});
+    t.push_back({MemSize::kHalf, false, false, off, 0x7fff8000u});
+    t.push_back({MemSize::kHalf, true, false, off, 0x55aa55aau});
+  }
+  return t;
+}
+
+// ---- lowering ---------------------------------------------------------------
+
+fault::PatternSet alu_pattern_set(const netlist::Netlist& alu,
+                                  const std::vector<AluOpnd>& tests) {
+  fault::PatternSet ps(alu);
+  for (const AluOpnd& t : tests) {
+    ps.add({{"a", t.a},
+            {"b", t.b},
+            {"op", static_cast<std::uint64_t>(t.op)}});
+  }
+  return ps;
+}
+
+fault::PatternSet shifter_pattern_set(const netlist::Netlist& shifter,
+                                      const std::vector<ShiftOpnd>& tests) {
+  fault::PatternSet ps(shifter);
+  for (const ShiftOpnd& t : tests) {
+    ps.add({{"a", t.value},
+            {"shamt", t.shamt},
+            {"op", static_cast<std::uint64_t>(t.op)}});
+  }
+  return ps;
+}
+
+fault::PatternSet multiplier_pattern_set(const netlist::Netlist& mul,
+                                         const std::vector<MulOpnd>& tests) {
+  fault::PatternSet ps(mul);
+  for (const MulOpnd& t : tests) {
+    ps.add({{"a", t.a}, {"b", t.b}});
+  }
+  return ps;
+}
+
+fault::SeqStimulus divider_stimulus(const netlist::Netlist& divider,
+                                    const std::vector<DivOpnd>& tests,
+                                    unsigned width) {
+  fault::SeqStimulus seq(divider);
+  for (const DivOpnd& t : tests) {
+    seq.add_cycle({{"start", 1},
+                   {"dividend", t.dividend},
+                   {"divisor", t.divisor}},
+                  false);
+    for (unsigned i = 0; i < width; ++i) {
+      seq.add_cycle({{"start", 0}}, false);
+    }
+    // Results are read by mflo/mfhi after completion; holding for several
+    // observed idle cycles also exercises the recirculation muxes of the
+    // state registers.
+    seq.add_cycle({{"start", 0}}, true);
+    seq.add_cycle({{"start", 0}}, true);
+    seq.add_cycle({{"start", 0}}, true);
+  }
+  return seq;
+}
+
+fault::SeqStimulus regfile_stimulus(const netlist::Netlist& regfile,
+                                    const std::vector<RegFileOp>& ops) {
+  fault::SeqStimulus seq(regfile);
+  for (const RegFileOp& op : ops) {
+    if (op.write) {
+      seq.add_cycle({{"waddr", op.addr},
+                     {"wdata", op.data},
+                     {"wen", 1},
+                     {"raddr1", 0},
+                     {"raddr2", 0}},
+                    false);
+    } else {
+      seq.add_cycle({{"wen", 0},
+                     {"raddr1", op.addr},
+                     {"raddr2", op.raddr2}},
+                    true);
+    }
+  }
+  return seq;
+}
+
+fault::SeqStimulus memctrl_stimulus(const netlist::Netlist& memctrl,
+                                    const std::vector<MemOpnd>& tests) {
+  fault::SeqStimulus seq(memctrl);
+  for (const MemOpnd& t : tests) {
+    // Issue cycle: capture MAR/MDR/byte enables.
+    seq.add_cycle({{"addr", t.offset},
+                   {"wdata", t.write ? t.data : 0},
+                   {"size", static_cast<std::uint64_t>(t.size)},
+                   {"sign", t.sign ? 1 : 0},
+                   {"wr", t.write ? 1 : 0},
+                   {"en", 1}},
+                  false);
+    // Response cycle: memory word returns (loads) / registered store
+    // outputs observed.
+    seq.add_cycle({{"mem_rdata", t.write ? 0 : t.data},
+                   {"size", static_cast<std::uint64_t>(t.size)},
+                   {"sign", t.sign ? 1 : 0},
+                   {"en", 0}},
+                  true);
+  }
+  return seq;
+}
+
+fault::PatternSet control_pattern_set(const netlist::Netlist& control) {
+  fault::PatternSet ps(control);
+  for (const rtlgen::OpcodePair& ins : rtlgen::all_instruction_opcodes()) {
+    ps.add({{"opcode", ins.opcode}, {"funct", ins.funct}});
+  }
+  return ps;
+}
+
+}  // namespace sbst::core

@@ -1,0 +1,99 @@
+// Test-pattern sources for the three TPG strategies (paper §3.3).
+//
+// The regular deterministic sets are the heart of the high-level strategy:
+// constant- or linear-size operand families that exploit the inherent
+// regularity of arithmetic/logic components, shifters, comparators, muxes
+// and register files. They are *implementation-independent* — property
+// tests verify they reach their coverage on both the ripple-carry and the
+// carry-lookahead realisations.
+//
+// Each family is expressed as component *operations* (op + operands),
+// because that is what a self-test routine can actually apply through
+// instructions; helpers lower them onto netlist ports for fault grading.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/pattern.hpp"
+#include "rtlgen/alu.hpp"
+#include "rtlgen/memctrl.hpp"
+#include "rtlgen/shifter.hpp"
+
+namespace sbst::core {
+
+// ---- regular deterministic operand families --------------------------------
+
+struct AluOpnd {
+  rtlgen::AluOp op;
+  std::uint32_t a;
+  std::uint32_t b;
+};
+/// Constant part (per-op truth-table + carry/borrow corners) plus linear
+/// part (per-bit carry generate/propagate walks).
+std::vector<AluOpnd> regular_alu_tests(unsigned width = 32);
+
+struct ShiftOpnd {
+  rtlgen::ShiftOp op;
+  std::uint32_t value;
+  std::uint8_t shamt;
+};
+/// Linear family: checkerboards + sign corner through every (op, shamt).
+std::vector<ShiftOpnd> regular_shifter_tests(unsigned width = 32);
+
+struct MulOpnd {
+  std::uint32_t a;
+  std::uint32_t b;
+};
+/// Linear family: walking-one rows/columns against all-ones plus
+/// checkerboard/corner constants (array multiplier regularity).
+std::vector<MulOpnd> regular_multiplier_tests(unsigned width = 32);
+
+struct DivOpnd {
+  std::uint32_t dividend;
+  std::uint32_t divisor;
+};
+/// Linear family exercising the restoring datapath, the counter and the
+/// quotient shift: walking divisors/dividends plus corners.
+std::vector<DivOpnd> regular_divider_tests(unsigned width = 32);
+
+struct RegFileOp {
+  bool write;
+  std::uint8_t addr;       // write target or read address (port 1)
+  std::uint32_t data;      // write data
+  std::uint8_t raddr2 = 0; // secondary read
+};
+/// Two patterns (checkerboard pair) per register, written and read back in
+/// the paper's two-phase order (one half under test, the other compacting).
+std::vector<RegFileOp> regular_regfile_tests(unsigned num_regs = 32);
+
+struct MemOpnd {
+  rtlgen::MemSize size;
+  bool sign;
+  bool write;
+  std::uint8_t offset;    // within the test word(s)
+  std::uint32_t data;     // store data or pre-loaded memory content
+};
+/// Byte/half/word store+load sweep across all lanes with checkerboard and
+/// sign-corner data.
+std::vector<MemOpnd> regular_memctrl_tests();
+
+// ---- lowering onto netlist ports for fault grading -------------------------
+
+fault::PatternSet alu_pattern_set(const netlist::Netlist& alu,
+                                  const std::vector<AluOpnd>& tests);
+fault::PatternSet shifter_pattern_set(const netlist::Netlist& shifter,
+                                      const std::vector<ShiftOpnd>& tests);
+fault::PatternSet multiplier_pattern_set(const netlist::Netlist& mul,
+                                         const std::vector<MulOpnd>& tests);
+fault::SeqStimulus divider_stimulus(const netlist::Netlist& divider,
+                                    const std::vector<DivOpnd>& tests,
+                                    unsigned width = 32);
+fault::SeqStimulus regfile_stimulus(const netlist::Netlist& regfile,
+                                    const std::vector<RegFileOp>& ops);
+fault::SeqStimulus memctrl_stimulus(const netlist::Netlist& memctrl,
+                                    const std::vector<MemOpnd>& tests);
+/// The PVC functional test: every supported (opcode, funct).
+fault::PatternSet control_pattern_set(const netlist::Netlist& control);
+
+}  // namespace sbst::core

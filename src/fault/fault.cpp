@@ -1,0 +1,188 @@
+#include "fault/fault.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace sbst::fault {
+
+using netlist::Gate;
+using netlist::GateKind;
+using netlist::Netlist;
+using netlist::NetId;
+using netlist::Site;
+
+std::string fault_name(const Netlist& nl, const Fault& f) {
+  std::string s = "g" + std::to_string(f.site.gate) + "(" +
+                  kind_name(nl.gate(f.site.gate).kind) + ").";
+  s += f.site.is_output() ? "out" : "in" + std::to_string(f.site.pin);
+  s += f.stuck_value ? "/sa1" : "/sa0";
+  return s;
+}
+
+namespace {
+
+// Union-find over fault ids.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+FaultUniverse::FaultUniverse(const Netlist& nl) : nl_(&nl) {
+  // Enumerate: id = (gate * (max_pins+1) + pin_slot) * 2 + stuck_value,
+  // where pin_slot 0 = output, 1..3 = input pins.
+  constexpr unsigned kSlots = 4;
+  const std::size_t n_gates = nl.size();
+  const std::size_t n_ids = n_gates * kSlots * 2;
+  auto fault_id = [](NetId g, unsigned slot, bool sv) {
+    return (static_cast<std::size_t>(g) * kSlots + slot) * 2 + (sv ? 1 : 0);
+  };
+
+  std::vector<std::uint8_t> exists(n_ids, 0);
+  for (NetId g = 0; g < n_gates; ++g) {
+    const Gate& gate = nl.gate(g);
+    // Output faults. Constants only get the opposite-polarity fault (a
+    // stuck-at equal to the constant's value is undetectable by definition).
+    switch (gate.kind) {
+      case GateKind::kConst0:
+        exists[fault_id(g, 0, true)] = 1;
+        break;
+      case GateKind::kConst1:
+        exists[fault_id(g, 0, false)] = 1;
+        break;
+      default:
+        exists[fault_id(g, 0, false)] = 1;
+        exists[fault_id(g, 0, true)] = 1;
+    }
+    const unsigned n_pins = fanin_count(gate.kind);
+    for (unsigned p = 0; p < n_pins; ++p) {
+      exists[fault_id(g, p + 1, false)] = 1;
+      exists[fault_id(g, p + 1, true)] = 1;
+    }
+  }
+
+  UnionFind uf(n_ids);
+  const std::vector<std::uint32_t> fanout = nl.fanout_counts();
+
+  for (NetId g = 0; g < n_gates; ++g) {
+    const Gate& gate = nl.gate(g);
+    const unsigned n_pins = fanin_count(gate.kind);
+
+    // Branch/stem equivalence on single-fanout nets: a pin fault on the only
+    // sink of a net is indistinguishable from the stem fault.
+    for (unsigned p = 0; p < n_pins; ++p) {
+      const NetId src = gate.in[p];
+      if (src != netlist::kNoNet && fanout[src] == 1) {
+        for (bool sv : {false, true}) {
+          if (exists[fault_id(src, 0, sv)]) {
+            uf.unite(fault_id(g, p + 1, sv), fault_id(src, 0, sv));
+          }
+        }
+      }
+    }
+
+    // Gate-local equivalences.
+    switch (gate.kind) {
+      case GateKind::kAnd:
+        for (unsigned p = 0; p < 2; ++p) {
+          uf.unite(fault_id(g, p + 1, false), fault_id(g, 0, false));
+        }
+        break;
+      case GateKind::kNand:
+        for (unsigned p = 0; p < 2; ++p) {
+          uf.unite(fault_id(g, p + 1, false), fault_id(g, 0, true));
+        }
+        break;
+      case GateKind::kOr:
+        for (unsigned p = 0; p < 2; ++p) {
+          uf.unite(fault_id(g, p + 1, true), fault_id(g, 0, true));
+        }
+        break;
+      case GateKind::kNor:
+        for (unsigned p = 0; p < 2; ++p) {
+          uf.unite(fault_id(g, p + 1, true), fault_id(g, 0, false));
+        }
+        break;
+      case GateKind::kBuf:
+        uf.unite(fault_id(g, 1, false), fault_id(g, 0, false));
+        uf.unite(fault_id(g, 1, true), fault_id(g, 0, true));
+        break;
+      case GateKind::kNot:
+        uf.unite(fault_id(g, 1, false), fault_id(g, 0, true));
+        uf.unite(fault_id(g, 1, true), fault_id(g, 0, false));
+        break;
+      default:
+        break;  // XOR/XNOR/MUX2/DFF: no gate-local equivalence
+    }
+  }
+
+  // Pick one representative per class. Prefer output (stem) sites as
+  // representatives because they are cheapest to inject.
+  std::vector<std::size_t> class_rep(n_ids, n_ids);
+  std::vector<std::size_t> rep_index(n_ids, n_ids);
+  auto decode = [&](std::size_t id) {
+    Fault f;
+    f.stuck_value = id & 1;
+    const std::size_t rest = id >> 1;
+    f.site.gate = static_cast<NetId>(rest / kSlots);
+    const unsigned slot = rest % kSlots;
+    f.site.pin = slot == 0 ? Site::kOutputPin
+                           : static_cast<std::uint8_t>(slot - 1);
+    return f;
+  };
+
+  for (std::size_t id = 0; id < n_ids; ++id) {
+    if (!exists[id]) continue;
+    ++uncollapsed_count_;
+    const std::size_t root = uf.find(id);
+    if (class_rep[root] == n_ids ||
+        ((id >> 1) % kSlots == 0 && (class_rep[root] >> 1) % kSlots != 0)) {
+      class_rep[root] = id;
+    }
+  }
+  for (std::size_t id = 0; id < n_ids; ++id) {
+    if (!exists[id]) continue;
+    const std::size_t root = uf.find(id);
+    if (rep_index[root] == n_ids) {
+      rep_index[root] = representatives_.size();
+      representatives_.push_back(decode(class_rep[root]));
+    }
+  }
+}
+
+void CoverageResult::merge(const CoverageResult& other) {
+  if (detected_flags.size() != other.detected_flags.size()) {
+    throw std::invalid_argument("CoverageResult::merge: size mismatch");
+  }
+  detected = 0;
+  for (std::size_t i = 0; i < detected_flags.size(); ++i) {
+    detected_flags[i] = detected_flags[i] || other.detected_flags[i];
+    detected += detected_flags[i];
+  }
+}
+
+std::vector<Fault> CoverageResult::undetected(
+    const std::vector<Fault>& faults) const {
+  std::vector<Fault> out;
+  for (std::size_t i = 0; i < faults.size() && i < detected_flags.size();
+       ++i) {
+    if (!detected_flags[i]) out.push_back(faults[i]);
+  }
+  return out;
+}
+
+}  // namespace sbst::fault

@@ -1,0 +1,71 @@
+// Single stuck-at fault model with structural equivalence collapsing.
+//
+// The fault universe of a netlist contains a stuck-at-0 and stuck-at-1 fault
+// on every gate output (stem) and every gate input pin (branch). Equivalent
+// faults — indistinguishable by any test — are merged into classes via
+// union-find using the standard rules (e.g. AND input sa0 ≡ output sa0;
+// single-fanout branch ≡ stem), and one representative per class is
+// simulated. Coverage is reported over collapsed classes, matching the
+// accounting of commercial fault simulators like the FlexTest runs in the
+// paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/eval.hpp"
+#include "netlist/netlist.hpp"
+
+namespace sbst::fault {
+
+struct Fault {
+  netlist::Site site;
+  bool stuck_value = false;
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// Renders "g123.out/sa1" or "g123.in0/sa0" (with gate kind) for reports.
+std::string fault_name(const netlist::Netlist& nl, const Fault& f);
+
+class FaultUniverse {
+ public:
+  explicit FaultUniverse(const netlist::Netlist& nl);
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+
+  /// One representative fault per equivalence class.
+  const std::vector<Fault>& collapsed() const { return representatives_; }
+
+  /// Total faults before collapsing (for reporting).
+  std::size_t uncollapsed_count() const { return uncollapsed_count_; }
+
+  /// Number of equivalence classes (== collapsed().size()).
+  std::size_t size() const { return representatives_.size(); }
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<Fault> representatives_;
+  std::size_t uncollapsed_count_ = 0;
+};
+
+/// Result of grading a fault list against a stimulus.
+struct CoverageResult {
+  std::size_t total = 0;
+  std::size_t detected = 0;
+  std::vector<std::uint8_t> detected_flags;  // indexed like the fault list
+
+  double percent() const {
+    return total == 0 ? 100.0 : 100.0 * static_cast<double>(detected) /
+                                    static_cast<double>(total);
+  }
+
+  /// Merges another grading of the SAME fault list (e.g. a second routine
+  /// exercising the same component).
+  void merge(const CoverageResult& other);
+
+  std::vector<Fault> undetected(const std::vector<Fault>& faults) const;
+};
+
+}  // namespace sbst::fault

@@ -1,0 +1,89 @@
+#include "fault/pattern.hpp"
+
+#include <stdexcept>
+
+namespace sbst::fault {
+
+namespace {
+
+// Maps each input net id to its index within nl.inputs().
+std::vector<std::size_t> input_index_map(const netlist::Netlist& nl) {
+  std::vector<std::size_t> map(nl.size(), ~std::size_t{0});
+  const auto& ins = nl.inputs();
+  for (std::size_t k = 0; k < ins.size(); ++k) map[ins[k]] = k;
+  return map;
+}
+
+}  // namespace
+
+PatternSet::PatternSet(const netlist::Netlist& nl)
+    : nl_(&nl), index_map_(input_index_map(nl)) {}
+
+void PatternSet::add(const std::vector<PortValue>& values) {
+  const std::size_t lane = count_ % 64;
+  if (lane == 0) blocks_.emplace_back(nl_->inputs().size(), 0);
+  auto& block = blocks_.back();
+
+  for (const auto& [port, value] : values) {
+    const netlist::Bus& bus = nl_->input_port(port);
+    for (std::size_t b = 0; b < bus.size(); ++b) {
+      const std::size_t k = index_map_[bus[b]];
+      if ((value >> b) & 1u) {
+        block[k] |= std::uint64_t{1} << lane;
+      } else {
+        block[k] &= ~(std::uint64_t{1} << lane);
+      }
+    }
+  }
+  ++count_;
+}
+
+void PatternSet::add_random(Rng& rng) {
+  std::vector<PortValue> values;
+  for (const netlist::Port& p : nl_->input_ports()) {
+    values.emplace_back(p.name, rng.next64());
+  }
+  add(values);
+}
+
+std::uint64_t PatternSet::valid_lanes(std::size_t b) const {
+  if (b + 1 < blocks_.size()) return ~std::uint64_t{0};
+  const std::size_t rem = count_ % 64;
+  return rem == 0 ? ~std::uint64_t{0} : low_mask(static_cast<unsigned>(rem));
+}
+
+std::uint64_t PatternSet::value_of(std::size_t index,
+                                   const std::string& port) const {
+  if (index >= count_) throw std::out_of_range("PatternSet::value_of");
+  const auto& block = blocks_[index / 64];
+  const unsigned lane = index % 64;
+  const netlist::Bus& bus = nl_->input_port(port);
+
+  std::uint64_t out = 0;
+  for (std::size_t b = 0; b < bus.size(); ++b) {
+    out |= ((block[index_map_[bus[b]]] >> lane) & 1u) << b;
+  }
+  return out;
+}
+
+SeqStimulus::SeqStimulus(const netlist::Netlist& nl)
+    : nl_(&nl), index_map_(input_index_map(nl)) {}
+
+void SeqStimulus::add_cycle(const std::vector<PortValue>& values,
+                            bool observe) {
+  Cycle c;
+  c.bits.assign((nl_->inputs().size() + 63) / 64, 0);
+  c.observe = observe;
+  if (observe) ++observe_count_;
+
+  for (const auto& [port, value] : values) {
+    const netlist::Bus& bus = nl_->input_port(port);
+    for (std::size_t b = 0; b < bus.size(); ++b) {
+      const std::size_t k = index_map_[bus[b]];
+      if ((value >> b) & 1u) c.bits[k >> 6] |= std::uint64_t{1} << (k & 63);
+    }
+  }
+  cycles_.push_back(std::move(c));
+}
+
+}  // namespace sbst::fault

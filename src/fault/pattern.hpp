@@ -1,0 +1,94 @@
+// Pattern containers for fault simulation.
+//
+// PatternSet: combinational stimuli, stored pre-packed 64 patterns per block
+// so the PPSFP simulator applies them with zero repacking.
+// SeqStimulus: cycle-accurate sequential stimuli with per-cycle observation
+// points (the instants at which a self-test routine samples CUT outputs).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "netlist/netlist.hpp"
+
+namespace sbst::fault {
+
+/// Named port assignment used when adding patterns/cycles.
+using PortValue = std::pair<std::string, std::uint64_t>;
+
+class PatternSet {
+ public:
+  explicit PatternSet(const netlist::Netlist& nl);
+
+  /// Adds one pattern given as {port, value} pairs; unlisted inputs are 0.
+  void add(std::initializer_list<PortValue> values) {
+    add(std::vector<PortValue>(values));
+  }
+  void add(const std::vector<PortValue>& values);
+
+  /// Adds one uniformly random pattern over all inputs.
+  void add_random(Rng& rng);
+
+  std::size_t size() const { return count_; }
+  std::size_t block_count() const { return blocks_.size(); }
+
+  /// Packed words for block `b`: one word per input net, indexed like
+  /// netlist().inputs(). Lanes beyond the pattern count repeat pattern 0 of
+  /// the block (harmless: detection masks are ANDed with valid_lanes).
+  const std::vector<std::uint64_t>& block(std::size_t b) const {
+    return blocks_[b];
+  }
+  std::uint64_t valid_lanes(std::size_t b) const;
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+
+  /// Decodes the value of input port `port` in pattern `index` (for reports
+  /// and for cross-checking against the serial simulator).
+  std::uint64_t value_of(std::size_t index, const std::string& port) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<std::size_t> index_map_;  // net id -> index in nl.inputs()
+  std::size_t count_ = 0;
+  std::vector<std::vector<std::uint64_t>> blocks_;
+};
+
+class SeqStimulus {
+ public:
+  explicit SeqStimulus(const netlist::Netlist& nl);
+
+  /// Appends a cycle; unlisted inputs are 0. If `observe` is true the
+  /// simulator compares all observed outputs at the end of this cycle.
+  void add_cycle(const std::vector<PortValue>& values, bool observe);
+  void add_cycle(std::initializer_list<PortValue> values, bool observe) {
+    add_cycle(std::vector<PortValue>(values), observe);
+  }
+
+  std::size_t size() const { return cycles_.size(); }
+  std::size_t observe_count() const { return observe_count_; }
+
+  /// Input bit (0/1) for input-net index `k` in cycle `c`.
+  bool input_bit(std::size_t c, std::size_t k) const {
+    return (cycles_[c].bits[k >> 6] >> (k & 63)) & 1u;
+  }
+  bool observed(std::size_t c) const { return cycles_[c].observe; }
+
+  const netlist::Netlist& netlist() const { return *nl_; }
+
+ private:
+  struct Cycle {
+    std::vector<std::uint64_t> bits;
+    bool observe;
+  };
+  const netlist::Netlist* nl_;
+  std::vector<std::size_t> index_map_;
+  std::vector<Cycle> cycles_;
+  std::size_t observe_count_ = 0;
+};
+
+}  // namespace sbst::fault

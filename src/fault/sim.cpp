@@ -1,0 +1,190 @@
+#include "fault/sim.hpp"
+
+#include <stdexcept>
+
+namespace sbst::fault {
+
+using netlist::Evaluator;
+using netlist::Netlist;
+using netlist::NetId;
+
+namespace {
+
+ObserveSet resolve_observe(const Netlist& nl, const ObserveSet& observe) {
+  if (!observe.empty()) return observe;
+  ObserveSet all = nl.output_nets();
+  if (all.empty()) {
+    throw std::invalid_argument("fault sim: netlist has no outputs");
+  }
+  return all;
+}
+
+void require_combinational(const Netlist& nl, const char* who) {
+  if (!nl.is_combinational()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": netlist has flip-flops; use simulate_seq");
+  }
+}
+
+void apply_block(Evaluator& ev, const PatternSet& patterns, std::size_t b) {
+  const auto& words = patterns.block(b);
+  const auto& inputs = patterns.netlist().inputs();
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    ev.set_input_word(inputs[k], words[k]);
+  }
+}
+
+}  // namespace
+
+CoverageResult simulate_serial(const Netlist& nl,
+                               const std::vector<Fault>& faults,
+                               const PatternSet& patterns,
+                               const ObserveSet& observe_in) {
+  require_combinational(nl, "simulate_serial");
+  const ObserveSet observe = resolve_observe(nl, observe_in);
+
+  CoverageResult res;
+  res.total = faults.size();
+  res.detected_flags.assign(faults.size(), 0);
+
+  Evaluator good(nl);
+  Evaluator bad(nl);
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    // Re-pack a single pattern into lane 0.
+    const std::size_t b = p / 64;
+    const unsigned lane = p % 64;
+    const auto& words = patterns.block(b);
+    const auto& inputs = nl.inputs();
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+      const bool v = (words[k] >> lane) & 1u;
+      good.set_input(inputs[k], v);
+      bad.set_input(inputs[k], v);
+    }
+    good.eval();
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (res.detected_flags[f]) continue;
+      bad.clear_faults();
+      bad.inject(faults[f].site, faults[f].stuck_value, ~std::uint64_t{0});
+      bad.eval();
+      for (NetId out : observe) {
+        if ((good.value(out) ^ bad.value(out)) & 1u) {
+          res.detected_flags[f] = 1;
+          break;
+        }
+      }
+    }
+  }
+  for (auto flag : res.detected_flags) res.detected += flag;
+  return res;
+}
+
+CoverageResult simulate_comb(const Netlist& nl,
+                             const std::vector<Fault>& faults,
+                             const PatternSet& patterns,
+                             const ObserveSet& observe_in) {
+  require_combinational(nl, "simulate_comb");
+  const ObserveSet observe = resolve_observe(nl, observe_in);
+
+  CoverageResult res;
+  res.total = faults.size();
+  res.detected_flags.assign(faults.size(), 0);
+
+  Evaluator good(nl);
+  Evaluator bad(nl);
+  std::vector<std::uint64_t> good_out(observe.size());
+
+  for (std::size_t b = 0; b < patterns.block_count(); ++b) {
+    const std::uint64_t valid = patterns.valid_lanes(b);
+    apply_block(good, patterns, b);
+    apply_block(bad, patterns, b);
+    good.eval();
+    for (std::size_t o = 0; o < observe.size(); ++o) {
+      good_out[o] = good.value(observe[o]);
+    }
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (res.detected_flags[f]) continue;  // fault dropping
+      bad.clear_faults();
+      bad.inject(faults[f].site, faults[f].stuck_value, ~std::uint64_t{0});
+      bad.eval();
+      for (std::size_t o = 0; o < observe.size(); ++o) {
+        if ((good_out[o] ^ bad.value(observe[o])) & valid) {
+          res.detected_flags[f] = 1;
+          break;
+        }
+      }
+    }
+  }
+  for (auto flag : res.detected_flags) res.detected += flag;
+  return res;
+}
+
+CoverageResult simulate_seq(const Netlist& nl,
+                            const std::vector<Fault>& faults,
+                            const SeqStimulus& stimulus,
+                            const ObserveSet& observe_in) {
+  const ObserveSet observe = resolve_observe(nl, observe_in);
+
+  CoverageResult res;
+  res.total = faults.size();
+  res.detected_flags.assign(faults.size(), 0);
+
+  const auto& inputs = nl.inputs();
+  Evaluator ev(nl);
+
+  // Batches of 63 faults; lane 0 is the fault-free machine.
+  for (std::size_t base = 0; base < faults.size(); base += 63) {
+    const std::size_t batch = std::min<std::size_t>(63, faults.size() - base);
+    ev.clear_faults();
+    ev.reset_state(false);
+    for (std::size_t j = 0; j < batch; ++j) {
+      const Fault& f = faults[base + j];
+      ev.inject(f.site, f.stuck_value, std::uint64_t{1} << (j + 1));
+    }
+    std::uint64_t detected_lanes = 0;
+    for (std::size_t c = 0; c < stimulus.size(); ++c) {
+      for (std::size_t k = 0; k < inputs.size(); ++k) {
+        ev.set_input(inputs[k], stimulus.input_bit(c, k));
+      }
+      ev.step();
+      if (stimulus.observed(c)) {
+        for (NetId out : observe) {
+          detected_lanes |= ev.diff_mask(out, 0);
+        }
+      }
+    }
+    for (std::size_t j = 0; j < batch; ++j) {
+      if ((detected_lanes >> (j + 1)) & 1u) {
+        res.detected_flags[base + j] = 1;
+      }
+    }
+  }
+  for (auto flag : res.detected_flags) res.detected += flag;
+  return res;
+}
+
+std::vector<std::vector<bool>> good_responses(const Netlist& nl,
+                                              const PatternSet& patterns,
+                                              const ObserveSet& observe_in) {
+  require_combinational(nl, "good_responses");
+  const ObserveSet observe = resolve_observe(nl, observe_in);
+
+  std::vector<std::vector<bool>> out;
+  out.reserve(patterns.size());
+  Evaluator ev(nl);
+  for (std::size_t b = 0; b < patterns.block_count(); ++b) {
+    apply_block(ev, patterns, b);
+    ev.eval();
+    const std::size_t lanes =
+        std::min<std::size_t>(64, patterns.size() - b * 64);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      std::vector<bool> row(observe.size());
+      for (std::size_t o = 0; o < observe.size(); ++o) {
+        row[o] = (ev.value(observe[o]) >> lane) & 1u;
+      }
+      out.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace sbst::fault

@@ -1,0 +1,53 @@
+// Fault simulators.
+//
+// Three engines with one contract — grade a fault list against a stimulus,
+// counting a fault detected when an observed output differs from the
+// fault-free response:
+//
+//  * simulate_serial:   one fault at a time, one pattern at a time. The slow
+//                       reference implementation the fast engines are
+//                       cross-checked against in tests.
+//  * simulate_comb:     PPSFP — 64 packed patterns per pass, one fault
+//                       re-simulated per pass with fault dropping.
+//                       Combinational netlists only.
+//  * simulate_seq:      parallel-fault — lane 0 is the fault-free machine,
+//                       lanes 1..63 carry faulty machines through the whole
+//                       clocked stimulus. Works for sequential netlists
+//                       (divider, register file, memory controller).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/pattern.hpp"
+
+namespace sbst::fault {
+
+/// Restricts which output nets count as observation points (e.g. only the
+/// outputs a self-test routine actually propagates). Empty = all outputs.
+using ObserveSet = std::vector<netlist::NetId>;
+
+CoverageResult simulate_serial(const netlist::Netlist& nl,
+                               const std::vector<Fault>& faults,
+                               const PatternSet& patterns,
+                               const ObserveSet& observe = {});
+
+CoverageResult simulate_comb(const netlist::Netlist& nl,
+                             const std::vector<Fault>& faults,
+                             const PatternSet& patterns,
+                             const ObserveSet& observe = {});
+
+CoverageResult simulate_seq(const netlist::Netlist& nl,
+                            const std::vector<Fault>& faults,
+                            const SeqStimulus& stimulus,
+                            const ObserveSet& observe = {});
+
+/// Fault-free responses of a combinational netlist: for each pattern, the
+/// value of each observed output net (packed per pattern in pattern order).
+/// Used by TPG-quality analyses and the MISR aliasing experiments.
+std::vector<std::vector<bool>> good_responses(const netlist::Netlist& nl,
+                                              const PatternSet& patterns,
+                                              const ObserveSet& observe = {});
+
+}  // namespace sbst::fault

@@ -1,0 +1,47 @@
+// Transition (gross-delay) fault model — the natural extension of the
+// paper's stuck-at methodology toward the delay-fault SBST work that
+// followed it (e.g. Singh et al., "Software-Based Delay Fault Testing of
+// Processor Cores").
+//
+// A slow-to-rise (STR) fault on a line is detected by a *pattern pair*
+// (v1, v2) where v1 sets the line to 0, v2 sets it to 1, and the faulty
+// value (still 0) propagates to an observed output under v2 — i.e. v2 is a
+// stuck-at-0 test for the line. Slow-to-fall (STF) is the dual. In SBST the
+// pair is applied by consecutive instructions, so consecutive patterns of a
+// PatternSet model exactly what a routine can deliver.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/pattern.hpp"
+#include "fault/sim.hpp"
+
+namespace sbst::fault {
+
+struct TransitionFault {
+  netlist::Site site;
+  bool slow_to_rise = true;  // false = slow-to-fall
+
+  friend bool operator==(const TransitionFault&,
+                         const TransitionFault&) = default;
+};
+
+std::string transition_fault_name(const netlist::Netlist& nl,
+                                  const TransitionFault& f);
+
+/// STR and STF faults on every collapsed stuck-at site (transition faults
+/// collapse with the same structural equivalences as stuck-at faults of the
+/// captured value).
+std::vector<TransitionFault> enumerate_transition_faults(
+    const netlist::Netlist& nl);
+
+/// Grades transition faults against consecutive pattern pairs
+/// (patterns[i], patterns[i+1]) of `patterns` — the launch-on-instruction
+/// sequence a self-test routine produces. Combinational netlists only.
+CoverageResult simulate_transition(const netlist::Netlist& nl,
+                                   const std::vector<TransitionFault>& faults,
+                                   const PatternSet& patterns,
+                                   const ObserveSet& observe = {});
+
+}  // namespace sbst::fault

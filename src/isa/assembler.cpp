@@ -1,0 +1,487 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+
+#include "isa/encoding.hpp"
+
+namespace sbst::isa {
+
+std::uint32_t Program::symbol(const std::string& name) const {
+  auto it = symbols.find(name);
+  if (it == symbols.end()) {
+    throw std::out_of_range("program: no symbol '" + name + "'");
+  }
+  return it->second;
+}
+
+namespace {
+
+struct Statement {
+  std::size_t line = 0;
+  std::string mnemonic;               // lower-case; empty for pure labels
+  std::vector<std::string> operands;  // raw operand strings
+  std::uint32_t address = 0;          // assigned in pass 1
+  std::uint32_t word_count = 0;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+// Splits operands on commas that are not inside parentheses.
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  const std::string last = trim(cur);
+  if (!last.empty()) out.push_back(last);
+  return out;
+}
+
+bool is_ident(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Assembler {
+ public:
+  Program run(const std::string& source, std::uint32_t base) {
+    program_.base = base;
+    parse(source);
+    layout(base);
+    emit();
+    return std::move(program_);
+  }
+
+ private:
+  // ---- pass 0: parse into statements -------------------------------------
+  void parse(const std::string& source) {
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+      const std::size_t eol = source.find('\n', pos);
+      std::string line = source.substr(
+          pos, eol == std::string::npos ? std::string::npos : eol - pos);
+      pos = eol == std::string::npos ? source.size() + 1 : eol + 1;
+      ++line_no;
+
+      // Strip comments.
+      for (const char* marker : {"#", ";", "//"}) {
+        const std::size_t at = line.find(marker);
+        if (at != std::string::npos) line = line.substr(0, at);
+      }
+      line = trim(line);
+
+      // Peel off leading labels.
+      for (;;) {
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos) break;
+        const std::string name = trim(line.substr(0, colon));
+        if (!is_ident(name)) {
+          throw AsmError(line_no, "bad label '" + name + "'");
+        }
+        pending_labels_.emplace_back(line_no, name);
+        line = trim(line.substr(colon + 1));
+      }
+      if (line.empty()) continue;
+
+      Statement st;
+      st.line = line_no;
+      const std::size_t sp = line.find_first_of(" \t");
+      st.mnemonic = lower(line.substr(0, sp));
+      if (sp != std::string::npos) {
+        st.operands = split_operands(trim(line.substr(sp + 1)));
+      }
+      attach_labels(st);
+      statements_.push_back(std::move(st));
+    }
+    // Trailing labels bind to the end address via a sentinel.
+    if (!pending_labels_.empty()) {
+      Statement sentinel;
+      sentinel.line = line_no;
+      sentinel.mnemonic = ".end_sentinel";
+      attach_labels(sentinel);
+      statements_.push_back(std::move(sentinel));
+    }
+  }
+
+  void attach_labels(Statement& st) {
+    for (auto& [line, name] : pending_labels_) {
+      labels_.emplace_back(name, statements_.size());
+      if (!defined_.insert(name).second) {
+        throw AsmError(line, "duplicate label '" + name + "'");
+      }
+    }
+    (void)st;
+    pending_labels_.clear();
+  }
+
+  // ---- pass 1: addresses ---------------------------------------------------
+  void layout(std::uint32_t base) {
+    std::uint32_t addr = base;
+    for (Statement& st : statements_) {
+      st.address = addr;
+      st.word_count = size_of(st, addr);
+      addr += st.word_count * 4;
+    }
+    for (auto& [name, index] : labels_) {
+      const std::uint32_t value = index < statements_.size()
+                                      ? statements_[index].address
+                                      : addr;
+      program_.symbols[name] = value;
+    }
+  }
+
+  std::uint32_t size_of(const Statement& st, std::uint32_t addr) const {
+    const std::string& m = st.mnemonic;
+    if (m == ".end_sentinel") return 0;
+    if (m == ".word") {
+      return static_cast<std::uint32_t>(st.operands.size());
+    }
+    if (m == ".org") {
+      const std::uint32_t target = parse_literal(st, st.operands, 0);
+      if (target < addr || (target - addr) % 4 != 0) {
+        throw AsmError(st.line, ".org target unreachable");
+      }
+      return (target - addr) / 4;
+    }
+    if (m == ".align") {
+      const std::uint32_t n = parse_literal(st, st.operands, 0);
+      const std::uint32_t size = 1u << n;
+      const std::uint32_t target = (addr + size - 1) & ~(size - 1);
+      return (target - addr) / 4;
+    }
+    if (m == "li" || m == "la") {
+      if (st.operands.size() != 2) {
+        throw AsmError(st.line, m + " needs 2 operands");
+      }
+      // Symbols assemble as lui+ori; numeric literals may shrink.
+      if (!is_numeric(st.operands[1])) return 2;
+      return li_words(parse_numeric(st, st.operands[1]));
+    }
+    return 1;
+  }
+
+  static std::uint32_t li_words(std::uint32_t value) {
+    const std::int32_t sv = static_cast<std::int32_t>(value);
+    if (value <= 0xffff || (sv >= -0x8000 && sv < 0)) return 1;  // ori/addiu
+    if ((value & 0xffff) == 0) return 1;                          // lui
+    return 2;                                                     // lui+ori
+  }
+
+  // ---- pass 2: encoding ----------------------------------------------------
+  void emit() {
+    for (const Statement& st : statements_) {
+      if (st.mnemonic == ".end_sentinel") continue;
+      encode_statement(st);
+      if (program_.words.size() !=
+          (st.address - program_.base) / 4 + st.word_count) {
+        throw AsmError(st.line, "internal: size mismatch for '" +
+                                    st.mnemonic + "'");
+      }
+    }
+  }
+
+  void put(std::uint32_t word) { program_.words.push_back(word); }
+
+  void encode_statement(const Statement& st) {
+    const std::string& m = st.mnemonic;
+    const auto& ops = st.operands;
+    auto need = [&](std::size_t n) {
+      if (ops.size() != n) {
+        throw AsmError(st.line, m + " expects " + std::to_string(n) +
+                                    " operands, got " +
+                                    std::to_string(ops.size()));
+      }
+    };
+    auto reg = [&](std::size_t i) {
+      const auto r = parse_register(ops[i]);
+      if (!r) throw AsmError(st.line, "bad register '" + ops[i] + "'");
+      return *r;
+    };
+    auto val = [&](std::size_t i) { return parse_value(st, ops[i]); };
+    auto imm16s = [&](std::size_t i) {
+      const std::int64_t v = static_cast<std::int32_t>(val(i));
+      if (v < -0x8000 || v > 0x7fff) {
+        throw AsmError(st.line, "immediate out of signed 16-bit range");
+      }
+      return static_cast<std::int16_t>(v);
+    };
+    auto imm16u = [&](std::size_t i) {
+      const std::uint32_t v = val(i);
+      if (v > 0xffff) {
+        throw AsmError(st.line, "immediate out of 16-bit range");
+      }
+      return static_cast<std::uint16_t>(v);
+    };
+    auto branch_offset = [&](std::size_t i) {
+      const std::uint32_t target = val(i);
+      const std::int64_t delta =
+          (static_cast<std::int64_t>(target) - (st.address + 4)) / 4;
+      if ((target & 3u) || delta < -0x8000 || delta > 0x7fff) {
+        throw AsmError(st.line, "branch target out of range");
+      }
+      return static_cast<std::int16_t>(delta);
+    };
+    auto mem_operand = [&](std::size_t i) -> std::pair<std::int16_t,
+                                                       std::uint8_t> {
+      // "offset(base)" or "(base)" or "offset" with base $zero.
+      const std::string& s = ops[i];
+      const std::size_t paren = s.find('(');
+      if (paren == std::string::npos) {
+        return {static_cast<std::int16_t>(
+                    static_cast<std::int32_t>(parse_value(st, s))),
+                kZero};
+      }
+      const std::string off = trim(s.substr(0, paren));
+      const std::size_t close = s.find(')', paren);
+      if (close == std::string::npos) {
+        throw AsmError(st.line, "missing ')' in memory operand");
+      }
+      const std::string base = trim(s.substr(paren + 1, close - paren - 1));
+      const auto b = parse_register(base);
+      if (!b) throw AsmError(st.line, "bad base register '" + base + "'");
+      std::int32_t offv = 0;
+      if (!off.empty()) offv = static_cast<std::int32_t>(parse_value(st, off));
+      if (offv < -0x8000 || offv > 0x7fff) {
+        throw AsmError(st.line, "memory offset out of range");
+      }
+      return {static_cast<std::int16_t>(offv), *b};
+    };
+
+    if (m == ".word") {
+      for (std::size_t i = 0; i < ops.size(); ++i) put(val(i));
+    } else if (m == ".org" || m == ".align") {
+      for (std::uint32_t i = 0; i < st.word_count; ++i) put(0);
+    } else if (m == "nop") {
+      need(0);
+      put(nop());
+    } else if (m == "break") {
+      if (!ops.empty()) need(0);
+      put(brk());
+    } else if (m == "add" || m == "addu" || m == "sub" || m == "subu" ||
+               m == "and" || m == "or" || m == "xor" || m == "nor" ||
+               m == "slt" || m == "sltu") {
+      need(3);
+      using Fn = std::uint32_t (*)(std::uint8_t, std::uint8_t, std::uint8_t);
+      const Fn fn = m == "add"    ? add
+                    : m == "addu" ? addu
+                    : m == "sub"  ? sub
+                    : m == "subu" ? subu
+                    : m == "and"  ? and_
+                    : m == "or"   ? or_
+                    : m == "xor"  ? xor_
+                    : m == "nor"  ? nor_
+                    : m == "slt"  ? slt
+                                  : sltu;
+      put(fn(reg(0), reg(1), reg(2)));
+    } else if (m == "sll" || m == "srl" || m == "sra") {
+      need(3);
+      const std::uint32_t sh = val(2);
+      if (sh > 31) throw AsmError(st.line, "shift amount out of range");
+      using Fn = std::uint32_t (*)(std::uint8_t, std::uint8_t, std::uint8_t);
+      const Fn fn = m == "sll" ? sll : m == "srl" ? srl : sra;
+      put(fn(reg(0), reg(1), static_cast<std::uint8_t>(sh)));
+    } else if (m == "sllv" || m == "srlv" || m == "srav") {
+      need(3);
+      using Fn = std::uint32_t (*)(std::uint8_t, std::uint8_t, std::uint8_t);
+      const Fn fn = m == "sllv" ? sllv : m == "srlv" ? srlv : srav;
+      put(fn(reg(0), reg(1), reg(2)));
+    } else if (m == "jr") {
+      need(1);
+      put(jr(reg(0)));
+    } else if (m == "mfhi" || m == "mflo") {
+      need(1);
+      put(m == "mfhi" ? mfhi(reg(0)) : mflo(reg(0)));
+    } else if (m == "mthi" || m == "mtlo") {
+      need(1);
+      put(m == "mthi" ? mthi(reg(0)) : mtlo(reg(0)));
+    } else if (m == "mult" || m == "multu" || m == "div" || m == "divu") {
+      need(2);
+      using Fn = std::uint32_t (*)(std::uint8_t, std::uint8_t);
+      const Fn fn = m == "mult"    ? mult
+                    : m == "multu" ? multu
+                    : m == "div"   ? div
+                                   : divu;
+      put(fn(reg(0), reg(1)));
+    } else if (m == "addi" || m == "addiu" || m == "slti" || m == "sltiu") {
+      need(3);
+      using Fn = std::uint32_t (*)(std::uint8_t, std::uint8_t, std::int16_t);
+      const Fn fn = m == "addi"    ? addi
+                    : m == "addiu" ? addiu
+                    : m == "slti"  ? slti
+                                   : sltiu;
+      put(fn(reg(0), reg(1), imm16s(2)));
+    } else if (m == "andi" || m == "ori" || m == "xori") {
+      need(3);
+      using Fn = std::uint32_t (*)(std::uint8_t, std::uint8_t, std::uint16_t);
+      const Fn fn = m == "andi" ? andi : m == "ori" ? ori : xori;
+      put(fn(reg(0), reg(1), imm16u(2)));
+    } else if (m == "lui") {
+      need(2);
+      put(lui(reg(0), imm16u(1)));
+    } else if (m == "lb" || m == "lh" || m == "lw" || m == "lbu" ||
+               m == "lhu" || m == "sb" || m == "sh" || m == "sw") {
+      need(2);
+      const auto [offset, base] = mem_operand(1);
+      using Fn =
+          std::uint32_t (*)(std::uint8_t, std::int16_t, std::uint8_t);
+      const Fn fn = m == "lb"    ? lb
+                    : m == "lh"  ? lh
+                    : m == "lw"  ? lw
+                    : m == "lbu" ? lbu
+                    : m == "lhu" ? lhu
+                    : m == "sb"  ? sb
+                    : m == "sh"  ? sh
+                                 : sw;
+      put(fn(reg(0), offset, base));
+    } else if (m == "beq" || m == "bne") {
+      need(3);
+      const std::int16_t off = branch_offset(2);
+      put(m == "beq" ? beq(reg(0), reg(1), off) : bne(reg(0), reg(1), off));
+    } else if (m == "b") {
+      need(1);
+      put(beq(kZero, kZero, branch_offset(0)));
+    } else if (m == "j" || m == "jal") {
+      need(1);
+      const std::uint32_t target = val(0);
+      if (target & 3u) throw AsmError(st.line, "jump target misaligned");
+      put(m == "j" ? j(target >> 2) : jal(target >> 2));
+    } else if (m == "move") {
+      need(2);
+      put(addu(reg(0), reg(1), kZero));
+    } else if (m == "li" || m == "la") {
+      need(2);
+      const std::uint8_t rt = reg(0);
+      const std::uint32_t value = val(1);
+      emit_li(st, rt, value);
+    } else {
+      throw AsmError(st.line, "unknown mnemonic '" + m + "'");
+    }
+  }
+
+  void emit_li(const Statement& st, std::uint8_t rt, std::uint32_t value) {
+    const std::uint32_t words = st.word_count;
+    if (words == 2) {
+      put(lui(rt, static_cast<std::uint16_t>(value >> 16)));
+      put(ori(rt, rt, static_cast<std::uint16_t>(value & 0xffff)));
+      return;
+    }
+    // Single-word forms.
+    const std::int32_t sv = static_cast<std::int32_t>(value);
+    if (value <= 0xffff) {
+      put(ori(rt, kZero, static_cast<std::uint16_t>(value)));
+    } else if (sv >= -0x8000 && sv < 0) {
+      put(addiu(rt, kZero, static_cast<std::int16_t>(sv)));
+    } else if ((value & 0xffff) == 0) {
+      put(lui(rt, static_cast<std::uint16_t>(value >> 16)));
+    } else {
+      throw AsmError(st.line, "internal: li sizing disagreement");
+    }
+  }
+
+  // ---- literals / expressions ---------------------------------------------
+  static bool is_numeric(const std::string& s) {
+    if (s.empty()) return false;
+    const std::size_t start = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+    return start < s.size() &&
+           std::isdigit(static_cast<unsigned char>(s[start]));
+  }
+
+  static std::uint32_t parse_numeric(const Statement& st,
+                                     const std::string& s) {
+    char* end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 0);
+    if (!end || *end != '\0' || v > 0xffffffffLL || v < -0x80000000LL) {
+      throw AsmError(st.line, "bad numeric literal '" + s + "'");
+    }
+    return static_cast<std::uint32_t>(v);
+  }
+
+  std::uint32_t parse_literal(const Statement& st,
+                              const std::vector<std::string>& ops,
+                              std::size_t i) const {
+    if (i >= ops.size()) throw AsmError(st.line, "missing operand");
+    if (!is_numeric(ops[i])) {
+      throw AsmError(st.line, "expected numeric literal");
+    }
+    return parse_numeric(st, ops[i]);
+  }
+
+  // value := numeric | symbol | symbol+numeric | symbol-numeric
+  //        | %hi(value) | %lo(value)
+  std::uint32_t parse_value(const Statement& st, const std::string& s) const {
+    if (s.size() > 4 && s[0] == '%' && s.back() == ')') {
+      const std::string fn = s.substr(1, 2);
+      const std::string inner = trim(s.substr(4, s.size() - 5));
+      if (fn == "hi") return parse_value(st, inner) >> 16;
+      if (fn == "lo") return parse_value(st, inner) & 0xffffu;
+      throw AsmError(st.line, "unknown operator '" + s + "'");
+    }
+    if (is_numeric(s)) return parse_numeric(st, s);
+    std::size_t split = std::string::npos;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      if (s[i] == '+' || s[i] == '-') split = i;
+    }
+    std::string sym = s, rest;
+    if (split != std::string::npos) {
+      sym = trim(s.substr(0, split));
+      rest = trim(s.substr(split));  // includes sign
+    }
+    if (!is_ident(sym)) {
+      throw AsmError(st.line, "bad operand '" + s + "'");
+    }
+    const auto it = program_.symbols.find(sym);
+    if (it == program_.symbols.end()) {
+      throw AsmError(st.line, "undefined symbol '" + sym + "'");
+    }
+    std::uint32_t value = it->second;
+    if (!rest.empty()) {
+      value += parse_numeric(st, rest);
+    }
+    return value;
+  }
+
+  Program program_;
+  std::vector<Statement> statements_;
+  std::vector<std::pair<std::size_t, std::string>> pending_labels_;
+  std::vector<std::pair<std::string, std::size_t>> labels_;
+  std::set<std::string> defined_;
+};
+
+}  // namespace
+
+Program assemble(const std::string& source, std::uint32_t base) {
+  Assembler assembler;
+  return assembler.run(source, base);
+}
+
+}  // namespace sbst::isa

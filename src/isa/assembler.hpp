@@ -1,0 +1,59 @@
+// Two-pass MIPS assembler.
+//
+// Supports exactly the Plasma-model subset plus the pseudo-instructions the
+// paper's code styles rely on:
+//   li  rt, imm32     -> lui/ori (or a single instruction when it fits,
+//                        matching "the assembler decomposes li to lui and
+//                        ori", paper Fig. 1 discussion)
+//   la  rt, symbol    -> lui/ori of the symbol's address
+//   move rd, rs       -> addu rd, rs, $zero
+//   b   label         -> beq $zero, $zero, label
+//   nop               -> sll $zero, $zero, 0
+//
+// Directives: `.word v[, v...]`, `.org addr` (pad to addr), `.align n`
+// (pad to 2^n bytes). Labels are `ident:`; operands may be registers,
+// numeric literals (decimal/0x hex, optionally negative), symbols, or
+// `symbol+offset` / `symbol-offset` expressions. Comments start with `#`
+// or `;`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sbst::isa {
+
+/// Assembled memory image.
+struct Program {
+  std::uint32_t base = 0;           // byte address of words[0]
+  std::vector<std::uint32_t> words;
+  std::map<std::string, std::uint32_t> symbols;  // label -> byte address
+
+  std::uint32_t end_address() const {
+    return base + static_cast<std::uint32_t>(words.size()) * 4;
+  }
+  std::uint32_t symbol(const std::string& name) const;
+  /// Number of 32-bit words (the paper's "Size (words)" metric).
+  std::size_t size_words() const { return words.size(); }
+};
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(std::size_t line, const std::string& message)
+      : std::runtime_error("asm line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Assembles `source` at load address `base`. Throws AsmError on any
+/// syntactic or semantic error.
+Program assemble(const std::string& source, std::uint32_t base = 0);
+
+}  // namespace sbst::isa

@@ -1,0 +1,140 @@
+#include "isa/disasm.hpp"
+
+#include <cstdio>
+
+#include "isa/encoding.hpp"
+
+namespace sbst::isa {
+
+namespace {
+
+std::string hex16(std::uint16_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", v);
+  return buf;
+}
+
+std::string hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", v);
+  return buf;
+}
+
+std::string r3(const char* m, const Fields& f) {
+  return std::string(m) + " " + register_name(f.rd) + ", " +
+         register_name(f.rs) + ", " + register_name(f.rt);
+}
+
+std::string mem(const char* m, const Fields& f) {
+  const std::int16_t off = static_cast<std::int16_t>(f.imm);
+  return std::string(m) + " " + register_name(f.rt) + ", " +
+         std::to_string(off) + "(" + register_name(f.rs) + ")";
+}
+
+std::string imm_arith(const char* m, const Fields& f, bool sign) {
+  const std::string i = sign
+                            ? std::to_string(static_cast<std::int16_t>(f.imm))
+                            : hex16(f.imm);
+  return std::string(m) + " " + register_name(f.rt) + ", " +
+         register_name(f.rs) + ", " + i;
+}
+
+std::string branch(const char* m, const Fields& f, std::uint32_t pc) {
+  const std::uint32_t target =
+      pc + 4 + (static_cast<std::int32_t>(static_cast<std::int16_t>(f.imm))
+                << 2);
+  return std::string(m) + " " + register_name(f.rs) + ", " +
+         register_name(f.rt) + ", " + hex32(target);
+}
+
+std::string rtype(const Fields& f) {
+  switch (f.funct) {
+    case 0x00:
+      if (f.rd == 0 && f.rt == 0 && f.shamt == 0) return "nop";
+      return "sll " + register_name(f.rd) + ", " + register_name(f.rt) +
+             ", " + std::to_string(f.shamt);
+    case 0x02:
+      return "srl " + register_name(f.rd) + ", " + register_name(f.rt) +
+             ", " + std::to_string(f.shamt);
+    case 0x03:
+      return "sra " + register_name(f.rd) + ", " + register_name(f.rt) +
+             ", " + std::to_string(f.shamt);
+    case 0x04:
+      return "sllv " + register_name(f.rd) + ", " + register_name(f.rt) +
+             ", " + register_name(f.rs);
+    case 0x06:
+      return "srlv " + register_name(f.rd) + ", " + register_name(f.rt) +
+             ", " + register_name(f.rs);
+    case 0x07:
+      return "srav " + register_name(f.rd) + ", " + register_name(f.rt) +
+             ", " + register_name(f.rs);
+    case 0x08: return "jr " + register_name(f.rs);
+    case 0x0d: return "break";
+    case 0x10: return "mfhi " + register_name(f.rd);
+    case 0x11: return "mthi " + register_name(f.rs);
+    case 0x12: return "mflo " + register_name(f.rd);
+    case 0x13: return "mtlo " + register_name(f.rs);
+    case 0x18: return "mult " + register_name(f.rs) + ", " + register_name(f.rt);
+    case 0x19: return "multu " + register_name(f.rs) + ", " + register_name(f.rt);
+    case 0x1a: return "div " + register_name(f.rs) + ", " + register_name(f.rt);
+    case 0x1b: return "divu " + register_name(f.rs) + ", " + register_name(f.rt);
+    case 0x20: return r3("add", f);
+    case 0x21: return r3("addu", f);
+    case 0x22: return r3("sub", f);
+    case 0x23: return r3("subu", f);
+    case 0x24: return r3("and", f);
+    case 0x25: return r3("or", f);
+    case 0x26: return r3("xor", f);
+    case 0x27: return r3("nor", f);
+    case 0x2a: return r3("slt", f);
+    case 0x2b: return r3("sltu", f);
+    default: return "<illegal funct " + hex16(f.funct) + ">";
+  }
+}
+
+}  // namespace
+
+std::string disassemble(std::uint32_t word, std::uint32_t pc) {
+  const Fields f = decode(word);
+  switch (f.opcode) {
+    case 0x00: return rtype(f);
+    case 0x02: return "j " + hex32(f.target << 2);
+    case 0x03: return "jal " + hex32(f.target << 2);
+    case 0x04: return branch("beq", f, pc);
+    case 0x05: return branch("bne", f, pc);
+    case 0x08: return imm_arith("addi", f, true);
+    case 0x09: return imm_arith("addiu", f, true);
+    case 0x0a: return imm_arith("slti", f, true);
+    case 0x0b: return imm_arith("sltiu", f, true);
+    case 0x0c: return imm_arith("andi", f, false);
+    case 0x0d: return imm_arith("ori", f, false);
+    case 0x0e: return imm_arith("xori", f, false);
+    case 0x0f:
+      return "lui " + register_name(f.rt) + ", " + hex16(f.imm);
+    case 0x20: return mem("lb", f);
+    case 0x21: return mem("lh", f);
+    case 0x23: return mem("lw", f);
+    case 0x24: return mem("lbu", f);
+    case 0x25: return mem("lhu", f);
+    case 0x28: return mem("sb", f);
+    case 0x29: return mem("sh", f);
+    case 0x2b: return mem("sw", f);
+    default: return "<illegal opcode " + hex16(f.opcode) + ">";
+  }
+}
+
+std::string listing(const std::vector<std::uint32_t>& words,
+                    std::uint32_t base) {
+  std::string out;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const std::uint32_t pc = base + static_cast<std::uint32_t>(i) * 4;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%04x: %08x  ", pc, words[i]);
+    out += buf;
+    out += disassemble(words[i], pc);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sbst::isa

@@ -1,0 +1,19 @@
+// Disassembler for debug output, program listings, and round-trip tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbst::isa {
+
+/// One instruction, e.g. "addu $s2, $s0, $s1" or "lw $s0, 4($s3)".
+/// Branch/jump targets are rendered as absolute hex addresses using `pc`
+/// (the address of this instruction).
+std::string disassemble(std::uint32_t word, std::uint32_t pc = 0);
+
+/// Whole-program listing: "0x0000: 3c10aaaa  lui $s0, 0xaaaa" per line.
+std::string listing(const std::vector<std::uint32_t>& words,
+                    std::uint32_t base = 0);
+
+}  // namespace sbst::isa

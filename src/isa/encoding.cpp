@@ -1,0 +1,210 @@
+#include "isa/encoding.hpp"
+
+#include <array>
+#include <cstdlib>
+
+namespace sbst::isa {
+
+std::uint32_t encode(const Fields& f) {
+  if (f.opcode == 0x02 || f.opcode == 0x03) {
+    return (static_cast<std::uint32_t>(f.opcode) << 26) |
+           (f.target & 0x03ffffffu);
+  }
+  if (f.opcode == 0x00) {
+    return (static_cast<std::uint32_t>(f.rs) << 21) |
+           (static_cast<std::uint32_t>(f.rt) << 16) |
+           (static_cast<std::uint32_t>(f.rd) << 11) |
+           (static_cast<std::uint32_t>(f.shamt) << 6) | f.funct;
+  }
+  return (static_cast<std::uint32_t>(f.opcode) << 26) |
+         (static_cast<std::uint32_t>(f.rs) << 21) |
+         (static_cast<std::uint32_t>(f.rt) << 16) | f.imm;
+}
+
+Fields decode(std::uint32_t word) {
+  Fields f;
+  f.opcode = (word >> 26) & 0x3f;
+  f.rs = (word >> 21) & 0x1f;
+  f.rt = (word >> 16) & 0x1f;
+  f.rd = (word >> 11) & 0x1f;
+  f.shamt = (word >> 6) & 0x1f;
+  f.funct = word & 0x3f;
+  f.imm = word & 0xffff;
+  f.target = word & 0x03ffffff;
+  return f;
+}
+
+namespace {
+constexpr std::array<const char*, 32> kRegNames = {
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+    "$t0",   "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+    "$s0",   "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+    "$t8",   "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra"};
+}  // namespace
+
+std::optional<std::uint8_t> parse_register(const std::string& token) {
+  if (token.size() < 2 || token[0] != '$') return std::nullopt;
+  for (std::uint8_t r = 0; r < 32; ++r) {
+    if (token == kRegNames[r]) return r;
+  }
+  if (token == "$s8") return 30;
+  // Numeric form $0..$31.
+  char* end = nullptr;
+  const long v = std::strtol(token.c_str() + 1, &end, 10);
+  if (end && *end == '\0' && v >= 0 && v < 32) {
+    return static_cast<std::uint8_t>(v);
+  }
+  return std::nullopt;
+}
+
+std::string register_name(std::uint8_t reg) {
+  return reg < 32 ? kRegNames[reg] : "$?";
+}
+
+namespace {
+
+std::uint32_t rtype(std::uint8_t funct, std::uint8_t rs, std::uint8_t rt,
+                    std::uint8_t rd, std::uint8_t shamt = 0) {
+  return encode({.opcode = 0, .rs = rs, .rt = rt, .rd = rd, .shamt = shamt,
+                 .funct = funct});
+}
+
+std::uint32_t itype(std::uint8_t opcode, std::uint8_t rs, std::uint8_t rt,
+                    std::uint16_t imm) {
+  return encode({.opcode = opcode, .rs = rs, .rt = rt, .imm = imm});
+}
+
+std::uint16_t u16(std::int16_t v) { return static_cast<std::uint16_t>(v); }
+
+}  // namespace
+
+std::uint32_t sll(std::uint8_t rd, std::uint8_t rt, std::uint8_t shamt) {
+  return rtype(0x00, 0, rt, rd, shamt);
+}
+std::uint32_t srl(std::uint8_t rd, std::uint8_t rt, std::uint8_t shamt) {
+  return rtype(0x02, 0, rt, rd, shamt);
+}
+std::uint32_t sra(std::uint8_t rd, std::uint8_t rt, std::uint8_t shamt) {
+  return rtype(0x03, 0, rt, rd, shamt);
+}
+std::uint32_t sllv(std::uint8_t rd, std::uint8_t rt, std::uint8_t rs) {
+  return rtype(0x04, rs, rt, rd);
+}
+std::uint32_t srlv(std::uint8_t rd, std::uint8_t rt, std::uint8_t rs) {
+  return rtype(0x06, rs, rt, rd);
+}
+std::uint32_t srav(std::uint8_t rd, std::uint8_t rt, std::uint8_t rs) {
+  return rtype(0x07, rs, rt, rd);
+}
+std::uint32_t jr(std::uint8_t rs) { return rtype(0x08, rs, 0, 0); }
+std::uint32_t brk() { return rtype(0x0d, 0, 0, 0); }
+std::uint32_t mfhi(std::uint8_t rd) { return rtype(0x10, 0, 0, rd); }
+std::uint32_t mthi(std::uint8_t rs) { return rtype(0x11, rs, 0, 0); }
+std::uint32_t mflo(std::uint8_t rd) { return rtype(0x12, 0, 0, rd); }
+std::uint32_t mtlo(std::uint8_t rs) { return rtype(0x13, rs, 0, 0); }
+std::uint32_t mult(std::uint8_t rs, std::uint8_t rt) {
+  return rtype(0x18, rs, rt, 0);
+}
+std::uint32_t multu(std::uint8_t rs, std::uint8_t rt) {
+  return rtype(0x19, rs, rt, 0);
+}
+std::uint32_t div(std::uint8_t rs, std::uint8_t rt) {
+  return rtype(0x1a, rs, rt, 0);
+}
+std::uint32_t divu(std::uint8_t rs, std::uint8_t rt) {
+  return rtype(0x1b, rs, rt, 0);
+}
+std::uint32_t add(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt) {
+  return rtype(0x20, rs, rt, rd);
+}
+std::uint32_t addu(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt) {
+  return rtype(0x21, rs, rt, rd);
+}
+std::uint32_t sub(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt) {
+  return rtype(0x22, rs, rt, rd);
+}
+std::uint32_t subu(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt) {
+  return rtype(0x23, rs, rt, rd);
+}
+std::uint32_t and_(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt) {
+  return rtype(0x24, rs, rt, rd);
+}
+std::uint32_t or_(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt) {
+  return rtype(0x25, rs, rt, rd);
+}
+std::uint32_t xor_(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt) {
+  return rtype(0x26, rs, rt, rd);
+}
+std::uint32_t nor_(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt) {
+  return rtype(0x27, rs, rt, rd);
+}
+std::uint32_t slt(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt) {
+  return rtype(0x2a, rs, rt, rd);
+}
+std::uint32_t sltu(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt) {
+  return rtype(0x2b, rs, rt, rd);
+}
+
+std::uint32_t beq(std::uint8_t rs, std::uint8_t rt, std::int16_t offset) {
+  return itype(0x04, rs, rt, u16(offset));
+}
+std::uint32_t bne(std::uint8_t rs, std::uint8_t rt, std::int16_t offset) {
+  return itype(0x05, rs, rt, u16(offset));
+}
+std::uint32_t addi(std::uint8_t rt, std::uint8_t rs, std::int16_t imm) {
+  return itype(0x08, rs, rt, u16(imm));
+}
+std::uint32_t addiu(std::uint8_t rt, std::uint8_t rs, std::int16_t imm) {
+  return itype(0x09, rs, rt, u16(imm));
+}
+std::uint32_t slti(std::uint8_t rt, std::uint8_t rs, std::int16_t imm) {
+  return itype(0x0a, rs, rt, u16(imm));
+}
+std::uint32_t sltiu(std::uint8_t rt, std::uint8_t rs, std::int16_t imm) {
+  return itype(0x0b, rs, rt, u16(imm));
+}
+std::uint32_t andi(std::uint8_t rt, std::uint8_t rs, std::uint16_t imm) {
+  return itype(0x0c, rs, rt, imm);
+}
+std::uint32_t ori(std::uint8_t rt, std::uint8_t rs, std::uint16_t imm) {
+  return itype(0x0d, rs, rt, imm);
+}
+std::uint32_t xori(std::uint8_t rt, std::uint8_t rs, std::uint16_t imm) {
+  return itype(0x0e, rs, rt, imm);
+}
+std::uint32_t lui(std::uint8_t rt, std::uint16_t imm) {
+  return itype(0x0f, 0, rt, imm);
+}
+std::uint32_t lb(std::uint8_t rt, std::int16_t offset, std::uint8_t base) {
+  return itype(0x20, base, rt, u16(offset));
+}
+std::uint32_t lh(std::uint8_t rt, std::int16_t offset, std::uint8_t base) {
+  return itype(0x21, base, rt, u16(offset));
+}
+std::uint32_t lw(std::uint8_t rt, std::int16_t offset, std::uint8_t base) {
+  return itype(0x23, base, rt, u16(offset));
+}
+std::uint32_t lbu(std::uint8_t rt, std::int16_t offset, std::uint8_t base) {
+  return itype(0x24, base, rt, u16(offset));
+}
+std::uint32_t lhu(std::uint8_t rt, std::int16_t offset, std::uint8_t base) {
+  return itype(0x25, base, rt, u16(offset));
+}
+std::uint32_t sb(std::uint8_t rt, std::int16_t offset, std::uint8_t base) {
+  return itype(0x28, base, rt, u16(offset));
+}
+std::uint32_t sh(std::uint8_t rt, std::int16_t offset, std::uint8_t base) {
+  return itype(0x29, base, rt, u16(offset));
+}
+std::uint32_t sw(std::uint8_t rt, std::int16_t offset, std::uint8_t base) {
+  return itype(0x2b, base, rt, u16(offset));
+}
+
+std::uint32_t j(std::uint32_t word_target) {
+  return encode({.opcode = 0x02, .target = word_target});
+}
+std::uint32_t jal(std::uint32_t word_target) {
+  return encode({.opcode = 0x03, .target = word_target});
+}
+
+}  // namespace sbst::isa

@@ -1,0 +1,96 @@
+// MIPS-I subset instruction encoding (the Plasma-supported instructions the
+// SBST code styles are written in).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sbst::isa {
+
+/// Architectural register numbers by ABI name.
+enum Reg : std::uint8_t {
+  kZero = 0, kAt = 1, kV0 = 2, kV1 = 3,
+  kA0 = 4, kA1 = 5, kA2 = 6, kA3 = 7,
+  kT0 = 8, kT1 = 9, kT2 = 10, kT3 = 11, kT4 = 12, kT5 = 13, kT6 = 14,
+  kT7 = 15,
+  kS0 = 16, kS1 = 17, kS2 = 18, kS3 = 19, kS4 = 20, kS5 = 21, kS6 = 22,
+  kS7 = 23,
+  kT8 = 24, kT9 = 25, kK0 = 26, kK1 = 27,
+  kGp = 28, kSp = 29, kFp = 30, kRa = 31,
+};
+
+/// Raw instruction fields (union of the R/I/J formats).
+struct Fields {
+  std::uint8_t opcode = 0;
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  std::uint8_t rd = 0;
+  std::uint8_t shamt = 0;
+  std::uint8_t funct = 0;
+  std::uint16_t imm = 0;       // I-type immediate
+  std::uint32_t target = 0;    // J-type 26-bit word target
+};
+
+std::uint32_t encode(const Fields& f);
+Fields decode(std::uint32_t word);
+
+/// Register name -> number ("$s0", "$5", "$zero"). nullopt if not a register.
+std::optional<std::uint8_t> parse_register(const std::string& token);
+/// Canonical ABI name for a register number.
+std::string register_name(std::uint8_t reg);
+
+// ---- word builders used by the self-test code generators ------------------
+// R-type
+std::uint32_t sll(std::uint8_t rd, std::uint8_t rt, std::uint8_t shamt);
+std::uint32_t srl(std::uint8_t rd, std::uint8_t rt, std::uint8_t shamt);
+std::uint32_t sra(std::uint8_t rd, std::uint8_t rt, std::uint8_t shamt);
+std::uint32_t sllv(std::uint8_t rd, std::uint8_t rt, std::uint8_t rs);
+std::uint32_t srlv(std::uint8_t rd, std::uint8_t rt, std::uint8_t rs);
+std::uint32_t srav(std::uint8_t rd, std::uint8_t rt, std::uint8_t rs);
+std::uint32_t jr(std::uint8_t rs);
+std::uint32_t brk();  // break: architectural halt in this model
+std::uint32_t mfhi(std::uint8_t rd);
+std::uint32_t mthi(std::uint8_t rs);
+std::uint32_t mflo(std::uint8_t rd);
+std::uint32_t mtlo(std::uint8_t rs);
+std::uint32_t mult(std::uint8_t rs, std::uint8_t rt);
+std::uint32_t multu(std::uint8_t rs, std::uint8_t rt);
+std::uint32_t div(std::uint8_t rs, std::uint8_t rt);
+std::uint32_t divu(std::uint8_t rs, std::uint8_t rt);
+std::uint32_t add(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt);
+std::uint32_t addu(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt);
+std::uint32_t sub(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt);
+std::uint32_t subu(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt);
+std::uint32_t and_(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt);
+std::uint32_t or_(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt);
+std::uint32_t xor_(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt);
+std::uint32_t nor_(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt);
+std::uint32_t slt(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt);
+std::uint32_t sltu(std::uint8_t rd, std::uint8_t rs, std::uint8_t rt);
+// I-type
+std::uint32_t beq(std::uint8_t rs, std::uint8_t rt, std::int16_t offset);
+std::uint32_t bne(std::uint8_t rs, std::uint8_t rt, std::int16_t offset);
+std::uint32_t addi(std::uint8_t rt, std::uint8_t rs, std::int16_t imm);
+std::uint32_t addiu(std::uint8_t rt, std::uint8_t rs, std::int16_t imm);
+std::uint32_t slti(std::uint8_t rt, std::uint8_t rs, std::int16_t imm);
+std::uint32_t sltiu(std::uint8_t rt, std::uint8_t rs, std::int16_t imm);
+std::uint32_t andi(std::uint8_t rt, std::uint8_t rs, std::uint16_t imm);
+std::uint32_t ori(std::uint8_t rt, std::uint8_t rs, std::uint16_t imm);
+std::uint32_t xori(std::uint8_t rt, std::uint8_t rs, std::uint16_t imm);
+std::uint32_t lui(std::uint8_t rt, std::uint16_t imm);
+std::uint32_t lb(std::uint8_t rt, std::int16_t offset, std::uint8_t base);
+std::uint32_t lh(std::uint8_t rt, std::int16_t offset, std::uint8_t base);
+std::uint32_t lw(std::uint8_t rt, std::int16_t offset, std::uint8_t base);
+std::uint32_t lbu(std::uint8_t rt, std::int16_t offset, std::uint8_t base);
+std::uint32_t lhu(std::uint8_t rt, std::int16_t offset, std::uint8_t base);
+std::uint32_t sb(std::uint8_t rt, std::int16_t offset, std::uint8_t base);
+std::uint32_t sh(std::uint8_t rt, std::int16_t offset, std::uint8_t base);
+std::uint32_t sw(std::uint8_t rt, std::int16_t offset, std::uint8_t base);
+// J-type
+std::uint32_t j(std::uint32_t word_target);
+std::uint32_t jal(std::uint32_t word_target);
+// Pseudo
+inline std::uint32_t nop() { return 0; }
+
+}  // namespace sbst::isa

@@ -1,0 +1,140 @@
+#include "netlist/eval.hpp"
+
+#include <stdexcept>
+
+namespace sbst::netlist {
+
+Evaluator::Evaluator(const Netlist& nl)
+    : nl_(&nl),
+      values_(nl.size(), 0),
+      inputs_(nl.size(), 0),
+      state_(nl.size(), 0),
+      force0_(nl.size(), 0),
+      force1_(nl.size(), 0) {
+  nl.topo_order();  // validate acyclicity up front
+}
+
+void Evaluator::set_bus(const Bus& bus, std::uint64_t value) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    set_input(bus[i], (value >> i) & 1u);
+  }
+}
+
+// Inputs are read from the pristine store so that fault forcing on an input
+// net (which rewrites values_) cannot leak into later evaluations.
+
+std::uint64_t Evaluator::bus_value(const Bus& bus, unsigned lane) const {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    out |= ((values_[bus[i]] >> lane) & 1u) << i;
+  }
+  return out;
+}
+
+void Evaluator::inject(const Site& site, bool stuck_value,
+                       std::uint64_t lane_mask) {
+  has_faults_ = true;
+  if (site.is_output()) {
+    (stuck_value ? force1_ : force0_)[site.gate] |= lane_mask;
+  } else {
+    PinForce& pf = pin_forces_[std::uint64_t{site.gate} * 4 + site.pin];
+    (stuck_value ? pf.f1 : pf.f0) |= lane_mask;
+  }
+}
+
+void Evaluator::clear_faults() {
+  if (!has_faults_) return;
+  std::fill(force0_.begin(), force0_.end(), 0);
+  std::fill(force1_.begin(), force1_.end(), 0);
+  pin_forces_.clear();
+  has_faults_ = false;
+}
+
+std::uint64_t Evaluator::fetch(NetId gate, unsigned pin) const {
+  std::uint64_t v = values_[nl_->gate(gate).in[pin]];
+  if (!pin_forces_.empty()) {
+    auto it = pin_forces_.find(std::uint64_t{gate} * 4 + pin);
+    if (it != pin_forces_.end()) {
+      v |= it->second.f1;
+      v &= ~it->second.f0;
+    }
+  }
+  return v;
+}
+
+void Evaluator::eval() {
+  for (NetId id : nl_->topo_order()) {
+    const Gate& g = nl_->gate(id);
+    std::uint64_t v;
+    switch (g.kind) {
+      case GateKind::kInput:
+        v = inputs_[id];
+        break;
+      case GateKind::kConst0:
+        v = 0;
+        break;
+      case GateKind::kConst1:
+        v = ~std::uint64_t{0};
+        break;
+      case GateKind::kDff:
+        v = state_[id];
+        break;
+      case GateKind::kBuf:
+        v = fetch(id, 0);
+        break;
+      case GateKind::kNot:
+        v = ~fetch(id, 0);
+        break;
+      case GateKind::kAnd:
+        v = fetch(id, 0) & fetch(id, 1);
+        break;
+      case GateKind::kOr:
+        v = fetch(id, 0) | fetch(id, 1);
+        break;
+      case GateKind::kNand:
+        v = ~(fetch(id, 0) & fetch(id, 1));
+        break;
+      case GateKind::kNor:
+        v = ~(fetch(id, 0) | fetch(id, 1));
+        break;
+      case GateKind::kXor:
+        v = fetch(id, 0) ^ fetch(id, 1);
+        break;
+      case GateKind::kXnor:
+        v = ~(fetch(id, 0) ^ fetch(id, 1));
+        break;
+      case GateKind::kMux2: {
+        const std::uint64_t sel = fetch(id, 0);
+        v = (sel & fetch(id, 2)) | (~sel & fetch(id, 1));
+        break;
+      }
+      default:
+        throw std::logic_error("eval: unknown gate kind");
+    }
+    values_[id] = apply_output_force(id, v);
+  }
+}
+
+void Evaluator::step() {
+  eval();
+  for (NetId q : nl_->dffs()) {
+    const NetId d = nl_->gate(q).in[0];
+    if (d == kNoNet) {
+      throw std::logic_error("eval: DFF with unconnected D input");
+    }
+    state_[q] = values_[d];
+  }
+}
+
+void Evaluator::reset_state(bool value) {
+  const std::uint64_t w = value ? ~std::uint64_t{0} : 0;
+  for (NetId q : nl_->dffs()) state_[q] = w;
+}
+
+std::uint64_t Evaluator::diff_mask(NetId net, unsigned ref_lane) const {
+  const std::uint64_t v = values_[net];
+  const std::uint64_t ref = (v >> ref_lane) & 1u ? ~std::uint64_t{0} : 0;
+  return v ^ ref;
+}
+
+}  // namespace sbst::netlist

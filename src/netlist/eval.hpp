@@ -1,0 +1,102 @@
+// 64-way bit-parallel netlist evaluation.
+//
+// Every net carries a 64-bit word. The two fault simulators interpret the
+// lanes differently:
+//  * PPSFP (combinational): each lane is one of 64 test patterns.
+//  * Parallel-fault sequential: lane 0 is the fault-free machine, lanes 1..63
+//    are faulty machines, each with one stuck-at fault forced.
+//
+// Faults are injected either on a net's driven value (stem faults) or on a
+// single gate input pin (branch faults), per-lane via force masks.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace sbst::netlist {
+
+/// Identifies a stuck-at injection site: a gate's output (pin == kOutputPin)
+/// or one of its input pins (0-based).
+struct Site {
+  NetId gate = kNoNet;
+  std::uint8_t pin = kOutputPin;
+
+  static constexpr std::uint8_t kOutputPin = 0xff;
+
+  bool is_output() const { return pin == kOutputPin; }
+  friend bool operator==(const Site&, const Site&) = default;
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  // ---- stimulus -----------------------------------------------------------
+
+  /// Broadcasts scalar `bit` (replicated into all lanes) onto an input net.
+  void set_input(NetId net, bool value) {
+    inputs_[net] = value ? ~std::uint64_t{0} : 0;
+  }
+  /// Sets the raw 64-lane word of an input net.
+  void set_input_word(NetId net, std::uint64_t word) { inputs_[net] = word; }
+
+  /// Drives a bus from an integer (bit i of `value` -> bus[i]), broadcast.
+  void set_bus(const Bus& bus, std::uint64_t value);
+  /// Reads a bus as an integer from lane `lane`.
+  std::uint64_t bus_value(const Bus& bus, unsigned lane = 0) const;
+
+  // ---- fault injection ----------------------------------------------------
+
+  /// Forces `site` to `stuck_value` in the lanes selected by `lane_mask`.
+  void inject(const Site& site, bool stuck_value, std::uint64_t lane_mask);
+  void clear_faults();
+  bool has_faults() const { return has_faults_; }
+
+  // ---- evaluation ---------------------------------------------------------
+
+  /// Evaluates all combinational logic (DFF outputs hold current state).
+  void eval();
+
+  /// eval() and then clocks all DFFs (state <- D).
+  void step();
+
+  /// Sets every DFF's state word (broadcast scalar per flip-flop bit of
+  /// `value` is NOT meaningful here; this resets all lanes of all DFFs to 0
+  /// or all-ones).
+  void reset_state(bool value = false);
+
+  /// Raw 64-lane word on a net after eval().
+  std::uint64_t value(NetId net) const { return values_[net]; }
+
+  /// Lanes (as a mask) in which `net` differs from lane `ref_lane`.
+  std::uint64_t diff_mask(NetId net, unsigned ref_lane = 0) const;
+
+ private:
+  std::uint64_t apply_output_force(NetId id, std::uint64_t v) const {
+    v |= force1_[id];
+    v &= ~force0_[id];
+    return v;
+  }
+  std::uint64_t fetch(NetId gate, unsigned pin) const;
+
+  const Netlist* nl_;
+  std::vector<std::uint64_t> values_;  // post-force values seen by fan-out
+  std::vector<std::uint64_t> inputs_;  // pristine externally-set stimuli
+  std::vector<std::uint64_t> state_;   // DFF state, indexed by net id
+  std::vector<std::uint64_t> force0_;  // per-net stuck-at-0 lane masks
+  std::vector<std::uint64_t> force1_;
+  struct PinForce {
+    std::uint64_t f0 = 0;
+    std::uint64_t f1 = 0;
+  };
+  // Sparse pin forces: key = gate * 4 + pin.
+  std::unordered_map<std::uint64_t, PinForce> pin_forces_;
+  bool has_faults_ = false;
+};
+
+}  // namespace sbst::netlist

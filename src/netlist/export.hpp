@@ -1,0 +1,23 @@
+// Structural netlist export.
+//
+// to_verilog emits synthesisable gate-level Verilog-2001 (one primitive or
+// continuous assignment per gate; DFFs as a clocked always block), so the
+// generated components can be dropped into an external flow — e.g. a
+// Verilator/Icarus testbench or a commercial fault simulator like the
+// FlexTest runs in the paper. to_blif emits the same structure in Berkeley
+// BLIF for logic-synthesis tools (abc, yosys).
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace sbst::netlist {
+
+/// Module name defaults to the netlist's own name. Sequential netlists get
+/// a `clk` input; combinational ones do not.
+std::string to_verilog(const Netlist& nl, const std::string& module_name = "");
+
+std::string to_blif(const Netlist& nl, const std::string& model_name = "");
+
+}  // namespace sbst::netlist

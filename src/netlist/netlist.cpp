@@ -1,0 +1,353 @@
+#include "netlist/netlist.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace sbst::netlist {
+
+unsigned fanin_count(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput:
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+      return 0;
+    case GateKind::kBuf:
+    case GateKind::kNot:
+    case GateKind::kDff:
+      return 1;
+    case GateKind::kMux2:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+const char* kind_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput: return "INPUT";
+    case GateKind::kConst0: return "CONST0";
+    case GateKind::kConst1: return "CONST1";
+    case GateKind::kBuf: return "BUF";
+    case GateKind::kNot: return "NOT";
+    case GateKind::kAnd: return "AND";
+    case GateKind::kOr: return "OR";
+    case GateKind::kNand: return "NAND";
+    case GateKind::kNor: return "NOR";
+    case GateKind::kXor: return "XOR";
+    case GateKind::kXnor: return "XNOR";
+    case GateKind::kMux2: return "MUX2";
+    case GateKind::kDff: return "DFF";
+  }
+  return "?";
+}
+
+NetId Netlist::add(GateKind kind, NetId a, NetId b, NetId c) {
+  const NetId id = static_cast<NetId>(gates_.size());
+  Gate g;
+  g.kind = kind;
+  g.in = {a, b, c};
+  const unsigned n = fanin_count(kind);
+  for (unsigned i = 0; i < n && kind != GateKind::kDff; ++i) {
+    if (g.in[i] == kNoNet || g.in[i] >= id) {
+      throw std::invalid_argument("netlist: gate input not yet defined");
+    }
+  }
+  gates_.push_back(g);
+  topo_cache_.clear();
+  return id;
+}
+
+NetId Netlist::input(const std::string& name) {
+  const NetId id = add(GateKind::kInput);
+  input_nets_.push_back(id);
+  input_port_index_[name] = input_ports_.size();
+  input_ports_.push_back({name, {id}});
+  return id;
+}
+
+Bus Netlist::input_bus(const std::string& name, unsigned width) {
+  Bus bus(width);
+  for (unsigned i = 0; i < width; ++i) {
+    const NetId id = add(GateKind::kInput);
+    input_nets_.push_back(id);
+    bus[i] = id;
+  }
+  input_port_index_[name] = input_ports_.size();
+  input_ports_.push_back({name, bus});
+  return bus;
+}
+
+NetId Netlist::constant(bool value) {
+  NetId& cached = value ? const1_ : const0_;
+  if (cached == kNoNet) {
+    cached = add(value ? GateKind::kConst1 : GateKind::kConst0);
+  }
+  return cached;
+}
+
+NetId Netlist::dff(const std::string& name) {
+  const NetId id = add(GateKind::kDff);
+  dff_nets_.push_back(id);
+  if (!name.empty()) {
+    // DFF outputs can be exposed for state inspection in tests.
+    output_port_index_.try_emplace("dff." + name, output_ports_.size());
+  }
+  return id;
+}
+
+void Netlist::connect_dff(NetId q, NetId d) {
+  if (q >= gates_.size() || gates_[q].kind != GateKind::kDff) {
+    throw std::invalid_argument("netlist: connect_dff on non-DFF net");
+  }
+  if (d == kNoNet || d >= gates_.size()) {
+    throw std::invalid_argument("netlist: connect_dff with undefined D");
+  }
+  gates_[q].in[0] = d;
+}
+
+Bus Netlist::dff_bus(const std::string& name, unsigned width) {
+  Bus bus(width);
+  for (unsigned i = 0; i < width; ++i) {
+    bus[i] = dff(name.empty() ? std::string{} : name + "[" +
+                                                    std::to_string(i) + "]");
+  }
+  return bus;
+}
+
+NetId Netlist::reduce(GateKind kind, const Bus& nets) {
+  if (nets.empty()) throw std::invalid_argument("netlist: empty reduction");
+  Bus level = nets;
+  while (level.size() > 1) {
+    Bus next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(add(kind, level[i], level[i + 1]));
+    }
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+NetId Netlist::and_reduce(const Bus& nets) { return reduce(GateKind::kAnd, nets); }
+NetId Netlist::or_reduce(const Bus& nets) { return reduce(GateKind::kOr, nets); }
+NetId Netlist::xor_reduce(const Bus& nets) { return reduce(GateKind::kXor, nets); }
+
+Bus Netlist::not_bus(const Bus& a) {
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = not_(a[i]);
+  return out;
+}
+
+static void check_widths(const Bus& a, const Bus& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("netlist: bus width mismatch");
+  }
+}
+
+Bus Netlist::and_bus(const Bus& a, const Bus& b) {
+  check_widths(a, b);
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = and_(a[i], b[i]);
+  return out;
+}
+
+Bus Netlist::or_bus(const Bus& a, const Bus& b) {
+  check_widths(a, b);
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = or_(a[i], b[i]);
+  return out;
+}
+
+Bus Netlist::xor_bus(const Bus& a, const Bus& b) {
+  check_widths(a, b);
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = xor_(a[i], b[i]);
+  return out;
+}
+
+Bus Netlist::nor_bus(const Bus& a, const Bus& b) {
+  check_widths(a, b);
+  Bus out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = nor_(a[i], b[i]);
+  return out;
+}
+
+Bus Netlist::mux2_bus(NetId sel, const Bus& d0, const Bus& d1) {
+  check_widths(d0, d1);
+  Bus out(d0.size());
+  for (std::size_t i = 0; i < d0.size(); ++i) out[i] = mux2(sel, d0[i], d1[i]);
+  return out;
+}
+
+Bus Netlist::const_bus(std::uint64_t value, unsigned width) {
+  Bus out(width);
+  for (unsigned i = 0; i < width; ++i) out[i] = constant(bit(value, i));
+  return out;
+}
+
+void Netlist::output(const std::string& name, NetId net) {
+  if (net >= gates_.size()) {
+    throw std::invalid_argument("netlist: output of undefined net");
+  }
+  output_port_index_[name] = output_ports_.size();
+  output_ports_.push_back({name, {net}});
+}
+
+void Netlist::output_bus(const std::string& name, const Bus& bus) {
+  for (NetId n : bus) {
+    if (n >= gates_.size()) {
+      throw std::invalid_argument("netlist: output of undefined net");
+    }
+  }
+  output_port_index_[name] = output_ports_.size();
+  output_ports_.push_back({name, bus});
+}
+
+std::vector<NetId> Netlist::output_nets() const {
+  std::vector<NetId> nets;
+  for (const Port& p : output_ports_) {
+    nets.insert(nets.end(), p.nets.begin(), p.nets.end());
+  }
+  return nets;
+}
+
+const Bus& Netlist::input_port(const std::string& name) const {
+  auto it = input_port_index_.find(name);
+  if (it == input_port_index_.end()) {
+    throw std::out_of_range("netlist: no input port '" + name + "'");
+  }
+  return input_ports_[it->second].nets;
+}
+
+const Bus& Netlist::output_port(const std::string& name) const {
+  auto it = output_port_index_.find(name);
+  if (it == output_port_index_.end()) {
+    throw std::out_of_range("netlist: no output port '" + name + "'");
+  }
+  return output_ports_[it->second].nets;
+}
+
+bool Netlist::has_input_port(const std::string& name) const {
+  return input_port_index_.count(name) != 0;
+}
+
+std::vector<std::uint32_t> Netlist::fanout_counts() const {
+  std::vector<std::uint32_t> counts(gates_.size(), 0);
+  for (const Gate& g : gates_) {
+    const unsigned n = fanin_count(g.kind);
+    for (unsigned i = 0; i < n; ++i) {
+      if (g.in[i] != kNoNet) ++counts[g.in[i]];
+    }
+  }
+  return counts;
+}
+
+const std::vector<NetId>& Netlist::topo_order() const {
+  if (!topo_cache_.empty() || gates_.empty()) return topo_cache_;
+  // DFF outputs act as sources: their D edge is sequential, not
+  // combinational, so it is excluded from the ordering.
+  std::vector<std::uint32_t> pending(gates_.size(), 0);
+  for (NetId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    if (g.kind == GateKind::kDff) continue;
+    pending[id] = fanin_count(g.kind);
+  }
+  std::vector<NetId> ready;
+  ready.reserve(gates_.size());
+  for (NetId id = 0; id < gates_.size(); ++id) {
+    if (pending[id] == 0) ready.push_back(id);
+  }
+  // Build fanout adjacency over combinational edges.
+  std::vector<std::vector<NetId>> fanout(gates_.size());
+  for (NetId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    if (g.kind == GateKind::kDff) continue;
+    const unsigned n = fanin_count(g.kind);
+    for (unsigned i = 0; i < n; ++i) fanout[g.in[i]].push_back(id);
+  }
+  topo_cache_.reserve(gates_.size());
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const NetId id = ready[head];
+    topo_cache_.push_back(id);
+    for (NetId succ : fanout[id]) {
+      if (--pending[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (topo_cache_.size() != gates_.size()) {
+    topo_cache_.clear();
+    throw std::logic_error("netlist '" + name_ + "': combinational cycle");
+  }
+  return topo_cache_;
+}
+
+unsigned Netlist::depth() const {
+  std::vector<unsigned> level(gates_.size(), 0);
+  unsigned max_level = 0;
+  for (NetId id : topo_order()) {
+    const Gate& g = gates_[id];
+    if (g.kind == GateKind::kDff) continue;
+    const unsigned n = fanin_count(g.kind);
+    unsigned lvl = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      lvl = std::max(lvl, level[g.in[i]] + 1);
+    }
+    level[id] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  return max_level;
+}
+
+std::size_t Netlist::logic_gate_count() const {
+  std::size_t count = 0;
+  for (const Gate& g : gates_) {
+    switch (g.kind) {
+      case GateKind::kInput:
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+        break;
+      default:
+        ++count;
+    }
+  }
+  return count;
+}
+
+double Netlist::gate_equivalents() const {
+  // NAND2-equivalent weights of a typical standard-cell library; the paper's
+  // "gates" column comes from Leonardo synthesis with comparable accounting.
+  double total = 0;
+  for (const Gate& g : gates_) {
+    switch (g.kind) {
+      case GateKind::kInput:
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+        break;
+      case GateKind::kBuf:
+      case GateKind::kNot:
+        total += 0.5;
+        break;
+      case GateKind::kNand:
+      case GateKind::kNor:
+        total += 1.0;
+        break;
+      case GateKind::kAnd:
+      case GateKind::kOr:
+        total += 1.5;
+        break;
+      case GateKind::kXor:
+      case GateKind::kXnor:
+      case GateKind::kMux2:
+        total += 2.5;
+        break;
+      case GateKind::kDff:
+        total += 6.0;
+        break;
+    }
+  }
+  return total;
+}
+
+}  // namespace sbst::netlist

@@ -1,0 +1,167 @@
+// Gate-level netlist representation.
+//
+// A Netlist is a flat vector of gates; every gate drives exactly one net, so
+// net ids and gate ids coincide. Primary inputs and D flip-flops are sources
+// (combinational level 0); everything else is a 1-, 2- or 3-input gate.
+// Components of the processor model (src/rtlgen) are generated as Netlists
+// and consumed by the fault simulator (src/fault) and the ATPG (src/atpg).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sbst::netlist {
+
+using NetId = std::uint32_t;
+inline constexpr NetId kNoNet = ~NetId{0};
+
+/// Gate kinds. And/Or/Nand/Nor/Xor/Xnor are strictly 2-input; wider fan-in
+/// is expressed as trees by the builder helpers.
+enum class GateKind : std::uint8_t {
+  kInput,   // primary input (no fan-in)
+  kConst0,  // constant 0
+  kConst1,  // constant 1
+  kBuf,     // in[0]
+  kNot,     // !in[0]
+  kAnd,     // in[0] & in[1]
+  kOr,      // in[0] | in[1]
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+  kMux2,  // in[0] ? in[2] : in[1]   (in[0]=select, in[1]=d0, in[2]=d1)
+  kDff,   // state element; in[0] = D (assigned via connect_dff)
+};
+
+/// Number of input pins for each gate kind.
+unsigned fanin_count(GateKind kind);
+
+/// Human-readable kind name ("AND", "DFF", ...).
+const char* kind_name(GateKind kind);
+
+struct Gate {
+  GateKind kind;
+  std::array<NetId, 3> in{kNoNet, kNoNet, kNoNet};
+};
+
+/// An ordered group of nets, LSB first. Used for multi-bit ports.
+using Bus = std::vector<NetId>;
+
+/// A named port: single net or bus, recorded for input/output binding.
+struct Port {
+  std::string name;
+  Bus nets;  // size 1 for scalar ports
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "netlist") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // ---- construction ------------------------------------------------------
+
+  NetId input(const std::string& name);
+  Bus input_bus(const std::string& name, unsigned width);
+
+  NetId constant(bool value);
+
+  NetId buf(NetId a) { return add(GateKind::kBuf, a); }
+  NetId not_(NetId a) { return add(GateKind::kNot, a); }
+  NetId and_(NetId a, NetId b) { return add(GateKind::kAnd, a, b); }
+  NetId or_(NetId a, NetId b) { return add(GateKind::kOr, a, b); }
+  NetId nand_(NetId a, NetId b) { return add(GateKind::kNand, a, b); }
+  NetId nor_(NetId a, NetId b) { return add(GateKind::kNor, a, b); }
+  NetId xor_(NetId a, NetId b) { return add(GateKind::kXor, a, b); }
+  NetId xnor_(NetId a, NetId b) { return add(GateKind::kXnor, a, b); }
+  /// sel==0 -> d0, sel==1 -> d1.
+  NetId mux2(NetId sel, NetId d0, NetId d1) {
+    return add(GateKind::kMux2, sel, d0, d1);
+  }
+
+  /// Creates a flip-flop whose D input is connected later (allows feedback).
+  NetId dff(const std::string& name = {});
+  /// Binds the D input of flip-flop `q`.
+  void connect_dff(NetId q, NetId d);
+  /// Creates a width-bit register; D inputs are bound with connect_dff.
+  Bus dff_bus(const std::string& name, unsigned width);
+
+  // Tree-reduction helpers (balanced trees; width 0 is invalid except where
+  // noted).
+  NetId and_reduce(const Bus& nets);
+  NetId or_reduce(const Bus& nets);
+  NetId xor_reduce(const Bus& nets);
+
+  // Bus-wide helpers.
+  Bus not_bus(const Bus& a);
+  Bus and_bus(const Bus& a, const Bus& b);
+  Bus or_bus(const Bus& a, const Bus& b);
+  Bus xor_bus(const Bus& a, const Bus& b);
+  Bus nor_bus(const Bus& a, const Bus& b);
+  Bus mux2_bus(NetId sel, const Bus& d0, const Bus& d1);
+  Bus const_bus(std::uint64_t value, unsigned width);
+
+  /// Marks a net as an observable primary output.
+  void output(const std::string& name, NetId net);
+  void output_bus(const std::string& name, const Bus& bus);
+
+  // ---- queries ------------------------------------------------------------
+
+  std::size_t size() const { return gates_.size(); }
+  const Gate& gate(NetId id) const { return gates_[id]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  const std::vector<NetId>& inputs() const { return input_nets_; }
+  const std::vector<NetId>& dffs() const { return dff_nets_; }
+  const std::vector<Port>& input_ports() const { return input_ports_; }
+  const std::vector<Port>& output_ports() const { return output_ports_; }
+
+  /// All nets marked as primary outputs, in declaration order.
+  std::vector<NetId> output_nets() const;
+
+  /// Looks up a declared input/output port by name; throws if absent.
+  const Bus& input_port(const std::string& name) const;
+  const Bus& output_port(const std::string& name) const;
+  bool has_input_port(const std::string& name) const;
+
+  /// Fan-out count per net (number of gate input pins each net drives).
+  std::vector<std::uint32_t> fanout_counts() const;
+
+  /// Gates in topological order (sources first). Throws on a combinational
+  /// cycle. Cached after first call.
+  const std::vector<NetId>& topo_order() const;
+
+  /// Combinational depth (levels) of the netlist.
+  unsigned depth() const;
+
+  /// Raw gate count excluding inputs and constants.
+  std::size_t logic_gate_count() const;
+
+  /// NAND2-equivalent area estimate (synthesised "gates" as in the paper).
+  double gate_equivalents() const;
+
+  /// True if the netlist has no flip-flops.
+  bool is_combinational() const { return dff_nets_.empty(); }
+
+ private:
+  NetId add(GateKind kind, NetId a = kNoNet, NetId b = kNoNet,
+            NetId c = kNoNet);
+  NetId reduce(GateKind kind, const Bus& nets);
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<NetId> input_nets_;
+  std::vector<NetId> dff_nets_;
+  std::vector<Port> input_ports_;
+  std::vector<Port> output_ports_;
+  std::unordered_map<std::string, std::size_t> input_port_index_;
+  std::unordered_map<std::string, std::size_t> output_port_index_;
+  NetId const0_ = kNoNet;
+  NetId const1_ = kNoNet;
+  mutable std::vector<NetId> topo_cache_;
+};
+
+}  // namespace sbst::netlist

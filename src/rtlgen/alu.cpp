@@ -1,0 +1,87 @@
+#include "rtlgen/alu.hpp"
+
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace sbst::rtlgen {
+
+netlist::Netlist build_alu(const AluOptions& opts) {
+  const unsigned w = opts.width;
+  netlist::Netlist nl("alu" + std::to_string(w));
+  const Bus a = nl.input_bus("a", w);
+  const Bus b = nl.input_bus("b", w);
+  const Bus op = nl.input_bus("op", kAluOpBits);
+
+  // op encoding: bit2 selects arithmetic group (ADD/SUB/SLT/SLTU),
+  // within arithmetic, bit0|bit1 request subtraction (SUB/SLT/SLTU).
+  const NetId is_arith = op[2];
+  const NetId is_sub = nl.and_(is_arith, nl.or_(op[0], op[1]));
+
+  // Shared adder with B inverted for subtraction (cin = is_sub).
+  const Bus b_eff = nl.mux2_bus(is_sub, b, nl.not_bus(b));
+  const AdderResult add = build_adder(nl, a, b_eff, is_sub, opts.adder);
+
+  // Logic unit.
+  const Bus and_r = nl.and_bus(a, b);
+  const Bus or_r = nl.or_bus(a, b);
+  const Bus xor_r = nl.xor_bus(a, b);
+  const Bus nor_r = nl.nor_bus(a, b);
+
+  // SLT: sign of (a-b) corrected for overflow; SLTU: !carry_out.
+  const NetId ovf = nl.xor_(add.carry_out, add.carry_into_msb);
+  const NetId slt_bit = nl.xor_(add.sum[w - 1], ovf);
+  const NetId sltu_bit = nl.not_(add.carry_out);
+  const NetId is_slt_any = nl.and_(is_arith, op[1]);  // SLT (110) or SLTU (111)
+  const NetId slt_sel = nl.mux2(op[0], slt_bit, sltu_bit);
+
+  // Result select: logic group muxed by op[1:0], then arithmetic override.
+  Bus result(w);
+  for (unsigned i = 0; i < w; ++i) {
+    const NetId logic_lo = nl.mux2(op[0], and_r[i], or_r[i]);
+    const NetId logic_hi = nl.mux2(op[0], xor_r[i], nor_r[i]);
+    const NetId logic_r = nl.mux2(op[1], logic_lo, logic_hi);
+    const NetId arith_r =
+        i == 0 ? nl.mux2(is_slt_any, add.sum[0], slt_sel)
+               : nl.and_(add.sum[i], nl.not_(is_slt_any));
+    result[i] = nl.mux2(is_arith, logic_r, arith_r);
+  }
+
+  nl.output_bus("result", result);
+  nl.output("zero", nl.not_(nl.or_reduce(result)));
+  nl.output("cout", add.carry_out);
+  nl.output("ovf", ovf);
+  return nl;
+}
+
+std::uint32_t alu_ref(AluOp op, std::uint32_t a, std::uint32_t b,
+                      unsigned width) {
+  const std::uint32_t mask = static_cast<std::uint32_t>(low_mask(width));
+  a &= mask;
+  b &= mask;
+  const std::uint32_t sign = std::uint32_t{1} << (width - 1);
+  switch (op) {
+    case AluOp::kAnd:
+      return a & b;
+    case AluOp::kOr:
+      return a | b;
+    case AluOp::kXor:
+      return a ^ b;
+    case AluOp::kNor:
+      return ~(a | b) & mask;
+    case AluOp::kAdd:
+      return (a + b) & mask;
+    case AluOp::kSub:
+      return (a - b) & mask;
+    case AluOp::kSlt: {
+      const std::int64_t sa = static_cast<std::int64_t>((a ^ sign)) - sign;
+      const std::int64_t sb = static_cast<std::int64_t>((b ^ sign)) - sign;
+      return sa < sb ? 1u : 0u;
+    }
+    case AluOp::kSltu:
+      return a < b ? 1u : 0u;
+  }
+  throw std::invalid_argument("alu_ref: bad op");
+}
+
+}  // namespace sbst::rtlgen

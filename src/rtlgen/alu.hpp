@@ -1,0 +1,41 @@
+// Gate-level ALU generator (Plasma-class MIPS execute unit).
+//
+// Classification (paper §3.2): D-VC — both operands are data visible through
+// register/immediate addressing, the result is data visible through the
+// register file.
+#pragma once
+
+#include <cstdint>
+
+#include "rtlgen/arith.hpp"
+
+namespace sbst::rtlgen {
+
+/// ALU operation select encoding, shared with the CPU simulator so that
+/// traced operations map 1:1 onto the netlist's "op" port.
+enum class AluOp : std::uint8_t {
+  kAnd = 0,
+  kOr = 1,
+  kXor = 2,
+  kNor = 3,
+  kAdd = 4,
+  kSub = 5,
+  kSlt = 6,   // signed set-less-than
+  kSltu = 7,  // unsigned set-less-than
+};
+inline constexpr unsigned kAluOpBits = 3;
+
+struct AluOptions {
+  unsigned width = 32;
+  AdderStyle adder = AdderStyle::kRippleCarry;
+};
+
+/// Ports: in "a"[w], "b"[w], "op"[3]; out "result"[w], "zero"[1], "cout"[1],
+/// "ovf"[1].
+netlist::Netlist build_alu(const AluOptions& opts = {});
+
+/// Functional golden model matching build_alu's netlist bit-for-bit.
+std::uint32_t alu_ref(AluOp op, std::uint32_t a, std::uint32_t b,
+                      unsigned width = 32);
+
+}  // namespace sbst::rtlgen

@@ -1,0 +1,117 @@
+#include "rtlgen/arith.hpp"
+
+#include <stdexcept>
+
+namespace sbst::rtlgen {
+
+namespace {
+
+// Full adder: sum = a^b^c, carry = ab | c(a^b).
+struct FullAdder {
+  NetId sum;
+  NetId carry;
+};
+
+FullAdder full_adder(Netlist& nl, NetId a, NetId b, NetId c) {
+  const NetId axb = nl.xor_(a, b);
+  const NetId sum = nl.xor_(axb, c);
+  const NetId carry = nl.or_(nl.and_(a, b), nl.and_(axb, c));
+  return {sum, carry};
+}
+
+AdderResult ripple_adder(Netlist& nl, const Bus& a, const Bus& b, NetId cin) {
+  AdderResult out;
+  out.sum.resize(a.size());
+  NetId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.carry_into_msb = carry;  // last assignment is the carry into the MSB
+    const FullAdder fa = full_adder(nl, a[i], b[i], carry);
+    out.sum[i] = fa.sum;
+    carry = fa.carry;
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+AdderResult cla_adder(Netlist& nl, const Bus& a, const Bus& b, NetId cin) {
+  // 4-bit carry-lookahead blocks, block carries rippled.
+  AdderResult out;
+  const std::size_t width = a.size();
+  out.sum.resize(width);
+  NetId carry = cin;
+  for (std::size_t base = 0; base < width; base += 4) {
+    const std::size_t n = std::min<std::size_t>(4, width - base);
+    Bus g(n), p(n), c(n);  // generate, propagate, carry-in per position
+    for (std::size_t i = 0; i < n; ++i) {
+      g[i] = nl.and_(a[base + i], b[base + i]);
+      p[i] = nl.xor_(a[base + i], b[base + i]);
+    }
+    c[0] = carry;
+    for (std::size_t i = 1; i < n; ++i) {
+      // c[i] = g[i-1] | p[i-1]g[i-2] | ... | p[i-1]..p[0]c0, expanded.
+      Bus terms;
+      terms.push_back(g[i - 1]);
+      for (std::size_t j = 0; j + 1 < i; ++j) {
+        NetId t = g[j];
+        for (std::size_t k = j + 1; k < i; ++k) t = nl.and_(t, p[k]);
+        terms.push_back(t);
+      }
+      NetId t = c[0];
+      for (std::size_t k = 0; k < i; ++k) t = nl.and_(t, p[k]);
+      terms.push_back(t);
+      c[i] = nl.or_reduce(terms);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out.sum[base + i] = nl.xor_(p[i], c[i]);
+      if (base + i + 1 == width) out.carry_into_msb = c[i];
+    }
+    // Block carry-out.
+    NetId t = c[0];
+    for (std::size_t k = 0; k < n; ++k) t = nl.and_(t, p[k]);
+    Bus terms;
+    terms.push_back(g[n - 1]);
+    for (std::size_t j = 0; j + 1 < n; ++j) {
+      NetId u = g[j];
+      for (std::size_t k = j + 1; k < n; ++k) u = nl.and_(u, p[k]);
+      terms.push_back(u);
+    }
+    terms.push_back(t);
+    carry = nl.or_reduce(terms);
+  }
+  out.carry_out = carry;
+  return out;
+}
+
+}  // namespace
+
+AdderResult build_adder(Netlist& nl, const Bus& a, const Bus& b, NetId cin,
+                        AdderStyle style) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("build_adder: width mismatch");
+  }
+  switch (style) {
+    case AdderStyle::kRippleCarry:
+      return ripple_adder(nl, a, b, cin);
+    case AdderStyle::kCarryLookahead:
+      return cla_adder(nl, a, b, cin);
+  }
+  throw std::invalid_argument("build_adder: bad style");
+}
+
+Bus build_incrementer(Netlist& nl, const Bus& a) {
+  Bus sum(a.size());
+  NetId carry = nl.constant(true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum[i] = nl.xor_(a[i], carry);
+    if (i + 1 < a.size()) carry = nl.and_(a[i], carry);
+  }
+  return sum;
+}
+
+Bus build_negate(Netlist& nl, const Bus& a, AdderStyle style) {
+  const Bus na = nl.not_bus(a);
+  const Bus zero = nl.const_bus(0, static_cast<unsigned>(a.size()));
+  return build_adder(nl, na, zero, nl.constant(true), style).sum;
+}
+
+}  // namespace sbst::rtlgen

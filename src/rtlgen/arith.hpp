@@ -1,0 +1,39 @@
+// Arithmetic building blocks instantiated inside component generators.
+//
+// These helpers append logic to an existing Netlist and return the result
+// buses; they do not declare ports. Two adder styles are provided so that the
+// "regular deterministic test sets are implementation-independent" property
+// (paper §3.3, strategy 3) can be validated against structurally different
+// gate-level realisations.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace sbst::rtlgen {
+
+using netlist::Bus;
+using netlist::Netlist;
+using netlist::NetId;
+
+enum class AdderStyle {
+  kRippleCarry,     // chain of full adders
+  kCarryLookahead,  // 4-bit lookahead blocks, ripple between blocks
+};
+
+struct AdderResult {
+  Bus sum;
+  NetId carry_out;
+  NetId carry_into_msb;  // for signed-overflow detection
+};
+
+/// sum = a + b + cin. Widths of a and b must match.
+AdderResult build_adder(Netlist& nl, const Bus& a, const Bus& b, NetId cin,
+                        AdderStyle style);
+
+/// a + 1 (half-adder chain); returns sum only.
+Bus build_incrementer(Netlist& nl, const Bus& a);
+
+/// Two's complement negation (~a + 1).
+Bus build_negate(Netlist& nl, const Bus& a, AdderStyle style);
+
+}  // namespace sbst::rtlgen

@@ -1,0 +1,45 @@
+#include "rtlgen/comparator.hpp"
+
+#include "common/bits.hpp"
+#include "rtlgen/arith.hpp"
+
+namespace sbst::rtlgen {
+
+netlist::Netlist build_comparator(const ComparatorOptions& opts) {
+  using netlist::Bus;
+  using netlist::NetId;
+  const unsigned w = opts.width;
+  netlist::Netlist nl("cmp" + std::to_string(w));
+  const Bus a = nl.input_bus("a", w);
+  const Bus b = nl.input_bus("b", w);
+
+  Bus eq_bits(w);
+  for (unsigned i = 0; i < w; ++i) eq_bits[i] = nl.xnor_(a[i], b[i]);
+  const NetId eq = nl.and_reduce(eq_bits);
+  nl.output("eq", eq);
+  nl.output("ne", nl.not_(eq));
+
+  if (opts.with_magnitude) {
+    // a - b; borrow (=!carry_out) gives unsigned less-than; signed less-than
+    // corrects the sign of the difference by the overflow flag.
+    const AdderResult sub = build_adder(nl, a, nl.not_bus(b),
+                                        nl.constant(true),
+                                        AdderStyle::kRippleCarry);
+    const NetId ovf = nl.xor_(sub.carry_out, sub.carry_into_msb);
+    nl.output("lt", nl.xor_(sub.sum[w - 1], ovf));
+    nl.output("ltu", nl.not_(sub.carry_out));
+  }
+  return nl;
+}
+
+CmpRef comparator_ref(std::uint32_t a, std::uint32_t b, unsigned width) {
+  const std::uint32_t mask = static_cast<std::uint32_t>(low_mask(width));
+  a &= mask;
+  b &= mask;
+  const std::uint32_t sign = std::uint32_t{1} << (width - 1);
+  const std::int64_t sa = static_cast<std::int64_t>(a ^ sign) - sign;
+  const std::int64_t sb = static_cast<std::int64_t>(b ^ sign) - sign;
+  return {a == b, a != b, sa < sb, a < b};
+}
+
+}  // namespace sbst::rtlgen

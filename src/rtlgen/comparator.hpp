@@ -1,0 +1,29 @@
+// Comparator generator (branch condition / forwarding-match class).
+//
+// The paper lists comparators among the inherently regular components that
+// the regular deterministic TPG strategy covers with constant-size test
+// sets. The Plasma model uses equality comparators for beq/bne and for the
+// forwarding unit's register-index matches.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace sbst::rtlgen {
+
+struct ComparatorOptions {
+  unsigned width = 32;
+  bool with_magnitude = true;  // also emit lt (signed) and ltu outputs
+};
+
+/// Ports: in "a"[w], "b"[w]; out "eq"[1], "ne"[1], and if with_magnitude:
+/// "lt"[1] (signed a<b), "ltu"[1] (unsigned a<b).
+netlist::Netlist build_comparator(const ComparatorOptions& opts = {});
+
+struct CmpRef {
+  bool eq, ne, lt, ltu;
+};
+CmpRef comparator_ref(std::uint32_t a, std::uint32_t b, unsigned width = 32);
+
+}  // namespace sbst::rtlgen

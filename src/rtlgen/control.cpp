@@ -1,0 +1,225 @@
+#include "rtlgen/control.hpp"
+
+#include "rtlgen/alu.hpp"
+#include "rtlgen/memctrl.hpp"
+#include "rtlgen/shifter.hpp"
+
+namespace sbst::rtlgen {
+
+namespace {
+
+constexpr std::uint8_t kOpRtype = 0x00;
+
+ControlWord rtype_word(std::uint8_t funct) {
+  ControlWord w;
+  auto alu = [&](AluOp op) {
+    w.alu_op = static_cast<std::uint8_t>(op);
+    w.reg_write = true;
+    w.reg_dst_rd = true;
+  };
+  auto shift = [&](ShiftOp op, bool from_reg) {
+    w.is_shift = true;
+    w.shift_op = static_cast<std::uint8_t>(op);
+    w.shift_from_reg = from_reg;
+    w.reg_write = true;
+    w.reg_dst_rd = true;
+  };
+  switch (funct) {
+    case 0x00: shift(ShiftOp::kSll, false); break;
+    case 0x02: shift(ShiftOp::kSrl, false); break;
+    case 0x03: shift(ShiftOp::kSra, false); break;
+    case 0x04: shift(ShiftOp::kSll, true); break;
+    case 0x06: shift(ShiftOp::kSrl, true); break;
+    case 0x07: shift(ShiftOp::kSra, true); break;
+    case 0x08: w.jump_reg = true; break;
+    case 0x0d: break;  // break: architectural halt in this model
+    case 0x10: w.move_from_hi = true; w.reg_write = true; w.reg_dst_rd = true; break;
+    case 0x11: w.move_to_hi = true; break;
+    case 0x12: w.move_from_lo = true; w.reg_write = true; w.reg_dst_rd = true; break;
+    case 0x13: w.move_to_lo = true; break;
+    case 0x18: w.mult_start = true; w.md_signed = true; break;
+    case 0x19: w.mult_start = true; break;
+    case 0x1a: w.div_start = true; w.md_signed = true; break;
+    case 0x1b: w.div_start = true; break;
+    case 0x20: case 0x21: alu(AluOp::kAdd); break;
+    case 0x22: case 0x23: alu(AluOp::kSub); break;
+    case 0x24: alu(AluOp::kAnd); break;
+    case 0x25: alu(AluOp::kOr); break;
+    case 0x26: alu(AluOp::kXor); break;
+    case 0x27: alu(AluOp::kNor); break;
+    case 0x2a: alu(AluOp::kSlt); break;
+    case 0x2b: alu(AluOp::kSltu); break;
+    default: w.illegal = true; w.mem_size = 0; break;  // all-zero control word
+  }
+  return w;
+}
+
+ControlWord itype_word(std::uint8_t opcode) {
+  ControlWord w;
+  auto alu_imm = [&](AluOp op, bool zero_ext) {
+    w.alu_op = static_cast<std::uint8_t>(op);
+    w.alu_src_imm = true;
+    w.imm_zero_ext = zero_ext;
+    w.reg_write = true;
+  };
+  auto load = [&](MemSize size, bool sign) {
+    w.mem_read = true;
+    w.mem_to_reg = true;
+    w.reg_write = true;
+    w.alu_op = static_cast<std::uint8_t>(AluOp::kAdd);
+    w.alu_src_imm = true;
+    w.mem_size = static_cast<std::uint8_t>(size);
+    w.load_signed = sign;
+  };
+  auto store = [&](MemSize size) {
+    w.mem_write = true;
+    w.alu_op = static_cast<std::uint8_t>(AluOp::kAdd);
+    w.alu_src_imm = true;
+    w.mem_size = static_cast<std::uint8_t>(size);
+  };
+  switch (opcode) {
+    case 0x02: w.jump = true; break;
+    case 0x03: w.jump = true; w.link = true; w.reg_write = true; break;
+    case 0x04: w.branch_eq = true;
+               w.alu_op = static_cast<std::uint8_t>(AluOp::kSub); break;
+    case 0x05: w.branch_ne = true;
+               w.alu_op = static_cast<std::uint8_t>(AluOp::kSub); break;
+    case 0x08: case 0x09: alu_imm(AluOp::kAdd, false); break;
+    case 0x0a: alu_imm(AluOp::kSlt, false); break;
+    case 0x0b: alu_imm(AluOp::kSltu, false); break;
+    case 0x0c: alu_imm(AluOp::kAnd, true); break;
+    case 0x0d: alu_imm(AluOp::kOr, true); break;
+    case 0x0e: alu_imm(AluOp::kXor, true); break;
+    case 0x0f: w.is_lui = true; w.reg_write = true; w.alu_src_imm = true; break;
+    case 0x20: load(MemSize::kByte, true); break;
+    case 0x21: load(MemSize::kHalf, true); break;
+    case 0x23: load(MemSize::kWord, false); break;
+    case 0x24: load(MemSize::kByte, false); break;
+    case 0x25: load(MemSize::kHalf, false); break;
+    case 0x28: store(MemSize::kByte); break;
+    case 0x29: store(MemSize::kHalf); break;
+    case 0x2b: store(MemSize::kWord); break;
+    default: w.illegal = true; w.mem_size = 0; break;  // all-zero control word
+  }
+  return w;
+}
+
+}  // namespace
+
+ControlWord control_ref(std::uint8_t opcode, std::uint8_t funct) {
+  return opcode == kOpRtype ? rtype_word(funct) : itype_word(opcode);
+}
+
+const std::vector<OpcodePair>& all_instruction_opcodes() {
+  static const std::vector<OpcodePair> kTable = {
+      {0x00, 0x00, "sll"},   {0x00, 0x02, "srl"},   {0x00, 0x03, "sra"},
+      {0x00, 0x04, "sllv"},  {0x00, 0x06, "srlv"},  {0x00, 0x07, "srav"},
+      {0x00, 0x08, "jr"},    {0x00, 0x0d, "break"}, {0x00, 0x10, "mfhi"},
+      {0x00, 0x11, "mthi"},  {0x00, 0x12, "mflo"},  {0x00, 0x13, "mtlo"},
+      {0x00, 0x18, "mult"},  {0x00, 0x19, "multu"}, {0x00, 0x1a, "div"},
+      {0x00, 0x1b, "divu"},  {0x00, 0x20, "add"},   {0x00, 0x21, "addu"},
+      {0x00, 0x22, "sub"},   {0x00, 0x23, "subu"},  {0x00, 0x24, "and"},
+      {0x00, 0x25, "or"},    {0x00, 0x26, "xor"},   {0x00, 0x27, "nor"},
+      {0x00, 0x2a, "slt"},   {0x00, 0x2b, "sltu"},  {0x02, 0x00, "j"},
+      {0x03, 0x00, "jal"},   {0x04, 0x00, "beq"},   {0x05, 0x00, "bne"},
+      {0x08, 0x00, "addi"},  {0x09, 0x00, "addiu"}, {0x0a, 0x00, "slti"},
+      {0x0b, 0x00, "sltiu"}, {0x0c, 0x00, "andi"},  {0x0d, 0x00, "ori"},
+      {0x0e, 0x00, "xori"},  {0x0f, 0x00, "lui"},   {0x20, 0x00, "lb"},
+      {0x21, 0x00, "lh"},    {0x23, 0x00, "lw"},    {0x24, 0x00, "lbu"},
+      {0x25, 0x00, "lhu"},   {0x28, 0x00, "sb"},    {0x29, 0x00, "sh"},
+      {0x2b, 0x00, "sw"},
+  };
+  return kTable;
+}
+
+netlist::Netlist build_control() {
+  using netlist::Bus;
+  using netlist::NetId;
+  netlist::Netlist nl("control");
+  const Bus opcode = nl.input_bus("opcode", 6);
+  const Bus funct = nl.input_bus("funct", 6);
+  const Bus opcode_n = nl.not_bus(opcode);
+  const Bus funct_n = nl.not_bus(funct);
+
+  auto match_bits = [&](const Bus& v, const Bus& vn, std::uint8_t pattern) {
+    Bus terms(6);
+    for (unsigned b = 0; b < 6; ++b) {
+      terms[b] = (pattern >> b) & 1u ? v[b] : vn[b];
+    }
+    return nl.and_reduce(terms);
+  };
+
+  // One match line per instruction; the control word is generated from the
+  // golden decoder so the netlist is correct by construction.
+  struct Line {
+    NetId match;
+    ControlWord word;
+  };
+  std::vector<Line> lines;
+  const NetId op_is_rtype = match_bits(opcode, opcode_n, kOpRtype);
+  for (const OpcodePair& ins : all_instruction_opcodes()) {
+    NetId m;
+    if (ins.opcode == kOpRtype) {
+      m = nl.and_(op_is_rtype, match_bits(funct, funct_n, ins.funct));
+    } else {
+      m = match_bits(opcode, opcode_n, ins.opcode);
+    }
+    lines.push_back({m, control_ref(ins.opcode, ins.funct)});
+  }
+
+  auto or_of = [&](auto predicate) -> NetId {
+    Bus terms;
+    for (const Line& line : lines) {
+      if (predicate(line.word)) terms.push_back(line.match);
+    }
+    if (terms.empty()) return nl.constant(false);
+    return nl.or_reduce(terms);
+  };
+  auto scalar = [&](const char* name, bool ControlWord::* field) {
+    nl.output(name, or_of([field](const ControlWord& w) { return w.*field; }));
+  };
+  auto field_bus = [&](const char* name, unsigned bits,
+                       std::uint8_t ControlWord::* field) {
+    Bus out(bits);
+    for (unsigned b = 0; b < bits; ++b) {
+      out[b] = or_of(
+          [field, b](const ControlWord& w) { return (w.*field >> b) & 1u; });
+    }
+    nl.output_bus(name, out);
+  };
+
+  scalar("reg_write", &ControlWord::reg_write);
+  scalar("reg_dst_rd", &ControlWord::reg_dst_rd);
+  scalar("alu_src_imm", &ControlWord::alu_src_imm);
+  scalar("imm_zero_ext", &ControlWord::imm_zero_ext);
+  field_bus("alu_op", 3, &ControlWord::alu_op);
+  scalar("is_shift", &ControlWord::is_shift);
+  scalar("shift_from_reg", &ControlWord::shift_from_reg);
+  field_bus("shift_op", 2, &ControlWord::shift_op);
+  scalar("mem_read", &ControlWord::mem_read);
+  scalar("mem_write", &ControlWord::mem_write);
+  scalar("mem_to_reg", &ControlWord::mem_to_reg);
+  field_bus("mem_size", 2, &ControlWord::mem_size);
+  scalar("load_signed", &ControlWord::load_signed);
+  scalar("branch_eq", &ControlWord::branch_eq);
+  scalar("branch_ne", &ControlWord::branch_ne);
+  scalar("jump", &ControlWord::jump);
+  scalar("link", &ControlWord::link);
+  scalar("jump_reg", &ControlWord::jump_reg);
+  scalar("is_lui", &ControlWord::is_lui);
+  scalar("mult_start", &ControlWord::mult_start);
+  scalar("div_start", &ControlWord::div_start);
+  scalar("md_signed", &ControlWord::md_signed);
+  scalar("move_from_hi", &ControlWord::move_from_hi);
+  scalar("move_from_lo", &ControlWord::move_from_lo);
+  scalar("move_to_hi", &ControlWord::move_to_hi);
+  scalar("move_to_lo", &ControlWord::move_to_lo);
+
+  // illegal = no match line asserted.
+  Bus all_matches;
+  for (const Line& line : lines) all_matches.push_back(line.match);
+  nl.output("illegal", nl.not_(nl.or_reduce(all_matches)));
+  return nl;
+}
+
+}  // namespace sbst::rtlgen

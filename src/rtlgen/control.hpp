@@ -1,0 +1,67 @@
+// Control-logic decoder generator (Plasma control unit).
+//
+// Two-level decoded logic from (opcode, funct) to the datapath control
+// signals. Classification: PVC — outputs steer visible components, so the
+// paper tests it with a functional test (FT): execute every supported
+// instruction opcode and observe the side effects through the D-VCs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace sbst::rtlgen {
+
+/// Decoded control word, in output-port order of build_control.
+/// One bit per field unless noted.
+struct ControlWord {
+  bool reg_write = false;
+  bool reg_dst_rd = false;    // destination is rd (R-type) vs rt
+  bool alu_src_imm = false;   // ALU operand B from immediate
+  bool imm_zero_ext = false;  // andi/ori/xori zero-extend
+  std::uint8_t alu_op = 0;    // rtlgen::AluOp encoding, 3 bits
+  bool is_shift = false;
+  bool shift_from_reg = false;  // sllv/srlv/srav
+  std::uint8_t shift_op = 0;    // rtlgen::ShiftOp encoding, 2 bits
+  bool mem_read = false;
+  bool mem_write = false;
+  bool mem_to_reg = false;
+  std::uint8_t mem_size = 2;  // MemSize encoding, 2 bits
+  bool load_signed = false;
+  bool branch_eq = false;
+  bool branch_ne = false;
+  bool jump = false;
+  bool link = false;  // jal
+  bool jump_reg = false;
+  bool is_lui = false;
+  bool mult_start = false;  // mult/multu
+  bool div_start = false;   // div/divu
+  bool md_signed = false;   // signed mult/div
+  bool move_from_hi = false;
+  bool move_from_lo = false;
+  bool move_to_hi = false;
+  bool move_to_lo = false;
+  bool illegal = false;  // no instruction matched
+
+  friend bool operator==(const ControlWord&, const ControlWord&) = default;
+};
+
+/// Ports: in "opcode"[6], "funct"[6]; out one scalar/bus per ControlWord
+/// field (see control.cpp for the exact port list).
+netlist::Netlist build_control();
+
+/// Functional golden decoder matching build_control.
+ControlWord control_ref(std::uint8_t opcode, std::uint8_t funct);
+
+/// All (opcode, funct) pairs of supported instructions — the paper's
+/// "application of all instruction opcodes" functional test for the PVC.
+struct OpcodePair {
+  std::uint8_t opcode;
+  std::uint8_t funct;  // 0 unless opcode == 0
+  const char* mnemonic;
+};
+const std::vector<OpcodePair>& all_instruction_opcodes();
+
+}  // namespace sbst::rtlgen

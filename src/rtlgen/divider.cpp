@@ -1,0 +1,107 @@
+#include "rtlgen/divider.hpp"
+
+#include "common/bits.hpp"
+#include "rtlgen/arith.hpp"
+
+namespace sbst::rtlgen {
+
+netlist::Netlist build_divider(const DividerOptions& opts) {
+  using netlist::Bus;
+  using netlist::NetId;
+  const unsigned w = opts.width;
+  unsigned cnt_bits = 1;
+  while ((1u << cnt_bits) <= w) ++cnt_bits;  // counter holds values w..0
+
+  netlist::Netlist nl("div" + std::to_string(w));
+  const NetId start = nl.input("start");
+  const Bus dividend = nl.input_bus("dividend", w);
+  const Bus divisor = nl.input_bus("divisor", w);
+
+  // State: partial remainder R (w+1 bits), quotient/dividend shift Q (w),
+  // latched divisor D (w), step counter, busy flag.
+  const Bus r = nl.dff_bus("R", w + 1);
+  const Bus q = nl.dff_bus("Q", w);
+  const Bus d = nl.dff_bus("D", w);
+  const Bus cnt = nl.dff_bus("CNT", cnt_bits);
+  const NetId busy = nl.dff("BUSY");
+
+  // One restoring step: shifted = {R[w-1:0], Q[w-1]}; T = shifted - D;
+  // if T >= 0 (no borrow) R <- T, quotient bit 1, else R <- shifted.
+  Bus shifted(w + 1);
+  shifted[0] = q[w - 1];
+  for (unsigned i = 1; i <= w; ++i) shifted[i] = r[i - 1];
+
+  Bus d_ext(w + 1);
+  for (unsigned i = 0; i < w; ++i) d_ext[i] = d[i];
+  d_ext[w] = nl.constant(false);
+
+  const AdderResult sub = build_adder(nl, shifted, nl.not_bus(d_ext),
+                                      nl.constant(true),
+                                      AdderStyle::kRippleCarry);
+  const NetId geq = sub.carry_out;  // no borrow -> shifted >= D
+
+  const Bus r_step = nl.mux2_bus(geq, shifted, sub.sum);
+  Bus q_step(w);
+  q_step[0] = geq;
+  for (unsigned i = 1; i < w; ++i) q_step[i] = q[i - 1];
+
+  // Counter decrement (borrow chain).
+  Bus cnt_step(cnt_bits);
+  NetId borrow = nl.constant(true);
+  for (unsigned i = 0; i < cnt_bits; ++i) {
+    cnt_step[i] = nl.xor_(cnt[i], borrow);
+    if (i + 1 < cnt_bits) borrow = nl.and_(nl.not_(cnt[i]), borrow);
+  }
+  // last_step: cnt == 1.
+  Bus cnt_is_one(cnt_bits);
+  cnt_is_one[0] = cnt[0];
+  for (unsigned i = 1; i < cnt_bits; ++i) cnt_is_one[i] = nl.not_(cnt[i]);
+  const NetId last_step = nl.and_reduce(cnt_is_one);
+
+  // Next-state: start loads, busy steps, idle holds.
+  auto next = [&](NetId cur, NetId step_v, NetId load_v) {
+    return nl.mux2(start, nl.mux2(busy, cur, step_v), load_v);
+  };
+  const NetId zero = nl.constant(false);
+  for (unsigned i = 0; i <= w; ++i) {
+    nl.connect_dff(r[i], next(r[i], r_step[i], zero));
+  }
+  for (unsigned i = 0; i < w; ++i) {
+    nl.connect_dff(q[i], next(q[i], q_step[i], dividend[i]));
+    nl.connect_dff(d[i], next(d[i], d[i], divisor[i]));
+  }
+  for (unsigned i = 0; i < cnt_bits; ++i) {
+    nl.connect_dff(cnt[i], next(cnt[i], cnt_step[i],
+                                nl.constant(bit(w, i))));
+  }
+  nl.connect_dff(busy, next(busy, nl.not_(last_step), nl.constant(true)));
+
+  nl.output_bus("quotient", q);
+  Bus rem(w);
+  for (unsigned i = 0; i < w; ++i) rem[i] = r[i];
+  nl.output_bus("remainder", rem);
+  nl.output("done", nl.not_(busy));
+  return nl;
+}
+
+DivRef divider_ref(std::uint32_t dividend, std::uint32_t divisor,
+                   unsigned width) {
+  const std::uint32_t mask = static_cast<std::uint32_t>(low_mask(width));
+  dividend &= mask;
+  divisor &= mask;
+  std::uint64_t r = 0;
+  std::uint32_t q = dividend;
+  for (unsigned i = 0; i < width; ++i) {
+    r = (r << 1) | ((q >> (width - 1)) & 1u);
+    q = (q << 1) & mask;
+    if (r >= divisor) {
+      // divisor == 0 always subtracts 0 and sets the quotient bit, matching
+      // the hardware's restoring datapath.
+      r -= divisor;
+      q |= 1u;
+    }
+  }
+  return {q, static_cast<std::uint32_t>(r & mask)};
+}
+
+}  // namespace sbst::rtlgen

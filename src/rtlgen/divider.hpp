@@ -1,0 +1,38 @@
+// Serial restoring divider generator (the Plasma serial divider).
+//
+// Sequential component: one quotient bit per clock, `width` cycles per
+// division. Classification: D-VC (operands via registers, quotient/remainder
+// via HI/LO), tested with the regular deterministic strategy through
+// div/divu instruction loops.
+//
+// Protocol:
+//   cycle 0:  start=1, dividend/divisor valid -> internal registers load
+//   cycles 1..width: shift/subtract steps (start=0)
+//   after `width` steps: done=1, "quotient"/"remainder" valid.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace sbst::rtlgen {
+
+struct DividerOptions {
+  unsigned width = 32;
+};
+
+/// Ports: in "start"[1], "dividend"[w], "divisor"[w];
+/// out "quotient"[w], "remainder"[w], "done"[1].
+netlist::Netlist build_divider(const DividerOptions& opts = {});
+
+struct DivRef {
+  std::uint32_t quotient;
+  std::uint32_t remainder;
+};
+
+/// Unsigned division reference; divisor==0 yields quotient=all-ones,
+/// remainder=dividend (matching the restoring-array behaviour).
+DivRef divider_ref(std::uint32_t dividend, std::uint32_t divisor,
+                   unsigned width = 32);
+
+}  // namespace sbst::rtlgen

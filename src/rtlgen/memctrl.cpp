@@ -1,0 +1,162 @@
+#include "rtlgen/memctrl.hpp"
+
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace sbst::rtlgen {
+
+netlist::Netlist build_memctrl(const MemCtrlOptions& opts) {
+  using netlist::Bus;
+  using netlist::NetId;
+  if (opts.width != 32) {
+    throw std::invalid_argument("build_memctrl: only width 32 supported");
+  }
+
+  netlist::Netlist nl("memctrl");
+  const Bus addr = nl.input_bus("addr", 32);
+  const Bus wdata = nl.input_bus("wdata", 32);
+  const Bus mem_rdata = nl.input_bus("mem_rdata", 32);
+  const Bus size = nl.input_bus("size", 2);
+  const NetId sign = nl.input("sign");
+  const NetId wr = nl.input("wr");
+  const NetId en = nl.input("en");
+
+  const NetId is_word = size[1];
+  const NetId is_half = nl.and_(nl.not_(size[1]), size[0]);
+  const NetId is_byte = nl.nor_(size[1], size[0]);
+
+  auto slice = [&](const Bus& b, unsigned lo) {
+    return Bus(b.begin() + lo, b.begin() + lo + 8);
+  };
+
+  // ---- store path ---------------------------------------------------------
+  // Byte-lane replication (little endian): sb drives all lanes with byte 0,
+  // sh drives both halves with half 0.
+  const Bus lane0 = slice(wdata, 0);
+  const Bus lane1 = nl.mux2_bus(is_byte, slice(wdata, 8), slice(wdata, 0));
+  const Bus lane2 = nl.mux2_bus(is_word, slice(wdata, 0), slice(wdata, 16));
+  const Bus lane3 = nl.mux2_bus(
+      is_word, nl.mux2_bus(is_byte, slice(wdata, 8), slice(wdata, 0)),
+      slice(wdata, 24));
+
+  // Byte enables.
+  const NetId a0 = addr[0];
+  const NetId a1 = addr[1];
+  const NetId na0 = nl.not_(a0);
+  const NetId na1 = nl.not_(a1);
+  Bus be(4);
+  const NetId half_lo = nl.and_(is_half, na1);
+  const NetId half_hi = nl.and_(is_half, a1);
+  be[0] = nl.and_(wr, nl.or_(is_word,
+                             nl.or_(half_lo, nl.and_(is_byte,
+                                                     nl.and_(na1, na0)))));
+  be[1] = nl.and_(wr, nl.or_(is_word,
+                             nl.or_(half_lo, nl.and_(is_byte,
+                                                     nl.and_(na1, a0)))));
+  be[2] = nl.and_(wr, nl.or_(is_word,
+                             nl.or_(half_hi, nl.and_(is_byte,
+                                                     nl.and_(a1, na0)))));
+  be[3] = nl.and_(wr, nl.or_(is_word,
+                             nl.or_(half_hi, nl.and_(is_byte,
+                                                     nl.and_(a1, a0)))));
+
+  // ---- registers (MAR, MDR, byte enables) ---------------------------------
+  auto capture = [&](const Bus& d, const std::string& name) {
+    Bus q = nl.dff_bus(name, static_cast<unsigned>(d.size()));
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      nl.connect_dff(q[i], nl.mux2(en, q[i], d[i]));
+    }
+    return q;
+  };
+  const Bus mar = capture(addr, "MAR");
+  Bus mdr_d;
+  mdr_d.insert(mdr_d.end(), lane0.begin(), lane0.end());
+  mdr_d.insert(mdr_d.end(), lane1.begin(), lane1.end());
+  mdr_d.insert(mdr_d.end(), lane2.begin(), lane2.end());
+  mdr_d.insert(mdr_d.end(), lane3.begin(), lane3.end());
+  const Bus mdr = capture(mdr_d, "MDR");
+  const Bus be_q = capture(be, "BE");
+
+  nl.output_bus("mem_addr", mar);
+  nl.output_bus("mem_wdata", mdr);
+  nl.output_bus("byte_en", be_q);
+
+  // ---- load path ----------------------------------------------------------
+  const NetId ma0 = mar[0];
+  const NetId ma1 = mar[1];
+  const Bus byte_lo = nl.mux2_bus(ma0, slice(mem_rdata, 0),
+                                  slice(mem_rdata, 8));
+  const Bus byte_hi = nl.mux2_bus(ma0, slice(mem_rdata, 16),
+                                  slice(mem_rdata, 24));
+  const Bus byte_sel = nl.mux2_bus(ma1, byte_lo, byte_hi);
+
+  Bus half_sel(16);
+  for (unsigned i = 0; i < 16; ++i) {
+    half_sel[i] = nl.mux2(ma1, mem_rdata[i], mem_rdata[16 + i]);
+  }
+
+  const NetId byte_ext = nl.and_(sign, byte_sel[7]);
+  const NetId half_ext = nl.and_(sign, half_sel[15]);
+
+  Bus rdata(32);
+  for (unsigned i = 0; i < 8; ++i) {
+    rdata[i] = nl.mux2(is_word,
+                       nl.mux2(is_byte, half_sel[i], byte_sel[i]),
+                       mem_rdata[i]);
+  }
+  for (unsigned i = 8; i < 16; ++i) {
+    rdata[i] = nl.mux2(is_word,
+                       nl.mux2(is_byte, half_sel[i], byte_ext),
+                       mem_rdata[i]);
+  }
+  for (unsigned i = 16; i < 32; ++i) {
+    rdata[i] = nl.mux2(is_word,
+                       nl.mux2(is_byte, half_ext, byte_ext),
+                       mem_rdata[i]);
+  }
+  nl.output_bus("rdata", rdata);
+  return nl;
+}
+
+MemCtrlRef memctrl_store_ref(std::uint32_t addr, std::uint32_t wdata,
+                             MemSize size, bool wr) {
+  MemCtrlRef out{0, 0};
+  const std::uint32_t b0 = wdata & 0xff;
+  const std::uint32_t h0 = wdata & 0xffff;
+  switch (size) {
+    case MemSize::kByte:
+      out.mem_wdata = b0 | (b0 << 8) | (b0 << 16) | (b0 << 24);
+      out.byte_en = static_cast<std::uint8_t>(1u << (addr & 3u));
+      break;
+    case MemSize::kHalf:
+      out.mem_wdata = h0 | (h0 << 16);
+      out.byte_en = (addr & 2u) ? 0b1100 : 0b0011;
+      break;
+    case MemSize::kWord:
+      out.mem_wdata = wdata;
+      out.byte_en = 0b1111;
+      break;
+  }
+  if (!wr) out.byte_en = 0;
+  return out;
+}
+
+std::uint32_t memctrl_load_ref(std::uint32_t addr, std::uint32_t mem_rdata,
+                               MemSize size, bool sign_extend) {
+  switch (size) {
+    case MemSize::kByte: {
+      const std::uint32_t b = (mem_rdata >> ((addr & 3u) * 8)) & 0xff;
+      return sign_extend ? sign_extend32(b, 8) : b;
+    }
+    case MemSize::kHalf: {
+      const std::uint32_t h = (mem_rdata >> ((addr & 2u) * 8)) & 0xffff;
+      return sign_extend ? sign_extend32(h, 16) : h;
+    }
+    case MemSize::kWord:
+      return mem_rdata;
+  }
+  return mem_rdata;
+}
+
+}  // namespace sbst::rtlgen

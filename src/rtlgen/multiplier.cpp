@@ -1,0 +1,83 @@
+#include "rtlgen/multiplier.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace sbst::rtlgen {
+
+netlist::Netlist build_multiplier(const MultiplierOptions& opts) {
+  using netlist::Bus;
+  using netlist::NetId;
+  const unsigned w = opts.width;
+  netlist::Netlist nl("mul" + std::to_string(w));
+  const Bus a = nl.input_bus("a", w);
+  const Bus b = nl.input_bus("b", w);
+
+  // Column-compression array: column `col` holds the partial-product bits of
+  // weight 2^col. Full adders compress three bits into (sum, carry-out),
+  // half adders compress two; the array terminates with <= 2 bits per column
+  // which a final ripple-carry adder merges.
+  std::vector<std::deque<NetId>> columns(2 * w);
+  for (unsigned r = 0; r < w; ++r) {
+    for (unsigned c = 0; c < w; ++c) {
+      columns[r + c].push_back(nl.and_(a[c], b[r]));
+    }
+  }
+
+  for (unsigned col = 0; col < 2 * w; ++col) {
+    auto& bits = columns[col];
+    while (bits.size() > 2) {
+      const NetId x = bits.front();
+      bits.pop_front();
+      const NetId y = bits.front();
+      bits.pop_front();
+      const NetId z = bits.front();
+      bits.pop_front();
+      const NetId xy = nl.xor_(x, y);
+      bits.push_back(nl.xor_(xy, z));
+      if (col + 1 < 2 * w) {
+        const NetId carry = nl.or_(nl.and_(x, y), nl.and_(xy, z));
+        columns[col + 1].push_back(carry);
+      }
+      // else: a carry of weight 2^2w is provably 0 (product < 2^2w); not
+      // instantiating it avoids redundant, untestable logic.
+    }
+    if (bits.size() == 2 && col + 1 < 2 * w) {
+      // Half-adder so the final stage is a plain two-operand ripple add.
+      const NetId x = bits.front();
+      bits.pop_front();
+      const NetId y = bits.front();
+      bits.pop_front();
+      bits.push_back(nl.xor_(x, y));
+      columns[col + 1].push_back(nl.and_(x, y));
+    }
+  }
+
+  // After compression every column has at most 2 bits; merge with a ripple
+  // carry chain.
+  Bus product(2 * w);
+  const NetId zero = nl.constant(false);
+  NetId carry = zero;
+  for (unsigned col = 0; col < 2 * w; ++col) {
+    const auto& bits = columns[col];
+    const NetId x = bits.empty() ? zero : bits[0];
+    const NetId y = bits.size() > 1 ? bits[1] : zero;
+    const NetId xy = nl.xor_(x, y);
+    product[col] = nl.xor_(xy, carry);
+    carry = nl.or_(nl.and_(x, y), nl.and_(xy, carry));
+  }
+  nl.output_bus("product", product);
+  return nl;
+}
+
+std::uint64_t multiplier_ref(std::uint32_t a, std::uint32_t b,
+                             unsigned width) {
+  const std::uint64_t mask = low_mask(width);
+  return (static_cast<std::uint64_t>(a & mask) *
+          static_cast<std::uint64_t>(b & mask)) &
+         low_mask(2 * width);
+}
+
+}  // namespace sbst::rtlgen

@@ -1,0 +1,27 @@
+// Parallel array multiplier generator (the "fast parallel multiplier" the
+// Plasma core was enhanced with, paper §4 / ref [14]).
+//
+// Structure: AND partial-product array reduced by a carry-save adder array,
+// final ripple-carry merge. Unsigned w x w -> 2w product; the MIPS
+// mult/multu semantics are built on top of it in the CPU model.
+// Classification: D-VC (operands via registers, product via HI/LO).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace sbst::rtlgen {
+
+struct MultiplierOptions {
+  unsigned width = 32;
+};
+
+/// Ports: in "a"[w], "b"[w]; out "product"[2w].
+netlist::Netlist build_multiplier(const MultiplierOptions& opts = {});
+
+/// Functional golden model.
+std::uint64_t multiplier_ref(std::uint32_t a, std::uint32_t b,
+                             unsigned width = 32);
+
+}  // namespace sbst::rtlgen

@@ -1,0 +1,67 @@
+#include "rtlgen/pipeline.hpp"
+
+namespace sbst::rtlgen {
+
+netlist::Netlist build_pipe_reg(const PipeRegOptions& opts) {
+  using netlist::Bus;
+  using netlist::NetId;
+  netlist::Netlist nl("pipe_reg" + std::to_string(opts.width));
+  const Bus d = nl.input_bus("d", opts.width);
+  const NetId en = nl.input("en");
+  const NetId flush =
+      opts.with_flush ? nl.input("flush") : nl.constant(false);
+  const Bus q = nl.dff_bus("q", opts.width);
+  const NetId keep = nl.not_(flush);
+  for (unsigned i = 0; i < opts.width; ++i) {
+    const NetId held = nl.mux2(en, q[i], d[i]);
+    nl.connect_dff(q[i], nl.and_(held, keep));
+  }
+  nl.output_bus("q", q);
+  return nl;
+}
+
+netlist::Netlist build_forwarding_unit() {
+  using netlist::Bus;
+  using netlist::NetId;
+  netlist::Netlist nl("forwarding_unit");
+  const Bus rs = nl.input_bus("rs", 5);
+  const Bus rt = nl.input_bus("rt", 5);
+  const Bus ex_rd = nl.input_bus("ex_rd", 5);
+  const NetId ex_wen = nl.input("ex_wen");
+  const Bus mem_rd = nl.input_bus("mem_rd", 5);
+  const NetId mem_wen = nl.input("mem_wen");
+
+  auto eq5 = [&](const Bus& a, const Bus& b) {
+    Bus bits(5);
+    for (unsigned i = 0; i < 5; ++i) bits[i] = nl.xnor_(a[i], b[i]);
+    return nl.and_reduce(bits);
+  };
+  auto nonzero = [&](const Bus& a) { return nl.or_reduce(a); };
+
+  auto fwd = [&](const Bus& reg, const char* name) {
+    const NetId live = nonzero(reg);  // $zero never forwards
+    const NetId from_ex = nl.and_(nl.and_(ex_wen, eq5(reg, ex_rd)), live);
+    const NetId from_mem = nl.and_(
+        nl.and_(mem_wen, eq5(reg, mem_rd)),
+        nl.and_(live, nl.not_(from_ex)));  // EX has priority
+    Bus out(2);
+    out[0] = from_ex;
+    out[1] = from_mem;
+    nl.output_bus(name, out);
+  };
+  fwd(rs, "fwd_a");
+  fwd(rt, "fwd_b");
+  return nl;
+}
+
+ForwardRef forwarding_ref(unsigned rs, unsigned rt, unsigned ex_rd,
+                          bool ex_wen, unsigned mem_rd, bool mem_wen) {
+  auto one = [&](unsigned reg) {
+    if (reg != 0 && ex_wen && reg == ex_rd) return Forward::kFromEx;
+    if (reg != 0 && mem_wen && reg == mem_rd) return Forward::kFromMem;
+    return Forward::kNone;
+  };
+  return {one(rs), one(rt)};
+}
+
+}  // namespace sbst::rtlgen

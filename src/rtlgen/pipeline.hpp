@@ -1,0 +1,42 @@
+// Hidden-component generators: pipeline register bank and forwarding unit.
+//
+// Classification: HC (paper §3.2) — invisible to the assembly programmer,
+// added for performance. The paper's claim, which bench/hidden_side_effect
+// reproduces, is that the data-pipelining HCs are "sufficiently tested as a
+// side-effect of testing the D-VCs": the operand/result streams of the D-VC
+// routines flow through these structures.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace sbst::rtlgen {
+
+struct PipeRegOptions {
+  unsigned width = 32;
+  bool with_flush = true;  // synchronous clear (branch recovery)
+};
+
+/// Pipeline register with write-enable (stall) and synchronous flush.
+/// Ports: in "d"[w], "en"[1], "flush"[1]; out "q"[w].
+netlist::Netlist build_pipe_reg(const PipeRegOptions& opts = {});
+
+/// Forwarding select per operand: 00 = register file, 01 = from EX stage,
+/// 10 = from MEM stage.
+enum class Forward : std::uint8_t { kNone = 0, kFromEx = 1, kFromMem = 2 };
+
+/// Forwarding unit of a MIPS-style pipeline.
+/// Ports: in "rs"[5], "rt"[5], "ex_rd"[5], "ex_wen"[1], "mem_rd"[5],
+/// "mem_wen"[1]; out "fwd_a"[2], "fwd_b"[2]. EX has priority over MEM;
+/// register 0 never forwards.
+netlist::Netlist build_forwarding_unit();
+
+struct ForwardRef {
+  Forward a;
+  Forward b;
+};
+ForwardRef forwarding_ref(unsigned rs, unsigned rt, unsigned ex_rd,
+                          bool ex_wen, unsigned mem_rd, bool mem_wen);
+
+}  // namespace sbst::rtlgen

@@ -1,0 +1,69 @@
+#include "rtlgen/regfile.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+namespace sbst::rtlgen {
+
+netlist::Netlist build_regfile(const RegFileOptions& opts) {
+  using netlist::Bus;
+  using netlist::NetId;
+  const unsigned n = opts.num_regs;
+  const unsigned w = opts.width;
+  if (!std::has_single_bit(n)) {
+    throw std::invalid_argument("build_regfile: num_regs must be 2^k");
+  }
+  const unsigned abits = static_cast<unsigned>(std::countr_zero(n));
+
+  netlist::Netlist nl("regfile" + std::to_string(n) + "x" +
+                      std::to_string(w));
+  const Bus waddr = nl.input_bus("waddr", abits);
+  const Bus wdata = nl.input_bus("wdata", w);
+  const NetId wen = nl.input("wen");
+  const Bus raddr1 = nl.input_bus("raddr1", abits);
+  const Bus raddr2 = nl.input_bus("raddr2", abits);
+
+  // Write decoder: sel[r] = wen & (waddr == r). No decode term is built
+  // for a hardwired register 0 (synthesis prunes the dead cone).
+  const Bus waddr_n = nl.not_bus(waddr);
+  const unsigned first_decoded = opts.reg0_is_zero ? 1 : 0;
+  std::vector<NetId> wsel(n);
+  for (unsigned r = first_decoded; r < n; ++r) {
+    Bus terms(abits + 1);
+    for (unsigned b = 0; b < abits; ++b) {
+      terms[b] = (r >> b) & 1u ? waddr[b] : waddr_n[b];
+    }
+    terms[abits] = wen;
+    wsel[r] = nl.and_reduce(terms);
+  }
+
+  // Storage: per register, recirculation mux + DFF per bit.
+  const unsigned first = opts.reg0_is_zero ? 1 : 0;
+  std::vector<Bus> regs(n);
+  if (opts.reg0_is_zero) regs[0] = nl.const_bus(0, w);
+  for (unsigned r = first; r < n; ++r) {
+    regs[r] = nl.dff_bus("r" + std::to_string(r), w);
+    for (unsigned b = 0; b < w; ++b) {
+      nl.connect_dff(regs[r][b], nl.mux2(wsel[r], regs[r][b], wdata[b]));
+    }
+  }
+
+  // Read ports: binary mux tree per bit.
+  auto read_port = [&](const Bus& raddr) {
+    std::vector<Bus> level = regs;
+    for (unsigned b = 0; b < abits; ++b) {
+      std::vector<Bus> next(level.size() / 2);
+      for (std::size_t i = 0; i < next.size(); ++i) {
+        next[i] = nl.mux2_bus(raddr[b], level[2 * i], level[2 * i + 1]);
+      }
+      level = std::move(next);
+    }
+    return level[0];
+  };
+  nl.output_bus("rdata1", read_port(raddr1));
+  nl.output_bus("rdata2", read_port(raddr2));
+  return nl;
+}
+
+}  // namespace sbst::rtlgen

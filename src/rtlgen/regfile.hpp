@@ -1,0 +1,31 @@
+// Register-file generator.
+//
+// num_regs x width bits, register 0 hardwired to zero (MIPS convention),
+// one write port, two read ports. Structure: write-address decoder,
+// write-enable recirculation muxes in front of the flip-flop array, and a
+// mux tree per read port.
+//
+// Classification: D-VC — the dominant-area component of the processor
+// (paper Table 1: 9,905 of 26,080 gates). Tested with the regular
+// deterministic strategy in two phases (paper §3.3): each half of the file
+// receives the checkerboard pair while the other half accumulates the MISR,
+// so no data-memory stores are needed during the test.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace sbst::rtlgen {
+
+struct RegFileOptions {
+  unsigned num_regs = 32;  // power of two
+  unsigned width = 32;
+  bool reg0_is_zero = true;
+};
+
+/// Ports: in "waddr"[log2 n], "wdata"[w], "wen"[1], "raddr1"[log2 n],
+/// "raddr2"[log2 n]; out "rdata1"[w], "rdata2"[w].
+netlist::Netlist build_regfile(const RegFileOptions& opts = {});
+
+}  // namespace sbst::rtlgen

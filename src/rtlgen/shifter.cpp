@@ -1,0 +1,76 @@
+#include "rtlgen/shifter.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace sbst::rtlgen {
+
+netlist::Netlist build_shifter(const ShifterOptions& opts) {
+  const unsigned w = opts.width;
+  if (!std::has_single_bit(w)) {
+    throw std::invalid_argument("build_shifter: width must be a power of 2");
+  }
+  const unsigned log_w = static_cast<unsigned>(std::countr_zero(w));
+
+  netlist::Netlist nl("shifter" + std::to_string(w));
+  const netlist::Bus a = nl.input_bus("a", w);
+  const netlist::Bus shamt = nl.input_bus("shamt", log_w);
+  const netlist::Bus op = nl.input_bus("op", kShiftOpBits);
+
+  // op[1] = right shift (srl/sra), op[0] = arithmetic.
+  const netlist::NetId right = op[1];
+  const netlist::NetId fill = nl.and_(op[0], a[w - 1]);  // sra sign fill
+  const netlist::NetId zero = nl.constant(false);
+
+  // Reverse the operand for left shifts so all stages shift right; reverse
+  // the result back at the end. This shares one mux network for all 3 ops.
+  netlist::Bus cur(w);
+  for (unsigned i = 0; i < w; ++i) {
+    cur[i] = nl.mux2(right, a[w - 1 - i], a[i]);
+  }
+  for (unsigned stage = 0; stage < log_w; ++stage) {
+    const unsigned dist = 1u << stage;
+    const netlist::NetId sel = shamt[stage];
+    // Left shifts use zero fill even through the shared right-shift network.
+    const netlist::NetId stage_fill = nl.mux2(right, zero, fill);
+    netlist::Bus next(w);
+    for (unsigned i = 0; i < w; ++i) {
+      const netlist::NetId shifted =
+          i + dist < w ? cur[i + dist] : stage_fill;
+      next[i] = nl.mux2(sel, cur[i], shifted);
+    }
+    cur = std::move(next);
+  }
+  netlist::Bus result(w);
+  for (unsigned i = 0; i < w; ++i) {
+    result[i] = nl.mux2(right, cur[w - 1 - i], cur[i]);
+  }
+  nl.output_bus("result", result);
+  return nl;
+}
+
+std::uint32_t shifter_ref(ShiftOp op, std::uint32_t a, unsigned shamt,
+                          unsigned width) {
+  const std::uint32_t mask = static_cast<std::uint32_t>(low_mask(width));
+  a &= mask;
+  shamt &= width - 1;
+  switch (op) {
+    case ShiftOp::kSll:
+      return (a << shamt) & mask;
+    case ShiftOp::kSrl:
+      return a >> shamt;
+    case ShiftOp::kSra: {
+      const bool neg = bit(a, width - 1);
+      std::uint32_t r = a >> shamt;
+      if (neg && shamt > 0) {
+        r |= mask & ~static_cast<std::uint32_t>(low_mask(width - shamt));
+      }
+      return r;
+    }
+  }
+  throw std::invalid_argument("shifter_ref: bad op");
+}
+
+}  // namespace sbst::rtlgen

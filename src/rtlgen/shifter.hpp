@@ -1,0 +1,34 @@
+// Barrel shifter generator (sll/srl/sra), log-depth mux network.
+//
+// Classification: D-VC. The paper tests the Plasma shifter with the
+// ATPG-deterministic strategy (AtpgD, immediate instructions) because the
+// mux network is compact but its test set is small only under ATPG.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace sbst::rtlgen {
+
+// Encoding mirrors the low bits of the MIPS shift functs: bit1 = right,
+// bit0 = arithmetic.
+enum class ShiftOp : std::uint8_t {
+  kSll = 0,  // logical left   (00)
+  kSrl = 2,  // logical right  (10)
+  kSra = 3,  // arithmetic right (11)
+};
+inline constexpr unsigned kShiftOpBits = 2;
+
+struct ShifterOptions {
+  unsigned width = 32;  // must be a power of two
+};
+
+/// Ports: in "a"[w], "shamt"[log2 w], "op"[2]; out "result"[w].
+netlist::Netlist build_shifter(const ShifterOptions& opts = {});
+
+/// Functional golden model matching build_shifter.
+std::uint32_t shifter_ref(ShiftOp op, std::uint32_t a, unsigned shamt,
+                          unsigned width = 32);
+
+}  // namespace sbst::rtlgen

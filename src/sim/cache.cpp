@@ -1,0 +1,33 @@
+#include "sim/cache.hpp"
+
+namespace sbst::sim {
+
+Cache::Cache(const CacheConfig& config)
+    : config_(config),
+      tags_(config.lines, 0),
+      valid_(config.lines, 0) {}
+
+bool Cache::access(std::uint32_t addr) {
+  if (!config_.enabled) {
+    ++hits_;
+    return true;
+  }
+  const std::uint32_t line_bytes = config_.line_words * 4;
+  const std::uint32_t line_addr = addr / line_bytes;
+  const std::uint32_t index = line_addr % config_.lines;
+  const std::uint32_t tag = line_addr / config_.lines;
+  if (valid_[index] && tags_[index] == tag) {
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  valid_[index] = 1;
+  tags_[index] = tag;
+  return false;
+}
+
+void Cache::flush() {
+  std::fill(valid_.begin(), valid_.end(), 0);
+}
+
+}  // namespace sbst::sim

@@ -1,0 +1,99 @@
+// Structural 3-stage pipeline CPU (Plasma organisation).
+//
+// Where sim::Cpu is a functional interpreter with timing *accounting*, this
+// model moves instructions through explicit stage latches cycle by cycle:
+//
+//   F  fetch            — I-cache access, PC management
+//   X  decode/execute   — register read with forwarding from the X/M latch,
+//                         ALU/shifter, branch resolution (one architectural
+//                         delay slot falls out of the stage timing), load
+//                         interlock, multi-cycle mult/div unit
+//   M  memory/writeback — D-cache access, register-file write
+//
+// It exists (a) as an independent implementation to cross-validate the
+// functional model against — tests run whole SBST programs on both and
+// require identical architectural results — and (b) to ground the paper's
+// hidden-component story: the forwarding decisions and stage latches here
+// are the HCs the D-VC routines cover as a side effect.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "isa/encoding.hpp"
+#include "sim/cache.hpp"
+#include "sim/cpu.hpp"
+
+namespace sbst::sim {
+
+class PipelinedCpu {
+ public:
+  explicit PipelinedCpu(const CpuConfig& config = {});
+
+  void load(const isa::Program& program);
+  void reset();
+
+  /// Runs until `break` retires or `max_cycles` elapse.
+  ExecStats run(std::uint32_t entry, std::uint64_t max_cycles = 1u << 26);
+
+  std::uint32_t reg(unsigned index) const { return regs_[index]; }
+  std::uint32_t hi() const { return hi_; }
+  std::uint32_t lo() const { return lo_; }
+  std::uint32_t read_word(std::uint32_t addr) const;
+  void write_word(std::uint32_t addr, std::uint32_t value);
+
+ private:
+  // ---- stage latches --------------------------------------------------------
+  struct FetchLatch {  // F -> X
+    bool valid = false;
+    std::uint32_t pc = 0;
+    std::uint32_t instr = 0;
+  };
+  struct ExecLatch {  // X -> M
+    bool valid = false;
+    std::uint32_t pc = 0;
+    isa::Fields fields{};
+    std::uint8_t dest = 0;        // 0 = no register write
+    std::uint32_t result = 0;     // ALU/shift/link value
+    std::uint32_t store_value = 0;
+    bool is_load = false;
+    bool is_store = false;
+    rtlgen::MemSize size = rtlgen::MemSize::kWord;
+    bool load_signed = false;
+    bool is_break = false;
+  };
+
+  struct XResult {
+    bool stall = false;      // X could not issue this cycle
+    bool redirect = false;   // branch/jump resolved
+    std::uint32_t target = 0;
+  };
+
+  void stage_mem(ExecStats& stats);
+  XResult stage_execute(ExecStats& stats);
+
+  std::uint32_t forwarded(std::uint8_t reg) const;
+  bool operand_ready(std::uint8_t reg) const;
+
+  CpuConfig config_;
+  std::array<std::uint32_t, 32> regs_{};
+  std::uint32_t hi_ = 0, lo_ = 0;
+  std::vector<std::uint8_t> memory_;
+  Cache icache_;
+  Cache dcache_;
+
+  FetchLatch f_;
+  ExecLatch x_;
+  // Memory-stage result available for forwarding *next* cycle.
+  std::uint8_t wb_dest_ = 0;
+  std::uint32_t wb_value_ = 0;
+  bool wb_from_load_ = false;
+
+  std::uint64_t muldiv_busy_ = 0;  // remaining cycles of the md unit
+  std::uint32_t pc_ = 0;
+  bool halted_ = false;
+};
+
+}  // namespace sbst::sim

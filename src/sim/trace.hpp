@@ -1,0 +1,82 @@
+// Execution hooks: component operand tracing and gate-level result override.
+//
+// Tracing (`on_*`) is how the SBST coverage evaluator captures exactly the
+// pattern streams a self-test routine applies to each component under test;
+// the streams are replayed on the rtlgen netlists by the fault simulators.
+//
+// Overriding (`*_result`) is how gate-level faults are injected into
+// program execution: a hook can compute the result through a faulty netlist
+// and return it, making the architectural state (and eventually the MISR
+// signature) diverge exactly as real silicon would.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "rtlgen/alu.hpp"
+#include "rtlgen/memctrl.hpp"
+#include "rtlgen/shifter.hpp"
+
+namespace sbst::sim {
+
+class CpuHooks {
+ public:
+  virtual ~CpuHooks() = default;
+
+  // ---- component operand traces -------------------------------------------
+  /// Called first for every retired instruction with its PC; lets a trace
+  /// collector attribute events to program sections (self-test routines).
+  virtual void on_instruction_start(std::uint32_t /*pc*/) {}
+  /// Every ALU evaluation: explicit ALU instructions, address adds of
+  /// loads/stores, and branch comparisons (Plasma shares one ALU).
+  virtual void on_alu(rtlgen::AluOp, std::uint32_t /*a*/,
+                      std::uint32_t /*b*/) {}
+  virtual void on_shift(rtlgen::ShiftOp, std::uint32_t /*value*/,
+                        std::uint32_t /*shamt*/) {}
+  /// Operands as presented to the unsigned parallel array (mult/multu;
+  /// signed operands arrive as magnitudes).
+  virtual void on_mult(std::uint32_t /*a*/, std::uint32_t /*b*/) {}
+  /// Operands as presented to the unsigned serial divider.
+  virtual void on_div(std::uint32_t /*dividend*/, std::uint32_t /*divisor*/) {}
+  /// One register-file cycle per retired instruction. Unused read ports are
+  /// addressed to $zero (reading $zero cannot propagate a fault).
+  virtual void on_regfile(std::uint8_t /*waddr*/, std::uint32_t /*wdata*/,
+                          bool /*wen*/, std::uint8_t /*raddr1*/,
+                          std::uint8_t /*raddr2*/) {}
+  /// One memory-controller transaction per load/store.
+  virtual void on_mem(std::uint32_t /*addr*/, std::uint32_t /*wdata*/,
+                      rtlgen::MemSize, bool /*sign*/, bool /*wr*/,
+                      std::uint32_t /*mem_rdata*/) {}
+  /// One decode per retired instruction (the PVC functional-test stream).
+  virtual void on_control(std::uint8_t /*opcode*/, std::uint8_t /*funct*/) {}
+  /// Forwarding-unit inputs per retired instruction (HC side-effect trace).
+  virtual void on_forward(std::uint8_t /*rs*/, std::uint8_t /*rt*/,
+                          std::uint8_t /*ex_rd*/, bool /*ex_wen*/,
+                          std::uint8_t /*mem_rd*/, bool /*mem_wen*/) {}
+  /// A taken branch/jump: the fetch-stage pipeline register is flushed.
+  virtual void on_branch_flush() {}
+  /// Branch-target computation (every beq/bne, taken or not): the
+  /// PC-relative adder sees pc+4 and the shifted sign-extended offset.
+  virtual void on_branch_target(std::uint32_t /*pc_plus4*/,
+                                std::uint32_t /*offset*/) {}
+
+  // ---- gate-level fault injection ------------------------------------------
+  /// Return a value to replace the functional result (faulty execution),
+  /// or nullopt to keep it.
+  virtual std::optional<std::uint32_t> alu_result(rtlgen::AluOp,
+                                                  std::uint32_t /*a*/,
+                                                  std::uint32_t /*b*/) {
+    return std::nullopt;
+  }
+  virtual std::optional<std::uint32_t> shift_result(rtlgen::ShiftOp,
+                                                    std::uint32_t /*value*/,
+                                                    std::uint32_t /*shamt*/) {
+    return std::nullopt;
+  }
+  virtual std::optional<std::uint64_t> mult_result(std::uint32_t /*a*/,
+                                                   std::uint32_t /*b*/) {
+    return std::nullopt;
+  }
+};
+
+}  // namespace sbst::sim

@@ -1,0 +1,148 @@
+// Baseline generator (random-instruction functional SBST) and signature
+// diagnosis.
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "core/diagnose.hpp"
+#include "core/inject.hpp"
+#include "core/program.hpp"
+#include "sim/cpu.hpp"
+
+namespace sbst::core {
+namespace {
+
+TEST(Baseline, GeneratesValidTerminatingPrograms) {
+  for (std::uint64_t seed : {1u, 7u, 99u}) {
+    RandomProgramOptions opts;
+    opts.instruction_count = 500;
+    opts.seed = seed;
+    TestProgramBuilder builder;
+    const TestProgram p =
+        builder.build_standalone(make_random_instruction_routine(opts));
+    sim::Cpu cpu;
+    cpu.reset();
+    cpu.load(p.image);
+    const sim::ExecStats s = cpu.run(p.entry, 200000);
+    EXPECT_TRUE(s.halted) << "seed " << seed;
+    EXPECT_NE(cpu.read_word(p.signature_address(7)), 0u);
+  }
+}
+
+TEST(Baseline, DeterministicInSeed) {
+  RandomProgramOptions opts;
+  opts.instruction_count = 300;
+  opts.seed = 5;
+  const Routine a = make_random_instruction_routine(opts);
+  const Routine b = make_random_instruction_routine(opts);
+  EXPECT_EQ(a.assembly, b.assembly);
+  opts.seed = 6;
+  EXPECT_NE(make_random_instruction_routine(opts).assembly, a.assembly);
+}
+
+TEST(Baseline, SizeScalesWithInstructionCount) {
+  RandomProgramOptions small, large;
+  small.instruction_count = 256;
+  large.instruction_count = 2048;
+  TestProgramBuilder builder;
+  const auto ps = builder.build_standalone(
+      make_random_instruction_routine(small));
+  const auto pl = builder.build_standalone(
+      make_random_instruction_routine(large));
+  // The paper's size argument: functional-random program size grows
+  // linearly with the instruction budget.
+  EXPECT_GT(pl.image.size_words(), 4 * ps.image.size_words() / 2);
+}
+
+TEST(Baseline, MemoryAccessesStayInSandbox) {
+  RandomProgramOptions opts;
+  opts.instruction_count = 2000;
+  opts.seed = 11;
+  opts.data_base = 0x40000;
+  opts.data_bytes = 128;
+  TestProgramBuilder builder;
+  const TestProgram p =
+      builder.build_standalone(make_random_instruction_routine(opts));
+  sim::CpuConfig cfg;
+  cfg.mem_bytes = 0x41000;  // just enough for image + sandbox
+  sim::Cpu cpu(cfg);
+  cpu.reset();
+  cpu.load(p.image);
+  EXPECT_NO_THROW(cpu.run(p.entry, 200000));  // no out-of-window access
+}
+
+// ---- diagnosis ---------------------------------------------------------------
+
+struct DiagnosisFixture {
+  ProcessorModel model;
+  TestProgramBuilder builder;
+  TestProgram program;
+  DiagnosisFixture() {
+    builder.add_default_routines(model);
+    program = builder.build();
+  }
+};
+
+DiagnosisFixture& fixture() {
+  static DiagnosisFixture f;
+  return f;
+}
+
+TEST(Diagnose, CleanSignaturesMeanNoFault) {
+  const std::vector<std::uint32_t> sigs(kSignatureSlots, 0x1234);
+  const Diagnosis d = diagnose(fixture().program, sigs, sigs);
+  EXPECT_FALSE(d.fault_detected());
+  EXPECT_TRUE(d.suspects.empty());
+}
+
+TEST(Diagnose, SizeMismatchRejected) {
+  std::vector<std::uint32_t> a(8, 0), b(7, 0);
+  EXPECT_THROW(diagnose(fixture().program, a, b), std::invalid_argument);
+}
+
+TEST(Diagnose, MultiplierFaultLocalisesToMultiplier) {
+  DiagnosisFixture& f = fixture();
+  const netlist::Netlist& nl = f.model.component(CutId::kMultiplier).netlist;
+  fault::FaultUniverse u(nl);
+  Rng rng(3);
+  // Find an injected multiplier fault that fails exactly one signature.
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const fault::Fault fault = u.collapsed()[rng.below(u.size())];
+    const InjectionOutcome out =
+        run_with_injection(f.model, f.program, CutId::kMultiplier, fault);
+    if (!out.detected) continue;
+    const Diagnosis d = diagnose(f.program, out.good_signatures,
+                                 out.faulty_signatures);
+    ASSERT_TRUE(d.fault_detected());
+    if (d.failing_slots.size() == 1) {
+      EXPECT_EQ(d.suspects.size(), 1u);
+      EXPECT_EQ(d.suspects[0], CutId::kMultiplier);
+      return;
+    }
+  }
+  FAIL() << "no single-signature multiplier failure found in 10 samples";
+}
+
+TEST(Diagnose, AluFaultImplicatesSharedResource) {
+  // The ALU computes li/ori constants for every routine, so a strong ALU
+  // fault fails many signatures and the diagnosis must lead with the ALU.
+  DiagnosisFixture& f = fixture();
+  const netlist::Netlist& nl = f.model.component(CutId::kAlu).netlist;
+  fault::FaultUniverse u(nl);
+  Rng rng(5);
+  for (int attempt = 0; attempt < 15; ++attempt) {
+    const fault::Fault fault = u.collapsed()[rng.below(u.size())];
+    const InjectionOutcome out =
+        run_with_injection(f.model, f.program, CutId::kAlu, fault);
+    const Diagnosis d = diagnose(f.program, out.good_signatures,
+                                 out.faulty_signatures);
+    if (d.failing_slots.size() >= f.program.routines.size() / 2 + 1) {
+      ASSERT_FALSE(d.suspects.empty());
+      EXPECT_EQ(d.suspects[0], CutId::kAlu);
+      return;
+    }
+  }
+  FAIL() << "no broad ALU failure found in 15 samples";
+}
+
+}  // namespace
+}  // namespace sbst::core

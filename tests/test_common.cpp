@@ -1,0 +1,111 @@
+// Unit tests for src/common: bit utilities, RNG, LFSR/MISR, table printer.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/lfsr.hpp"
+#include "common/rng.hpp"
+#include "common/tablefmt.hpp"
+
+namespace sbst {
+namespace {
+
+TEST(Bits, BitAndWithBit) {
+  EXPECT_TRUE(bit(0b100, 2));
+  EXPECT_FALSE(bit(0b100, 1));
+  EXPECT_EQ(with_bit(0, 5, true), 32u);
+  EXPECT_EQ(with_bit(0xff, 0, false), 0xfeu);
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(32), 0xffffffffull);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, SignExtend32) {
+  EXPECT_EQ(sign_extend32(0xff, 8), 0xffffffffu);
+  EXPECT_EQ(sign_extend32(0x7f, 8), 0x7fu);
+  EXPECT_EQ(sign_extend32(0x8000, 16), 0xffff8000u);
+  EXPECT_EQ(sign_extend32(0x1234, 16), 0x1234u);
+}
+
+TEST(Bits, ParityAndBinary) {
+  EXPECT_TRUE(parity64(0b111));
+  EXPECT_FALSE(parity64(0b11));
+  EXPECT_EQ(to_binary(0b1010, 4), "1010");
+  EXPECT_EQ(to_hex32(0xdeadbeef), "0xdeadbeef");
+}
+
+TEST(Rng, DeterministicAndDistinct) {
+  Rng a(42), b(42), c(43);
+  const auto x = a.next64();
+  EXPECT_EQ(x, b.next64());
+  EXPECT_NE(x, c.next64());
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Lfsr, FullPeriodOnSmallCheck) {
+  // The default polynomial must not cycle back to the seed quickly.
+  Lfsr32 lfsr(1);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(lfsr.step()).second) << "cycle at step " << i;
+  }
+}
+
+TEST(Lfsr, NeverReachesZeroFromNonZeroSeed) {
+  Lfsr32 lfsr(0xdeadbeef);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_NE(lfsr.step(), 0u);
+  }
+}
+
+TEST(Misr, OrderSensitivity) {
+  // A MISR distinguishes response streams that a plain XOR checksum cannot.
+  Misr32 a, b;
+  a.absorb(0x1);
+  a.absorb(0x2);
+  b.absorb(0x2);
+  b.absorb(0x1);
+  EXPECT_NE(a.signature(), b.signature());
+}
+
+TEST(Misr, SingleBitErrorChangesSignature) {
+  for (unsigned bit_pos = 0; bit_pos < 32; ++bit_pos) {
+    Misr32 good, bad;
+    for (int i = 0; i < 16; ++i) {
+      const std::uint32_t r = 0xa5a5a5a5u + static_cast<std::uint32_t>(i);
+      good.absorb(r);
+      bad.absorb(i == 7 ? r ^ (1u << bit_pos) : r);
+    }
+    EXPECT_NE(good.signature(), bad.signature()) << "bit " << bit_pos;
+  }
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_rule();
+  t.add_row({"long-name", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name      | value"), std::string::npos);
+  EXPECT_NE(s.find("long-name | 22"), std::string::npos);
+}
+
+TEST(Table, ThousandsSeparators) {
+  EXPECT_EQ(Table::num(std::uint64_t{26080}), "26,080");
+  EXPECT_EQ(Table::num(std::uint64_t{808}), "808");
+  EXPECT_EQ(Table::num(std::uint64_t{1234567}), "1,234,567");
+}
+
+}  // namespace
+}  // namespace sbst

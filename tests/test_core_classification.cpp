@@ -1,0 +1,135 @@
+// Phase A/B of the methodology: component model, classification and
+// priority (paper §3.1–§3.2, §4 area claims).
+#include <gtest/gtest.h>
+
+#include "core/component.hpp"
+
+namespace sbst::core {
+namespace {
+
+TEST(Classification, AllTableOneComponentsPresent) {
+  ProcessorModel model;
+  EXPECT_EQ(model.components().size(), 10u);
+  for (CutId id : {CutId::kMultiplier, CutId::kDivider, CutId::kRegisterFile,
+                   CutId::kMemCtrl, CutId::kShifter, CutId::kAlu,
+                   CutId::kControl, CutId::kForwarding, CutId::kPipeline,
+                   CutId::kBranchAdder}) {
+    EXPECT_NO_THROW(model.component(id));
+  }
+}
+
+TEST(Classification, ClassAssignmentsMatchPaper) {
+  ProcessorModel model;
+  EXPECT_EQ(model.component(CutId::kAlu).cls, ComponentClass::kDataVisible);
+  EXPECT_EQ(model.component(CutId::kShifter).cls,
+            ComponentClass::kDataVisible);
+  EXPECT_EQ(model.component(CutId::kMultiplier).cls,
+            ComponentClass::kDataVisible);
+  EXPECT_EQ(model.component(CutId::kDivider).cls,
+            ComponentClass::kDataVisible);
+  EXPECT_EQ(model.component(CutId::kRegisterFile).cls,
+            ComponentClass::kDataVisible);
+  EXPECT_EQ(model.component(CutId::kMemCtrl).cls,
+            ComponentClass::kMixedVisible);
+  EXPECT_EQ(model.component(CutId::kControl).cls,
+            ComponentClass::kPartiallyVisible);
+  EXPECT_EQ(model.component(CutId::kForwarding).cls, ComponentClass::kHidden);
+  EXPECT_EQ(model.component(CutId::kPipeline).cls, ComponentClass::kHidden);
+  // The PC-relative adder is the paper's M-VC example (§3.2).
+  EXPECT_EQ(model.component(CutId::kBranchAdder).cls,
+            ComponentClass::kMixedVisible);
+  EXPECT_FALSE(model.component(CutId::kBranchAdder).periodic_suitable);
+}
+
+TEST(Classification, DataVisibleComponentsDominateArea) {
+  // Paper §4: "The D-VCs dominate the processor area (92%)".
+  ProcessorModel model;
+  const double dvc = model.class_area_fraction(ComponentClass::kDataVisible);
+  EXPECT_GT(dvc, 0.85);
+  EXPECT_LT(dvc, 1.00);
+}
+
+TEST(Classification, AreaFractionsSumToOne) {
+  ProcessorModel model;
+  double sum = 0;
+  for (ComponentClass cls :
+       {ComponentClass::kDataVisible, ComponentClass::kAddressVisible,
+        ComponentClass::kMixedVisible, ComponentClass::kPartiallyVisible,
+        ComponentClass::kHidden}) {
+    sum += model.class_area_fraction(cls);
+  }
+  // The memory controller's area is split into D/A/PVC shares and the
+  // branch adder counts as M-VC, so the five fractions tile the processor
+  // exactly once.
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Classification, GateCountsComparableToPaper) {
+  // Paper Table 1 @0.35um: mul+div 11,601; regfile 9,905; memctrl 1,119;
+  // shifter 682; ALU 491; control 230; pipeline 885; total 26,080.
+  // Same order of magnitude and same ranking is the reproduction target.
+  ProcessorModel model;
+  const double muldiv =
+      model.component(CutId::kMultiplier).gate_equivalents() +
+      model.component(CutId::kDivider).gate_equivalents();
+  const double regfile =
+      model.component(CutId::kRegisterFile).gate_equivalents();
+  const double alu = model.component(CutId::kAlu).gate_equivalents();
+  const double total = model.total_gate_equivalents();
+  EXPECT_GT(muldiv, 5000);
+  EXPECT_LT(muldiv, 25000);
+  EXPECT_GT(regfile, 5000);
+  EXPECT_LT(regfile, 25000);
+  EXPECT_GT(total, 15000);
+  EXPECT_LT(total, 60000);
+  // Ranking: mul+div and regfile are the two biggest, ALU is small.
+  EXPECT_GT(muldiv, alu);
+  EXPECT_GT(regfile, alu);
+}
+
+TEST(Classification, PriorityOrderPutsDataVisibleFirst) {
+  ProcessorModel model;
+  const auto order = model.by_priority();
+  EXPECT_EQ(order.front()->cls, ComponentClass::kDataVisible);
+  EXPECT_EQ(order.back()->cls, ComponentClass::kHidden);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(order[i - 1]->test_priority, order[i]->test_priority);
+  }
+}
+
+TEST(Classification, HiddenComponentsNotPeriodicallyTargeted) {
+  ProcessorModel model;
+  for (const ComponentInfo& c : model.components()) {
+    if (c.cls == ComponentClass::kHidden) {
+      EXPECT_FALSE(c.periodic_suitable) << c.name;
+      EXPECT_EQ(c.default_strategy, TpgStrategy::kNone) << c.name;
+    }
+  }
+}
+
+TEST(Classification, NamesAndDescriptions) {
+  EXPECT_STREQ(class_name(ComponentClass::kDataVisible), "D-VC");
+  EXPECT_STREQ(class_name(ComponentClass::kAddressVisible), "A-VC");
+  EXPECT_STREQ(class_name(ComponentClass::kPartiallyVisible), "PVC");
+  EXPECT_STREQ(class_name(ComponentClass::kHidden), "HC");
+  EXPECT_STREQ(strategy_name(TpgStrategy::kRegularDeterministic), "RegD");
+  EXPECT_STREQ(strategy_name(TpgStrategy::kAtpgDeterministic), "AtpgD");
+  EXPECT_STREQ(strategy_name(TpgStrategy::kFunctionalTest), "FT");
+  EXPECT_NE(std::string(class_description(ComponentClass::kAddressVisible))
+                .find("distributed memory"),
+            std::string::npos);
+}
+
+TEST(Classification, EveryComponentHasPhaseAMetadata) {
+  // Phase A: excitation / controllability / observability documentation.
+  ProcessorModel model;
+  for (const ComponentInfo& c : model.components()) {
+    EXPECT_FALSE(c.excite.empty()) << c.name;
+    EXPECT_FALSE(c.control.empty()) << c.name;
+    EXPECT_FALSE(c.observe.empty()) << c.name;
+    EXPECT_GT(c.netlist.size(), 0u) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace sbst::core

@@ -1,0 +1,146 @@
+// On-line periodic testing model: fault activity, detection probability,
+// latency and CPU overhead (paper §1-§2 claims).
+#include <gtest/gtest.h>
+
+#include "core/periodic.hpp"
+
+namespace sbst::core {
+namespace {
+
+TEST(FaultActivity, Permanent) {
+  FaultProcess f{.kind = FaultKind::kPermanent, .arrival_s = 5.0};
+  EXPECT_FALSE(fault_active_at(f, 4.9));
+  EXPECT_TRUE(fault_active_at(f, 5.0));
+  EXPECT_TRUE(fault_active_at(f, 1e6));
+}
+
+TEST(FaultActivity, IntermittentDutyCycle) {
+  FaultProcess f{.kind = FaultKind::kIntermittent,
+                 .arrival_s = 0.0,
+                 .period_s = 1.0,
+                 .active_s = 0.25};
+  EXPECT_TRUE(fault_active_at(f, 0.1));
+  EXPECT_FALSE(fault_active_at(f, 0.5));
+  EXPECT_TRUE(fault_active_at(f, 1.2));
+  EXPECT_FALSE(fault_active_at(f, 1.9));
+  EXPECT_DOUBLE_EQ(intermittent_duty_cycle(f), 0.25);
+}
+
+TEST(FaultActivity, TransientExpires) {
+  FaultProcess f{.kind = FaultKind::kTransient,
+                 .arrival_s = 2.0,
+                 .active_s = 0.001};
+  EXPECT_TRUE(fault_active_at(f, 2.0005));
+  EXPECT_FALSE(fault_active_at(f, 2.1));
+}
+
+TEST(Periodic, PermanentFaultsDetectedWithCoverageProbability) {
+  // Paper: periodic testing "detects permanent faults"; probability per
+  // horizon approaches 1 for any covered fault (many test runs).
+  PeriodicConfig cfg;
+  cfg.test_period_s = 1.0;
+  cfg.horizon_s = 100.0;
+  cfg.fault_coverage = 0.95;
+  Rng rng(1);
+  const FaultProcess f{.kind = FaultKind::kPermanent, .arrival_s = 1.0};
+  const PeriodicResult res = simulate_periodic(cfg, f, 2000, rng);
+  EXPECT_GT(res.detection_probability, 0.999);
+}
+
+TEST(Periodic, PermanentLatencyBoundedByPeriod) {
+  PeriodicConfig cfg;
+  cfg.test_period_s = 0.5;
+  cfg.horizon_s = 50.0;
+  cfg.fault_coverage = 1.0;
+  Rng rng(2);
+  const FaultProcess f{.kind = FaultKind::kPermanent, .arrival_s = 3.0};
+  const PeriodicResult res = simulate_periodic(cfg, f, 1000, rng);
+  // Arrival uniform in a period: mean latency ~ period/2, max ~ period.
+  EXPECT_NEAR(res.mean_latency_s, expected_permanent_latency(cfg), 0.05);
+  EXPECT_LE(res.max_latency_s, cfg.test_period_s + cfg.test_exec_s + 1e-9);
+}
+
+TEST(Periodic, ShorterPeriodShortensLatency) {
+  Rng rng(3);
+  const FaultProcess f{.kind = FaultKind::kPermanent, .arrival_s = 2.0};
+  PeriodicConfig fast, slow;
+  fast.test_period_s = 0.1;
+  slow.test_period_s = 2.0;
+  fast.horizon_s = slow.horizon_s = 60.0;
+  const PeriodicResult rf = simulate_periodic(fast, f, 500, rng);
+  const PeriodicResult rs = simulate_periodic(slow, f, 500, rng);
+  EXPECT_LT(rf.mean_latency_s, rs.mean_latency_s);
+}
+
+TEST(Periodic, IntermittentFaultsWithLargeDurationAreCaught) {
+  // Paper §1: periodic testing detects "intermittent faults with fairly
+  // large duration".
+  PeriodicConfig cfg;
+  cfg.test_period_s = 0.5;
+  cfg.horizon_s = 200.0;
+  cfg.fault_coverage = 0.95;
+  Rng rng(4);
+  const FaultProcess f{.kind = FaultKind::kIntermittent,
+                       .arrival_s = 0.0,
+                       .period_s = 2.0,
+                       .active_s = 1.0};  // 50% duty, long activations
+  const PeriodicResult res = simulate_periodic(cfg, f, 1000, rng);
+  EXPECT_GT(res.detection_probability, 0.999);
+}
+
+TEST(Periodic, ShortTransientsAreUsuallyMissed) {
+  // The flip side the paper concedes: non-concurrent testing misses short
+  // transients (that's what the concurrent schemes are for).
+  PeriodicConfig cfg;
+  cfg.test_period_s = 1.0;
+  cfg.horizon_s = 100.0;
+  Rng rng(5);
+  const FaultProcess f{.kind = FaultKind::kTransient,
+                       .arrival_s = 10.0,
+                       .active_s = 1e-4};
+  const PeriodicResult res = simulate_periodic(cfg, f, 1000, rng);
+  EXPECT_LT(res.detection_probability, 0.05);
+}
+
+TEST(Periodic, CpuOverheadIsExecOverPeriod) {
+  PeriodicConfig cfg;
+  cfg.test_exec_s = 200e-6;
+  cfg.test_period_s = 1.0;
+  Rng rng(6);
+  const PeriodicResult res = simulate_periodic(
+      cfg, {.kind = FaultKind::kPermanent}, 1, rng);
+  EXPECT_NEAR(res.cpu_overhead, 2e-4, 1e-9);
+  // Paper §2: the test fits well inside one quantum.
+  EXPECT_LT(cfg.test_exec_s, cfg.quantum_s);
+}
+
+TEST(Periodic, StartupPolicyHasLargeLatency) {
+  PeriodicConfig timer, startup;
+  timer.policy = LaunchPolicy::kTimer;
+  timer.test_period_s = 1.0;
+  startup.policy = LaunchPolicy::kStartup;
+  timer.horizon_s = startup.horizon_s = 100.0;
+  Rng rng(7);
+  const FaultProcess f{.kind = FaultKind::kPermanent, .arrival_s = 1.0};
+  const PeriodicResult rt = simulate_periodic(timer, f, 300, rng);
+  const PeriodicResult rs = simulate_periodic(startup, f, 300, rng);
+  // Startup-only testing detects nothing until the next boot inside the
+  // horizon (paper: "imposes large fault detection latency").
+  EXPECT_GT(rt.detection_probability, rs.detection_probability);
+}
+
+TEST(Periodic, IdlePolicyDetectsLikeTimerOnAverage) {
+  PeriodicConfig timer, idle;
+  timer.policy = LaunchPolicy::kTimer;
+  idle.policy = LaunchPolicy::kIdle;
+  timer.test_period_s = idle.test_period_s = 0.5;
+  timer.horizon_s = idle.horizon_s = 60.0;
+  Rng rng(8);
+  const FaultProcess f{.kind = FaultKind::kPermanent, .arrival_s = 5.0};
+  const PeriodicResult rt = simulate_periodic(timer, f, 500, rng);
+  const PeriodicResult ri = simulate_periodic(idle, f, 500, rng);
+  EXPECT_NEAR(rt.detection_probability, ri.detection_probability, 0.02);
+}
+
+}  // namespace
+}  // namespace sbst::core

@@ -1,0 +1,268 @@
+// Encoder/decoder round trips, assembler semantics, disassembler output.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+
+namespace sbst::isa {
+namespace {
+
+TEST(Encoding, DecodeInvertsEncode) {
+  const std::uint32_t words[] = {
+      addu(kS2, kS0, kS1), lw(kS0, 4, kS3),      sw(kS2, -8, kSp),
+      beq(kS4, kT0, -3),   lui(kS0, 0xaaaa),     ori(kS0, kS0, 0x5555),
+      sll(kT1, kT2, 31),   jal(0x00100),         mult(kS0, kS1),
+      divu(kA0, kA1),      mfhi(kV0),            jr(kRa),
+      brk(),               nor_(kT3, kT4, kT5),  sltiu(kT0, kT1, 0x7fff),
+  };
+  for (std::uint32_t w : words) {
+    EXPECT_EQ(encode(decode(w)), w) << disassemble(w);
+  }
+}
+
+TEST(Encoding, FieldPlacement) {
+  // addu $s2, $s0, $s1: opcode 0, rs=16, rt=17, rd=18, funct 0x21.
+  const std::uint32_t w = addu(kS2, kS0, kS1);
+  EXPECT_EQ(w, 0x02119021u);
+  // lw $s0, 4($s3): opcode 0x23, base/rs=19, rt=16, imm 4.
+  EXPECT_EQ(lw(kS0, 4, kS3), 0x8e700004u);
+  // lui $s0, 0xaaaa.
+  EXPECT_EQ(lui(kS0, 0xaaaa), 0x3c10aaaau);
+  EXPECT_EQ(nop(), 0u);
+}
+
+TEST(Encoding, RegisterNames) {
+  EXPECT_EQ(parse_register("$zero"), std::optional<std::uint8_t>{0});
+  EXPECT_EQ(parse_register("$s0"), std::optional<std::uint8_t>{16});
+  EXPECT_EQ(parse_register("$t9"), std::optional<std::uint8_t>{25});
+  EXPECT_EQ(parse_register("$31"), std::optional<std::uint8_t>{31});
+  EXPECT_EQ(parse_register("$ra"), std::optional<std::uint8_t>{31});
+  EXPECT_FALSE(parse_register("$32").has_value());
+  EXPECT_FALSE(parse_register("s0").has_value());
+  EXPECT_EQ(register_name(29), "$sp");
+}
+
+TEST(Assembler, BasicProgram) {
+  const Program p = assemble(R"(
+    # test program
+    li $s0, 0xaaaaaaaa   ; full 32-bit -> lui+ori
+    li $s1, 0x55         # fits in 16 -> ori
+    add $s2, $s0, $s1
+    break
+  )");
+  ASSERT_EQ(p.size_words(), 5u);
+  EXPECT_EQ(p.words[0], lui(kS0, 0xaaaa));
+  EXPECT_EQ(p.words[1], ori(kS0, kS0, 0xaaaa));
+  EXPECT_EQ(p.words[2], ori(kS1, kZero, 0x55));
+  EXPECT_EQ(p.words[3], add(kS2, kS0, kS1));
+  EXPECT_EQ(p.words[4], brk());
+}
+
+TEST(Assembler, LiSelectsShortestForm) {
+  EXPECT_EQ(assemble("li $t0, 0xffff").size_words(), 1u);       // ori
+  EXPECT_EQ(assemble("li $t0, -4").size_words(), 1u);           // addiu
+  EXPECT_EQ(assemble("li $t0, 0x10000").size_words(), 1u);      // lui
+  EXPECT_EQ(assemble("li $t0, 0x12345678").size_words(), 2u);   // lui+ori
+  const Program p = assemble("li $t0, -4");
+  EXPECT_EQ(p.words[0], addiu(kT0, kZero, -4));
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  const Program p = assemble(R"(
+    add $t0, $zero, $zero
+  loop:
+    addiu $t0, $t0, 1
+    bne $s4, $t0, loop
+    nop
+  )");
+  ASSERT_EQ(p.size_words(), 4u);
+  EXPECT_EQ(p.symbol("loop"), 4u);
+  // bne at address 8, target 4: offset = (4 - 12)/4 = -2.
+  EXPECT_EQ(p.words[2], bne(kS4, kT0, -2));
+}
+
+TEST(Assembler, ForwardReferences) {
+  const Program p = assemble(R"(
+    beq $zero, $zero, end
+    nop
+    addiu $t0, $t0, 1
+  end:
+    break
+  )");
+  EXPECT_EQ(p.symbol("end"), 12u);
+  EXPECT_EQ(p.words[0], beq(kZero, kZero, 2));
+}
+
+TEST(Assembler, MemoryOperands) {
+  const Program p = assemble(R"(
+    lw $s0, 0($s3)
+    lw $s1, 4($s3)
+    sw $s2, -12($sp)
+    lbu $t0, ($t1)
+  )");
+  EXPECT_EQ(p.words[0], lw(kS0, 0, kS3));
+  EXPECT_EQ(p.words[1], lw(kS1, 4, kS3));
+  EXPECT_EQ(p.words[2], sw(kS2, -12, kSp));
+  EXPECT_EQ(p.words[3], lbu(kT0, 0, kT1));
+}
+
+TEST(Assembler, DataDirectivesAndSymbols) {
+  const Program p = assemble(R"(
+    la $s3, patterns
+    lw $s0, 0($s3)
+    break
+  patterns:
+    .word 0x01234567, 0x89abcdef
+    .word 42
+  )");
+  EXPECT_EQ(p.symbol("patterns"), 16u);  // la is 2 words + lw + break
+  EXPECT_EQ(p.words[4], 0x01234567u);
+  EXPECT_EQ(p.words[5], 0x89abcdefu);
+  EXPECT_EQ(p.words[6], 42u);
+}
+
+TEST(Assembler, SymbolExpressions) {
+  const Program p = assemble(R"(
+    lw $s0, 0($s3)
+  sig:
+    .word 0, 0
+    li $t0, sig+4
+  )");
+  EXPECT_EQ(p.symbol("sig"), 4u);
+  // Symbolic li always assembles as lui+ori (size must be known in pass 1).
+  EXPECT_EQ(p.words[3], lui(kT0, 0));
+  EXPECT_EQ(p.words[4], ori(kT0, kT0, 8));
+}
+
+TEST(Assembler, OrgPadsWithZeros) {
+  const Program p = assemble(R"(
+    nop
+    .org 0x10
+  data:
+    .word 7
+  )");
+  EXPECT_EQ(p.symbol("data"), 0x10u);
+  ASSERT_EQ(p.size_words(), 5u);
+  EXPECT_EQ(p.words[4], 7u);
+}
+
+TEST(Assembler, BaseAddressAffectsSymbolsAndBranches) {
+  const Program p = assemble(R"(
+  start:
+    bne $t0, $t1, start
+    nop
+  )",
+                             0x1000);
+  EXPECT_EQ(p.base, 0x1000u);
+  EXPECT_EQ(p.symbol("start"), 0x1000u);
+  EXPECT_EQ(p.words[0], bne(kT0, kT1, -1));
+}
+
+TEST(Assembler, PseudoInstructions) {
+  const Program p = assemble(R"(
+    move $t0, $s5
+    b skip
+    nop
+  skip:
+    break
+  )");
+  EXPECT_EQ(p.words[0], addu(kT0, kS5, kZero));
+  EXPECT_EQ(p.words[1], beq(kZero, kZero, 1));
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_THROW(assemble("frobnicate $t0"), AsmError);
+  EXPECT_THROW(assemble("add $t0, $t1"), AsmError);
+  EXPECT_THROW(assemble("add $t0, $t1, $qq"), AsmError);
+  EXPECT_THROW(assemble("bne $t0, $t1, nowhere"), AsmError);
+  EXPECT_THROW(assemble("addi $t0, $t1, 0x12345"), AsmError);
+  EXPECT_THROW(assemble("x: nop\nx: nop"), AsmError);
+  EXPECT_THROW(assemble("lw $t0, 0x8000($t1)"), AsmError);
+  try {
+    assemble("nop\nbogus");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Assembler, JumpAbsoluteAndSymbol) {
+  const Program p = assemble(R"(
+    j entry
+    nop
+  entry:
+    jal 0x40
+    nop
+  )");
+  EXPECT_EQ(p.words[0], j(8 >> 2));
+  EXPECT_EQ(p.words[2], jal(0x40 >> 2));
+}
+
+
+TEST(Assembler, HiLoOperators) {
+  const Program p = assemble(R"(
+    lui $s6, %hi(sig)
+    ori $s6, $s6, %lo(sig)
+    lui $t0, %hi(0x12345678)
+    ori $t0, $t0, %lo(0x12345678)
+    .org 0x12340
+  sig:
+    .word 0
+  )");
+  EXPECT_EQ(p.words[0], lui(kS6, 0x1));      // %hi(0x12340) = 1
+  EXPECT_EQ(p.words[1], ori(kS6, kS6, 0x2340));
+  EXPECT_EQ(p.words[2], lui(kT0, 0x1234));
+  EXPECT_EQ(p.words[3], ori(kT0, kT0, 0x5678));
+}
+
+TEST(Assembler, HiLoRejectsUnknownOperator) {
+  EXPECT_THROW(assemble("lui $t0, %md(12)"), AsmError);
+}
+
+TEST(Disasm, RendersCanonicalForms) {
+  EXPECT_EQ(disassemble(addu(kS2, kS0, kS1)), "addu $s2, $s0, $s1");
+  EXPECT_EQ(disassemble(lw(kS0, 4, kS3)), "lw $s0, 4($s3)");
+  EXPECT_EQ(disassemble(sw(kS2, -8, kSp)), "sw $s2, -8($sp)");
+  EXPECT_EQ(disassemble(lui(kS0, 0xaaaa)), "lui $s0, 0xaaaa");
+  EXPECT_EQ(disassemble(nop()), "nop");
+  EXPECT_EQ(disassemble(brk()), "break");
+  // Branch target resolved relative to pc.
+  EXPECT_EQ(disassemble(bne(kS4, kT0, -2), 8), "bne $s4, $t0, 0x4");
+}
+
+TEST(Disasm, ListingHasOneLinePerWord) {
+  const Program p = assemble("nop\nbreak\n");
+  const std::string text = listing(p.words, 0);
+  EXPECT_NE(text.find("0x0000: 00000000  nop"), std::string::npos);
+  EXPECT_NE(text.find("break"), std::string::npos);
+}
+
+TEST(Assembler, RoundTripThroughDisassembler) {
+  // Assemble, disassemble, re-assemble: identical words (for label-free,
+  // canonical forms).
+  const char* source = R"(
+    lui $s0, 0xaaaa
+    ori $s0, $s0, 0xaaaa
+    addu $s2, $s0, $s1
+    xor $s2, $s2, $s0
+    sltu $t0, $s0, $s1
+    sra $t1, $s0, 7
+    lw $t2, 12($s3)
+    sb $t3, -1($s4)
+    mult $s0, $s1
+    mflo $t4
+    break
+  )";
+  const Program p1 = assemble(source);
+  std::string redis;
+  for (std::size_t i = 0; i < p1.words.size(); ++i) {
+    redis += disassemble(p1.words[i], static_cast<std::uint32_t>(i * 4));
+    redis += '\n';
+  }
+  const Program p2 = assemble(redis);
+  EXPECT_EQ(p1.words, p2.words);
+}
+
+}  // namespace
+}  // namespace sbst::isa

@@ -1,0 +1,244 @@
+// Unit tests for the netlist representation and the 64-lane evaluator.
+#include <gtest/gtest.h>
+
+#include "netlist/eval.hpp"
+#include "netlist/netlist.hpp"
+
+namespace sbst::netlist {
+namespace {
+
+TEST(Netlist, GateConstructionAndCounts) {
+  Netlist nl("t");
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  const NetId x = nl.and_(a, b);
+  nl.output("x", x);
+  EXPECT_EQ(nl.size(), 3u);
+  EXPECT_EQ(nl.logic_gate_count(), 1u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_TRUE(nl.is_combinational());
+}
+
+TEST(Netlist, RejectsUndefinedInput) {
+  Netlist nl;
+  EXPECT_THROW(nl.and_(0, 1), std::invalid_argument);  // nets not defined yet
+}
+
+TEST(Netlist, ConstantsAreShared) {
+  Netlist nl;
+  EXPECT_EQ(nl.constant(false), nl.constant(false));
+  EXPECT_EQ(nl.constant(true), nl.constant(true));
+  EXPECT_NE(nl.constant(false), nl.constant(true));
+}
+
+TEST(Netlist, TopoOrderIsTopological) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 8);
+  const NetId r = nl.and_reduce(a);
+  nl.output("r", r);
+  const auto& order = nl.topo_order();
+  std::vector<std::size_t> pos(nl.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NetId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    for (unsigned p = 0; p < fanin_count(g.kind); ++p) {
+      EXPECT_LT(pos[g.in[p]], pos[id]);
+    }
+  }
+}
+
+TEST(Netlist, DffBreaksCycles) {
+  // q feeds back through an inverter: classic toggle flip-flop. Must
+  // levelize fine (the D edge is sequential).
+  Netlist nl;
+  const NetId q = nl.dff("q");
+  nl.connect_dff(q, nl.not_(q));
+  nl.output("q", q);
+  EXPECT_NO_THROW(nl.topo_order());
+
+  Evaluator ev(nl);
+  ev.reset_state(false);
+  ev.step();
+  EXPECT_EQ(ev.value(q) & 1u, 0u);  // outputs old state during the cycle
+  ev.step();
+  EXPECT_EQ(ev.value(q) & 1u, 1u);
+  ev.step();
+  EXPECT_EQ(ev.value(q) & 1u, 0u);
+}
+
+TEST(Netlist, DepthOfReduceTreeIsLogarithmic) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 32);
+  nl.output("r", nl.and_reduce(a));
+  EXPECT_EQ(nl.depth(), 5u);
+}
+
+TEST(Netlist, GateEquivalentsAreaAccounting) {
+  Netlist nl;
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  nl.output("n", nl.nand_(a, b));  // 1.0
+  nl.output("x", nl.xor_(a, b));   // 2.5
+  const NetId q = nl.dff("q");     // 6.0
+  nl.connect_dff(q, a);
+  EXPECT_DOUBLE_EQ(nl.gate_equivalents(), 9.5);
+}
+
+TEST(Netlist, PortLookup) {
+  Netlist nl;
+  nl.input_bus("data", 4);
+  EXPECT_EQ(nl.input_port("data").size(), 4u);
+  EXPECT_TRUE(nl.has_input_port("data"));
+  EXPECT_FALSE(nl.has_input_port("nope"));
+  EXPECT_THROW(nl.input_port("nope"), std::out_of_range);
+}
+
+class GateTruthTable : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(GateTruthTable, MatchesBooleanSemantics) {
+  const GateKind kind = GetParam();
+  Netlist nl;
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  NetId out = kNoNet;
+  switch (kind) {
+    case GateKind::kAnd: out = nl.and_(a, b); break;
+    case GateKind::kOr: out = nl.or_(a, b); break;
+    case GateKind::kNand: out = nl.nand_(a, b); break;
+    case GateKind::kNor: out = nl.nor_(a, b); break;
+    case GateKind::kXor: out = nl.xor_(a, b); break;
+    case GateKind::kXnor: out = nl.xnor_(a, b); break;
+    default: GTEST_SKIP();
+  }
+  nl.output("out", out);
+  Evaluator ev(nl);
+  for (unsigned va = 0; va < 2; ++va) {
+    for (unsigned vb = 0; vb < 2; ++vb) {
+      ev.set_input(a, va);
+      ev.set_input(b, vb);
+      ev.eval();
+      bool expect = false;
+      switch (kind) {
+        case GateKind::kAnd: expect = va && vb; break;
+        case GateKind::kOr: expect = va || vb; break;
+        case GateKind::kNand: expect = !(va && vb); break;
+        case GateKind::kNor: expect = !(va || vb); break;
+        case GateKind::kXor: expect = va != vb; break;
+        case GateKind::kXnor: expect = va == vb; break;
+        default: break;
+      }
+      EXPECT_EQ(ev.value(out) & 1u, expect ? 1u : 0u)
+          << kind_name(kind) << "(" << va << "," << vb << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwoInputGates, GateTruthTable,
+                         ::testing::Values(GateKind::kAnd, GateKind::kOr,
+                                           GateKind::kNand, GateKind::kNor,
+                                           GateKind::kXor, GateKind::kXnor),
+                         [](const auto& info) {
+                           return kind_name(info.param);
+                         });
+
+TEST(Evaluator, Mux2SelectsCorrectly) {
+  Netlist nl;
+  const NetId s = nl.input("s");
+  const NetId d0 = nl.input("d0");
+  const NetId d1 = nl.input("d1");
+  nl.output("y", nl.mux2(s, d0, d1));
+  Evaluator ev(nl);
+  for (unsigned v = 0; v < 8; ++v) {
+    ev.set_input(s, v & 1);
+    ev.set_input(d0, (v >> 1) & 1);
+    ev.set_input(d1, (v >> 2) & 1);
+    ev.eval();
+    const unsigned expect = (v & 1) ? ((v >> 2) & 1) : ((v >> 1) & 1);
+    EXPECT_EQ(ev.value(nl.output_nets()[0]) & 1u, expect);
+  }
+}
+
+TEST(Evaluator, LanesAreIndependent) {
+  Netlist nl;
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  const NetId x = nl.xor_(a, b);
+  nl.output("x", x);
+  Evaluator ev(nl);
+  ev.set_input_word(a, 0b1100);
+  ev.set_input_word(b, 0b1010);
+  ev.eval();
+  EXPECT_EQ(ev.value(x) & 0xf, 0b0110u);
+}
+
+TEST(Evaluator, BusHelpers) {
+  Netlist nl;
+  const Bus a = nl.input_bus("a", 16);
+  nl.output_bus("a_pass", a);
+  Evaluator ev(nl);
+  ev.set_bus(a, 0xbeef);
+  ev.eval();
+  EXPECT_EQ(ev.bus_value(a), 0xbeefu);
+}
+
+TEST(Evaluator, OutputStuckFaultInjection) {
+  Netlist nl;
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  const NetId x = nl.and_(a, b);
+  nl.output("x", x);
+  Evaluator ev(nl);
+  ev.set_input(a, true);
+  ev.set_input(b, true);
+  ev.inject({x, Site::kOutputPin}, false, 0b10);  // sa0 in lane 1 only
+  ev.eval();
+  EXPECT_EQ(ev.value(x) & 1u, 1u);         // lane 0 fault-free
+  EXPECT_EQ((ev.value(x) >> 1) & 1u, 0u);  // lane 1 faulty
+  EXPECT_EQ(ev.diff_mask(x), 0b10u);
+}
+
+TEST(Evaluator, PinFaultAffectsOnlyThatBranch) {
+  // x = a AND b, y = a OR b. Fault a's branch into the AND gate only:
+  // the OR gate must still see the true value of a.
+  Netlist nl;
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  const NetId x = nl.and_(a, b);
+  const NetId y = nl.or_(a, b);
+  nl.output("x", x);
+  nl.output("y", y);
+  Evaluator ev(nl);
+  ev.set_input(a, true);
+  ev.set_input(b, true);
+  ev.inject({x, 0}, false, ~std::uint64_t{0});  // pin 0 of AND gate sa0
+  ev.eval();
+  EXPECT_EQ(ev.value(x) & 1u, 0u);
+  EXPECT_EQ(ev.value(y) & 1u, 1u);
+}
+
+TEST(Evaluator, ClearFaultsRestoresGoodCircuit) {
+  Netlist nl;
+  const NetId a = nl.input("a");
+  const NetId x = nl.buf(a);
+  nl.output("x", x);
+  Evaluator ev(nl);
+  ev.set_input(a, true);
+  ev.inject({x, Site::kOutputPin}, false, ~std::uint64_t{0});
+  ev.eval();
+  EXPECT_EQ(ev.value(x) & 1u, 0u);
+  ev.clear_faults();
+  ev.eval();
+  EXPECT_EQ(ev.value(x) & 1u, 1u);
+}
+
+TEST(Netlist, CombinationalCycleDetected) {
+  Netlist nl;
+  const NetId a = nl.input("a");
+  // Construct a cycle by abusing connect_dff? Not possible through the
+  // public API for plain gates, so validate the DFF path is the only legal
+  // feedback: gate inputs must reference already-created nets.
+  EXPECT_THROW(nl.and_(a, static_cast<NetId>(99)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sbst::netlist

@@ -1,0 +1,320 @@
+// Combinational component generators vs their functional golden models.
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "netlist/eval.hpp"
+#include "rtlgen/alu.hpp"
+#include "rtlgen/arith.hpp"
+#include "rtlgen/comparator.hpp"
+#include "rtlgen/multiplier.hpp"
+#include "rtlgen/shifter.hpp"
+
+namespace sbst::rtlgen {
+namespace {
+
+using netlist::Evaluator;
+using netlist::Netlist;
+
+// ---------------------------------------------------------------- adders --
+
+struct AdderCase {
+  unsigned width;
+  AdderStyle style;
+};
+
+class AdderTest : public ::testing::TestWithParam<AdderCase> {};
+
+TEST_P(AdderTest, MatchesIntegerAddition) {
+  const auto [width, style] = GetParam();
+  Netlist nl;
+  const auto a = nl.input_bus("a", width);
+  const auto b = nl.input_bus("b", width);
+  const auto cin = nl.input("cin");
+  const AdderResult r = build_adder(nl, a, b, cin, style);
+  nl.output_bus("sum", r.sum);
+  nl.output("cout", r.carry_out);
+
+  Evaluator ev(nl);
+  Rng rng(7);
+  const std::uint64_t mask = low_mask(width);
+  auto check = [&](std::uint64_t va, std::uint64_t vb, bool vc) {
+    ev.set_bus(a, va);
+    ev.set_bus(b, vb);
+    ev.set_input(cin, vc);
+    ev.eval();
+    const std::uint64_t full = (va & mask) + (vb & mask) + vc;
+    EXPECT_EQ(ev.bus_value(r.sum), full & mask) << va << "+" << vb << "+" << vc;
+    EXPECT_EQ(ev.value(r.carry_out) & 1u, (full >> width) & 1u);
+  };
+  // Corners + random sweep.
+  for (std::uint64_t va : {std::uint64_t{0}, mask, mask >> 1, std::uint64_t{1}}) {
+    for (std::uint64_t vb : {std::uint64_t{0}, mask, std::uint64_t{1}}) {
+      check(va, vb, false);
+      check(va, vb, true);
+    }
+  }
+  for (int i = 0; i < 300; ++i) {
+    check(rng.next64() & mask, rng.next64() & mask, rng.chance(0.5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndStyles, AdderTest,
+    ::testing::Values(AdderCase{4, AdderStyle::kRippleCarry},
+                      AdderCase{4, AdderStyle::kCarryLookahead},
+                      AdderCase{8, AdderStyle::kRippleCarry},
+                      AdderCase{8, AdderStyle::kCarryLookahead},
+                      AdderCase{32, AdderStyle::kRippleCarry},
+                      AdderCase{32, AdderStyle::kCarryLookahead},
+                      AdderCase{33, AdderStyle::kRippleCarry},
+                      AdderCase{33, AdderStyle::kCarryLookahead}),
+    [](const auto& info) {
+      return "w" + std::to_string(info.param.width) +
+             (info.param.style == AdderStyle::kRippleCarry ? "_ripple"
+                                                           : "_cla");
+    });
+
+TEST(AdderTest, ExhaustiveWidth4BothStyles) {
+  for (AdderStyle style :
+       {AdderStyle::kRippleCarry, AdderStyle::kCarryLookahead}) {
+    Netlist nl;
+    const auto a = nl.input_bus("a", 4);
+    const auto b = nl.input_bus("b", 4);
+    const auto cin = nl.input("cin");
+    const AdderResult r = build_adder(nl, a, b, cin, style);
+    nl.output_bus("sum", r.sum);
+    Evaluator ev(nl);
+    for (unsigned va = 0; va < 16; ++va) {
+      for (unsigned vb = 0; vb < 16; ++vb) {
+        for (unsigned vc = 0; vc < 2; ++vc) {
+          ev.set_bus(a, va);
+          ev.set_bus(b, vb);
+          ev.set_input(cin, vc);
+          ev.eval();
+          EXPECT_EQ(ev.bus_value(r.sum), (va + vb + vc) & 0xfu);
+          EXPECT_EQ(ev.value(r.carry_out) & 1u, (va + vb + vc) >> 4);
+        }
+      }
+    }
+  }
+}
+
+TEST(Incrementer, MatchesPlusOne) {
+  Netlist nl;
+  const auto a = nl.input_bus("a", 8);
+  const auto sum = build_incrementer(nl, a);
+  nl.output_bus("sum", sum);
+  Evaluator ev(nl);
+  for (unsigned v = 0; v < 256; ++v) {
+    ev.set_bus(a, v);
+    ev.eval();
+    EXPECT_EQ(ev.bus_value(sum), (v + 1) & 0xffu);
+  }
+}
+
+TEST(Negate, MatchesTwosComplement) {
+  Netlist nl;
+  const auto a = nl.input_bus("a", 8);
+  const auto neg = build_negate(nl, a, AdderStyle::kRippleCarry);
+  nl.output_bus("neg", neg);
+  Evaluator ev(nl);
+  for (unsigned v = 0; v < 256; ++v) {
+    ev.set_bus(a, v);
+    ev.eval();
+    EXPECT_EQ(ev.bus_value(neg), (256u - v) & 0xffu);
+  }
+}
+
+// ------------------------------------------------------------------- ALU --
+
+class AluOpTest : public ::testing::TestWithParam<AluOp> {};
+
+TEST_P(AluOpTest, MatchesGoldenModel32) {
+  const AluOp op = GetParam();
+  static const Netlist nl = build_alu({.width = 32});
+  Evaluator ev(nl);
+  const auto& a = nl.input_port("a");
+  const auto& b = nl.input_port("b");
+  const auto& opb = nl.input_port("op");
+  const auto& result = nl.output_port("result");
+
+  Rng rng(static_cast<std::uint64_t>(op) + 100);
+  auto check = [&](std::uint32_t va, std::uint32_t vb) {
+    ev.set_bus(a, va);
+    ev.set_bus(b, vb);
+    ev.set_bus(opb, static_cast<std::uint64_t>(op));
+    ev.eval();
+    const std::uint32_t expect = alu_ref(op, va, vb);
+    EXPECT_EQ(ev.bus_value(result), expect)
+        << "op=" << static_cast<int>(op) << " a=" << va << " b=" << vb;
+    EXPECT_EQ(ev.value(nl.output_port("zero")[0]) & 1u,
+              expect == 0 ? 1u : 0u);
+  };
+  const std::uint32_t corners[] = {0u,          1u,          0x7fffffffu,
+                                   0x80000000u, 0xffffffffu, 0x55555555u,
+                                   0xaaaaaaaau};
+  for (std::uint32_t va : corners) {
+    for (std::uint32_t vb : corners) check(va, vb);
+  }
+  for (int i = 0; i < 500; ++i) check(rng.next32(), rng.next32());
+}
+
+std::string alu_op_name(const ::testing::TestParamInfo<AluOp>& info) {
+  static const char* names[] = {"and", "or",  "xor", "nor",
+                                "add", "sub", "slt", "sltu"};
+  return names[static_cast<int>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, AluOpTest,
+                         ::testing::Values(AluOp::kAnd, AluOp::kOr,
+                                           AluOp::kXor, AluOp::kNor,
+                                           AluOp::kAdd, AluOp::kSub,
+                                           AluOp::kSlt, AluOp::kSltu),
+                         alu_op_name);
+
+TEST(Alu, ExhaustiveWidth4AllOps) {
+  const Netlist nl = build_alu({.width = 4});
+  Evaluator ev(nl);
+  for (int op = 0; op < 8; ++op) {
+    for (unsigned va = 0; va < 16; ++va) {
+      for (unsigned vb = 0; vb < 16; ++vb) {
+        ev.set_bus(nl.input_port("a"), va);
+        ev.set_bus(nl.input_port("b"), vb);
+        ev.set_bus(nl.input_port("op"), op);
+        ev.eval();
+        EXPECT_EQ(ev.bus_value(nl.output_port("result")),
+                  alu_ref(static_cast<AluOp>(op), va, vb, 4))
+            << "op=" << op << " a=" << va << " b=" << vb;
+      }
+    }
+  }
+}
+
+TEST(Alu, CarryLookaheadVariantAgrees) {
+  const Netlist cla = build_alu({.width = 8, .adder = AdderStyle::kCarryLookahead});
+  Evaluator ev(cla);
+  Rng rng(5);
+  for (int op = 0; op < 8; ++op) {
+    for (int i = 0; i < 200; ++i) {
+      const std::uint32_t va = rng.next32() & 0xff;
+      const std::uint32_t vb = rng.next32() & 0xff;
+      ev.set_bus(cla.input_port("a"), va);
+      ev.set_bus(cla.input_port("b"), vb);
+      ev.set_bus(cla.input_port("op"), op);
+      ev.eval();
+      EXPECT_EQ(ev.bus_value(cla.output_port("result")),
+                alu_ref(static_cast<AluOp>(op), va, vb, 8));
+    }
+  }
+}
+
+// --------------------------------------------------------------- shifter --
+
+TEST(Shifter, AllOpsAllShamtsRandomOperands) {
+  const Netlist nl = build_shifter({.width = 32});
+  Evaluator ev(nl);
+  Rng rng(11);
+  for (ShiftOp op : {ShiftOp::kSll, ShiftOp::kSrl, ShiftOp::kSra}) {
+    for (unsigned shamt = 0; shamt < 32; ++shamt) {
+      for (int i = 0; i < 16; ++i) {
+        const std::uint32_t va = i == 0 ? 0x80000001u : rng.next32();
+        ev.set_bus(nl.input_port("a"), va);
+        ev.set_bus(nl.input_port("shamt"), shamt);
+        ev.set_bus(nl.input_port("op"), static_cast<std::uint64_t>(op));
+        ev.eval();
+        EXPECT_EQ(ev.bus_value(nl.output_port("result")),
+                  shifter_ref(op, va, shamt))
+            << "op=" << static_cast<int>(op) << " a=" << va
+            << " shamt=" << shamt;
+      }
+    }
+  }
+}
+
+TEST(Shifter, ExhaustiveWidth8) {
+  const Netlist nl = build_shifter({.width = 8});
+  Evaluator ev(nl);
+  for (ShiftOp op : {ShiftOp::kSll, ShiftOp::kSrl, ShiftOp::kSra}) {
+    for (unsigned shamt = 0; shamt < 8; ++shamt) {
+      for (unsigned va = 0; va < 256; ++va) {
+        ev.set_bus(nl.input_port("a"), va);
+        ev.set_bus(nl.input_port("shamt"), shamt);
+        ev.set_bus(nl.input_port("op"), static_cast<std::uint64_t>(op));
+        ev.eval();
+        EXPECT_EQ(ev.bus_value(nl.output_port("result")),
+                  shifter_ref(op, va, shamt, 8));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ multiplier --
+
+TEST(Multiplier, ExhaustiveWidth4) {
+  const Netlist nl = build_multiplier({.width = 4});
+  Evaluator ev(nl);
+  for (unsigned va = 0; va < 16; ++va) {
+    for (unsigned vb = 0; vb < 16; ++vb) {
+      ev.set_bus(nl.input_port("a"), va);
+      ev.set_bus(nl.input_port("b"), vb);
+      ev.eval();
+      EXPECT_EQ(ev.bus_value(nl.output_port("product")), va * vb);
+    }
+  }
+}
+
+TEST(Multiplier, RandomWidth32) {
+  const Netlist nl = build_multiplier({.width = 32});
+  Evaluator ev(nl);
+  Rng rng(13);
+  const std::uint32_t corners[] = {0u, 1u, 0xffffffffu, 0x80000000u,
+                                   0x55555555u};
+  auto check = [&](std::uint32_t va, std::uint32_t vb) {
+    ev.set_bus(nl.input_port("a"), va);
+    ev.set_bus(nl.input_port("b"), vb);
+    ev.eval();
+    EXPECT_EQ(ev.bus_value(nl.output_port("product")), multiplier_ref(va, vb))
+        << va << "*" << vb;
+  };
+  for (std::uint32_t va : corners) {
+    for (std::uint32_t vb : corners) check(va, vb);
+  }
+  for (int i = 0; i < 100; ++i) check(rng.next32(), rng.next32());
+}
+
+TEST(Multiplier, GateCountIsArrayLike) {
+  // ~w^2 partial products keep the multiplier the biggest D-VC, matching
+  // the paper's area ranking (mul+div dominates at 11,601 of 26,080 gates).
+  const Netlist nl = build_multiplier({.width = 32});
+  EXPECT_GT(nl.gate_equivalents(), 4000);
+}
+
+// ------------------------------------------------------------ comparator --
+
+TEST(Comparator, MatchesGoldenModel) {
+  const Netlist nl = build_comparator({.width = 32});
+  Evaluator ev(nl);
+  Rng rng(17);
+  auto check = [&](std::uint32_t va, std::uint32_t vb) {
+    ev.set_bus(nl.input_port("a"), va);
+    ev.set_bus(nl.input_port("b"), vb);
+    ev.eval();
+    const CmpRef expect = comparator_ref(va, vb);
+    EXPECT_EQ(ev.value(nl.output_port("eq")[0]) & 1u, expect.eq);
+    EXPECT_EQ(ev.value(nl.output_port("ne")[0]) & 1u, expect.ne);
+    EXPECT_EQ(ev.value(nl.output_port("lt")[0]) & 1u, expect.lt);
+    EXPECT_EQ(ev.value(nl.output_port("ltu")[0]) & 1u, expect.ltu);
+  };
+  check(0, 0);
+  check(5, 5);
+  check(0x80000000u, 0x7fffffffu);  // signed vs unsigned disagreement
+  check(0x7fffffffu, 0x80000000u);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t va = rng.next32();
+    check(va, rng.chance(0.3) ? va : rng.next32());
+  }
+}
+
+}  // namespace
+}  // namespace sbst::rtlgen

@@ -1,0 +1,339 @@
+// Sequential component generators: divider, register file, memory
+// controller, pipeline register, forwarding unit.
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "netlist/eval.hpp"
+#include "rtlgen/divider.hpp"
+#include "rtlgen/memctrl.hpp"
+#include "rtlgen/pipeline.hpp"
+#include "rtlgen/regfile.hpp"
+
+namespace sbst::rtlgen {
+namespace {
+
+using netlist::Evaluator;
+using netlist::Netlist;
+
+// ---------------------------------------------------------------- divider --
+
+struct DivRun {
+  std::uint32_t quotient;
+  std::uint32_t remainder;
+  bool done;
+};
+
+DivRun run_division(const Netlist& nl, Evaluator& ev, unsigned width,
+                    std::uint32_t dividend, std::uint32_t divisor) {
+  ev.set_bus(nl.input_port("start"), 1);
+  ev.set_bus(nl.input_port("dividend"), dividend);
+  ev.set_bus(nl.input_port("divisor"), divisor);
+  ev.step();
+  ev.set_bus(nl.input_port("start"), 0);
+  for (unsigned i = 0; i < width; ++i) ev.step();
+  ev.eval();
+  return {static_cast<std::uint32_t>(ev.bus_value(nl.output_port("quotient"))),
+          static_cast<std::uint32_t>(
+              ev.bus_value(nl.output_port("remainder"))),
+          (ev.value(nl.output_port("done")[0]) & 1u) != 0};
+}
+
+class DividerWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DividerWidthTest, MatchesGoldenModel) {
+  const unsigned width = GetParam();
+  const Netlist nl = build_divider({.width = width});
+  Evaluator ev(nl);
+  ev.reset_state(false);
+  Rng rng(width);
+  const std::uint32_t mask = static_cast<std::uint32_t>(low_mask(width));
+  auto check = [&](std::uint32_t dividend, std::uint32_t divisor) {
+    const DivRun run = run_division(nl, ev, width, dividend, divisor);
+    const DivRef expect = divider_ref(dividend, divisor, width);
+    EXPECT_TRUE(run.done);
+    EXPECT_EQ(run.quotient, expect.quotient)
+        << dividend << "/" << divisor << " width=" << width;
+    EXPECT_EQ(run.remainder, expect.remainder)
+        << dividend << "%" << divisor << " width=" << width;
+  };
+  check(0, 1);
+  check(mask, 1);
+  check(mask, mask);
+  check(1, mask);
+  check(100 & mask, 7 & mask);
+  for (int i = 0; i < 50; ++i) {
+    check(rng.next32() & mask, (rng.next32() & mask) | 1u);
+  }
+  // Division by zero follows the restoring-datapath convention.
+  const DivRun dz = run_division(nl, ev, width, 42 & mask, 0);
+  EXPECT_EQ(dz.quotient, mask);
+  EXPECT_EQ(dz.remainder, 42u & mask);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DividerWidthTest,
+                         ::testing::Values(4u, 8u, 32u),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+TEST(Divider, BackToBackDivisions) {
+  const Netlist nl = build_divider({.width = 8});
+  Evaluator ev(nl);
+  ev.reset_state(false);
+  // State left by a previous division must not leak into the next.
+  run_division(nl, ev, 8, 0xff, 0x3);
+  const DivRun second = run_division(nl, ev, 8, 100, 7);
+  EXPECT_EQ(second.quotient, 14u);
+  EXPECT_EQ(second.remainder, 2u);
+}
+
+TEST(Divider, DoneStaysLowWhileBusy) {
+  const Netlist nl = build_divider({.width = 8});
+  Evaluator ev(nl);
+  ev.reset_state(false);
+  ev.set_bus(nl.input_port("start"), 1);
+  ev.set_bus(nl.input_port("dividend"), 200);
+  ev.set_bus(nl.input_port("divisor"), 9);
+  ev.step();
+  ev.set_bus(nl.input_port("start"), 0);
+  for (unsigned i = 0; i < 8; ++i) {
+    ev.eval();
+    EXPECT_EQ(ev.value(nl.output_port("done")[0]) & 1u, 0u) << "cycle " << i;
+    ev.step();
+  }
+  ev.eval();
+  EXPECT_EQ(ev.value(nl.output_port("done")[0]) & 1u, 1u);
+}
+
+// ---------------------------------------------------------- register file --
+
+struct RegFileHarness {
+  Netlist nl;
+  explicit RegFileHarness(unsigned n, unsigned w)
+      : nl(build_regfile({.num_regs = n, .width = w})) {}
+
+  void write(Evaluator& ev, unsigned addr, std::uint64_t data) {
+    ev.set_bus(nl.input_port("waddr"), addr);
+    ev.set_bus(nl.input_port("wdata"), data);
+    ev.set_bus(nl.input_port("wen"), 1);
+    ev.step();
+    ev.set_bus(nl.input_port("wen"), 0);
+  }
+  std::uint64_t read1(Evaluator& ev, unsigned addr) {
+    ev.set_bus(nl.input_port("raddr1"), addr);
+    ev.eval();
+    return ev.bus_value(nl.output_port("rdata1"));
+  }
+  std::uint64_t read2(Evaluator& ev, unsigned addr) {
+    ev.set_bus(nl.input_port("raddr2"), addr);
+    ev.eval();
+    return ev.bus_value(nl.output_port("rdata2"));
+  }
+};
+
+TEST(RegFile, WriteReadAllRegisters) {
+  RegFileHarness h(16, 16);
+  Evaluator ev(h.nl);
+  ev.reset_state(false);
+  for (unsigned r = 1; r < 16; ++r) {
+    h.write(ev, r, 0x1000u + r);
+  }
+  for (unsigned r = 1; r < 16; ++r) {
+    EXPECT_EQ(h.read1(ev, r), 0x1000u + r);
+    EXPECT_EQ(h.read2(ev, r), 0x1000u + r);
+  }
+}
+
+TEST(RegFile, RegisterZeroIsHardwired) {
+  RegFileHarness h(8, 8);
+  Evaluator ev(h.nl);
+  ev.reset_state(false);
+  h.write(ev, 0, 0xff);
+  EXPECT_EQ(h.read1(ev, 0), 0u);
+}
+
+TEST(RegFile, WriteEnableGates) {
+  RegFileHarness h(8, 8);
+  Evaluator ev(h.nl);
+  ev.reset_state(false);
+  h.write(ev, 3, 0xaa);
+  // Present new data with wen low: register must hold.
+  ev.set_bus(h.nl.input_port("waddr"), 3);
+  ev.set_bus(h.nl.input_port("wdata"), 0x55);
+  ev.set_bus(h.nl.input_port("wen"), 0);
+  ev.step();
+  EXPECT_EQ(h.read1(ev, 3), 0xaau);
+}
+
+TEST(RegFile, WriteTargetsOnlyAddressedRegister) {
+  RegFileHarness h(8, 8);
+  Evaluator ev(h.nl);
+  ev.reset_state(false);
+  h.write(ev, 2, 0x22);
+  h.write(ev, 5, 0x55);
+  h.write(ev, 2, 0x23);
+  EXPECT_EQ(h.read1(ev, 2), 0x23u);
+  EXPECT_EQ(h.read2(ev, 5), 0x55u);
+  EXPECT_EQ(h.read1(ev, 1), 0u);
+}
+
+TEST(RegFile, TwoReadPortsAreIndependent) {
+  RegFileHarness h(8, 8);
+  Evaluator ev(h.nl);
+  ev.reset_state(false);
+  h.write(ev, 1, 0x11);
+  h.write(ev, 7, 0x77);
+  ev.set_bus(h.nl.input_port("raddr1"), 1);
+  ev.set_bus(h.nl.input_port("raddr2"), 7);
+  ev.eval();
+  EXPECT_EQ(ev.bus_value(h.nl.output_port("rdata1")), 0x11u);
+  EXPECT_EQ(ev.bus_value(h.nl.output_port("rdata2")), 0x77u);
+}
+
+TEST(RegFile, GateCountDominatedByFlipFlops) {
+  const Netlist nl = build_regfile({.num_regs = 32, .width = 32});
+  // 31 writable registers x 32 bits.
+  EXPECT_EQ(nl.dffs().size(), 31u * 32u);
+  EXPECT_GT(nl.gate_equivalents(), 5000);
+}
+
+// ------------------------------------------------------- memory controller --
+
+struct MemHarness {
+  Netlist nl = build_memctrl();
+
+  void issue(Evaluator& ev, std::uint32_t addr, std::uint32_t wdata,
+             MemSize size, bool sign, bool wr) {
+    ev.set_bus(nl.input_port("addr"), addr);
+    ev.set_bus(nl.input_port("wdata"), wdata);
+    ev.set_bus(nl.input_port("size"), static_cast<std::uint64_t>(size));
+    ev.set_bus(nl.input_port("sign"), sign);
+    ev.set_bus(nl.input_port("wr"), wr);
+    ev.set_bus(nl.input_port("en"), 1);
+    ev.step();
+    ev.set_bus(nl.input_port("en"), 0);
+  }
+};
+
+TEST(MemCtrl, StorePathMatchesGoldenModel) {
+  MemHarness h;
+  Evaluator ev(h.nl);
+  ev.reset_state(false);
+  Rng rng(23);
+  for (MemSize size : {MemSize::kByte, MemSize::kHalf, MemSize::kWord}) {
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t addr = rng.next32() & ~0u;
+      const std::uint32_t data = rng.next32();
+      h.issue(ev, addr, data, size, false, true);
+      ev.eval();
+      const MemCtrlRef expect = memctrl_store_ref(addr, data, size, true);
+      EXPECT_EQ(ev.bus_value(h.nl.output_port("mem_addr")), addr);
+      EXPECT_EQ(ev.bus_value(h.nl.output_port("mem_wdata")),
+                expect.mem_wdata);
+      EXPECT_EQ(ev.bus_value(h.nl.output_port("byte_en")), expect.byte_en);
+    }
+  }
+}
+
+TEST(MemCtrl, LoadPathMatchesGoldenModel) {
+  MemHarness h;
+  Evaluator ev(h.nl);
+  ev.reset_state(false);
+  Rng rng(29);
+  for (MemSize size : {MemSize::kByte, MemSize::kHalf, MemSize::kWord}) {
+    for (bool sign : {false, true}) {
+      for (int i = 0; i < 64; ++i) {
+        std::uint32_t addr = rng.next32();
+        if (size == MemSize::kHalf) addr &= ~1u;
+        if (size == MemSize::kWord) addr &= ~3u;
+        const std::uint32_t mem_word = rng.next32();
+        h.issue(ev, addr, 0, size, sign, false);
+        ev.set_bus(h.nl.input_port("mem_rdata"), mem_word);
+        ev.eval();
+        EXPECT_EQ(ev.bus_value(h.nl.output_port("rdata")),
+                  memctrl_load_ref(addr, mem_word, size, sign))
+            << "addr=" << addr << " size=" << static_cast<int>(size)
+            << " sign=" << sign;
+      }
+    }
+  }
+}
+
+TEST(MemCtrl, ByteEnableZeroOnReads) {
+  MemHarness h;
+  Evaluator ev(h.nl);
+  ev.reset_state(false);
+  h.issue(ev, 0x104, 0xdeadbeef, MemSize::kWord, false, false);
+  ev.eval();
+  EXPECT_EQ(ev.bus_value(h.nl.output_port("byte_en")), 0u);
+}
+
+TEST(MemCtrl, MarHoldsWithoutEnable) {
+  MemHarness h;
+  Evaluator ev(h.nl);
+  ev.reset_state(false);
+  h.issue(ev, 0x1234, 0, MemSize::kWord, false, false);
+  ev.set_bus(h.nl.input_port("addr"), 0x9999);
+  ev.step();  // en low: MAR must hold
+  ev.eval();
+  EXPECT_EQ(ev.bus_value(h.nl.output_port("mem_addr")), 0x1234u);
+}
+
+// --------------------------------------------------------------- pipeline --
+
+TEST(PipeReg, CapturesHoldsAndFlushes) {
+  const Netlist nl = build_pipe_reg({.width = 8});
+  Evaluator ev(nl);
+  ev.reset_state(false);
+  ev.set_bus(nl.input_port("d"), 0x5a);
+  ev.set_bus(nl.input_port("en"), 1);
+  ev.set_bus(nl.input_port("flush"), 0);
+  ev.step();
+  ev.eval();
+  EXPECT_EQ(ev.bus_value(nl.output_port("q")), 0x5au);
+
+  ev.set_bus(nl.input_port("d"), 0xff);
+  ev.set_bus(nl.input_port("en"), 0);  // stall
+  ev.step();
+  ev.eval();
+  EXPECT_EQ(ev.bus_value(nl.output_port("q")), 0x5au);
+
+  ev.set_bus(nl.input_port("flush"), 1);
+  ev.step();
+  ev.eval();
+  EXPECT_EQ(ev.bus_value(nl.output_port("q")), 0u);
+}
+
+TEST(ForwardingUnit, MatchesGoldenModel) {
+  const Netlist nl = build_forwarding_unit();
+  Evaluator ev(nl);
+  Rng rng(31);
+  auto check = [&](unsigned rs, unsigned rt, unsigned ex_rd, bool ex_wen,
+                   unsigned mem_rd, bool mem_wen) {
+    ev.set_bus(nl.input_port("rs"), rs);
+    ev.set_bus(nl.input_port("rt"), rt);
+    ev.set_bus(nl.input_port("ex_rd"), ex_rd);
+    ev.set_bus(nl.input_port("ex_wen"), ex_wen);
+    ev.set_bus(nl.input_port("mem_rd"), mem_rd);
+    ev.set_bus(nl.input_port("mem_wen"), mem_wen);
+    ev.eval();
+    const ForwardRef expect =
+        forwarding_ref(rs, rt, ex_rd, ex_wen, mem_rd, mem_wen);
+    EXPECT_EQ(ev.bus_value(nl.output_port("fwd_a")),
+              static_cast<std::uint64_t>(expect.a));
+    EXPECT_EQ(ev.bus_value(nl.output_port("fwd_b")),
+              static_cast<std::uint64_t>(expect.b));
+  };
+  check(1, 2, 1, true, 2, true);    // EX hit on rs, MEM hit on rt
+  check(1, 1, 1, true, 1, true);    // EX priority over MEM
+  check(0, 0, 0, true, 0, true);    // $zero never forwards
+  check(3, 4, 3, false, 4, false);  // disabled write enables
+  for (int i = 0; i < 2000; ++i) {
+    check(rng.below(32), rng.below(32), rng.below(32), rng.chance(0.5),
+          rng.below(32), rng.chance(0.5));
+  }
+}
+
+}  // namespace
+}  // namespace sbst::rtlgen

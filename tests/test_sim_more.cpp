@@ -1,0 +1,202 @@
+// Additional CPU/cache coverage: timing-model arithmetic, interlocks,
+// cache bookkeeping, and ISA corner semantics.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "sim/cpu.hpp"
+
+namespace sbst::sim {
+namespace {
+
+ExecStats run_source(Cpu& cpu, const char* source) {
+  const isa::Program p = isa::assemble(source);
+  cpu.reset();
+  cpu.load(p);
+  return cpu.run(0);
+}
+
+TEST(ExecStats, AnalyticModelArithmetic) {
+  ExecStats s;
+  s.instructions = 1000;
+  s.cpu_cycles = 1200;
+  s.pipeline_stall_cycles = 50;
+  s.loads = 30;
+  s.stores = 20;
+  // accesses = instructions + loads + stores = 1050; 10% * 20 = 2 per access.
+  EXPECT_EQ(s.analytic_total_cycles(0.10, 20), 1200u + 50u + 2100u);
+  EXPECT_EQ(s.analytic_total_cycles(0.0, 20), 1250u);
+  EXPECT_EQ(s.data_references(), 50u);
+  EXPECT_DOUBLE_EQ(ExecStats{.cpu_cycles = 57}.seconds(57e6), 1e-6);
+}
+
+TEST(Cache, DirectMappedConflictEviction) {
+  Cache c({.enabled = true, .line_words = 4, .lines = 4, .miss_penalty = 1});
+  EXPECT_FALSE(c.access(0x00));  // miss, fill line 0
+  EXPECT_TRUE(c.access(0x04));   // same line
+  EXPECT_FALSE(c.access(0x40));  // line 0 conflict (4 lines * 16B = 64B)
+  EXPECT_FALSE(c.access(0x00));  // evicted
+  EXPECT_EQ(c.misses(), 3u);
+  EXPECT_EQ(c.hits(), 1u);
+  c.flush();
+  EXPECT_FALSE(c.access(0x40));
+  c.reset_stats();
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_DOUBLE_EQ(c.miss_rate(), 0.0);
+}
+
+TEST(Cache, DisabledCacheAlwaysHits) {
+  Cache c({.enabled = false});
+  for (std::uint32_t a = 0; a < 4096; a += 64) EXPECT_TRUE(c.access(a));
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cpu, BackToBackDividesInterlock) {
+  Cpu cpu;  // div_cycles = 32
+  const ExecStats s = run_source(cpu, R"(
+    li $s0, 1000
+    li $s1, 7
+    divu $s0, $s1
+    divu $s1, $s0    # must wait for the first divide
+    mflo $t0
+    break
+  )");
+  // Two serial divides cannot overlap: > 64 cycles total.
+  EXPECT_GT(s.cpu_cycles, 64u);
+}
+
+TEST(Cpu, MultThenUnrelatedWorkHidesLatency) {
+  Cpu cpu;
+  const ExecStats hidden = run_source(cpu, R"(
+    li $s0, 3
+    li $s1, 5
+    mult $s0, $s1
+    addu $t0, $s0, $s1   # 4 unrelated instructions cover mult_cycles=4
+    addu $t1, $t0, $t0
+    addu $t2, $t1, $t1
+    addu $t3, $t2, $t2
+    mflo $t4
+    break
+  )");
+  const ExecStats exposed = run_source(cpu, R"(
+    li $s0, 3
+    li $s1, 5
+    mult $s0, $s1
+    mflo $t4
+    break
+  )");
+  EXPECT_LE(hidden.cpu_cycles, exposed.cpu_cycles + 4);
+  EXPECT_EQ(cpu.reg(isa::kT4), 15u);
+}
+
+TEST(Cpu, VariableShiftsMaskTo5Bits) {
+  Cpu cpu;
+  run_source(cpu, R"(
+    li $s0, 1
+    li $s1, 33        # shamt 33 & 31 = 1
+    sllv $t0, $s0, $s1
+    break
+  )");
+  EXPECT_EQ(cpu.reg(isa::kT0), 2u);
+}
+
+TEST(Cpu, SltBoundaryComparisons) {
+  Cpu cpu;
+  run_source(cpu, R"(
+    li $s0, 0x80000000   # INT_MIN
+    li $s1, 0x7fffffff   # INT_MAX
+    slt  $t0, $s0, $s1   # signed: 1
+    sltu $t1, $s0, $s1   # unsigned: 0
+    slt  $t2, $s1, $s0   # 0
+    sltu $t3, $s1, $s0   # 1
+    break
+  )");
+  EXPECT_EQ(cpu.reg(isa::kT0), 1u);
+  EXPECT_EQ(cpu.reg(isa::kT1), 0u);
+  EXPECT_EQ(cpu.reg(isa::kT2), 0u);
+  EXPECT_EQ(cpu.reg(isa::kT3), 1u);
+}
+
+TEST(Cpu, StoreByteDoesNotDisturbNeighbours) {
+  Cpu cpu;
+  run_source(cpu, R"(
+    li $s3, 0x2000
+    li $s0, 0x11223344
+    sw $s0, 0($s3)
+    li $s1, 0xff
+    sb $s1, 2($s3)
+    lw $t0, 0($s3)
+    break
+  )");
+  EXPECT_EQ(cpu.reg(isa::kT0), 0x11ff3344u);
+}
+
+TEST(Cpu, HiLoMoves) {
+  Cpu cpu;
+  run_source(cpu, R"(
+    li $s0, 0xdead
+    li $s1, 0xbeef
+    mthi $s0
+    mtlo $s1
+    mfhi $t0
+    mflo $t1
+    break
+  )");
+  EXPECT_EQ(cpu.reg(isa::kT0), 0xdeadu);
+  EXPECT_EQ(cpu.reg(isa::kT1), 0xbeefu);
+  EXPECT_EQ(cpu.hi(), 0xdeadu);
+  EXPECT_EQ(cpu.lo(), 0xbeefu);
+}
+
+TEST(Cpu, JumpDelaySlotExecutes) {
+  Cpu cpu;
+  run_source(cpu, R"(
+    j target
+    li $t0, 1       # delay slot executes
+    li $t1, 2       # skipped
+  target:
+    break
+  )");
+  EXPECT_EQ(cpu.reg(isa::kT0), 1u);
+  EXPECT_EQ(cpu.reg(isa::kT1), 0u);
+}
+
+TEST(Cpu, ResetClearsArchitecturalState) {
+  Cpu cpu;
+  run_source(cpu, "li $t0, 5\nmthi $t0\nbreak\n");
+  EXPECT_EQ(cpu.reg(isa::kT0), 5u);
+  cpu.reset();
+  EXPECT_EQ(cpu.reg(isa::kT0), 0u);
+  EXPECT_EQ(cpu.hi(), 0u);
+}
+
+TEST(Cpu, LoadRespectsMemoryBounds) {
+  CpuConfig cfg;
+  cfg.mem_bytes = 0x1000;
+  Cpu cpu(cfg);
+  EXPECT_THROW(run_source(cpu, R"(
+    li $s3, 0x2000
+    lw $t0, 0($s3)
+  )"),
+               CpuError);
+}
+
+TEST(Cpu, StallAccountingDistinguishesCategories) {
+  CpuConfig cfg;
+  cfg.icache = {.enabled = true, .line_words = 4, .lines = 8,
+                .miss_penalty = 7};
+  cfg.dcache.enabled = false;  // isolate instruction-side memory stalls
+  Cpu cpu(cfg);
+  const ExecStats s = run_source(cpu, R"(
+    li $s3, 0x2000
+    lw $t0, 0($s3)
+    addu $t1, $t0, $t0   # load-use stall
+    break
+  )");
+  EXPECT_EQ(s.pipeline_stall_cycles, 1u);
+  EXPECT_EQ(s.memory_stall_cycles, s.icache_misses * 7);
+  EXPECT_EQ(s.total_cycles(),
+            s.cpu_cycles + s.pipeline_stall_cycles + s.memory_stall_cycles);
+}
+
+}  // namespace
+}  // namespace sbst::sim

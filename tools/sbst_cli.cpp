@@ -1,0 +1,179 @@
+// sbst — command-line driver for the SBST library.
+//
+//   sbst inventory                     component classification table
+//   sbst generate <cut>                emit a self-test routine's assembly
+//   sbst program                       emit the full SBST program assembly
+//   sbst listing                       disassembled program listing
+//   sbst export <cut> [verilog|blif]   gate-level netlist export
+//   sbst evaluate                      run + fault-grade the full program
+//
+// <cut> is one of: mul div rf mem shifter alu ctrl
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/tablefmt.hpp"
+#include "core/evaluate.hpp"
+#include "isa/disasm.hpp"
+#include "netlist/export.hpp"
+
+using namespace sbst;
+using namespace sbst::core;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage: sbst <command> [args]\n"
+      "  inventory                     component classification table\n"
+      "  generate <cut>                self-test routine assembly\n"
+      "  program                       full SBST program assembly\n"
+      "  listing                       disassembled program listing\n"
+      "  export <cut> [verilog|blif]   netlist export (default verilog)\n"
+      "  evaluate                      run + fault-grade the program\n"
+      "cuts: mul div rf mem shifter alu ctrl\n",
+      stderr);
+  return 2;
+}
+
+struct CutName {
+  const char* name;
+  CutId id;
+};
+constexpr CutName kCuts[] = {
+    {"mul", CutId::kMultiplier}, {"div", CutId::kDivider},
+    {"rf", CutId::kRegisterFile}, {"mem", CutId::kMemCtrl},
+    {"shifter", CutId::kShifter}, {"alu", CutId::kAlu},
+    {"ctrl", CutId::kControl},
+};
+
+bool parse_cut(const char* arg, CutId& out) {
+  for (const CutName& c : kCuts) {
+    if (std::strcmp(arg, c.name) == 0) {
+      out = c.id;
+      return true;
+    }
+  }
+  return false;
+}
+
+Routine make_routine(const ProcessorModel& model, CutId cut) {
+  const CodegenOptions opts;
+  switch (cut) {
+    case CutId::kMultiplier: return make_multiplier_routine(opts);
+    case CutId::kDivider: return make_divider_routine(opts);
+    case CutId::kRegisterFile: return make_regfile_routine(opts);
+    case CutId::kMemCtrl: return make_memctrl_routine(opts);
+    case CutId::kShifter: return make_shifter_routine(model, opts);
+    case CutId::kAlu: return make_alu_routine(opts);
+    default: return make_control_routine(opts);
+  }
+}
+
+int cmd_inventory(const ProcessorModel& model) {
+  Table t({"Component", "Class", "GE", "Strategy", "Priority",
+           "Periodic", "Excited by"});
+  for (const ComponentInfo* c : model.by_priority()) {
+    t.add_row({c->name, class_name(c->cls),
+               Table::num(static_cast<std::uint64_t>(c->gate_equivalents())),
+               strategy_name(c->default_strategy),
+               Table::num(static_cast<std::uint64_t>(c->test_priority)),
+               c->periodic_suitable ? "yes" : "no", c->excite});
+  }
+  t.print();
+  std::printf("total: %s gate equivalents, D-VC share %.1f%%\n",
+              Table::num(static_cast<std::uint64_t>(
+                             model.total_gate_equivalents()))
+                  .c_str(),
+              100 * model.class_area_fraction(ComponentClass::kDataVisible));
+  return 0;
+}
+
+int cmd_generate(const ProcessorModel& model, CutId cut) {
+  const Routine r = make_routine(model, cut);
+  std::printf("# routine %s  style %s  target %s  signature slot %u\n",
+              r.name.c_str(), r.style.c_str(),
+              model.component(cut).name.c_str(), r.sig_slot);
+  std::fputs(r.assembly.c_str(), stdout);
+  if (!r.data_assembly.empty()) {
+    std::puts("# data");
+    std::fputs(r.data_assembly.c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_program(const ProcessorModel& model, bool listing) {
+  TestProgramBuilder builder;
+  builder.add_default_routines(model);
+  const TestProgram program = builder.build();
+  if (listing) {
+    std::fputs(isa::listing(program.image.words, program.image.base).c_str(),
+               stdout);
+  } else {
+    for (const Routine& r : program.routines) {
+      std::printf("# ---- %s (%s) ----\n", r.name.c_str(), r.style.c_str());
+      std::fputs(r.assembly.c_str(), stdout);
+    }
+    std::fputs("  break\n", stdout);
+    std::fputs(misr_subroutines().c_str(), stdout);
+    std::fputs("signatures:\n  .word 0, 0, 0, 0, 0, 0, 0, 0\n", stdout);
+    for (const Routine& r : program.routines) {
+      std::fputs(r.data_assembly.c_str(), stdout);
+    }
+  }
+  std::fprintf(stderr, "# %zu words, %zu routines\n",
+               program.image.size_words(), program.routines.size());
+  return 0;
+}
+
+int cmd_export(const ProcessorModel& model, CutId cut, const char* format) {
+  const netlist::Netlist& nl = model.component(cut).netlist;
+  if (format && std::strcmp(format, "blif") == 0) {
+    std::fputs(netlist::to_blif(nl).c_str(), stdout);
+  } else {
+    std::fputs(netlist::to_verilog(nl).c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_evaluate(const ProcessorModel& model) {
+  TestProgramBuilder builder;
+  builder.add_default_routines(model);
+  const TestProgram program = builder.build();
+  const ProgramEvaluation ev = evaluate_program(model, builder, program);
+  Table t({"Component", "FC (%)", "Miss. FC (%)"});
+  for (const CutCoverage& c : ev.cuts) {
+    t.add_row({model.component(c.id).name,
+               Table::num(c.coverage.percent(), 1),
+               Table::num(ev.missing_fc(c.id), 2)});
+  }
+  t.print();
+  std::printf("overall FC %.2f%%; %llu cycles, %llu stalls, %llu data refs\n",
+              ev.overall_fc(),
+              static_cast<unsigned long long>(ev.total.cpu_cycles),
+              static_cast<unsigned long long>(
+                  ev.total.pipeline_stall_cycles),
+              static_cast<unsigned long long>(ev.total.data_references()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  ProcessorModel model;
+  if (cmd == "inventory") return cmd_inventory(model);
+  if (cmd == "program") return cmd_program(model, false);
+  if (cmd == "listing") return cmd_program(model, true);
+  if (cmd == "evaluate") return cmd_evaluate(model);
+  if (cmd == "generate" || cmd == "export") {
+    if (argc < 3) return usage();
+    CutId cut;
+    if (!parse_cut(argv[2], cut)) return usage();
+    return cmd == "generate"
+               ? cmd_generate(model, cut)
+               : cmd_export(model, cut, argc > 3 ? argv[3] : nullptr);
+  }
+  return usage();
+}
