@@ -1,0 +1,171 @@
+// Fault-simulation throughput: serial vs PPSFP vs lane-parallel vs threaded.
+//
+// Grades the collapsed fault universe of a parallel multiplier (the largest
+// combinational CUT family in the model) against random patterns with every
+// combinational engine and reports faults x patterns / second, plus the
+// speedup of the threaded engines over single-threaded simulate_comb. The
+// serial oracle is timed on a reduced pattern count (its throughput is
+// per-pattern, so the normalized number is comparable).
+//
+// Usage: faultsim_throughput [width] [patterns] [threads]
+// Emits a table to stdout and machine-readable BENCH_faultsim.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/tablefmt.hpp"
+#include "fault/fault.hpp"
+#include "fault/sim.hpp"
+#include "fault/sim_parallel.hpp"
+#include "rtlgen/multiplier.hpp"
+
+using namespace sbst;
+using fault::CoverageResult;
+using fault::PatternSet;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct EngineRow {
+  std::string name;
+  std::size_t patterns = 0;
+  double seconds = 0;
+  double throughput = 0;  // faults x patterns / second
+  std::size_t detected = 0;
+};
+
+template <typename Fn>
+EngineRow time_engine(const std::string& name, std::size_t n_faults,
+                      std::size_t n_patterns, const Fn& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const CoverageResult res = fn();
+  EngineRow row;
+  row.name = name;
+  row.patterns = n_patterns;
+  row.seconds = seconds_since(t0);
+  row.throughput = static_cast<double>(n_faults) *
+                   static_cast<double>(n_patterns) / row.seconds;
+  row.detected = res.detected;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned width = argc > 1 ? std::atoi(argv[1]) : 24;
+  const std::size_t n_patterns =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 256;
+  const unsigned threads =
+      fault::resolve_thread_count(argc > 3 ? std::atoi(argv[3]) : 0);
+
+  const netlist::Netlist nl = rtlgen::build_multiplier({.width = width});
+  const fault::FaultUniverse universe(nl);
+  const auto& faults = universe.collapsed();
+
+  Rng rng(0xbe7c);
+  PatternSet patterns(nl);
+  for (std::size_t i = 0; i < n_patterns; ++i) patterns.add_random(rng);
+  // The serial oracle runs one full-netlist eval per fault per pattern; cap
+  // its patterns so the reference row finishes in seconds.
+  const std::size_t serial_patterns = std::min<std::size_t>(n_patterns, 64);
+  PatternSet serial_ps(nl);
+  {
+    Rng srng(0xbe7c);
+    for (std::size_t i = 0; i < serial_patterns; ++i) serial_ps.add_random(srng);
+  }
+
+  std::printf("multiplier %ux%u: %zu gates, %zu collapsed faults, "
+              "%zu patterns, %u threads\n",
+              width, width, nl.logic_gate_count(), faults.size(), n_patterns,
+              threads);
+
+  std::vector<EngineRow> rows;
+  rows.push_back(time_engine("serial", faults.size(), serial_patterns, [&] {
+    return fault::simulate_serial(nl, faults, serial_ps);
+  }));
+  rows.push_back(time_engine("comb (PPSFP)", faults.size(), n_patterns, [&] {
+    return fault::simulate_comb(nl, faults, patterns);
+  }));
+  rows.push_back(time_engine("lane x1", faults.size(), n_patterns, [&] {
+    return fault::simulate_comb_parallel(nl, faults, patterns, {},
+                                         {.num_threads = 1,
+                                          .lane_parallel = true});
+  }));
+  rows.push_back(
+      time_engine("threaded block", faults.size(), n_patterns, [&] {
+        return fault::simulate_comb_parallel(nl, faults, patterns, {},
+                                             {.num_threads = threads,
+                                              .lane_parallel = false});
+      }));
+  rows.push_back(time_engine("threaded lane", faults.size(), n_patterns, [&] {
+    return fault::simulate_comb_parallel(nl, faults, patterns, {},
+                                         {.num_threads = threads,
+                                          .lane_parallel = true});
+  }));
+
+  Table t({"Engine", "Patterns", "Seconds", "Faults x pat / s", "Detected"});
+  for (const EngineRow& r : rows) {
+    t.add_row({r.name, Table::num(static_cast<std::uint64_t>(r.patterns)),
+               Table::num(r.seconds, 3), Table::num(r.throughput, 0),
+               Table::num(static_cast<std::uint64_t>(r.detected))});
+  }
+  t.print();
+
+  // All full-pattern engines must agree (the serial row uses fewer patterns).
+  for (std::size_t i = 2; i < rows.size(); ++i) {
+    if (rows[i].detected != rows[1].detected) {
+      std::fprintf(stderr, "FAIL: %s detected %zu != comb %zu\n",
+                   rows[i].name.c_str(), rows[i].detected, rows[1].detected);
+      return 1;
+    }
+  }
+
+  const double comb_s = rows[1].seconds;
+  const double speedup_block = comb_s / rows[3].seconds;
+  const double speedup_lane = comb_s / rows[4].seconds;
+  std::printf("speedup vs comb: threaded block %.2fx, threaded lane %.2fx\n",
+              speedup_block, speedup_lane);
+
+  std::FILE* json = std::fopen("BENCH_faultsim.json", "w");
+  if (!json) {
+    std::perror("BENCH_faultsim.json");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"netlist\": \"multiplier\",\n"
+               "  \"width\": %u,\n"
+               "  \"gates\": %zu,\n"
+               "  \"faults\": %zu,\n"
+               "  \"patterns\": %zu,\n"
+               "  \"threads\": %u,\n"
+               "  \"engines\": {\n",
+               width, nl.logic_gate_count(), faults.size(), n_patterns,
+               threads);
+  const char* keys[] = {"serial", "comb", "lane_x1", "threaded_block",
+                        "threaded_lane"};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(json,
+                 "    \"%s\": {\"patterns\": %zu, \"seconds\": %.6f, "
+                 "\"throughput\": %.0f, \"detected\": %zu}%s\n",
+                 keys[i], rows[i].patterns, rows[i].seconds,
+                 rows[i].throughput, rows[i].detected,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  },\n"
+               "  \"speedup_threaded_block_vs_comb\": %.3f,\n"
+               "  \"speedup_threaded_lane_vs_comb\": %.3f\n"
+               "}\n",
+               speedup_block, speedup_lane);
+  std::fclose(json);
+  std::puts("wrote BENCH_faultsim.json");
+  return 0;
+}

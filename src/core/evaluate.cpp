@@ -219,54 +219,54 @@ ProgramEvaluation evaluate_program(const ProcessorModel& model,
     switch (info.id) {
       case CutId::kAlu:
         cc.stimulus_size = trace.alu_patterns().size();
-        cc.coverage = fault::simulate_comb(info.netlist, universe.collapsed(),
-                                           trace.alu_patterns(), obs);
+        cc.coverage = fault::simulate_comb_parallel(info.netlist, universe.collapsed(),
+                                           trace.alu_patterns(), obs, options.sim);
         break;
       case CutId::kShifter:
         cc.stimulus_size = trace.shifter_patterns().size();
-        cc.coverage = fault::simulate_comb(info.netlist, universe.collapsed(),
-                                           trace.shifter_patterns(), obs);
+        cc.coverage = fault::simulate_comb_parallel(info.netlist, universe.collapsed(),
+                                           trace.shifter_patterns(), obs, options.sim);
         break;
       case CutId::kMultiplier:
         cc.stimulus_size = trace.multiplier_patterns().size();
-        cc.coverage = fault::simulate_comb(info.netlist, universe.collapsed(),
-                                           trace.multiplier_patterns(), obs);
+        cc.coverage = fault::simulate_comb_parallel(info.netlist, universe.collapsed(),
+                                           trace.multiplier_patterns(), obs, options.sim);
         break;
       case CutId::kControl:
         cc.stimulus_size = trace.control_patterns().size();
-        cc.coverage = fault::simulate_comb(info.netlist, universe.collapsed(),
-                                           trace.control_patterns(), obs);
+        cc.coverage = fault::simulate_comb_parallel(info.netlist, universe.collapsed(),
+                                           trace.control_patterns(), obs, options.sim);
         break;
       case CutId::kForwarding:
         cc.stimulus_size = trace.forwarding_patterns().size();
-        cc.coverage = fault::simulate_comb(info.netlist, universe.collapsed(),
-                                           trace.forwarding_patterns(), obs);
+        cc.coverage = fault::simulate_comb_parallel(info.netlist, universe.collapsed(),
+                                           trace.forwarding_patterns(), obs, options.sim);
         break;
       case CutId::kBranchAdder:
         cc.stimulus_size = trace.branch_adder_patterns().size();
         cc.coverage =
-            fault::simulate_comb(info.netlist, universe.collapsed(),
-                                 trace.branch_adder_patterns(), obs);
+            fault::simulate_comb_parallel(info.netlist, universe.collapsed(),
+                                 trace.branch_adder_patterns(), obs, options.sim);
         break;
       case CutId::kDivider:
         cc.stimulus_size = trace.divider_stimulus().size();
-        cc.coverage = fault::simulate_seq(info.netlist, universe.collapsed(),
-                                          trace.divider_stimulus(), obs);
+        cc.coverage = fault::simulate_seq_parallel(info.netlist, universe.collapsed(),
+                                          trace.divider_stimulus(), obs, options.sim);
         break;
       case CutId::kRegisterFile:
         cc.stimulus_size = trace.regfile_stimulus().size();
-        cc.coverage = fault::simulate_seq(info.netlist, universe.collapsed(),
-                                          trace.regfile_stimulus(), obs);
+        cc.coverage = fault::simulate_seq_parallel(info.netlist, universe.collapsed(),
+                                          trace.regfile_stimulus(), obs, options.sim);
         break;
       case CutId::kMemCtrl:
         cc.stimulus_size = trace.memctrl_stimulus().size();
-        cc.coverage = fault::simulate_seq(info.netlist, universe.collapsed(),
-                                          trace.memctrl_stimulus(), obs);
+        cc.coverage = fault::simulate_seq_parallel(info.netlist, universe.collapsed(),
+                                          trace.memctrl_stimulus(), obs, options.sim);
         break;
       case CutId::kPipeline:
         cc.stimulus_size = trace.pipeline_stimulus().size();
-        cc.coverage = fault::simulate_seq(info.netlist, universe.collapsed(),
-                                          trace.pipeline_stimulus(), obs);
+        cc.coverage = fault::simulate_seq_parallel(info.netlist, universe.collapsed(),
+                                          trace.pipeline_stimulus(), obs, options.sim);
         break;
     }
     out.cuts.push_back(std::move(cc));

@@ -15,6 +15,7 @@
 #include "fault/fault.hpp"
 #include "fault/pattern.hpp"
 #include "fault/sim.hpp"
+#include "fault/sim_parallel.hpp"
 #include "sim/cpu.hpp"
 
 namespace sbst::core {
@@ -94,6 +95,9 @@ struct EvalOptions {
   /// Include the A-VC MAR outputs as observation points (ablation: what the
   /// paper deliberately leaves untested in periodic mode).
   bool observe_address_outputs = false;
+  /// Fault-simulation engine options (thread count, lane packing). Results
+  /// are bitwise-identical for every thread count.
+  fault::SimOptions sim{};
   sim::CpuConfig cpu{};
   std::uint64_t max_instructions = 1u << 22;
 };

@@ -164,15 +164,19 @@ FaultUniverse::FaultUniverse(const Netlist& nl) : nl_(&nl) {
   }
 }
 
+void CoverageResult::recount() {
+  detected = 0;
+  for (auto flag : detected_flags) detected += flag ? 1 : 0;
+}
+
 void CoverageResult::merge(const CoverageResult& other) {
   if (detected_flags.size() != other.detected_flags.size()) {
     throw std::invalid_argument("CoverageResult::merge: size mismatch");
   }
-  detected = 0;
   for (std::size_t i = 0; i < detected_flags.size(); ++i) {
     detected_flags[i] = detected_flags[i] || other.detected_flags[i];
-    detected += detected_flags[i];
   }
+  recount();
 }
 
 std::vector<Fault> CoverageResult::undetected(

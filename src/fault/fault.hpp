@@ -61,6 +61,10 @@ struct CoverageResult {
                                     static_cast<double>(total);
   }
 
+  /// Recomputes `detected` from `detected_flags` — the flags are the single
+  /// source of truth; every simulator finishes with this.
+  void recount();
+
   /// Merges another grading of the SAME fault list (e.g. a second routine
   /// exercising the same component).
   void merge(const CoverageResult& other);

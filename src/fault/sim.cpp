@@ -2,13 +2,15 @@
 
 #include <stdexcept>
 
+#include "fault/sim_detail.hpp"
+
 namespace sbst::fault {
 
 using netlist::Evaluator;
 using netlist::Netlist;
 using netlist::NetId;
 
-namespace {
+namespace detail {
 
 ObserveSet resolve_observe(const Netlist& nl, const ObserveSet& observe) {
   if (!observe.empty()) return observe;
@@ -34,14 +36,24 @@ void apply_block(Evaluator& ev, const PatternSet& patterns, std::size_t b) {
   }
 }
 
-}  // namespace
+void apply_pattern_broadcast(Evaluator& ev, const PatternSet& patterns,
+                             std::size_t p) {
+  const auto& words = patterns.block(p / 64);
+  const unsigned lane = p % 64;
+  const auto& inputs = patterns.netlist().inputs();
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    ev.set_input(inputs[k], (words[k] >> lane) & 1u);
+  }
+}
+
+}  // namespace detail
 
 CoverageResult simulate_serial(const Netlist& nl,
                                const std::vector<Fault>& faults,
                                const PatternSet& patterns,
                                const ObserveSet& observe_in) {
-  require_combinational(nl, "simulate_serial");
-  const ObserveSet observe = resolve_observe(nl, observe_in);
+  detail::require_combinational(nl, "simulate_serial");
+  const ObserveSet observe = detail::resolve_observe(nl, observe_in);
 
   CoverageResult res;
   res.total = faults.size();
@@ -50,16 +62,8 @@ CoverageResult simulate_serial(const Netlist& nl,
   Evaluator good(nl);
   Evaluator bad(nl);
   for (std::size_t p = 0; p < patterns.size(); ++p) {
-    // Re-pack a single pattern into lane 0.
-    const std::size_t b = p / 64;
-    const unsigned lane = p % 64;
-    const auto& words = patterns.block(b);
-    const auto& inputs = nl.inputs();
-    for (std::size_t k = 0; k < inputs.size(); ++k) {
-      const bool v = (words[k] >> lane) & 1u;
-      good.set_input(inputs[k], v);
-      bad.set_input(inputs[k], v);
-    }
+    detail::apply_pattern_broadcast(good, patterns, p);
+    detail::apply_pattern_broadcast(bad, patterns, p);
     good.eval();
     for (std::size_t f = 0; f < faults.size(); ++f) {
       if (res.detected_flags[f]) continue;
@@ -74,7 +78,7 @@ CoverageResult simulate_serial(const Netlist& nl,
       }
     }
   }
-  for (auto flag : res.detected_flags) res.detected += flag;
+  res.recount();
   return res;
 }
 
@@ -82,8 +86,8 @@ CoverageResult simulate_comb(const Netlist& nl,
                              const std::vector<Fault>& faults,
                              const PatternSet& patterns,
                              const ObserveSet& observe_in) {
-  require_combinational(nl, "simulate_comb");
-  const ObserveSet observe = resolve_observe(nl, observe_in);
+  detail::require_combinational(nl, "simulate_comb");
+  const ObserveSet observe = detail::resolve_observe(nl, observe_in);
 
   CoverageResult res;
   res.total = faults.size();
@@ -95,8 +99,8 @@ CoverageResult simulate_comb(const Netlist& nl,
 
   for (std::size_t b = 0; b < patterns.block_count(); ++b) {
     const std::uint64_t valid = patterns.valid_lanes(b);
-    apply_block(good, patterns, b);
-    apply_block(bad, patterns, b);
+    detail::apply_block(good, patterns, b);
+    detail::apply_block(bad, patterns, b);
     good.eval();
     for (std::size_t o = 0; o < observe.size(); ++o) {
       good_out[o] = good.value(observe[o]);
@@ -114,7 +118,7 @@ CoverageResult simulate_comb(const Netlist& nl,
       }
     }
   }
-  for (auto flag : res.detected_flags) res.detected += flag;
+  res.recount();
   return res;
 }
 
@@ -122,7 +126,7 @@ CoverageResult simulate_seq(const Netlist& nl,
                             const std::vector<Fault>& faults,
                             const SeqStimulus& stimulus,
                             const ObserveSet& observe_in) {
-  const ObserveSet observe = resolve_observe(nl, observe_in);
+  const ObserveSet observe = detail::resolve_observe(nl, observe_in);
 
   CoverageResult res;
   res.total = faults.size();
@@ -158,21 +162,21 @@ CoverageResult simulate_seq(const Netlist& nl,
       }
     }
   }
-  for (auto flag : res.detected_flags) res.detected += flag;
+  res.recount();
   return res;
 }
 
 std::vector<std::vector<bool>> good_responses(const Netlist& nl,
                                               const PatternSet& patterns,
                                               const ObserveSet& observe_in) {
-  require_combinational(nl, "good_responses");
-  const ObserveSet observe = resolve_observe(nl, observe_in);
+  detail::require_combinational(nl, "good_responses");
+  const ObserveSet observe = detail::resolve_observe(nl, observe_in);
 
   std::vector<std::vector<bool>> out;
   out.reserve(patterns.size());
   Evaluator ev(nl);
   for (std::size_t b = 0; b < patterns.block_count(); ++b) {
-    apply_block(ev, patterns, b);
+    detail::apply_block(ev, patterns, b);
     ev.eval();
     const std::size_t lanes =
         std::min<std::size_t>(64, patterns.size() - b * 64);

@@ -14,6 +14,9 @@
 //                       lanes 1..63 carry faulty machines through the whole
 //                       clocked stimulus. Works for sequential netlists
 //                       (divider, register file, memory controller).
+//
+// Multi-threaded versions of the fast engines (fault-partitioned thread
+// pool, bitwise-deterministic results) live in sim_parallel.hpp.
 #pragma once
 
 #include <optional>

@@ -1,0 +1,32 @@
+// Helpers shared by the serial (sim.cpp) and parallel (sim_parallel.cpp)
+// fault-simulation engines. Internal to src/fault.
+#pragma once
+
+#include <cstddef>
+
+#include "fault/pattern.hpp"
+#include "netlist/eval.hpp"
+#include "netlist/netlist.hpp"
+
+namespace sbst::fault {
+
+using ObserveSet = std::vector<netlist::NetId>;
+
+namespace detail {
+
+/// Empty observe set -> all declared outputs; throws if the netlist has none.
+ObserveSet resolve_observe(const netlist::Netlist& nl,
+                           const ObserveSet& observe);
+
+void require_combinational(const netlist::Netlist& nl, const char* who);
+
+/// Loads pattern block `b` (64 packed patterns) into the evaluator's inputs.
+void apply_block(netlist::Evaluator& ev, const PatternSet& patterns,
+                 std::size_t b);
+
+/// Loads the single pattern `p` broadcast into all 64 lanes.
+void apply_pattern_broadcast(netlist::Evaluator& ev,
+                             const PatternSet& patterns, std::size_t p);
+
+}  // namespace detail
+}  // namespace sbst::fault

@@ -1,0 +1,49 @@
+// Parallel fault-simulation engines: PPSFP lane packing + a fault-partitioned
+// thread pool.
+//
+// Both engines grade the same contract as sim.hpp and are cross-checked
+// against those oracles by the differential tests in
+// tests/test_fault_parallel.cpp:
+//
+//  * simulate_comb_parallel: combinational grading. With
+//    SimOptions::lane_parallel the evaluator's 64 bit-lanes carry the good
+//    machine (lane 0) plus 63 faulty machines per eval() — the same packing
+//    simulate_seq uses — so one pass over the pattern set grades 63 faults;
+//    without it, each worker runs the block-at-a-time PPSFP of simulate_comb
+//    over its fault slice against precomputed fault-free responses.
+//  * simulate_seq_parallel: sequential grading; workers run simulate_seq's
+//    63-faults-per-batch loop over disjoint fault slices.
+//
+// Determinism: a fault's detection flag depends only on that fault, the
+// netlist, and the stimulus — never on which lane, batch, or thread graded
+// it — and workers write disjoint slices of one shared flag vector. Results
+// are therefore bitwise-identical for every thread count, including 1.
+#pragma once
+
+#include "fault/sim.hpp"
+#include "fault/thread_pool.hpp"
+
+namespace sbst::fault {
+
+struct SimOptions {
+  /// Worker threads (including the calling thread). 0 = auto: SBST_THREADS
+  /// env var if set, else std::thread::hardware_concurrency().
+  unsigned num_threads = 0;
+  /// Pack 63 faults + the good machine into the 64 bit-lanes per eval() for
+  /// combinational grading (detection flags are identical either way).
+  bool lane_parallel = true;
+};
+
+CoverageResult simulate_comb_parallel(const netlist::Netlist& nl,
+                                      const std::vector<Fault>& faults,
+                                      const PatternSet& patterns,
+                                      const ObserveSet& observe = {},
+                                      const SimOptions& options = {});
+
+CoverageResult simulate_seq_parallel(const netlist::Netlist& nl,
+                                     const std::vector<Fault>& faults,
+                                     const SeqStimulus& stimulus,
+                                     const ObserveSet& observe = {},
+                                     const SimOptions& options = {});
+
+}  // namespace sbst::fault

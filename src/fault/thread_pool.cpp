@@ -1,0 +1,82 @@
+#include "fault/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace sbst::fault {
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("SBST_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned extra = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(extra);
+  for (unsigned w = 0; w < extra; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_static(std::size_t count,
+                            const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t task = 0; task < count; ++task) fn(task);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_count_ = count;
+    task_fn_ = &fn;
+    pending_workers_ = static_cast<unsigned>(workers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_stride(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+  task_fn_ = nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+    }
+    run_stride(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run_stride(unsigned worker_index) {
+  const unsigned stride = size();
+  for (std::size_t task = worker_index; task < task_count_; task += stride) {
+    (*task_fn_)(task);
+  }
+}
+
+}  // namespace sbst::fault

@@ -109,7 +109,7 @@ CoverageResult simulate_transition(const Netlist& nl,
       prev_launch_msb = (launch >> 63) & 1u;
     }
   }
-  for (auto flag : res.detected_flags) res.detected += flag;
+  res.recount();
   return res;
 }
 

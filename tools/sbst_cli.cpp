@@ -8,9 +8,16 @@
 //   sbst evaluate                      run + fault-grade the full program
 //
 // <cut> is one of: mul div rf mem shifter alu ctrl
+//
+// Global options:
+//   --threads N / -j N   fault-simulation worker threads (also SBST_THREADS
+//                        env var; default: hardware concurrency)
+//   --no-lane-parallel   disable PPSFP lane packing of faults
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/tablefmt.hpp"
 #include "core/evaluate.hpp"
@@ -31,7 +38,11 @@ int usage() {
       "  listing                       disassembled program listing\n"
       "  export <cut> [verilog|blif]   netlist export (default verilog)\n"
       "  evaluate                      run + fault-grade the program\n"
-      "cuts: mul div rf mem shifter alu ctrl\n",
+      "cuts: mul div rf mem shifter alu ctrl\n"
+      "options: --threads N | -j N   fault-sim worker threads (env "
+      "SBST_THREADS;\n"
+      "                              default: hardware concurrency)\n"
+      "         --no-lane-parallel   disable PPSFP lane packing of faults\n",
       stderr);
   return 2;
 }
@@ -136,11 +147,14 @@ int cmd_export(const ProcessorModel& model, CutId cut, const char* format) {
   return 0;
 }
 
-int cmd_evaluate(const ProcessorModel& model) {
+int cmd_evaluate(const ProcessorModel& model, const fault::SimOptions& sim) {
   TestProgramBuilder builder;
   builder.add_default_routines(model);
   const TestProgram program = builder.build();
-  const ProgramEvaluation ev = evaluate_program(model, builder, program);
+  EvalOptions options;
+  options.sim = sim;
+  const ProgramEvaluation ev =
+      evaluate_program(model, builder, program, options);
   Table t({"Component", "FC (%)", "Miss. FC (%)"});
   for (const CutCoverage& c : ev.cuts) {
     t.add_row({model.component(c.id).name,
@@ -160,20 +174,36 @@ int cmd_evaluate(const ProcessorModel& model) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
+  // Strip global options; everything else stays positional.
+  fault::SimOptions sim;
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--threads") == 0 || std::strcmp(a, "-j") == 0) {
+      if (i + 1 >= argc) return usage();
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      if (v <= 0) return usage();
+      sim.num_threads = static_cast<unsigned>(v);
+    } else if (std::strcmp(a, "--no-lane-parallel") == 0) {
+      sim.lane_parallel = false;
+    } else {
+      args.push_back(a);
+    }
+  }
+  if (args.empty()) return usage();
+  const std::string cmd = args[0];
   ProcessorModel model;
   if (cmd == "inventory") return cmd_inventory(model);
   if (cmd == "program") return cmd_program(model, false);
   if (cmd == "listing") return cmd_program(model, true);
-  if (cmd == "evaluate") return cmd_evaluate(model);
+  if (cmd == "evaluate") return cmd_evaluate(model, sim);
   if (cmd == "generate" || cmd == "export") {
-    if (argc < 3) return usage();
+    if (args.size() < 2) return usage();
     CutId cut;
-    if (!parse_cut(argv[2], cut)) return usage();
+    if (!parse_cut(args[1], cut)) return usage();
     return cmd == "generate"
                ? cmd_generate(model, cut)
-               : cmd_export(model, cut, argc > 3 ? argv[3] : nullptr);
+               : cmd_export(model, cut, args.size() > 2 ? args[2] : nullptr);
   }
   return usage();
 }
