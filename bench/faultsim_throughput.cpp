@@ -1,11 +1,17 @@
-// Fault-simulation throughput: serial vs PPSFP vs lane-parallel vs threaded.
+// Fault-simulation throughput: evaluation-engine x scheduling sweep.
 //
 // Grades the collapsed fault universe of a parallel multiplier (the largest
 // combinational CUT family in the model) against random patterns with every
-// combinational engine and reports faults x patterns / second, plus the
-// speedup of the threaded engines over single-threaded simulate_comb. The
-// serial oracle is timed on a reduced pattern count (its throughput is
-// per-pattern, so the normalized number is comparable).
+// combination of evaluation engine (reference / compiled / event, see
+// fault/engine.hpp) and scheduling (single-thread PPSFP, threaded block,
+// threaded lane-packed), reporting faults x patterns / second. The serial
+// oracle is timed on a reduced pattern count (its throughput is per-pattern,
+// so the normalized number is comparable). Every configuration must produce
+// identical detection flags; any mismatch is a hard failure.
+//
+// Also reports the average active-cone size per fault for the event engine —
+// the number of gates actually re-evaluated per fault injection, the quantity
+// the event-driven scheduler exists to minimize.
 //
 // Usage: faultsim_throughput [width] [patterns] [threads]
 // Emits a table to stdout and machine-readable BENCH_faultsim.json.
@@ -17,13 +23,16 @@
 
 #include "common/rng.hpp"
 #include "common/tablefmt.hpp"
+#include "fault/engine.hpp"
 #include "fault/fault.hpp"
 #include "fault/sim.hpp"
 #include "fault/sim_parallel.hpp"
+#include "netlist/compiled.hpp"
 #include "rtlgen/multiplier.hpp"
 
 using namespace sbst;
 using fault::CoverageResult;
+using fault::Engine;
 using fault::PatternSet;
 
 namespace {
@@ -33,27 +42,58 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-struct EngineRow {
-  std::string name;
+struct BenchRow {
+  std::string key;     // JSON key, e.g. "comb_event"
+  std::string label;   // table label
+  std::string engine;  // engine name
   std::size_t patterns = 0;
   double seconds = 0;
   double throughput = 0;  // faults x patterns / second
   std::size_t detected = 0;
+  std::vector<std::uint8_t> flags;
 };
 
 template <typename Fn>
-EngineRow time_engine(const std::string& name, std::size_t n_faults,
-                      std::size_t n_patterns, const Fn& fn) {
+BenchRow time_config(std::string key, std::string label, Engine engine,
+                     std::size_t n_faults, std::size_t n_patterns,
+                     const Fn& fn) {
   const auto t0 = std::chrono::steady_clock::now();
-  const CoverageResult res = fn();
-  EngineRow row;
-  row.name = name;
+  CoverageResult res = fn();
+  BenchRow row;
+  row.key = std::move(key);
+  row.label = std::move(label);
+  row.engine = fault::engine_name(engine);
   row.patterns = n_patterns;
   row.seconds = seconds_since(t0);
   row.throughput = static_cast<double>(n_faults) *
                    static_cast<double>(n_patterns) / row.seconds;
   row.detected = res.detected;
+  row.flags = std::move(res.detected_flags);
   return row;
+}
+
+/// Average number of gates the event engine re-evaluates per fault injection
+/// (one pattern block applied, every fault injected/evaluated/reverted once).
+double avg_active_cone(const netlist::Netlist& nl,
+                       const std::vector<fault::Fault>& faults,
+                       const PatternSet& patterns) {
+  const netlist::CompiledNetlist cn(nl);
+  netlist::CompiledEvaluator ev(cn, /*event_driven=*/true);
+  const auto& inputs = nl.inputs();
+  const auto& words = patterns.block(0);
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    ev.set_input_word(inputs[k], words[k]);
+  }
+  ev.eval();
+  ev.reset_stats();
+  for (const fault::Fault& f : faults) {
+    ev.inject(f.site, f.stuck_value, ~std::uint64_t{0});
+    ev.eval();
+    ev.clear_faults();
+  }
+  return faults.empty() ? 0.0
+                        : static_cast<double>(ev.gate_evals()) /
+                              static_cast<double>(faults.size());
 }
 
 }  // namespace
@@ -81,57 +121,73 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < serial_patterns; ++i) serial_ps.add_random(srng);
   }
 
+  const double cone = avg_active_cone(nl, faults, patterns);
+
   std::printf("multiplier %ux%u: %zu gates, %zu collapsed faults, "
-              "%zu patterns, %u threads\n",
+              "%zu patterns, %u threads, avg event cone %.1f gates\n",
               width, width, nl.logic_gate_count(), faults.size(), n_patterns,
-              threads);
+              threads, cone);
 
-  std::vector<EngineRow> rows;
-  rows.push_back(time_engine("serial", faults.size(), serial_patterns, [&] {
-    return fault::simulate_serial(nl, faults, serial_ps);
-  }));
-  rows.push_back(time_engine("comb (PPSFP)", faults.size(), n_patterns, [&] {
-    return fault::simulate_comb(nl, faults, patterns);
-  }));
-  rows.push_back(time_engine("lane x1", faults.size(), n_patterns, [&] {
-    return fault::simulate_comb_parallel(nl, faults, patterns, {},
-                                         {.num_threads = 1,
-                                          .lane_parallel = true});
-  }));
-  rows.push_back(
-      time_engine("threaded block", faults.size(), n_patterns, [&] {
-        return fault::simulate_comb_parallel(nl, faults, patterns, {},
-                                             {.num_threads = threads,
-                                              .lane_parallel = false});
+  const Engine engines[] = {Engine::kReference, Engine::kCompiled,
+                            Engine::kEvent};
+  std::vector<BenchRow> rows;
+
+  // Serial oracle, reference engine only (anchor row; reduced patterns).
+  rows.push_back(time_config(
+      "serial_reference", "serial", Engine::kReference, faults.size(),
+      serial_patterns, [&] {
+        return fault::simulate_serial(nl, faults, serial_ps, {},
+                                      Engine::kReference);
       }));
-  rows.push_back(time_engine("threaded lane", faults.size(), n_patterns, [&] {
-    return fault::simulate_comb_parallel(nl, faults, patterns, {},
-                                         {.num_threads = threads,
-                                          .lane_parallel = true});
-  }));
 
-  Table t({"Engine", "Patterns", "Seconds", "Faults x pat / s", "Detected"});
-  for (const EngineRow& r : rows) {
-    t.add_row({r.name, Table::num(static_cast<std::uint64_t>(r.patterns)),
+  for (Engine e : engines) {
+    const std::string en = fault::engine_name(e);
+    rows.push_back(time_config(
+        "comb_" + en, "comb x1", e, faults.size(), n_patterns,
+        [&] { return fault::simulate_comb(nl, faults, patterns, {}, e); }));
+    for (bool lanes : {false, true}) {
+      fault::SimOptions opt;
+      opt.num_threads = threads;
+      opt.lane_parallel = lanes;
+      opt.engine = e;
+      const char* sched = lanes ? "lane" : "block";
+      rows.push_back(time_config(
+          std::string(sched) + "_" + en,
+          std::string("threaded ") + sched, e, faults.size(), n_patterns,
+          [&] {
+            return fault::simulate_comb_parallel(nl, faults, patterns, {},
+                                                 opt);
+          }));
+    }
+  }
+
+  Table t({"Config", "Engine", "Patterns", "Seconds", "Faults x pat / s",
+           "Detected"});
+  for (const BenchRow& r : rows) {
+    t.add_row({r.label, r.engine,
+               Table::num(static_cast<std::uint64_t>(r.patterns)),
                Table::num(r.seconds, 3), Table::num(r.throughput, 0),
                Table::num(static_cast<std::uint64_t>(r.detected))});
   }
   t.print();
 
-  // All full-pattern engines must agree (the serial row uses fewer patterns).
+  // Every full-pattern configuration must agree flag-for-flag (the serial
+  // row uses fewer patterns and is excluded).
   for (std::size_t i = 2; i < rows.size(); ++i) {
-    if (rows[i].detected != rows[1].detected) {
-      std::fprintf(stderr, "FAIL: %s detected %zu != comb %zu\n",
-                   rows[i].name.c_str(), rows[i].detected, rows[1].detected);
+    if (rows[i].flags != rows[1].flags) {
+      std::fprintf(stderr, "FAIL: %s flags differ from %s\n",
+                   rows[i].key.c_str(), rows[1].key.c_str());
       return 1;
     }
   }
 
-  const double comb_s = rows[1].seconds;
-  const double speedup_block = comb_s / rows[3].seconds;
-  const double speedup_lane = comb_s / rows[4].seconds;
-  std::printf("speedup vs comb: threaded block %.2fx, threaded lane %.2fx\n",
-              speedup_block, speedup_lane);
+  const double ref_comb_s = rows[1].seconds;  // comb_reference
+  double event_comb_s = 0;
+  for (const BenchRow& r : rows) {
+    if (r.key == "comb_event") event_comb_s = r.seconds;
+  }
+  const double speedup_event = ref_comb_s / event_comb_s;
+  std::printf("single-thread event vs reference: %.2fx\n", speedup_event);
 
   std::FILE* json = std::fopen("BENCH_faultsim.json", "w");
   if (!json) {
@@ -146,25 +202,24 @@ int main(int argc, char** argv) {
                "  \"faults\": %zu,\n"
                "  \"patterns\": %zu,\n"
                "  \"threads\": %u,\n"
+               "  \"avg_active_cone\": %.2f,\n"
                "  \"engines\": {\n",
                width, nl.logic_gate_count(), faults.size(), n_patterns,
-               threads);
-  const char* keys[] = {"serial", "comb", "lane_x1", "threaded_block",
-                        "threaded_lane"};
+               threads, cone);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(json,
-                 "    \"%s\": {\"patterns\": %zu, \"seconds\": %.6f, "
-                 "\"throughput\": %.0f, \"detected\": %zu}%s\n",
-                 keys[i], rows[i].patterns, rows[i].seconds,
-                 rows[i].throughput, rows[i].detected,
-                 i + 1 < rows.size() ? "," : "");
+                 "    \"%s\": {\"engine\": \"%s\", \"patterns\": %zu, "
+                 "\"seconds\": %.6f, \"throughput\": %.0f, "
+                 "\"detected\": %zu}%s\n",
+                 rows[i].key.c_str(), rows[i].engine.c_str(),
+                 rows[i].patterns, rows[i].seconds, rows[i].throughput,
+                 rows[i].detected, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json,
                "  },\n"
-               "  \"speedup_threaded_block_vs_comb\": %.3f,\n"
-               "  \"speedup_threaded_lane_vs_comb\": %.3f\n"
+               "  \"speedup_event_vs_reference\": %.3f\n"
                "}\n",
-               speedup_block, speedup_lane);
+               speedup_event);
   std::fclose(json);
   std::puts("wrote BENCH_faultsim.json");
   return 0;

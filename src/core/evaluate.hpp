@@ -95,8 +95,9 @@ struct EvalOptions {
   /// Include the A-VC MAR outputs as observation points (ablation: what the
   /// paper deliberately leaves untested in periodic mode).
   bool observe_address_outputs = false;
-  /// Fault-simulation engine options (thread count, lane packing). Results
-  /// are bitwise-identical for every thread count.
+  /// Fault-simulation options (evaluation engine, thread count, lane
+  /// packing). Results are bitwise-identical for every engine and thread
+  /// count.
   fault::SimOptions sim{};
   sim::CpuConfig cpu{};
   std::uint64_t max_instructions = 1u << 22;

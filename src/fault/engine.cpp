@@ -1,0 +1,37 @@
+#include "fault/engine.hpp"
+
+#include <cstdlib>
+
+namespace sbst::fault {
+
+const char* engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::kReference: return "reference";
+    case Engine::kCompiled: return "compiled";
+    case Engine::kEvent: return "event";
+  }
+  return "?";
+}
+
+bool parse_engine(const std::string& name, Engine& out) {
+  if (name == "reference") {
+    out = Engine::kReference;
+  } else if (name == "compiled") {
+    out = Engine::kCompiled;
+  } else if (name == "event") {
+    out = Engine::kEvent;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Engine default_engine() {
+  if (const char* env = std::getenv("SBST_ENGINE")) {
+    Engine e;
+    if (parse_engine(env, e)) return e;
+  }
+  return Engine::kEvent;
+}
+
+}  // namespace sbst::fault

@@ -1,0 +1,42 @@
+// Fault-simulation engine selection.
+//
+// Every simulator in sim.hpp / sim_parallel.hpp grades the same contract
+// with one of three interchangeable evaluation engines; detection flags are
+// bitwise-identical across engines for any netlist, stimulus, observe set,
+// thread count, and lane packing:
+//
+//  * kReference: the original Evaluator — full topo-order re-evaluation per
+//    eval(), hash-map pin forces. The oracle the fast engines are
+//    cross-checked against.
+//  * kCompiled:  CompiledEvaluator with event-driving disabled — one
+//    contiguous levelized SoA sweep per eval(), dense force arrays. Isolates
+//    the win from compilation alone.
+//  * kEvent:     CompiledEvaluator in event-driven mode — after the
+//    good-machine pass each injected fault re-simulates only its fanout
+//    cone, and faults whose cone cannot reach the observe set are skipped
+//    up front. The production default.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sbst::fault {
+
+enum class Engine : std::uint8_t {
+  kReference,
+  kCompiled,
+  kEvent,
+};
+
+/// "reference", "compiled", or "event".
+const char* engine_name(Engine engine);
+
+/// Parses an engine name; returns false (and leaves `out` untouched) on an
+/// unknown name.
+bool parse_engine(const std::string& name, Engine& out);
+
+/// Engine used when none is requested explicitly: the SBST_ENGINE
+/// environment variable if it names one, else kEvent.
+Engine default_engine();
+
+}  // namespace sbst::fault

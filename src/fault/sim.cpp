@@ -3,9 +3,12 @@
 #include <stdexcept>
 
 #include "fault/sim_detail.hpp"
+#include "netlist/compiled.hpp"
 
 namespace sbst::fault {
 
+using netlist::CompiledEvaluator;
+using netlist::CompiledNetlist;
 using netlist::Evaluator;
 using netlist::Netlist;
 using netlist::NetId;
@@ -28,56 +31,43 @@ void require_combinational(const Netlist& nl, const char* who) {
   }
 }
 
-void apply_block(Evaluator& ev, const PatternSet& patterns, std::size_t b) {
-  const auto& words = patterns.block(b);
-  const auto& inputs = patterns.netlist().inputs();
-  for (std::size_t k = 0; k < inputs.size(); ++k) {
-    ev.set_input_word(inputs[k], words[k]);
-  }
-}
-
-void apply_pattern_broadcast(Evaluator& ev, const PatternSet& patterns,
-                             std::size_t p) {
-  const auto& words = patterns.block(p / 64);
-  const unsigned lane = p % 64;
-  const auto& inputs = patterns.netlist().inputs();
-  for (std::size_t k = 0; k < inputs.size(); ++k) {
-    ev.set_input(inputs[k], (words[k] >> lane) & 1u);
-  }
-}
-
 }  // namespace detail
+
+namespace {
+
+/// Runs `grade(ev, reach)` with the evaluator the engine calls for: the
+/// reference Evaluator (no prefilter), or a CompiledEvaluator — full-sweep
+/// or event-driven — with the observe-cone prefilter.
+template <typename GradeFn>
+void with_engine(Engine engine, const Netlist& nl, const ObserveSet& observe,
+                 const GradeFn& grade) {
+  if (engine == Engine::kReference) {
+    Evaluator ev(nl);
+    grade(ev, static_cast<const std::uint8_t*>(nullptr));
+  } else {
+    const CompiledNetlist cn(nl);
+    const std::vector<std::uint8_t> reach = cn.fanin_cone(observe);
+    CompiledEvaluator ev(cn, /*event_driven=*/engine == Engine::kEvent);
+    grade(ev, reach.data());
+  }
+}
+
+}  // namespace
 
 CoverageResult simulate_serial(const Netlist& nl,
                                const std::vector<Fault>& faults,
                                const PatternSet& patterns,
-                               const ObserveSet& observe_in) {
+                               const ObserveSet& observe_in, Engine engine) {
   detail::require_combinational(nl, "simulate_serial");
   const ObserveSet observe = detail::resolve_observe(nl, observe_in);
 
   CoverageResult res;
   res.total = faults.size();
   res.detected_flags.assign(faults.size(), 0);
-
-  Evaluator good(nl);
-  Evaluator bad(nl);
-  for (std::size_t p = 0; p < patterns.size(); ++p) {
-    detail::apply_pattern_broadcast(good, patterns, p);
-    detail::apply_pattern_broadcast(bad, patterns, p);
-    good.eval();
-    for (std::size_t f = 0; f < faults.size(); ++f) {
-      if (res.detected_flags[f]) continue;
-      bad.clear_faults();
-      bad.inject(faults[f].site, faults[f].stuck_value, ~std::uint64_t{0});
-      bad.eval();
-      for (NetId out : observe) {
-        if ((good.value(out) ^ bad.value(out)) & 1u) {
-          res.detected_flags[f] = 1;
-          break;
-        }
-      }
-    }
-  }
+  with_engine(engine, nl, observe, [&](auto& ev, const std::uint8_t* reach) {
+    detail::grade_serial(ev, faults, patterns, observe, reach,
+                         res.detected_flags.data());
+  });
   res.recount();
   return res;
 }
@@ -85,39 +75,17 @@ CoverageResult simulate_serial(const Netlist& nl,
 CoverageResult simulate_comb(const Netlist& nl,
                              const std::vector<Fault>& faults,
                              const PatternSet& patterns,
-                             const ObserveSet& observe_in) {
+                             const ObserveSet& observe_in, Engine engine) {
   detail::require_combinational(nl, "simulate_comb");
   const ObserveSet observe = detail::resolve_observe(nl, observe_in);
 
   CoverageResult res;
   res.total = faults.size();
   res.detected_flags.assign(faults.size(), 0);
-
-  Evaluator good(nl);
-  Evaluator bad(nl);
-  std::vector<std::uint64_t> good_out(observe.size());
-
-  for (std::size_t b = 0; b < patterns.block_count(); ++b) {
-    const std::uint64_t valid = patterns.valid_lanes(b);
-    detail::apply_block(good, patterns, b);
-    detail::apply_block(bad, patterns, b);
-    good.eval();
-    for (std::size_t o = 0; o < observe.size(); ++o) {
-      good_out[o] = good.value(observe[o]);
-    }
-    for (std::size_t f = 0; f < faults.size(); ++f) {
-      if (res.detected_flags[f]) continue;  // fault dropping
-      bad.clear_faults();
-      bad.inject(faults[f].site, faults[f].stuck_value, ~std::uint64_t{0});
-      bad.eval();
-      for (std::size_t o = 0; o < observe.size(); ++o) {
-        if ((good_out[o] ^ bad.value(observe[o])) & valid) {
-          res.detected_flags[f] = 1;
-          break;
-        }
-      }
-    }
-  }
+  with_engine(engine, nl, observe, [&](auto& ev, const std::uint8_t* reach) {
+    detail::grade_comb(ev, faults, patterns, observe, reach,
+                       res.detected_flags.data());
+  });
   res.recount();
   return res;
 }
@@ -125,43 +93,16 @@ CoverageResult simulate_comb(const Netlist& nl,
 CoverageResult simulate_seq(const Netlist& nl,
                             const std::vector<Fault>& faults,
                             const SeqStimulus& stimulus,
-                            const ObserveSet& observe_in) {
+                            const ObserveSet& observe_in, Engine engine) {
   const ObserveSet observe = detail::resolve_observe(nl, observe_in);
 
   CoverageResult res;
   res.total = faults.size();
   res.detected_flags.assign(faults.size(), 0);
-
-  const auto& inputs = nl.inputs();
-  Evaluator ev(nl);
-
-  // Batches of 63 faults; lane 0 is the fault-free machine.
-  for (std::size_t base = 0; base < faults.size(); base += 63) {
-    const std::size_t batch = std::min<std::size_t>(63, faults.size() - base);
-    ev.clear_faults();
-    ev.reset_state(false);
-    for (std::size_t j = 0; j < batch; ++j) {
-      const Fault& f = faults[base + j];
-      ev.inject(f.site, f.stuck_value, std::uint64_t{1} << (j + 1));
-    }
-    std::uint64_t detected_lanes = 0;
-    for (std::size_t c = 0; c < stimulus.size(); ++c) {
-      for (std::size_t k = 0; k < inputs.size(); ++k) {
-        ev.set_input(inputs[k], stimulus.input_bit(c, k));
-      }
-      ev.step();
-      if (stimulus.observed(c)) {
-        for (NetId out : observe) {
-          detected_lanes |= ev.diff_mask(out, 0);
-        }
-      }
-    }
-    for (std::size_t j = 0; j < batch; ++j) {
-      if ((detected_lanes >> (j + 1)) & 1u) {
-        res.detected_flags[base + j] = 1;
-      }
-    }
-  }
+  with_engine(engine, nl, observe, [&](auto& ev, const std::uint8_t* reach) {
+    detail::grade_seq_batches(ev, faults, 0, faults.size(), stimulus, observe,
+                              reach, res.detected_flags.data());
+  });
   res.recount();
   return res;
 }

@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/engine.hpp"
 #include "fault/fault.hpp"
 #include "fault/pattern.hpp"
 
@@ -31,20 +32,27 @@ namespace sbst::fault {
 /// outputs a self-test routine actually propagates). Empty = all outputs.
 using ObserveSet = std::vector<netlist::NetId>;
 
+// Each simulator accepts an evaluation Engine (engine.hpp). The default is
+// kReference so these remain the oracles the fast paths are cross-checked
+// against; detection flags are bitwise-identical for every engine.
+
 CoverageResult simulate_serial(const netlist::Netlist& nl,
                                const std::vector<Fault>& faults,
                                const PatternSet& patterns,
-                               const ObserveSet& observe = {});
+                               const ObserveSet& observe = {},
+                               Engine engine = Engine::kReference);
 
 CoverageResult simulate_comb(const netlist::Netlist& nl,
                              const std::vector<Fault>& faults,
                              const PatternSet& patterns,
-                             const ObserveSet& observe = {});
+                             const ObserveSet& observe = {},
+                             Engine engine = Engine::kReference);
 
 CoverageResult simulate_seq(const netlist::Netlist& nl,
                             const std::vector<Fault>& faults,
                             const SeqStimulus& stimulus,
-                            const ObserveSet& observe = {});
+                            const ObserveSet& observe = {},
+                            Engine engine = Engine::kReference);
 
 /// Fault-free responses of a combinational netlist: for each pattern, the
 /// value of each observed output net (packed per pattern in pattern order).

@@ -1,10 +1,26 @@
 // Helpers shared by the serial (sim.cpp) and parallel (sim_parallel.cpp)
 // fault-simulation engines. Internal to src/fault.
+//
+// The grading loops are templated on the evaluator type so every simulator
+// runs unchanged on the reference Evaluator, the compiled full-sweep
+// evaluator, and the event-driven evaluator (see engine.hpp). They follow a
+// single-evaluator discipline — good-machine pass, then per fault
+// inject / eval / observe / clear_faults — which the event-driven engine
+// turns into one fanout-cone propagation plus an O(touched) revert per
+// fault. `reach` (nullable) is the output-cone prefilter: a fault whose
+// site cannot structurally reach the observe set is skipped, which cannot
+// change its detection flag (it would never be detected anyway).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
+#include "common/bits.hpp"
+#include "fault/fault.hpp"
 #include "fault/pattern.hpp"
+#include "netlist/compiled.hpp"
 #include "netlist/eval.hpp"
 #include "netlist/netlist.hpp"
 
@@ -21,12 +37,182 @@ ObserveSet resolve_observe(const netlist::Netlist& nl,
 void require_combinational(const netlist::Netlist& nl, const char* who);
 
 /// Loads pattern block `b` (64 packed patterns) into the evaluator's inputs.
-void apply_block(netlist::Evaluator& ev, const PatternSet& patterns,
-                 std::size_t b);
+template <class Ev>
+void apply_block(Ev& ev, const PatternSet& patterns, std::size_t b) {
+  const auto& words = patterns.block(b);
+  const auto& inputs = patterns.netlist().inputs();
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    ev.set_input_word(inputs[k], words[k]);
+  }
+}
 
 /// Loads the single pattern `p` broadcast into all 64 lanes.
-void apply_pattern_broadcast(netlist::Evaluator& ev,
-                             const PatternSet& patterns, std::size_t p);
+template <class Ev>
+void apply_pattern_broadcast(Ev& ev, const PatternSet& patterns,
+                             std::size_t p) {
+  const auto& words = patterns.block(p / 64);
+  const unsigned lane = p % 64;
+  const auto& inputs = patterns.netlist().inputs();
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    ev.set_input(inputs[k], (words[k] >> lane) & 1u);
+  }
+}
+
+/// One fault at a time, one broadcast pattern at a time (the serial oracle's
+/// loop structure).
+template <class Ev>
+void grade_serial(Ev& ev, const std::vector<Fault>& faults,
+                  const PatternSet& patterns, const ObserveSet& observe,
+                  const std::uint8_t* reach, std::uint8_t* flags) {
+  std::vector<std::uint64_t> good_out(observe.size());
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    apply_pattern_broadcast(ev, patterns, p);
+    ev.eval();
+    for (std::size_t o = 0; o < observe.size(); ++o) {
+      good_out[o] = ev.value(observe[o]);
+    }
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (flags[f]) continue;
+      if (reach && !reach[faults[f].site.gate]) continue;
+      ev.inject(faults[f].site, faults[f].stuck_value, ~std::uint64_t{0});
+      ev.eval();
+      for (std::size_t o = 0; o < observe.size(); ++o) {
+        if ((good_out[o] ^ ev.value(observe[o])) & 1u) {
+          flags[f] = 1;
+          break;
+        }
+      }
+      ev.clear_faults();
+    }
+  }
+}
+
+/// PPSFP over all blocks: good pass per block, then one faulty eval per
+/// undetected fault with fault dropping.
+template <class Ev>
+void grade_comb(Ev& ev, const std::vector<Fault>& faults,
+                const PatternSet& patterns, const ObserveSet& observe,
+                const std::uint8_t* reach, std::uint8_t* flags) {
+  std::vector<std::uint64_t> good_out(observe.size());
+  for (std::size_t b = 0; b < patterns.block_count(); ++b) {
+    const std::uint64_t valid = patterns.valid_lanes(b);
+    apply_block(ev, patterns, b);
+    ev.eval();
+    for (std::size_t o = 0; o < observe.size(); ++o) {
+      good_out[o] = ev.value(observe[o]);
+    }
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (flags[f]) continue;  // fault dropping
+      if (reach && !reach[faults[f].site.gate]) continue;
+      ev.inject(faults[f].site, faults[f].stuck_value, ~std::uint64_t{0});
+      ev.eval();
+      for (std::size_t o = 0; o < observe.size(); ++o) {
+        if ((good_out[o] ^ ev.value(observe[o])) & valid) {
+          flags[f] = 1;
+          break;
+        }
+      }
+      ev.clear_faults();
+    }
+  }
+}
+
+/// PPSFP over faults [begin, end) against fault-free responses precomputed
+/// once for all workers (the threaded block engine's inner loop).
+template <class Ev>
+void grade_comb_blocks(
+    Ev& ev, const std::vector<Fault>& faults, std::size_t begin,
+    std::size_t end, const PatternSet& patterns, const ObserveSet& observe,
+    const std::vector<std::vector<std::uint64_t>>& good_out,
+    const std::uint8_t* reach, std::uint8_t* flags) {
+  std::size_t undetected = end - begin;
+  for (std::size_t b = 0; b < patterns.block_count() && undetected > 0; ++b) {
+    const std::uint64_t valid = patterns.valid_lanes(b);
+    apply_block(ev, patterns, b);
+    ev.eval();  // good-machine baseline (the event engine branches from it)
+    for (std::size_t f = begin; f < end; ++f) {
+      if (flags[f]) continue;  // fault dropping
+      if (reach && !reach[faults[f].site.gate]) continue;
+      ev.inject(faults[f].site, faults[f].stuck_value, ~std::uint64_t{0});
+      ev.eval();
+      for (std::size_t o = 0; o < observe.size(); ++o) {
+        if ((good_out[b][o] ^ ev.value(observe[o])) & valid) {
+          flags[f] = 1;
+          --undetected;
+          break;
+        }
+      }
+      ev.clear_faults();
+    }
+  }
+}
+
+/// Lane-packed grading of faults [begin, end): lane 0 is the fault-free
+/// machine, lanes 1..63 carry faulty machines, each pattern is broadcast
+/// into all lanes. Batch-level fault dropping: a batch stops consuming
+/// patterns once every injected lane has been detected.
+template <class Ev>
+void grade_comb_lanes(Ev& ev, const std::vector<Fault>& faults,
+                      std::size_t begin, std::size_t end,
+                      const PatternSet& patterns, const ObserveSet& observe,
+                      const std::uint8_t* reach, std::uint8_t* flags) {
+  for (std::size_t base = begin; base < end; base += 63) {
+    const std::size_t batch = std::min<std::size_t>(63, end - base);
+    ev.clear_faults();
+    std::uint64_t batch_lanes = 0;
+    for (std::size_t j = 0; j < batch; ++j) {
+      const Fault& f = faults[base + j];
+      if (reach && !reach[f.site.gate]) continue;
+      ev.inject(f.site, f.stuck_value, std::uint64_t{1} << (j + 1));
+      batch_lanes |= std::uint64_t{1} << (j + 1);
+    }
+    std::uint64_t detected = 0;
+    for (std::size_t p = 0;
+         p < patterns.size() && (detected & batch_lanes) != batch_lanes;
+         ++p) {
+      apply_pattern_broadcast(ev, patterns, p);
+      ev.eval();
+      for (netlist::NetId out : observe) detected |= ev.diff_mask(out, 0);
+    }
+    for (std::size_t j = 0; j < batch; ++j) {
+      if ((detected >> (j + 1)) & 1u) flags[base + j] = 1;
+    }
+  }
+}
+
+/// simulate_seq's 63-faults-per-batch parallel-fault loop over [begin, end).
+template <class Ev>
+void grade_seq_batches(Ev& ev, const std::vector<Fault>& faults,
+                       std::size_t begin, std::size_t end,
+                       const SeqStimulus& stimulus, const ObserveSet& observe,
+                       const std::uint8_t* reach, std::uint8_t* flags) {
+  const auto& inputs = ev.netlist().inputs();
+  for (std::size_t base = begin; base < end; base += 63) {
+    const std::size_t batch = std::min<std::size_t>(63, end - base);
+    ev.clear_faults();
+    ev.reset_state(false);
+    for (std::size_t j = 0; j < batch; ++j) {
+      const Fault& f = faults[base + j];
+      if (reach && !reach[f.site.gate]) continue;
+      ev.inject(f.site, f.stuck_value, std::uint64_t{1} << (j + 1));
+    }
+    std::uint64_t detected_lanes = 0;
+    for (std::size_t c = 0; c < stimulus.size(); ++c) {
+      for (std::size_t k = 0; k < inputs.size(); ++k) {
+        ev.set_input(inputs[k], stimulus.input_bit(c, k));
+      }
+      ev.step();
+      if (stimulus.observed(c)) {
+        for (netlist::NetId out : observe) {
+          detected_lanes |= ev.diff_mask(out, 0);
+        }
+      }
+    }
+    for (std::size_t j = 0; j < batch; ++j) {
+      if ((detected_lanes >> (j + 1)) & 1u) flags[base + j] = 1;
+    }
+  }
+}
 
 }  // namespace detail
 }  // namespace sbst::fault

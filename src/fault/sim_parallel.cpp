@@ -1,12 +1,16 @@
 #include "fault/sim_parallel.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/bits.hpp"
 #include "fault/sim_detail.hpp"
+#include "netlist/compiled.hpp"
 
 namespace sbst::fault {
 
+using netlist::CompiledEvaluator;
+using netlist::CompiledNetlist;
 using netlist::Evaluator;
 using netlist::NetId;
 using netlist::Netlist;
@@ -15,102 +19,41 @@ namespace {
 
 // Faults per fault-partitioned task. A multiple of 63 keeps the lane-packed
 // batches full; small enough that static striding load-balances fault
-// dropping, large enough to amortize per-task Evaluator construction.
+// dropping, large enough to amortize per-task evaluator construction.
 constexpr std::size_t kChunkFaults = 63 * 16;
 
-/// Lane-packed grading of faults [begin, end): lane 0 is the fault-free
-/// machine, lanes 1..63 carry faulty machines, each pattern is broadcast
-/// into all lanes. Batch-level fault dropping: a batch stops consuming
-/// patterns once every lane has been detected.
-void grade_comb_lanes(const Netlist& nl, const std::vector<Fault>& faults,
-                      std::size_t begin, std::size_t end,
-                      const PatternSet& patterns, const ObserveSet& observe,
-                      std::uint8_t* flags) {
-  Evaluator ev(nl);
-  for (std::size_t base = begin; base < end; base += 63) {
-    const std::size_t batch = std::min<std::size_t>(63, end - base);
-    const std::uint64_t batch_lanes =
-        low_mask(static_cast<unsigned>(batch)) << 1;
-    ev.clear_faults();
-    for (std::size_t j = 0; j < batch; ++j) {
-      const Fault& f = faults[base + j];
-      ev.inject(f.site, f.stuck_value, std::uint64_t{1} << (j + 1));
-    }
-    std::uint64_t detected = 0;
-    for (std::size_t p = 0;
-         p < patterns.size() && (detected & batch_lanes) != batch_lanes;
-         ++p) {
-      detail::apply_pattern_broadcast(ev, patterns, p);
-      ev.eval();
-      for (NetId out : observe) detected |= ev.diff_mask(out, 0);
-    }
-    for (std::size_t j = 0; j < batch; ++j) {
-      if ((detected >> (j + 1)) & 1u) flags[base + j] = 1;
+/// Shared per-run engine context: the compiled program and observe-cone
+/// prefilter are built once (for the compiled engines) and shared read-only
+/// by every worker; each task then constructs its own evaluator.
+struct EngineContext {
+  EngineContext(Engine engine, const Netlist& nl, const ObserveSet& observe)
+      : engine(engine), nl(nl) {
+    if (engine != Engine::kReference) {
+      compiled.emplace(nl);
+      reach_store = compiled->fanin_cone(observe);
+      reach = reach_store.data();
     }
   }
-}
 
-/// Pattern-packed grading of faults [begin, end): classic PPSFP — 64 packed
-/// patterns per block, one faulty eval per undetected fault per block —
-/// against fault-free responses precomputed once for all workers.
-void grade_comb_blocks(const Netlist& nl, const std::vector<Fault>& faults,
-                       std::size_t begin, std::size_t end,
-                       const PatternSet& patterns, const ObserveSet& observe,
-                       const std::vector<std::vector<std::uint64_t>>& good_out,
-                       std::uint8_t* flags) {
-  Evaluator bad(nl);
-  std::size_t undetected = end - begin;
-  for (std::size_t b = 0; b < patterns.block_count() && undetected > 0; ++b) {
-    const std::uint64_t valid = patterns.valid_lanes(b);
-    detail::apply_block(bad, patterns, b);
-    for (std::size_t f = begin; f < end; ++f) {
-      if (flags[f]) continue;  // fault dropping
-      bad.clear_faults();
-      bad.inject(faults[f].site, faults[f].stuck_value, ~std::uint64_t{0});
-      bad.eval();
-      for (std::size_t o = 0; o < observe.size(); ++o) {
-        if ((good_out[b][o] ^ bad.value(observe[o])) & valid) {
-          flags[f] = 1;
-          --undetected;
-          break;
-        }
-      }
+  /// Calls grade(ev, reach) on a freshly built evaluator for this engine.
+  template <typename GradeFn>
+  void grade_with_evaluator(const GradeFn& grade) const {
+    if (engine == Engine::kReference) {
+      Evaluator ev(nl);
+      grade(ev);
+    } else {
+      CompiledEvaluator ev(*compiled,
+                           /*event_driven=*/engine == Engine::kEvent);
+      grade(ev);
     }
   }
-}
 
-/// simulate_seq's 63-faults-per-batch parallel-fault loop over [begin, end).
-void grade_seq_batches(const Netlist& nl, const std::vector<Fault>& faults,
-                       std::size_t begin, std::size_t end,
-                       const SeqStimulus& stimulus, const ObserveSet& observe,
-                       std::uint8_t* flags) {
-  const auto& inputs = nl.inputs();
-  Evaluator ev(nl);
-  for (std::size_t base = begin; base < end; base += 63) {
-    const std::size_t batch = std::min<std::size_t>(63, end - base);
-    ev.clear_faults();
-    ev.reset_state(false);
-    for (std::size_t j = 0; j < batch; ++j) {
-      const Fault& f = faults[base + j];
-      ev.inject(f.site, f.stuck_value, std::uint64_t{1} << (j + 1));
-    }
-    std::uint64_t detected_lanes = 0;
-    for (std::size_t c = 0; c < stimulus.size(); ++c) {
-      for (std::size_t k = 0; k < inputs.size(); ++k) {
-        ev.set_input(inputs[k], stimulus.input_bit(c, k));
-      }
-      ev.step();
-      if (stimulus.observed(c)) {
-        for (NetId out : observe) {
-          detected_lanes |= ev.diff_mask(out, 0);
-        }
-      }
-    }
-    for (std::size_t j = 0; j < batch; ++j) {
-      if ((detected_lanes >> (j + 1)) & 1u) flags[base + j] = 1;
-    }
-  }
-}
+  Engine engine;
+  const Netlist& nl;
+  std::optional<CompiledNetlist> compiled;
+  std::vector<std::uint8_t> reach_store;
+  const std::uint8_t* reach = nullptr;
+};
 
 /// Partitions [0, n_faults) into kChunkFaults-sized slices and runs
 /// grade(begin, end) for each on the pool. Slices are disjoint, so workers
@@ -147,29 +90,37 @@ CoverageResult simulate_comb_parallel(const Netlist& nl,
     return res;
   }
 
+  const EngineContext ctx(options.engine, nl, observe);
+
   if (options.lane_parallel) {
     run_partitioned(faults.size(), options.num_threads,
                     [&](std::size_t begin, std::size_t end) {
-                      grade_comb_lanes(nl, faults, begin, end, patterns,
-                                       observe, res.detected_flags.data());
+                      ctx.grade_with_evaluator([&](auto& ev) {
+                        detail::grade_comb_lanes(ev, faults, begin, end,
+                                                 patterns, observe, ctx.reach,
+                                                 res.detected_flags.data());
+                      });
                     });
   } else {
     // Fault-free responses, computed once and shared read-only.
     std::vector<std::vector<std::uint64_t>> good_out(patterns.block_count());
-    Evaluator good(nl);
-    for (std::size_t b = 0; b < patterns.block_count(); ++b) {
-      detail::apply_block(good, patterns, b);
-      good.eval();
-      good_out[b].resize(observe.size());
-      for (std::size_t o = 0; o < observe.size(); ++o) {
-        good_out[b][o] = good.value(observe[o]);
+    ctx.grade_with_evaluator([&](auto& good) {
+      for (std::size_t b = 0; b < patterns.block_count(); ++b) {
+        detail::apply_block(good, patterns, b);
+        good.eval();
+        good_out[b].resize(observe.size());
+        for (std::size_t o = 0; o < observe.size(); ++o) {
+          good_out[b][o] = good.value(observe[o]);
+        }
       }
-    }
+    });
     run_partitioned(faults.size(), options.num_threads,
                     [&](std::size_t begin, std::size_t end) {
-                      grade_comb_blocks(nl, faults, begin, end, patterns,
-                                        observe, good_out,
-                                        res.detected_flags.data());
+                      ctx.grade_with_evaluator([&](auto& ev) {
+                        detail::grade_comb_blocks(
+                            ev, faults, begin, end, patterns, observe,
+                            good_out, ctx.reach, res.detected_flags.data());
+                      });
                     });
   }
   res.recount();
@@ -192,10 +143,15 @@ CoverageResult simulate_seq_parallel(const Netlist& nl,
     return res;
   }
 
+  const EngineContext ctx(options.engine, nl, observe);
+
   run_partitioned(faults.size(), options.num_threads,
                   [&](std::size_t begin, std::size_t end) {
-                    grade_seq_batches(nl, faults, begin, end, stimulus,
-                                      observe, res.detected_flags.data());
+                    ctx.grade_with_evaluator([&](auto& ev) {
+                      detail::grade_seq_batches(ev, faults, begin, end,
+                                                stimulus, observe, ctx.reach,
+                                                res.detected_flags.data());
+                    });
                   });
   res.recount();
   return res;

@@ -14,12 +14,18 @@
 //  * simulate_seq_parallel: sequential grading; workers run simulate_seq's
 //    63-faults-per-batch loop over disjoint fault slices.
 //
+// Both compose with the evaluation engines in engine.hpp: with a compiled
+// engine the netlist is compiled once and every worker runs its own
+// CompiledEvaluator over the shared immutable program.
+//
 // Determinism: a fault's detection flag depends only on that fault, the
-// netlist, and the stimulus — never on which lane, batch, or thread graded
-// it — and workers write disjoint slices of one shared flag vector. Results
-// are therefore bitwise-identical for every thread count, including 1.
+// netlist, and the stimulus — never on which lane, batch, thread, or engine
+// graded it — and workers write disjoint slices of one shared flag vector.
+// Results are therefore bitwise-identical for every thread count, including
+// 1, and for every engine.
 #pragma once
 
+#include "fault/engine.hpp"
 #include "fault/sim.hpp"
 #include "fault/thread_pool.hpp"
 
@@ -32,6 +38,10 @@ struct SimOptions {
   /// Pack 63 faults + the good machine into the 64 bit-lanes per eval() for
   /// combinational grading (detection flags are identical either way).
   bool lane_parallel = true;
+  /// Evaluation engine (detection flags are identical for every choice).
+  /// Defaults to the event-driven compiled engine, overridable via the
+  /// SBST_ENGINE environment variable.
+  Engine engine = default_engine();
 };
 
 CoverageResult simulate_comb_parallel(const netlist::Netlist& nl,

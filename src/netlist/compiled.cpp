@@ -1,0 +1,365 @@
+#include "netlist/compiled.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sbst::netlist {
+
+CompiledNetlist::CompiledNetlist(const Netlist& nl) : nl_(&nl) {
+  const std::size_t n = nl.size();
+  op_.resize(n);
+  in_.assign(n * 3, kNoNet);
+  level_.assign(n, 0);
+
+  for (NetId id = 0; id < n; ++id) {
+    const Gate& g = nl.gate(id);
+    op_[id] = static_cast<std::uint8_t>(g.kind);
+    for (unsigned p = 0; p < 3; ++p) in_[id * 3 + p] = g.in[p];
+    if (g.kind == GateKind::kDff) dffs_.push_back(id);
+  }
+
+  // Levels from the (cycle-checked) topological order. DFF outputs are
+  // sources: their D edge is sequential and does not contribute to depth.
+  for (NetId id : nl.topo_order()) {
+    const Gate& g = nl.gate(id);
+    if (g.kind == GateKind::kDff) continue;
+    const unsigned pins = fanin_count(g.kind);
+    std::uint32_t lvl = 0;
+    for (unsigned p = 0; p < pins; ++p) {
+      lvl = std::max(lvl, level_[g.in[p]] + 1);
+    }
+    level_[id] = lvl;
+  }
+
+  std::uint32_t max_level = 0;
+  for (NetId id = 0; id < n; ++id) max_level = std::max(max_level, level_[id]);
+  n_levels_ = n == 0 ? 0 : max_level + 1;
+
+  // Level-major, id-minor order via counting sort (deterministic and
+  // identical in effect to any valid topological order).
+  std::vector<std::uint32_t> level_count(n_levels_ + 1, 0);
+  for (NetId id = 0; id < n; ++id) ++level_count[level_[id] + 1];
+  for (unsigned l = 1; l <= n_levels_; ++l) level_count[l] += level_count[l - 1];
+  order_.resize(n);
+  {
+    std::vector<std::uint32_t> cursor(level_count.begin(),
+                                      level_count.end() - 1);
+    for (NetId id = 0; id < n; ++id) order_[cursor[level_[id]]++] = id;
+  }
+
+  // Fanout CSR over combinational edges only (DFF D edges are clocked by
+  // step(), never by value propagation).
+  fan_begin_.assign(n + 1, 0);
+  for (NetId id = 0; id < n; ++id) {
+    const GateKind kind = static_cast<GateKind>(op_[id]);
+    if (kind == GateKind::kDff) continue;
+    const unsigned pins = fanin_count(kind);
+    for (unsigned p = 0; p < pins; ++p) ++fan_begin_[in_[id * 3 + p] + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) fan_begin_[i] += fan_begin_[i - 1];
+  fan_.resize(fan_begin_[n]);
+  {
+    std::vector<std::uint32_t> cursor(fan_begin_.begin(), fan_begin_.end() - 1);
+    for (NetId id = 0; id < n; ++id) {
+      const GateKind kind = static_cast<GateKind>(op_[id]);
+      if (kind == GateKind::kDff) continue;
+      const unsigned pins = fanin_count(kind);
+      for (unsigned p = 0; p < pins; ++p) fan_[cursor[in_[id * 3 + p]]++] = id;
+    }
+  }
+}
+
+std::vector<std::uint8_t> CompiledNetlist::fanin_cone(
+    const std::vector<NetId>& roots) const {
+  std::vector<std::uint8_t> mask(size(), 0);
+  std::vector<NetId> stack;
+  for (NetId r : roots) {
+    if (r < mask.size() && !mask[r]) {
+      mask[r] = 1;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    const NetId g = stack.back();
+    stack.pop_back();
+    // DFF D edges are included: a fault can propagate into state and be
+    // observed on a later cycle.
+    const unsigned pins = fanin_count(static_cast<GateKind>(op_[g]));
+    for (unsigned p = 0; p < pins; ++p) {
+      const NetId src = in_[g * 3 + p];
+      if (src != kNoNet && !mask[src]) {
+        mask[src] = 1;
+        stack.push_back(src);
+      }
+    }
+  }
+  return mask;
+}
+
+CompiledEvaluator::CompiledEvaluator(
+    std::shared_ptr<const CompiledNetlist> owned, const CompiledNetlist& cn,
+    bool event_driven)
+    : owned_(std::move(owned)),
+      cn_(&cn),
+      event_driven_(event_driven),
+      values_(cn.size(), 0),
+      inputs_(cn.size(), 0),
+      state_(cn.size(), 0),
+      out_f0_(cn.size(), 0),
+      out_f1_(cn.size(), 0),
+      pin_f0_(cn.size() * 3, 0),
+      pin_f1_(cn.size() * 3, 0),
+      queue_(cn.levels()),
+      queued_(cn.size(), 0) {}
+
+CompiledEvaluator::CompiledEvaluator(const CompiledNetlist& cn,
+                                     bool event_driven)
+    : CompiledEvaluator(nullptr, cn, event_driven) {}
+
+CompiledEvaluator::CompiledEvaluator(const Netlist& nl, bool event_driven)
+    : CompiledEvaluator(std::make_shared<CompiledNetlist>(nl), event_driven) {}
+
+CompiledEvaluator::CompiledEvaluator(
+    std::shared_ptr<const CompiledNetlist> cn, bool event_driven)
+    : CompiledEvaluator(cn, *cn, event_driven) {}
+
+void CompiledEvaluator::set_bus(const Bus& bus, std::uint64_t value) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    set_input(bus[i], (value >> i) & 1u);
+  }
+}
+
+std::uint64_t CompiledEvaluator::bus_value(const Bus& bus,
+                                           unsigned lane) const {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    out |= ((values_[bus[i]] >> lane) & 1u) << i;
+  }
+  return out;
+}
+
+std::uint64_t CompiledEvaluator::diff_mask(NetId net, unsigned ref_lane) const {
+  const std::uint64_t v = values_[net];
+  const std::uint64_t ref = (v >> ref_lane) & 1u ? ~std::uint64_t{0} : 0;
+  return v ^ ref;
+}
+
+void CompiledEvaluator::schedule(NetId g) {
+  if (!queued_[g]) {
+    queued_[g] = 1;
+    queue_[cn_->level_[g]].push_back(g);
+    ++pending_;
+  }
+}
+
+void CompiledEvaluator::invalidate_undo() {
+  undo_active_ = false;
+  undo_.clear();
+}
+
+void CompiledEvaluator::set_input_word(NetId net, std::uint64_t word) {
+  if (inputs_[net] == word) return;
+  inputs_[net] = word;
+  // The baseline shifts under the injected faults; teardown must
+  // re-propagate instead of replaying stale words.
+  if (has_faults_) invalidate_undo();
+  if (event_driven_ && !full_pending_) schedule(net);
+}
+
+void CompiledEvaluator::inject(const Site& site, bool stuck_value,
+                               std::uint64_t lane_mask) {
+  if (!has_faults_) {
+    // Undo-log teardown is only sound when a fault-free baseline exists in
+    // values_: at least one eval() ran, and no input/state events are still
+    // waiting to be consumed (those would be replayed away with the fault).
+    undo_active_ = event_driven_ && !full_pending_ && pending_ == 0;
+    has_faults_ = true;
+  }
+  if (site.is_output()) {
+    if ((out_f0_[site.gate] | out_f1_[site.gate]) == 0) {
+      touched_out_.push_back(site.gate);
+    }
+    (stuck_value ? out_f1_ : out_f0_)[site.gate] |= lane_mask;
+  } else {
+    const std::uint32_t slot = site.gate * 3 + site.pin;
+    if ((pin_f0_[slot] | pin_f1_[slot]) == 0) touched_pin_.push_back(slot);
+    (stuck_value ? pin_f1_ : pin_f0_)[slot] |= lane_mask;
+  }
+  if (event_driven_ && !full_pending_) schedule(site.gate);
+}
+
+void CompiledEvaluator::clear_faults() {
+  if (!has_faults_) return;
+  if (undo_active_) {
+    // Every word perturbed since injection was recorded; restoring them in
+    // reverse overwrite order reinstates the fault-free baseline exactly.
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+      values_[it->first] = it->second;
+    }
+  } else if (event_driven_ && !full_pending_) {
+    // No replayable log (inputs/state moved, or a full sweep ran while the
+    // faults were active): re-propagate from the fault sites instead.
+    for (NetId g : touched_out_) schedule(g);
+    for (std::uint32_t slot : touched_pin_) schedule(slot / 3);
+  }
+  for (NetId g : touched_out_) out_f0_[g] = out_f1_[g] = 0;
+  for (std::uint32_t slot : touched_pin_) pin_f0_[slot] = pin_f1_[slot] = 0;
+  touched_out_.clear();
+  touched_pin_.clear();
+  invalidate_undo();
+  has_faults_ = false;
+}
+
+template <bool kForces>
+std::uint64_t CompiledEvaluator::compute(NetId g) const {
+  const NetId* in = &cn_->in_[g * 3];
+  const std::uint64_t* pf0 = &pin_f0_[g * 3];
+  const std::uint64_t* pf1 = &pin_f1_[g * 3];
+  auto pin = [&](unsigned p) {
+    std::uint64_t v = values_[in[p]];
+    if constexpr (kForces) {
+      v |= pf1[p];
+      v &= ~pf0[p];
+    }
+    return v;
+  };
+  std::uint64_t v;
+  switch (static_cast<GateKind>(cn_->op_[g])) {
+    case GateKind::kInput:
+      v = inputs_[g];
+      break;
+    case GateKind::kConst0:
+      v = 0;
+      break;
+    case GateKind::kConst1:
+      v = ~std::uint64_t{0};
+      break;
+    case GateKind::kDff:
+      // Matches the reference evaluator: DFFs ignore pin forces on D.
+      v = state_[g];
+      break;
+    case GateKind::kBuf:
+      v = pin(0);
+      break;
+    case GateKind::kNot:
+      v = ~pin(0);
+      break;
+    case GateKind::kAnd:
+      v = pin(0) & pin(1);
+      break;
+    case GateKind::kOr:
+      v = pin(0) | pin(1);
+      break;
+    case GateKind::kNand:
+      v = ~(pin(0) & pin(1));
+      break;
+    case GateKind::kNor:
+      v = ~(pin(0) | pin(1));
+      break;
+    case GateKind::kXor:
+      v = pin(0) ^ pin(1);
+      break;
+    case GateKind::kXnor:
+      v = ~(pin(0) ^ pin(1));
+      break;
+    case GateKind::kMux2: {
+      const std::uint64_t sel = pin(0);
+      v = (sel & pin(2)) | (~sel & pin(1));
+      break;
+    }
+    default:
+      throw std::logic_error("compiled eval: unknown gate kind");
+  }
+  if constexpr (kForces) {
+    v |= out_f1_[g];
+    v &= ~out_f0_[g];
+  }
+  return v;
+}
+
+template <bool kForces>
+void CompiledEvaluator::full_sweep() {
+  for (NetId g : cn_->order_) values_[g] = compute<kForces>(g);
+}
+
+void CompiledEvaluator::full_eval() {
+  if (has_faults_) {
+    full_sweep<true>();
+    // values_ now carry faulty words nobody recorded; a later undo replay
+    // would restore garbage.
+    invalidate_undo();
+  } else {
+    full_sweep<false>();
+  }
+  // The sweep subsumes any queued events.
+  for (auto& q : queue_) {
+    for (NetId g : q) queued_[g] = 0;
+    q.clear();
+  }
+  pending_ = 0;
+  full_pending_ = false;
+  gate_evals_ += cn_->size();
+}
+
+void CompiledEvaluator::event_eval() {
+  const std::size_t n_levels = queue_.size();
+  for (std::size_t lvl = 0; lvl < n_levels && pending_ > 0; ++lvl) {
+    std::vector<NetId>& q = queue_[lvl];
+    // Fanout targets land on strictly higher levels, so q is stable here.
+    for (NetId g : q) {
+      queued_[g] = 0;
+      --pending_;
+      ++gate_evals_;
+      const std::uint64_t v =
+          has_faults_ ? compute<true>(g) : compute<false>(g);
+      if (v == values_[g]) continue;
+      if (undo_active_) undo_.emplace_back(g, values_[g]);
+      values_[g] = v;
+      const std::uint32_t begin = cn_->fan_begin_[g];
+      const std::uint32_t end = cn_->fan_begin_[g + 1];
+      for (std::uint32_t e = begin; e < end; ++e) schedule(cn_->fan_[e]);
+    }
+    q.clear();
+  }
+}
+
+void CompiledEvaluator::eval() {
+  if (!event_driven_ || full_pending_) {
+    full_eval();
+  } else {
+    event_eval();
+  }
+}
+
+void CompiledEvaluator::step() {
+  eval();
+  bool state_changed = false;
+  for (NetId q : cn_->dffs_) {
+    const NetId d = cn_->in_[q * 3];
+    if (d == kNoNet) {
+      throw std::logic_error("eval: DFF with unconnected D input");
+    }
+    const std::uint64_t nd = values_[d];
+    if (state_[q] != nd) {
+      state_[q] = nd;
+      state_changed = true;
+      if (event_driven_ && !full_pending_) schedule(q);
+    }
+  }
+  if (state_changed && has_faults_) invalidate_undo();
+}
+
+void CompiledEvaluator::reset_state(bool value) {
+  const std::uint64_t w = value ? ~std::uint64_t{0} : 0;
+  bool state_changed = false;
+  for (NetId q : cn_->dffs_) {
+    if (state_[q] != w) {
+      state_[q] = w;
+      state_changed = true;
+      if (event_driven_ && !full_pending_) schedule(q);
+    }
+  }
+  if (state_changed && has_faults_) invalidate_undo();
+}
+
+}  // namespace sbst::netlist

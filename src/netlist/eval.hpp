@@ -90,6 +90,9 @@ class Evaluator {
   std::vector<std::uint64_t> state_;   // DFF state, indexed by net id
   std::vector<std::uint64_t> force0_;  // per-net stuck-at-0 lane masks
   std::vector<std::uint64_t> force1_;
+  // Nets with a nonzero force0_/force1_ entry, so clear_faults() reverts
+  // only what inject() touched instead of sweeping every net.
+  std::vector<NetId> touched_forces_;
   struct PinForce {
     std::uint64_t f0 = 0;
     std::uint64_t f1 = 0;

@@ -13,6 +13,8 @@
 //   --threads N / -j N   fault-simulation worker threads (also SBST_THREADS
 //                        env var; default: hardware concurrency)
 //   --no-lane-parallel   disable PPSFP lane packing of faults
+//   --engine NAME        evaluation engine: reference | compiled | event
+//                        (also SBST_ENGINE env var; default: event)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,7 +44,10 @@ int usage() {
       "options: --threads N | -j N   fault-sim worker threads (env "
       "SBST_THREADS;\n"
       "                              default: hardware concurrency)\n"
-      "         --no-lane-parallel   disable PPSFP lane packing of faults\n",
+      "         --no-lane-parallel   disable PPSFP lane packing of faults\n"
+      "         --engine NAME        reference | compiled | event (env "
+      "SBST_ENGINE;\n"
+      "                              default: event)\n",
       stderr);
   return 2;
 }
@@ -186,6 +191,14 @@ int main(int argc, char** argv) {
       sim.num_threads = static_cast<unsigned>(v);
     } else if (std::strcmp(a, "--no-lane-parallel") == 0) {
       sim.lane_parallel = false;
+    } else if (std::strcmp(a, "--engine") == 0 ||
+               std::strncmp(a, "--engine=", 9) == 0) {
+      const char* name = a[8] == '=' ? a + 9 : nullptr;
+      if (!name) {
+        if (i + 1 >= argc) return usage();
+        name = argv[++i];
+      }
+      if (!fault::parse_engine(name, sim.engine)) return usage();
     } else {
       args.push_back(a);
     }
