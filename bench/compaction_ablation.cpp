@@ -13,6 +13,7 @@
 #include "common/tablefmt.hpp"
 #include "core/inject.hpp"
 #include "core/program.hpp"
+#include "core/session.hpp"
 #include "core/tpg.hpp"
 #include "sim/cpu.hpp"
 
@@ -70,8 +71,10 @@ int main() {
   // escapes among faults whose results were actually corrupted.
   std::puts("\nAliasing under gate-level fault injection (sampled faults "
             "whose responses were corrupted at least once):");
-  const netlist::Netlist& alu = model.component(CutId::kAlu).netlist;
-  fault::FaultUniverse universe(alu);
+  // One session: the ALU universe is collapsed once and the compiled netlist
+  // is shared across all 80 injection campaigns.
+  GradingSession session(model);
+  const fault::FaultUniverse& universe = session.universe(CutId::kAlu);
   Rng rng(77);
   std::vector<fault::Fault> sample;
   for (int i = 0; i < 40; ++i) {
@@ -83,7 +86,7 @@ int main() {
     std::size_t corrupting = 0, detected = 0;
     for (const fault::Fault& f : sample) {
       const InjectionOutcome out =
-          run_with_injection(model, v.program, CutId::kAlu, f);
+          run_with_injection(session, v.program, CutId::kAlu, f);
       if (out.corrupted_results == 0) continue;  // never excited: not
                                                  // compaction's fault
       ++corrupting;

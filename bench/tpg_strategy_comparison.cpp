@@ -11,8 +11,9 @@
 #include "common/tablefmt.hpp"
 #include "core/codegen.hpp"
 #include "core/program.hpp"
+#include "core/session.hpp"
 #include "core/tpg.hpp"
-#include "fault/sim.hpp"
+#include "fault/sim_parallel.hpp"
 #include "sim/cpu.hpp"
 
 using namespace sbst;
@@ -22,13 +23,21 @@ namespace {
 
 struct CutUnderStudy {
   const char* name;
+  CutId id;
   const netlist::Netlist* nl;
   fault::ObserveSet observe;
 };
 
-double grade(const CutUnderStudy& cut, const fault::PatternSet& ps,
+// Grades on the session pool with the session's cached compiled netlist;
+// coverage percentages are identical to the serial reference grading.
+double grade(GradingSession& session, const CutUnderStudy& cut,
+             const fault::PatternSet& ps,
              const std::vector<fault::Fault>& faults) {
-  return fault::simulate_comb(*cut.nl, faults, ps, cut.observe).percent();
+  fault::SimOptions sim;
+  sim.pool = &session.pool();
+  sim.compiled = &session.compiled(cut.id);
+  return fault::simulate_comb_parallel(*cut.nl, faults, ps, cut.observe, sim)
+      .percent();
 }
 
 }  // namespace
@@ -38,18 +47,20 @@ int main() {
   std::puts(" E2: TPG strategy applicability (paper s3.3)");
   std::puts("==============================================================");
   ProcessorModel model;
+  GradingSession session(model);
   const auto& alu_info = model.component(CutId::kAlu);
   const auto& sh_info = model.component(CutId::kShifter);
 
   fault::ObserveSet alu_obs = alu_info.netlist.output_port("result");
   alu_obs.push_back(alu_info.netlist.output_port("zero")[0]);
   const CutUnderStudy cuts[] = {
-      {"ALU", &alu_info.netlist, alu_obs},
-      {"Shifter", &sh_info.netlist, sh_info.netlist.output_nets()},
+      {"ALU", CutId::kAlu, &alu_info.netlist, alu_obs},
+      {"Shifter", CutId::kShifter, &sh_info.netlist,
+       sh_info.netlist.output_nets()},
   };
 
   for (const CutUnderStudy& cut : cuts) {
-    fault::FaultUniverse universe(*cut.nl);
+    const fault::FaultUniverse& universe = session.universe(cut.id);
     std::printf("\n--- %s: %zu collapsed faults (%zu uncollapsed) ---\n",
                 cut.name, universe.size(), universe.uncollapsed_count());
 
@@ -58,7 +69,8 @@ int main() {
     for (std::size_t n : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 4096u}) {
       const fault::PatternSet ps = atpg::generate_random_tests(*cut.nl, n, 7);
       r.add_row({Table::num(static_cast<std::uint64_t>(n)),
-                 Table::num(grade(cut, ps, universe.collapsed()), 2)});
+                 Table::num(grade(session, cut, ps, universe.collapsed()),
+                            2)});
     }
     r.print();
 
@@ -67,6 +79,7 @@ int main() {
     atpg::TestGenOptions tg;
     tg.random_warmup = 0;
     tg.podem.backtrack_limit = 200000;
+    tg.compiled = &session.compiled(cut.id);
     const atpg::TestGenResult det =
         atpg::generate_atpg_tests(*cut.nl, universe.collapsed(), {}, tg,
                                   cut.observe);
@@ -83,7 +96,8 @@ int main() {
       regular = shifter_pattern_set(*cut.nl, regular_shifter_tests(32));
     }
     std::printf("regular deterministic: %zu patterns -> FC %.2f%%\n",
-                regular.size(), grade(cut, regular, universe.collapsed()));
+                regular.size(),
+                grade(session, cut, regular, universe.collapsed()));
   }
 
   // Routine-level costs on the ALU: same strategy comparison, but measured

@@ -44,13 +44,18 @@ TestGenResult generate_atpg_tests(const Netlist& nl,
   Rng rng(options.seed);
   Podem podem(nl, constraints, options.podem);
 
+  // One engine context for every fault-dropping pass: compilation and cone
+  // marking happen once (or are borrowed from a session), and already-set
+  // flags short-circuit re-simulation of retired faults.
+  const fault::EngineContext ctx(options.engine, nl, observe,
+                                 options.compiled);
+
   // Pending patterns not yet fault-simulated.
   PatternSet pending(nl);
   auto flush_pending = [&]() {
     if (pending.size() == 0) return;
-    const CoverageResult delta =
-        fault::simulate_comb(nl, faults, pending, observe);
-    res.coverage.merge(delta);
+    fault::simulate_comb_into(ctx, faults, pending,
+                              res.coverage.detected_flags.data());
     pending = PatternSet(nl);
   };
 
@@ -68,9 +73,8 @@ TestGenResult generate_atpg_tests(const Netlist& nl,
       warm.add(pv);
       res.patterns.add(pv);
     }
-    const CoverageResult delta =
-        fault::simulate_comb(nl, faults, warm, observe);
-    res.coverage.merge(delta);
+    fault::simulate_comb_into(ctx, faults, warm,
+                              res.coverage.detected_flags.data());
   }
 
   for (std::size_t f = 0; f < faults.size(); ++f) {

@@ -1,10 +1,25 @@
 #include "core/evaluate.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "fault/sim.hpp"
 
 namespace sbst::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::uint64_t pack32(std::uint32_t hi, std::uint32_t lo) {
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+}  // namespace
 
 TraceCollector::TraceCollector(const ProcessorModel& model)
     : alu_(model.component(CutId::kAlu).netlist),
@@ -20,13 +35,16 @@ TraceCollector::TraceCollector(const ProcessorModel& model)
 
 void TraceCollector::on_alu(rtlgen::AluOp op, std::uint32_t a,
                             std::uint32_t b) {
-  if (!fresh(alu_seen_, {static_cast<std::uint8_t>(op), a, b})) return;
+  if (!fresh(alu_seen_, {pack32(a, b), static_cast<std::uint64_t>(op)})) {
+    return;
+  }
   alu_.add({{"a", a}, {"b", b}, {"op", static_cast<std::uint64_t>(op)}});
 }
 
 void TraceCollector::on_shift(rtlgen::ShiftOp op, std::uint32_t value,
                               std::uint32_t shamt) {
-  if (!fresh(shift_seen_, {static_cast<std::uint8_t>(op), value, shamt})) {
+  if (!fresh(shift_seen_,
+             {pack32(value, shamt), static_cast<std::uint64_t>(op)})) {
     return;
   }
   shifter_.add(
@@ -34,7 +52,7 @@ void TraceCollector::on_shift(rtlgen::ShiftOp op, std::uint32_t value,
 }
 
 void TraceCollector::on_mult(std::uint32_t a, std::uint32_t b) {
-  if (!fresh(mul_seen_, {a, b})) return;
+  if (!fresh(mul_seen_, {pack32(a, b), 0})) return;
   mul_.add({{"a", a}, {"b", b}});
 }
 
@@ -91,7 +109,7 @@ void TraceCollector::on_mem(std::uint32_t addr, std::uint32_t wdata,
 
 void TraceCollector::on_branch_target(std::uint32_t pc_plus4,
                                       std::uint32_t offset) {
-  if (!fresh(badd_seen_, {pc_plus4, offset})) return;
+  if (!fresh(badd_seen_, {pack32(pc_plus4, offset), 0})) return;
   badd_.add({{"pc", pc_plus4}, {"offset", offset}});
 }
 
@@ -105,14 +123,23 @@ void TraceCollector::on_control(std::uint8_t opcode, std::uint8_t funct) {
   // The decoder physically sees the funct field for every instruction (for
   // I-types it aliases the low immediate bits); it must ignore it unless
   // the opcode is R-type — and a fault breaking that is observable.
-  if (!fresh(control_seen_, {opcode, funct})) return;
+  if (!fresh(control_seen_,
+             {(static_cast<std::uint64_t>(opcode) << 8) | funct, 0})) {
+    return;
+  }
   control_.add({{"opcode", opcode}, {"funct", funct}});
 }
 
 void TraceCollector::on_forward(std::uint8_t rs, std::uint8_t rt,
                                 std::uint8_t ex_rd, bool ex_wen,
                                 std::uint8_t mem_rd, bool mem_wen) {
-  if (!fresh(fwd_seen_, {rs, rt, ex_rd, ex_wen, mem_rd, mem_wen})) return;
+  const std::uint64_t key = static_cast<std::uint64_t>(rs) |
+                            (static_cast<std::uint64_t>(rt) << 8) |
+                            (static_cast<std::uint64_t>(ex_rd) << 16) |
+                            (static_cast<std::uint64_t>(mem_rd) << 24) |
+                            (static_cast<std::uint64_t>(ex_wen) << 32) |
+                            (static_cast<std::uint64_t>(mem_wen) << 33);
+  if (!fresh(fwd_seen_, {key, 0})) return;
   fwd_.add({{"rs", rs},
             {"rt", rt},
             {"ex_rd", ex_rd},
@@ -121,36 +148,16 @@ void TraceCollector::on_forward(std::uint8_t rs, std::uint8_t rt,
             {"mem_wen", mem_wen ? 1 : 0}});
 }
 
+ObserveMode observe_mode(const EvalOptions& options) {
+  if (!options.architectural_observability) return ObserveMode::kFullNetlist;
+  return options.observe_address_outputs
+             ? ObserveMode::kArchitecturalPlusAddress
+             : ObserveMode::kArchitectural;
+}
+
 fault::ObserveSet observation_points(const ComponentInfo& info,
                                      const EvalOptions& options) {
-  const netlist::Netlist& nl = info.netlist;
-  if (!options.architectural_observability) return nl.output_nets();
-  fault::ObserveSet obs;
-  auto add_port = [&](const char* name) {
-    const netlist::Bus& bus = nl.output_port(name);
-    obs.insert(obs.end(), bus.begin(), bus.end());
-  };
-  switch (info.id) {
-    case CutId::kAlu:
-      // cout/ovf are not MIPS-visible flags; result and the branch zero
-      // condition are.
-      add_port("result");
-      add_port("zero");
-      break;
-    case CutId::kDivider:
-      add_port("quotient");
-      add_port("remainder");
-      break;
-    case CutId::kMemCtrl:
-      add_port("rdata");      // load data -> register -> MISR
-      add_port("mem_wdata");  // store data reaches memory, later reloaded
-      add_port("byte_en");
-      if (options.observe_address_outputs) add_port("mem_addr");  // A-VC
-      break;
-    default:
-      return nl.output_nets();
-  }
-  return obs;
+  return observation_points(info, observe_mode(options));
 }
 
 const CutCoverage& ProgramEvaluation::cut(CutId id) const {
@@ -182,14 +189,18 @@ double ProgramEvaluation::missing_fc(CutId id) const {
                           static_cast<double>(total);
 }
 
-ProgramEvaluation evaluate_program(const ProcessorModel& model,
+ProgramEvaluation evaluate_program(GradingSession& session,
                                    const TestProgramBuilder& builder,
                                    const TestProgram& program,
                                    const EvalOptions& options) {
+  const ProcessorModel& model = session.model();
   ProgramEvaluation out;
 
   // ---- combined run with tracing ------------------------------------------
+  auto t_trace = Clock::now();
   TraceCollector trace(model);
+  trace.set_regfile_cycle_cap(options.regfile_cycle_cap);
+  trace.set_pipeline_cycle_cap(options.pipeline_cycle_cap);
   for (std::size_t i = 0; i < program.routines.size(); ++i) {
     if (program.routines[i].target == CutId::kRegisterFile) {
       trace.restrict_regfile(program.sections[i].begin_addr,
@@ -207,86 +218,108 @@ ProgramEvaluation evaluate_program(const ProcessorModel& model,
   for (unsigned slot = 0; slot < kSignatureSlots; ++slot) {
     out.signatures.push_back(cpu.read_word(program.signature_address(slot)));
   }
+  out.stages.trace = seconds_since(t_trace);
 
-  // ---- per-component fault grading ----------------------------------------
+  // ---- per-component grading plan -----------------------------------------
+  // Serial planning phase: fetch every session artifact up front (references
+  // must be taken before fan-out; with the cache off a repeated fetch would
+  // replace the object) and decompose each CUT's grading into chunk tasks.
+  const ObserveMode mode = observe_mode(options);
+  const bool reference = options.sim.engine == fault::Engine::kReference;
+  std::vector<fault::EngineContext> ctxs;
+  ctxs.reserve(model.components().size());  // plan tasks keep pointers in
+  out.cuts.reserve(model.components().size());
+  fault::GradingPlan plan;
   for (const ComponentInfo& info : model.components()) {
-    fault::FaultUniverse universe(info.netlist);
-    const fault::ObserveSet obs = observation_points(info, options);
+    auto t_collapse = Clock::now();
+    const fault::FaultUniverse& universe = session.universe(info.id);
+    out.stages.collapse += seconds_since(t_collapse);
+
+    auto t_compile = Clock::now();
+    const std::uint8_t* reach = nullptr;
+    const netlist::CompiledNetlist* compiled = nullptr;
+    if (!reference) {
+      // Cone first: with the cache off it (re)builds compiled + observe, so
+      // the references fetched after it stay the live objects.
+      reach = session.cone(info.id, mode).data();
+      compiled = &session.compiled(info.id);
+    }
+    const fault::ObserveSet& obs = session.observe(info.id, mode);
+    const fault::EngineContext& ctx = ctxs.emplace_back(
+        options.sim.engine, info.netlist, obs, compiled, reach);
+    out.stages.compile += seconds_since(t_compile);
+
     CutCoverage cc;
     cc.id = info.id;
     cc.collapsed_faults = universe.size();
     cc.uncollapsed_faults = universe.uncollapsed_count();
+    const fault::PatternSet* patterns = nullptr;
+    const fault::SeqStimulus* stimulus = nullptr;
     switch (info.id) {
-      case CutId::kAlu:
-        cc.stimulus_size = trace.alu_patterns().size();
-        cc.coverage = fault::simulate_comb_parallel(info.netlist, universe.collapsed(),
-                                           trace.alu_patterns(), obs, options.sim);
-        break;
-      case CutId::kShifter:
-        cc.stimulus_size = trace.shifter_patterns().size();
-        cc.coverage = fault::simulate_comb_parallel(info.netlist, universe.collapsed(),
-                                           trace.shifter_patterns(), obs, options.sim);
-        break;
-      case CutId::kMultiplier:
-        cc.stimulus_size = trace.multiplier_patterns().size();
-        cc.coverage = fault::simulate_comb_parallel(info.netlist, universe.collapsed(),
-                                           trace.multiplier_patterns(), obs, options.sim);
-        break;
-      case CutId::kControl:
-        cc.stimulus_size = trace.control_patterns().size();
-        cc.coverage = fault::simulate_comb_parallel(info.netlist, universe.collapsed(),
-                                           trace.control_patterns(), obs, options.sim);
-        break;
-      case CutId::kForwarding:
-        cc.stimulus_size = trace.forwarding_patterns().size();
-        cc.coverage = fault::simulate_comb_parallel(info.netlist, universe.collapsed(),
-                                           trace.forwarding_patterns(), obs, options.sim);
-        break;
+      case CutId::kAlu: patterns = &trace.alu_patterns(); break;
+      case CutId::kShifter: patterns = &trace.shifter_patterns(); break;
+      case CutId::kMultiplier: patterns = &trace.multiplier_patterns(); break;
+      case CutId::kControl: patterns = &trace.control_patterns(); break;
+      case CutId::kForwarding: patterns = &trace.forwarding_patterns(); break;
       case CutId::kBranchAdder:
-        cc.stimulus_size = trace.branch_adder_patterns().size();
-        cc.coverage =
-            fault::simulate_comb_parallel(info.netlist, universe.collapsed(),
-                                 trace.branch_adder_patterns(), obs, options.sim);
+        patterns = &trace.branch_adder_patterns();
         break;
-      case CutId::kDivider:
-        cc.stimulus_size = trace.divider_stimulus().size();
-        cc.coverage = fault::simulate_seq_parallel(info.netlist, universe.collapsed(),
-                                          trace.divider_stimulus(), obs, options.sim);
-        break;
-      case CutId::kRegisterFile:
-        cc.stimulus_size = trace.regfile_stimulus().size();
-        cc.coverage = fault::simulate_seq_parallel(info.netlist, universe.collapsed(),
-                                          trace.regfile_stimulus(), obs, options.sim);
-        break;
-      case CutId::kMemCtrl:
-        cc.stimulus_size = trace.memctrl_stimulus().size();
-        cc.coverage = fault::simulate_seq_parallel(info.netlist, universe.collapsed(),
-                                          trace.memctrl_stimulus(), obs, options.sim);
-        break;
-      case CutId::kPipeline:
-        cc.stimulus_size = trace.pipeline_stimulus().size();
-        cc.coverage = fault::simulate_seq_parallel(info.netlist, universe.collapsed(),
-                                          trace.pipeline_stimulus(), obs, options.sim);
-        break;
+      case CutId::kDivider: stimulus = &trace.divider_stimulus(); break;
+      case CutId::kRegisterFile: stimulus = &trace.regfile_stimulus(); break;
+      case CutId::kMemCtrl: stimulus = &trace.memctrl_stimulus(); break;
+      case CutId::kPipeline: stimulus = &trace.pipeline_stimulus(); break;
     }
+    cc.stimulus_size = patterns ? patterns->size() : stimulus->size();
     out.cuts.push_back(std::move(cc));
+    // detected_flags lives on the heap, so the chunk tasks' flag pointers
+    // survive out.cuts growing.
+    if (patterns) {
+      plan.add_comb(ctx, universe.collapsed(), *patterns,
+                    options.sim.lane_parallel, out.cuts.back().coverage);
+    } else {
+      plan.add_seq(ctx, universe.collapsed(), *stimulus,
+                   out.cuts.back().coverage);
+    }
   }
 
+  auto t_grade = Clock::now();
+  plan.run(session.pool());
+  for (CutCoverage& cc : out.cuts) cc.coverage.recount();
+  out.stages.grade = seconds_since(t_grade);
+
   // ---- standalone per-routine statistics ----------------------------------
+  auto t_standalone = Clock::now();
+  std::vector<TestProgram> standalones;
+  standalones.reserve(program.routines.size());
+  out.routines.resize(program.routines.size());
+  fault::GradingPlan runs;
   for (std::size_t i = 0; i < program.routines.size(); ++i) {
     const Routine& r = program.routines[i];
-    const TestProgram standalone = builder.build_standalone(r);
-    sim::Cpu solo(options.cpu);
-    solo.reset();
-    solo.load(standalone.image);
-    RoutineStats rs;
+    standalones.push_back(builder.build_standalone(r));
+    const TestProgram& standalone = standalones.back();
+    RoutineStats& rs = out.routines[i];
     rs.name = r.name;
     rs.style = r.style;
     rs.size_words = program.sections[i].size_words();
-    rs.exec = solo.run(standalone.entry, options.max_instructions);
-    out.routines.push_back(std::move(rs));
+    runs.add_task([&standalone, &rs, &options] {
+      sim::Cpu solo(options.cpu);
+      solo.reset();
+      solo.load(standalone.image);
+      rs.exec = solo.run(standalone.entry, options.max_instructions);
+    });
   }
+  runs.run(session.pool());
+  out.stages.standalone = seconds_since(t_standalone);
   return out;
+}
+
+ProgramEvaluation evaluate_program(const ProcessorModel& model,
+                                   const TestProgramBuilder& builder,
+                                   const TestProgram& program,
+                                   const EvalOptions& options) {
+  GradingSession session(model,
+                         {.num_threads = options.sim.num_threads});
+  return evaluate_program(session, builder, program, options);
 }
 
 }  // namespace sbst::core

@@ -7,11 +7,21 @@
 // observation point only if a self-test routine can propagate it (e.g. the
 // ALU's internal carry-out is not a MIPS-visible flag; the memory
 // controller's MAR is A-VC and excluded from the periodic test).
+//
+// Evaluation is structured as a task graph over a GradingSession: a serial
+// traced run, then one flattened GradingPlan interleaving every CUT's
+// fault-chunk tasks on the session pool (cross-CUT parallelism without
+// oversubscription), then the standalone routine executions as a second
+// task batch. Results are bitwise-identical for every engine, thread count,
+// and cache setting.
 #pragma once
 
+#include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "core/program.hpp"
+#include "core/session.hpp"
 #include "fault/fault.hpp"
 #include "fault/pattern.hpp"
 #include "fault/sim.hpp"
@@ -19,6 +29,35 @@
 #include "sim/cpu.hpp"
 
 namespace sbst::core {
+
+/// Packed dedup key for trace streams. Every hook packs its operands
+/// injectively into 128 bits, and equality is exact (the hash only buckets),
+/// so dedup semantics match the ordered-set-of-tuples this replaces — same
+/// first-occurrence acceptance, hence identical PatternSets — without the
+/// per-insert allocations and pointer chasing of a red-black tree.
+struct TraceKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool operator==(const TraceKey& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+struct TraceKeyHash {
+  std::size_t operator()(const TraceKey& k) const {
+    // splitmix64 finalizer — full avalanche so unordered_set buckets stay
+    // balanced even for low-entropy packings (opcode/funct pairs).
+    auto mix = [](std::uint64_t x) {
+      x += 0x9e3779b97f4a7c15ull;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return x ^ (x >> 31);
+    };
+    return static_cast<std::size_t>(mix(k.lo ^ mix(k.hi)));
+  }
+};
+
+using TraceKeySet = std::unordered_set<TraceKey, TraceKeyHash>;
 
 /// Captures per-component stimulus from a program execution.
 class TraceCollector : public sim::CpuHooks {
@@ -66,8 +105,7 @@ class TraceCollector : public sim::CpuHooks {
   const fault::SeqStimulus& pipeline_stimulus() const { return pipe_; }
 
  private:
-  template <typename Tuple>
-  bool fresh(std::set<Tuple>& seen, const Tuple& key) {
+  static bool fresh(TraceKeySet& seen, const TraceKey& key) {
     return seen.insert(key).second;
   }
 
@@ -78,15 +116,8 @@ class TraceCollector : public sim::CpuHooks {
   fault::PatternSet alu_, shifter_, mul_, control_, fwd_, badd_;
   fault::SeqStimulus div_, rf_, mem_, pipe_;
 
-  std::set<std::tuple<std::uint8_t, std::uint32_t, std::uint32_t>> alu_seen_;
-  std::set<std::tuple<std::uint8_t, std::uint32_t, std::uint32_t>>
-      shift_seen_;
-  std::set<std::tuple<std::uint32_t, std::uint32_t>> mul_seen_;
-  std::set<std::tuple<std::uint8_t, std::uint8_t>> control_seen_;
-  std::set<std::tuple<std::uint8_t, std::uint8_t, std::uint8_t, bool,
-                      std::uint8_t, bool>>
-      fwd_seen_;
-  std::set<std::pair<std::uint32_t, std::uint32_t>> badd_seen_;
+  TraceKeySet alu_seen_, shift_seen_, mul_seen_, control_seen_, fwd_seen_,
+      badd_seen_;
 };
 
 struct EvalOptions {
@@ -97,11 +128,20 @@ struct EvalOptions {
   bool observe_address_outputs = false;
   /// Fault-simulation options (evaluation engine, thread count, lane
   /// packing). Results are bitwise-identical for every engine and thread
-  /// count.
+  /// count. When evaluating through a GradingSession, the session's pool is
+  /// used and `sim.num_threads` / `sim.pool` are ignored.
   fault::SimOptions sim{};
   sim::CpuConfig cpu{};
   std::uint64_t max_instructions = 1u << 22;
+  /// Trace caps forwarded to TraceCollector (defaults preserve the
+  /// long-standing behavior; tests shrink them to keep differential matrices
+  /// fast).
+  std::size_t regfile_cycle_cap = 40000;
+  std::size_t pipeline_cycle_cap = 4096;
 };
+
+/// The observe-set cache mode EvalOptions' observability flags select.
+ObserveMode observe_mode(const EvalOptions& options);
 
 struct CutCoverage {
   CutId id;
@@ -118,11 +158,21 @@ struct RoutineStats {
   sim::ExecStats exec;  // standalone execution of just this routine
 };
 
+/// Wall-clock seconds per evaluation stage (bench/table1 reporting).
+struct EvalStageTimes {
+  double trace = 0;       // combined traced run + signature readback
+  double collapse = 0;    // fault-universe builds (collapsing)
+  double compile = 0;     // netlist compile + observe sets + cone marking
+  double grade = 0;       // fault grading of every CUT (the task graph)
+  double standalone = 0;  // standalone per-routine builds + executions
+};
+
 struct ProgramEvaluation {
   std::vector<CutCoverage> cuts;
   std::vector<RoutineStats> routines;
   sim::ExecStats total;                  // combined program execution
   std::vector<std::uint32_t> signatures; // fault-free signature words
+  EvalStageTimes stages;
 
   const CutCoverage& cut(CutId id) const;
   /// Overall processor fault coverage: detected / total over all components.
@@ -132,8 +182,18 @@ struct ProgramEvaluation {
   double missing_fc(CutId id) const;
 };
 
-/// Full evaluation: runs the combined program with tracing, grades every
-/// component, and runs each routine standalone for its Table-1 row.
+/// Full evaluation through a GradingSession: runs the combined program with
+/// tracing, grades every component as one flattened chunk-task batch on the
+/// session pool (reusing the session's cached universes, compiled netlists,
+/// observe sets, and cones), and runs each routine standalone for its
+/// Table-1 row. Repeated calls on one session skip the artifact rebuilds.
+ProgramEvaluation evaluate_program(GradingSession& session,
+                                   const TestProgramBuilder& builder,
+                                   const TestProgram& program,
+                                   const EvalOptions& options = {});
+
+/// Convenience overload: one-shot session (no artifact reuse), pool sized
+/// from options.sim.num_threads. Results are identical to the session form.
 ProgramEvaluation evaluate_program(const ProcessorModel& model,
                                    const TestProgramBuilder& builder,
                                    const TestProgram& program,

@@ -3,32 +3,62 @@
 #include <stdexcept>
 
 #include "core/program.hpp"
+#include "core/session.hpp"
 #include "rtlgen/multiplier.hpp"
 
 namespace sbst::core {
 
-GateLevelFaultInjector::GateLevelFaultInjector(const ProcessorModel& model,
-                                               CutId target,
-                                               const fault::Fault& fault)
-    : target_(target), nl_(&model.component(target).netlist) {
+void GateLevelFaultInjector::check_target(CutId target) const {
   if (target != CutId::kAlu && target != CutId::kShifter &&
       target != CutId::kMultiplier) {
     throw std::invalid_argument(
         "GateLevelFaultInjector: unsupported component");
   }
-  eval_ = std::make_unique<netlist::Evaluator>(*nl_);
-  eval_->inject(fault.site, fault.stuck_value, ~std::uint64_t{0});
+}
+
+GateLevelFaultInjector::GateLevelFaultInjector(const ProcessorModel& model,
+                                               CutId target,
+                                               const fault::Fault& fault)
+    : target_(target), nl_(&model.component(target).netlist) {
+  check_target(target);
+  ref_eval_ = std::make_unique<netlist::Evaluator>(*nl_);
+  ref_eval_->inject(fault.site, fault.stuck_value, ~std::uint64_t{0});
+}
+
+GateLevelFaultInjector::GateLevelFaultInjector(GradingSession& session,
+                                               CutId target,
+                                               const fault::Fault& fault)
+    : target_(target), nl_(&session.model().component(target).netlist) {
+  check_target(target);
+  comp_eval_ = std::make_unique<netlist::CompiledEvaluator>(
+      session.compiled(target), /*event_driven=*/true);
+  comp_eval_->inject(fault.site, fault.stuck_value, ~std::uint64_t{0});
+}
+
+void GateLevelFaultInjector::drive(const char* port, std::uint64_t value) {
+  if (comp_eval_) {
+    comp_eval_->set_bus(nl_->input_port(port), value);
+  } else {
+    ref_eval_->set_bus(nl_->input_port(port), value);
+  }
+}
+
+std::uint64_t GateLevelFaultInjector::read(const char* port) {
+  if (comp_eval_) {
+    comp_eval_->eval();
+    return comp_eval_->bus_value(nl_->output_port(port));
+  }
+  ref_eval_->eval();
+  return ref_eval_->bus_value(nl_->output_port(port));
 }
 
 std::optional<std::uint32_t> GateLevelFaultInjector::alu_result(
     rtlgen::AluOp op, std::uint32_t a, std::uint32_t b) {
   if (target_ != CutId::kAlu) return std::nullopt;
-  eval_->set_bus(nl_->input_port("a"), a);
-  eval_->set_bus(nl_->input_port("b"), b);
-  eval_->set_bus(nl_->input_port("op"), static_cast<std::uint64_t>(op));
-  eval_->eval();
-  const auto r = static_cast<std::uint32_t>(
-      eval_->bus_value(nl_->output_port("result")));
+  drive("a", a);
+  drive("b", b);
+  drive("op", static_cast<std::uint64_t>(op));
+  const auto r = static_cast<std::uint32_t>(read("result"));
   if (r != rtlgen::alu_ref(op, a, b)) ++corrupted_;
   return r;
 }
@@ -36,12 +66,10 @@ std::optional<std::uint32_t> GateLevelFaultInjector::alu_result(
 std::optional<std::uint32_t> GateLevelFaultInjector::shift_result(
     rtlgen::ShiftOp op, std::uint32_t value, std::uint32_t shamt) {
   if (target_ != CutId::kShifter) return std::nullopt;
-  eval_->set_bus(nl_->input_port("a"), value);
-  eval_->set_bus(nl_->input_port("shamt"), shamt);
-  eval_->set_bus(nl_->input_port("op"), static_cast<std::uint64_t>(op));
-  eval_->eval();
-  const auto r = static_cast<std::uint32_t>(
-      eval_->bus_value(nl_->output_port("result")));
+  drive("a", value);
+  drive("shamt", shamt);
+  drive("op", static_cast<std::uint64_t>(op));
+  const auto r = static_cast<std::uint32_t>(read("result"));
   if (r != rtlgen::shifter_ref(op, value, shamt)) ++corrupted_;
   return r;
 }
@@ -49,18 +77,18 @@ std::optional<std::uint32_t> GateLevelFaultInjector::shift_result(
 std::optional<std::uint64_t> GateLevelFaultInjector::mult_result(
     std::uint32_t a, std::uint32_t b) {
   if (target_ != CutId::kMultiplier) return std::nullopt;
-  eval_->set_bus(nl_->input_port("a"), a);
-  eval_->set_bus(nl_->input_port("b"), b);
-  eval_->eval();
-  const std::uint64_t r = eval_->bus_value(nl_->output_port("product"));
+  drive("a", a);
+  drive("b", b);
+  const std::uint64_t r = read("product");
   if (r != rtlgen::multiplier_ref(a, b)) ++corrupted_;
   return r;
 }
 
-InjectionOutcome run_with_injection(const ProcessorModel& model,
-                                    const TestProgram& program,
-                                    CutId target, const fault::Fault& fault,
-                                    const sim::CpuConfig& config) {
+namespace {
+
+InjectionOutcome run_outcome(const TestProgram& program,
+                             GateLevelFaultInjector& injector,
+                             const sim::CpuConfig& config) {
   InjectionOutcome out;
 
   sim::Cpu good(config);
@@ -70,7 +98,6 @@ InjectionOutcome run_with_injection(const ProcessorModel& model,
     throw std::runtime_error("run_with_injection: good run did not halt");
   }
 
-  GateLevelFaultInjector injector(model, target, fault);
   sim::Cpu bad(config);
   bad.reset();
   bad.load(program.image);
@@ -98,6 +125,24 @@ InjectionOutcome run_with_injection(const ProcessorModel& model,
   out.corrupted_results = injector.corrupted_results();
   out.detected = out.good_signatures != out.faulty_signatures;
   return out;
+}
+
+}  // namespace
+
+InjectionOutcome run_with_injection(const ProcessorModel& model,
+                                    const TestProgram& program,
+                                    CutId target, const fault::Fault& fault,
+                                    const sim::CpuConfig& config) {
+  GateLevelFaultInjector injector(model, target, fault);
+  return run_outcome(program, injector, config);
+}
+
+InjectionOutcome run_with_injection(GradingSession& session,
+                                    const TestProgram& program,
+                                    CutId target, const fault::Fault& fault,
+                                    const sim::CpuConfig& config) {
+  GateLevelFaultInjector injector(session, target, fault);
+  return run_outcome(program, injector, config);
 }
 
 }  // namespace sbst::core

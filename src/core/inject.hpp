@@ -12,16 +12,24 @@
 
 #include "core/component.hpp"
 #include "fault/fault.hpp"
+#include "netlist/compiled.hpp"
 #include "netlist/eval.hpp"
 #include "sim/cpu.hpp"
 
 namespace sbst::core {
+
+class GradingSession;
 
 class GateLevelFaultInjector : public sim::CpuHooks {
  public:
   /// Supported targets: kAlu, kShifter, kMultiplier (the components whose
   /// results flow through the CpuHooks override points).
   GateLevelFaultInjector(const ProcessorModel& model, CutId target,
+                         const fault::Fault& fault);
+  /// Session form: evaluates through the session's cached compiled netlist
+  /// (event-driven — one faulty operation re-simulates only its cone).
+  /// Results are bitwise-identical to the reference form.
+  GateLevelFaultInjector(GradingSession& session, CutId target,
                          const fault::Fault& fault);
 
   std::optional<std::uint32_t> alu_result(rtlgen::AluOp, std::uint32_t,
@@ -35,9 +43,14 @@ class GateLevelFaultInjector : public sim::CpuHooks {
   std::uint64_t corrupted_results() const { return corrupted_; }
 
  private:
+  void check_target(CutId target) const;
+  void drive(const char* port, std::uint64_t value);
+  std::uint64_t read(const char* port);
+
   CutId target_;
   const netlist::Netlist* nl_;
-  std::unique_ptr<netlist::Evaluator> eval_;
+  std::unique_ptr<netlist::Evaluator> ref_eval_;
+  std::unique_ptr<netlist::CompiledEvaluator> comp_eval_;
   std::uint64_t corrupted_ = 0;
 };
 
@@ -51,6 +64,14 @@ struct InjectionOutcome {
 };
 
 InjectionOutcome run_with_injection(const ProcessorModel& model,
+                                    const struct TestProgram& program,
+                                    CutId target, const fault::Fault& fault,
+                                    const sim::CpuConfig& config = {});
+
+/// Session form: amortizes the target's netlist compilation across many
+/// injection campaigns (e.g. the compaction-ablation sweep). Identical
+/// outcomes to the model form.
+InjectionOutcome run_with_injection(GradingSession& session,
                                     const struct TestProgram& program,
                                     CutId target, const fault::Fault& fault,
                                     const sim::CpuConfig& config = {});

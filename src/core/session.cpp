@@ -1,0 +1,116 @@
+#include "core/session.hpp"
+
+namespace sbst::core {
+
+fault::ObserveSet observation_points(const ComponentInfo& info,
+                                     ObserveMode mode) {
+  const netlist::Netlist& nl = info.netlist;
+  if (mode == ObserveMode::kFullNetlist) return nl.output_nets();
+  fault::ObserveSet obs;
+  auto add_port = [&](const char* name) {
+    const netlist::Bus& bus = nl.output_port(name);
+    obs.insert(obs.end(), bus.begin(), bus.end());
+  };
+  switch (info.id) {
+    case CutId::kAlu:
+      // cout/ovf are not MIPS-visible flags; result and the branch zero
+      // condition are.
+      add_port("result");
+      add_port("zero");
+      break;
+    case CutId::kDivider:
+      add_port("quotient");
+      add_port("remainder");
+      break;
+    case CutId::kMemCtrl:
+      add_port("rdata");      // load data -> register -> MISR
+      add_port("mem_wdata");  // store data reaches memory, later reloaded
+      add_port("byte_en");
+      if (mode == ObserveMode::kArchitecturalPlusAddress) {
+        add_port("mem_addr");  // A-VC
+      }
+      break;
+    default:
+      return nl.output_nets();
+  }
+  return obs;
+}
+
+GradingSession::GradingSession(const ProcessorModel& model,
+                               const SessionOptions& options)
+    : model_(&model),
+      options_(options),
+      cache_(model.components().size()),
+      pool_(fault::resolve_thread_count(options.num_threads)) {}
+
+const fault::FaultUniverse& GradingSession::universe(CutId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot_ptr = slot(id).universe;
+  if (slot_ptr && options_.cache) {
+    ++stats_.universe_hits;
+    return *slot_ptr;
+  }
+  ++stats_.universe_builds;
+  slot_ptr =
+      std::make_unique<fault::FaultUniverse>(model_->component(id).netlist);
+  return *slot_ptr;
+}
+
+const netlist::CompiledNetlist& GradingSession::compiled_locked(CutId id) {
+  auto& slot_ptr = slot(id).compiled;
+  if (slot_ptr && options_.cache) {
+    ++stats_.compile_hits;
+    return *slot_ptr;
+  }
+  ++stats_.compile_builds;
+  slot_ptr =
+      std::make_unique<netlist::CompiledNetlist>(model_->component(id).netlist);
+  return *slot_ptr;
+}
+
+const netlist::CompiledNetlist& GradingSession::compiled(CutId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return compiled_locked(id);
+}
+
+const fault::ObserveSet& GradingSession::observe_locked(CutId id,
+                                                        ObserveMode mode) {
+  auto& slot_ptr = slot(id).observe[static_cast<std::size_t>(mode)];
+  if (slot_ptr && options_.cache) {
+    ++stats_.observe_hits;
+    return *slot_ptr;
+  }
+  ++stats_.observe_builds;
+  slot_ptr = std::make_unique<fault::ObserveSet>(
+      observation_points(model_->component(id), mode));
+  return *slot_ptr;
+}
+
+const fault::ObserveSet& GradingSession::observe(CutId id, ObserveMode mode) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return observe_locked(id, mode);
+}
+
+const std::vector<std::uint8_t>& GradingSession::cone(CutId id,
+                                                      ObserveMode mode) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot_ptr = slot(id).cone[static_cast<std::size_t>(mode)];
+  if (slot_ptr && options_.cache) {
+    ++stats_.cone_hits;
+    return *slot_ptr;
+  }
+  // The cone derives from the compiled netlist and the observe set; fetch
+  // both through the cache so a cone build warms them too.
+  const netlist::CompiledNetlist& cn = compiled_locked(id);
+  const fault::ObserveSet& obs = observe_locked(id, mode);
+  ++stats_.cone_builds;
+  slot_ptr = std::make_unique<std::vector<std::uint8_t>>(cn.fanin_cone(obs));
+  return *slot_ptr;
+}
+
+SessionStats GradingSession::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace sbst::core

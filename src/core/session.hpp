@@ -1,0 +1,119 @@
+// Grading sessions: per-model caches of fault-grading artifacts plus one
+// persistent worker pool.
+//
+// Every fault grading of a component needs the same derived artifacts —
+// the collapsed fault universe, the compiled netlist, the observe set for
+// the requested observability mode, and the observe-cone reach prefilter.
+// Before this layer each evaluate_program / bench / CLI call rebuilt all of
+// them per call, and every simulate_*_parallel invocation spun up a fresh
+// ThreadPool. A GradingSession amortizes both: artifacts are built lazily
+// on first use and cached per (component, mode), and one pool lives for the
+// session's lifetime and schedules whole-CUT gradings as interleaved chunk
+// tasks (see fault::GradingPlan).
+//
+// Caching never changes results: artifacts are pure functions of the model
+// and the mode, so ProgramEvaluation output is bitwise-identical with the
+// cache on or off (enforced by tests/test_session.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/component.hpp"
+#include "fault/fault.hpp"
+#include "fault/sim.hpp"
+#include "fault/thread_pool.hpp"
+#include "netlist/compiled.hpp"
+
+namespace sbst::core {
+
+/// The observability axes of EvalOptions that change observe sets (and
+/// therefore reach cones); each mode gets its own cache slot.
+enum class ObserveMode : std::uint8_t {
+  kArchitectural = 0,             // paper-faithful propagatable outputs
+  kArchitecturalPlusAddress = 1,  // + the A-VC MAR outputs (ablation)
+  kFullNetlist = 2,               // every declared output net
+};
+inline constexpr std::size_t kObserveModes = 3;
+
+/// Observation points for a component under a mode (the paper's
+/// architectural-observability rules live here).
+fault::ObserveSet observation_points(const ComponentInfo& info,
+                                     ObserveMode mode);
+
+struct SessionOptions {
+  /// Worker threads for the session pool (including the calling thread).
+  /// 0 = auto: SBST_THREADS env var, else hardware concurrency.
+  unsigned num_threads = 0;
+  /// Cache artifacts across gradings. Off rebuilds each artifact on every
+  /// request — same results, only slower (the differential-testing knob).
+  bool cache = true;
+};
+
+/// Build/hit counters per artifact kind; a cache-warm second grading of the
+/// same component must increase only the hit counts.
+struct SessionStats {
+  std::size_t universe_builds = 0, universe_hits = 0;
+  std::size_t compile_builds = 0, compile_hits = 0;
+  std::size_t observe_builds = 0, observe_hits = 0;
+  std::size_t cone_builds = 0, cone_hits = 0;
+};
+
+class GradingSession {
+ public:
+  explicit GradingSession(const ProcessorModel& model,
+                          const SessionOptions& options = {});
+
+  const ProcessorModel& model() const { return *model_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// The session's persistent worker pool. Not reentrant: a task running on
+  /// the pool must not submit to it.
+  fault::ThreadPool& pool() { return pool_; }
+
+  /// Collapsed fault universe of a component.
+  const fault::FaultUniverse& universe(CutId id);
+  /// Compiled netlist of a component (shared read-only across workers).
+  const netlist::CompiledNetlist& compiled(CutId id);
+  /// Observe set of a component under a mode.
+  const fault::ObserveSet& observe(CutId id, ObserveMode mode);
+  /// Fanin-cone reach prefilter of the mode's observe set, indexed per gate.
+  /// Derives from compiled() and observe() and (re)builds them as needed, so
+  /// with the cache off fetch the cone BEFORE taking references to those.
+  const std::vector<std::uint8_t>& cone(CutId id, ObserveMode mode);
+
+  SessionStats stats() const;
+
+  // Accessors are thread-safe; with the cache ON, returned references stay
+  // valid for the session's lifetime. With the cache OFF a later request
+  // for the SAME (component, artifact, mode) slot replaces the object, so
+  // plan all artifact fetches before fanning work out (evaluate_program
+  // does).
+
+ private:
+  struct ComponentCache {
+    std::unique_ptr<fault::FaultUniverse> universe;
+    std::unique_ptr<netlist::CompiledNetlist> compiled;
+    std::array<std::unique_ptr<fault::ObserveSet>, kObserveModes> observe;
+    std::array<std::unique_ptr<std::vector<std::uint8_t>>, kObserveModes>
+        cone;
+  };
+
+  ComponentCache& slot(CutId id) {
+    return cache_[static_cast<std::size_t>(id)];
+  }
+  const netlist::CompiledNetlist& compiled_locked(CutId id);
+  const fault::ObserveSet& observe_locked(CutId id, ObserveMode mode);
+
+  const ProcessorModel* model_;
+  SessionOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<ComponentCache> cache_;  // indexed by CutId
+  SessionStats stats_;
+  fault::ThreadPool pool_;
+};
+
+}  // namespace sbst::core

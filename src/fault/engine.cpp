@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "fault/sim_detail.hpp"
+
 namespace sbst::fault {
 
 const char* engine_name(Engine engine) {
@@ -32,6 +34,29 @@ Engine default_engine() {
     if (parse_engine(env, e)) return e;
   }
   return Engine::kEvent;
+}
+
+EngineContext::EngineContext(Engine engine, const netlist::Netlist& nl,
+                             std::vector<netlist::NetId> observe,
+                             const netlist::CompiledNetlist* compiled,
+                             const std::uint8_t* reach)
+    : engine_(engine),
+      nl_(&nl),
+      observe_(detail::resolve_observe(nl, observe)) {
+  nl.topo_order();  // warm the shared cache before workers touch it
+  if (engine_ == Engine::kReference) return;
+  if (compiled) {
+    compiled_ = compiled;
+  } else {
+    owned_compiled_ = std::make_unique<netlist::CompiledNetlist>(nl);
+    compiled_ = owned_compiled_.get();
+  }
+  if (reach) {
+    reach_ = reach;
+  } else {
+    reach_store_ = compiled_->fanin_cone(observe_);
+    reach_ = reach_store_.data();
+  }
 }
 
 }  // namespace sbst::fault

@@ -1,4 +1,4 @@
-// Fault-simulation engine selection.
+// Fault-simulation engine selection and shared per-run engine artifacts.
 //
 // Every simulator in sim.hpp / sim_parallel.hpp grades the same contract
 // with one of three interchangeable evaluation engines; detection flags are
@@ -15,10 +15,21 @@
 //    good-machine pass each injected fault re-simulates only its fanout
 //    cone, and faults whose cone cannot reach the observe set are skipped
 //    up front. The production default.
+//
+// EngineContext bundles the engine's immutable per-run artifacts — the
+// compiled program and the observe-cone reach prefilter — built once and
+// shared read-only by every worker. A caller that already holds them (e.g.
+// a core::GradingSession cache) lends them in instead, so repeated gradings
+// of the same netlist pay for compilation and cone marking exactly once.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
+
+#include "netlist/compiled.hpp"
+#include "netlist/eval.hpp"
 
 namespace sbst::fault {
 
@@ -38,5 +49,55 @@ bool parse_engine(const std::string& name, Engine& out);
 /// Engine used when none is requested explicitly: the SBST_ENGINE
 /// environment variable if it names one, else kEvent.
 Engine default_engine();
+
+/// Immutable per-run grading artifacts for one (engine, netlist, observe
+/// set) triple: the resolved observe set, the compiled program (for the
+/// compiled engines), and the observe-cone reach prefilter. Construction
+/// also warms the netlist's cached topological order so worker threads only
+/// ever read it. Thread-safe to share by const reference; each worker
+/// builds its own evaluator via grade_with_evaluator().
+class EngineContext {
+ public:
+  /// Builds the artifacts for grading `nl` observed at `observe` (empty =
+  /// all declared outputs). When the caller already owns a matching
+  /// `compiled` netlist and/or `reach` prefilter (they must correspond to
+  /// `nl` and `observe`), they are borrowed instead of rebuilt and must
+  /// outlive this context.
+  EngineContext(Engine engine, const netlist::Netlist& nl,
+                std::vector<netlist::NetId> observe,
+                const netlist::CompiledNetlist* compiled = nullptr,
+                const std::uint8_t* reach = nullptr);
+
+  Engine engine() const { return engine_; }
+  const netlist::Netlist& netlist() const { return *nl_; }
+  const std::vector<netlist::NetId>& observe() const { return observe_; }
+  /// Per-gate observe-cone membership, or nullptr for the reference engine
+  /// (which runs unfiltered, as the oracle).
+  const std::uint8_t* reach() const { return reach_; }
+  /// Compiled program, or nullptr for the reference engine.
+  const netlist::CompiledNetlist* compiled() const { return compiled_; }
+
+  /// Calls grade(ev) on a freshly built evaluator for this engine.
+  template <typename GradeFn>
+  void grade_with_evaluator(const GradeFn& grade) const {
+    if (engine_ == Engine::kReference) {
+      netlist::Evaluator ev(*nl_);
+      grade(ev);
+    } else {
+      netlist::CompiledEvaluator ev(*compiled_,
+                                    /*event_driven=*/engine_ == Engine::kEvent);
+      grade(ev);
+    }
+  }
+
+ private:
+  Engine engine_;
+  const netlist::Netlist* nl_;
+  std::vector<netlist::NetId> observe_;
+  std::unique_ptr<netlist::CompiledNetlist> owned_compiled_;
+  std::vector<std::uint8_t> reach_store_;
+  const netlist::CompiledNetlist* compiled_ = nullptr;
+  const std::uint8_t* reach_ = nullptr;
+};
 
 }  // namespace sbst::fault

@@ -41,15 +41,8 @@ namespace {
 template <typename GradeFn>
 void with_engine(Engine engine, const Netlist& nl, const ObserveSet& observe,
                  const GradeFn& grade) {
-  if (engine == Engine::kReference) {
-    Evaluator ev(nl);
-    grade(ev, static_cast<const std::uint8_t*>(nullptr));
-  } else {
-    const CompiledNetlist cn(nl);
-    const std::vector<std::uint8_t> reach = cn.fanin_cone(observe);
-    CompiledEvaluator ev(cn, /*event_driven=*/engine == Engine::kEvent);
-    grade(ev, reach.data());
-  }
+  const EngineContext ctx(engine, nl, observe);
+  ctx.grade_with_evaluator([&](auto& ev) { grade(ev, ctx.reach()); });
 }
 
 }  // namespace
@@ -105,6 +98,16 @@ CoverageResult simulate_seq(const Netlist& nl,
   });
   res.recount();
   return res;
+}
+
+void simulate_comb_into(const EngineContext& ctx,
+                        const std::vector<Fault>& faults,
+                        const PatternSet& patterns, std::uint8_t* flags) {
+  detail::require_combinational(ctx.netlist(), "simulate_comb_into");
+  ctx.grade_with_evaluator([&](auto& ev) {
+    detail::grade_comb(ev, faults, patterns, ctx.observe(), ctx.reach(),
+                       flags);
+  });
 }
 
 std::vector<std::vector<bool>> good_responses(const Netlist& nl,

@@ -54,6 +54,16 @@ CoverageResult simulate_seq(const netlist::Netlist& nl,
                             const ObserveSet& observe = {},
                             Engine engine = Engine::kReference);
 
+/// Incremental PPSFP grading for fault-dropping loops (ATPG test-set
+/// generation): simulates `patterns` against the faults whose `flags` entry
+/// is still 0 and sets the flag of each new detection. Reuses a prebuilt
+/// EngineContext so repeated calls (one per pattern batch) pay for
+/// compilation and cone marking once. Flags are bitwise-identical to
+/// grading all batches together with any other simulator.
+void simulate_comb_into(const EngineContext& ctx,
+                        const std::vector<Fault>& faults,
+                        const PatternSet& patterns, std::uint8_t* flags);
+
 /// Fault-free responses of a combinational netlist: for each pattern, the
 /// value of each observed output net (packed per pattern in pattern order).
 /// Used by TPG-quality analyses and the MISR aliasing experiments.

@@ -1,19 +1,12 @@
 #include "fault/sim_parallel.hpp"
 
 #include <algorithm>
-#include <optional>
 
 #include "common/bits.hpp"
 #include "fault/sim_detail.hpp"
 #include "netlist/compiled.hpp"
 
 namespace sbst::fault {
-
-using netlist::CompiledEvaluator;
-using netlist::CompiledNetlist;
-using netlist::Evaluator;
-using netlist::NetId;
-using netlist::Netlist;
 
 namespace {
 
@@ -22,137 +15,125 @@ namespace {
 // dropping, large enough to amortize per-task evaluator construction.
 constexpr std::size_t kChunkFaults = 63 * 16;
 
-/// Shared per-run engine context: the compiled program and observe-cone
-/// prefilter are built once (for the compiled engines) and shared read-only
-/// by every worker; each task then constructs its own evaluator.
-struct EngineContext {
-  EngineContext(Engine engine, const Netlist& nl, const ObserveSet& observe)
-      : engine(engine), nl(nl) {
-    if (engine != Engine::kReference) {
-      compiled.emplace(nl);
-      reach_store = compiled->fanin_cone(observe);
-      reach = reach_store.data();
-    }
+/// Runs a plan on the external pool if one was lent in, else on a per-call
+/// pool sized by the usual num_threads resolution.
+void run_plan(GradingPlan& plan, const SimOptions& options) {
+  if (options.pool) {
+    plan.run(*options.pool);
+  } else {
+    ThreadPool pool(resolve_thread_count(options.num_threads));
+    plan.run(pool);
   }
-
-  /// Calls grade(ev, reach) on a freshly built evaluator for this engine.
-  template <typename GradeFn>
-  void grade_with_evaluator(const GradeFn& grade) const {
-    if (engine == Engine::kReference) {
-      Evaluator ev(nl);
-      grade(ev);
-    } else {
-      CompiledEvaluator ev(*compiled,
-                           /*event_driven=*/engine == Engine::kEvent);
-      grade(ev);
-    }
-  }
-
-  Engine engine;
-  const Netlist& nl;
-  std::optional<CompiledNetlist> compiled;
-  std::vector<std::uint8_t> reach_store;
-  const std::uint8_t* reach = nullptr;
-};
-
-/// Partitions [0, n_faults) into kChunkFaults-sized slices and runs
-/// grade(begin, end) for each on the pool. Slices are disjoint, so workers
-/// write disjoint flag ranges and no synchronization of results is needed.
-template <typename GradeFn>
-void run_partitioned(std::size_t n_faults, unsigned num_threads,
-                     const GradeFn& grade) {
-  const std::size_t n_tasks = (n_faults + kChunkFaults - 1) / kChunkFaults;
-  ThreadPool pool(resolve_thread_count(num_threads));
-  const std::function<void(std::size_t)> task = [&](std::size_t t) {
-    const std::size_t begin = t * kChunkFaults;
-    const std::size_t end = std::min(begin + kChunkFaults, n_faults);
-    grade(begin, end);
-  };
-  pool.run_static(n_tasks, task);
 }
 
 }  // namespace
 
-CoverageResult simulate_comb_parallel(const Netlist& nl,
-                                      const std::vector<Fault>& faults,
-                                      const PatternSet& patterns,
-                                      const ObserveSet& observe_in,
-                                      const SimOptions& options) {
-  detail::require_combinational(nl, "simulate_comb_parallel");
-  const ObserveSet observe = detail::resolve_observe(nl, observe_in);
-  nl.topo_order();  // warm the shared cache before workers touch it
+void GradingPlan::add_comb(const EngineContext& ctx,
+                           const std::vector<Fault>& faults,
+                           const PatternSet& patterns, bool lane_parallel,
+                           CoverageResult& out) {
+  detail::require_combinational(ctx.netlist(), "GradingPlan::add_comb");
+  out.total = faults.size();
+  out.detected_flags.assign(faults.size(), 0);
+  if (faults.empty()) return;
+  std::uint8_t* flags = out.detected_flags.data();
 
-  CoverageResult res;
-  res.total = faults.size();
-  res.detected_flags.assign(faults.size(), 0);
-  if (faults.empty()) {
-    res.recount();
-    return res;
-  }
-
-  const EngineContext ctx(options.engine, nl, observe);
-
-  if (options.lane_parallel) {
-    run_partitioned(faults.size(), options.num_threads,
-                    [&](std::size_t begin, std::size_t end) {
-                      ctx.grade_with_evaluator([&](auto& ev) {
-                        detail::grade_comb_lanes(ev, faults, begin, end,
-                                                 patterns, observe, ctx.reach,
-                                                 res.detected_flags.data());
-                      });
-                    });
-  } else {
-    // Fault-free responses, computed once and shared read-only.
-    std::vector<std::vector<std::uint64_t>> good_out(patterns.block_count());
+  if (!lane_parallel) {
+    // Fault-free responses, computed once here and shared read-only by every
+    // chunk task of this grading.
+    auto& good_out = good_storage_.emplace_back(patterns.block_count());
     ctx.grade_with_evaluator([&](auto& good) {
       for (std::size_t b = 0; b < patterns.block_count(); ++b) {
         detail::apply_block(good, patterns, b);
         good.eval();
-        good_out[b].resize(observe.size());
-        for (std::size_t o = 0; o < observe.size(); ++o) {
-          good_out[b][o] = good.value(observe[o]);
+        good_out[b].resize(ctx.observe().size());
+        for (std::size_t o = 0; o < ctx.observe().size(); ++o) {
+          good_out[b][o] = good.value(ctx.observe()[o]);
         }
       }
     });
-    run_partitioned(faults.size(), options.num_threads,
-                    [&](std::size_t begin, std::size_t end) {
-                      ctx.grade_with_evaluator([&](auto& ev) {
-                        detail::grade_comb_blocks(
-                            ev, faults, begin, end, patterns, observe,
-                            good_out, ctx.reach, res.detected_flags.data());
-                      });
-                    });
+    for (std::size_t begin = 0; begin < faults.size(); begin += kChunkFaults) {
+      const std::size_t end = std::min(begin + kChunkFaults, faults.size());
+      tasks_.push_back([&ctx, &faults, &patterns, &good_out, flags, begin,
+                        end] {
+        ctx.grade_with_evaluator([&](auto& ev) {
+          detail::grade_comb_blocks(ev, faults, begin, end, patterns,
+                                    ctx.observe(), good_out, ctx.reach(),
+                                    flags);
+        });
+      });
+    }
+    return;
   }
+
+  for (std::size_t begin = 0; begin < faults.size(); begin += kChunkFaults) {
+    const std::size_t end = std::min(begin + kChunkFaults, faults.size());
+    tasks_.push_back([&ctx, &faults, &patterns, flags, begin, end] {
+      ctx.grade_with_evaluator([&](auto& ev) {
+        detail::grade_comb_lanes(ev, faults, begin, end, patterns,
+                                 ctx.observe(), ctx.reach(), flags);
+      });
+    });
+  }
+}
+
+void GradingPlan::add_seq(const EngineContext& ctx,
+                          const std::vector<Fault>& faults,
+                          const SeqStimulus& stimulus, CoverageResult& out) {
+  out.total = faults.size();
+  out.detected_flags.assign(faults.size(), 0);
+  if (faults.empty()) return;
+  std::uint8_t* flags = out.detected_flags.data();
+
+  for (std::size_t begin = 0; begin < faults.size(); begin += kChunkFaults) {
+    const std::size_t end = std::min(begin + kChunkFaults, faults.size());
+    tasks_.push_back([&ctx, &faults, &stimulus, flags, begin, end] {
+      ctx.grade_with_evaluator([&](auto& ev) {
+        detail::grade_seq_batches(ev, faults, begin, end, stimulus,
+                                  ctx.observe(), ctx.reach(), flags);
+      });
+    });
+  }
+}
+
+void GradingPlan::run(ThreadPool& pool) {
+  if (!tasks_.empty()) {
+    const std::function<void(std::size_t)> task = [this](std::size_t t) {
+      tasks_[t]();
+    };
+    pool.run_static(tasks_.size(), task);
+  }
+  tasks_.clear();
+  good_storage_.clear();
+}
+
+CoverageResult simulate_comb_parallel(const netlist::Netlist& nl,
+                                      const std::vector<Fault>& faults,
+                                      const PatternSet& patterns,
+                                      const ObserveSet& observe,
+                                      const SimOptions& options) {
+  detail::require_combinational(nl, "simulate_comb_parallel");
+  const EngineContext ctx(options.engine, nl, observe, options.compiled,
+                          options.reach);
+  CoverageResult res;
+  GradingPlan plan;
+  plan.add_comb(ctx, faults, patterns, options.lane_parallel, res);
+  run_plan(plan, options);
   res.recount();
   return res;
 }
 
-CoverageResult simulate_seq_parallel(const Netlist& nl,
+CoverageResult simulate_seq_parallel(const netlist::Netlist& nl,
                                      const std::vector<Fault>& faults,
                                      const SeqStimulus& stimulus,
-                                     const ObserveSet& observe_in,
+                                     const ObserveSet& observe,
                                      const SimOptions& options) {
-  const ObserveSet observe = detail::resolve_observe(nl, observe_in);
-  nl.topo_order();  // warm the shared cache before workers touch it
-
+  const EngineContext ctx(options.engine, nl, observe, options.compiled,
+                          options.reach);
   CoverageResult res;
-  res.total = faults.size();
-  res.detected_flags.assign(faults.size(), 0);
-  if (faults.empty()) {
-    res.recount();
-    return res;
-  }
-
-  const EngineContext ctx(options.engine, nl, observe);
-
-  run_partitioned(faults.size(), options.num_threads,
-                  [&](std::size_t begin, std::size_t end) {
-                    ctx.grade_with_evaluator([&](auto& ev) {
-                      detail::grade_seq_batches(ev, faults, begin, end,
-                                                stimulus, observe, ctx.reach,
-                                                res.detected_flags.data());
-                    });
-                  });
+  GradingPlan plan;
+  plan.add_seq(ctx, faults, stimulus, res);
+  run_plan(plan, options);
   res.recount();
   return res;
 }

@@ -16,7 +16,17 @@
 //
 // Both compose with the evaluation engines in engine.hpp: with a compiled
 // engine the netlist is compiled once and every worker runs its own
-// CompiledEvaluator over the shared immutable program.
+// CompiledEvaluator over the shared immutable program. SimOptions can lend
+// in externally owned artifacts — a persistent ThreadPool, a pre-compiled
+// netlist, a reach prefilter — so a long-lived caller (core::GradingSession)
+// pays for pool startup, compilation, and cone marking once instead of per
+// call.
+//
+// GradingPlan decomposes gradings into chunk tasks without running them, so
+// a scheduler can interleave chunks from MANY gradings (different CUTs) plus
+// arbitrary extra tasks on one pool — cross-CUT parallelism with the
+// intra-CUT fault partitioning flattened into the same work queue, which is
+// what keeps the pool busy without ever oversubscribing.
 //
 // Determinism: a fault's detection flag depends only on that fault, the
 // netlist, and the stimulus — never on which lane, batch, thread, or engine
@@ -24,6 +34,9 @@
 // Results are therefore bitwise-identical for every thread count, including
 // 1, and for every engine.
 #pragma once
+
+#include <deque>
+#include <functional>
 
 #include "fault/engine.hpp"
 #include "fault/sim.hpp"
@@ -33,7 +46,8 @@ namespace sbst::fault {
 
 struct SimOptions {
   /// Worker threads (including the calling thread). 0 = auto: SBST_THREADS
-  /// env var if set, else std::thread::hardware_concurrency().
+  /// env var if set, else std::thread::hardware_concurrency(). Ignored when
+  /// `pool` is set.
   unsigned num_threads = 0;
   /// Pack 63 faults + the good machine into the 64 bit-lanes per eval() for
   /// combinational grading (detection flags are identical either way).
@@ -42,6 +56,58 @@ struct SimOptions {
   /// Defaults to the event-driven compiled engine, overridable via the
   /// SBST_ENGINE environment variable.
   Engine engine = default_engine();
+  /// Externally owned worker pool; when set, grading runs on it instead of
+  /// constructing a per-call pool. Must not currently be executing a
+  /// run_static batch (the pool is not reentrant).
+  ThreadPool* pool = nullptr;
+  /// Pre-compiled netlist for the compiled engines; must be compiled from
+  /// the netlist being graded. nullptr = compile per call.
+  const netlist::CompiledNetlist* compiled = nullptr;
+  /// Precomputed fanin-cone prefilter matching the observe set, indexed per
+  /// gate. nullptr = compute per call (compiled engines only).
+  const std::uint8_t* reach = nullptr;
+};
+
+/// Deferred fault-grading work: each add_*() call initializes its
+/// CoverageResult (total + zeroed flags) and appends chunk tasks that grade
+/// disjoint fault slices into it. Tasks from different gradings are
+/// independent (disjoint flag slices, private evaluators over shared
+/// immutable contexts) and may execute in any order or concurrently.
+///
+/// Lifetime: every EngineContext, fault list, stimulus, and CoverageResult
+/// passed in must outlive run(). Callers recount() each CoverageResult after
+/// run() — the flags are the single source of truth.
+class GradingPlan {
+ public:
+  /// Combinational grading of `faults` against `patterns` (lane-packed or
+  /// block PPSFP). Block scheduling precomputes the fault-free responses
+  /// eagerly (one pass, on the calling thread).
+  void add_comb(const EngineContext& ctx, const std::vector<Fault>& faults,
+                const PatternSet& patterns, bool lane_parallel,
+                CoverageResult& out);
+
+  /// Sequential grading of `faults` against the clocked `stimulus`.
+  void add_seq(const EngineContext& ctx, const std::vector<Fault>& faults,
+               const SeqStimulus& stimulus, CoverageResult& out);
+
+  /// Arbitrary extra task scheduled alongside the grading chunks (e.g. a
+  /// standalone routine execution). Must only touch state disjoint from
+  /// every other task's.
+  void add_task(std::function<void()> task) {
+    tasks_.push_back(std::move(task));
+  }
+
+  std::size_t size() const { return tasks_.size(); }
+
+  /// Executes every queued task on `pool` (inline for a pool of size 1) and
+  /// clears the plan. Blocks until all tasks are done.
+  void run(ThreadPool& pool);
+
+ private:
+  std::vector<std::function<void()>> tasks_;
+  // Fault-free responses for block-scheduled gradings; deque keeps the
+  // references captured by queued tasks stable.
+  std::deque<std::vector<std::vector<std::uint64_t>>> good_storage_;
 };
 
 CoverageResult simulate_comb_parallel(const netlist::Netlist& nl,

@@ -15,6 +15,10 @@
 //   --no-lane-parallel   disable PPSFP lane packing of faults
 //   --engine NAME        evaluation engine: reference | compiled | event
 //                        (also SBST_ENGINE env var; default: event)
+//   --session-cache / --no-session-cache
+//                        reuse grading artifacts (fault universes, compiled
+//                        netlists, observe cones) across gradings (default
+//                        on; results are identical either way)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,7 +51,11 @@ int usage() {
       "         --no-lane-parallel   disable PPSFP lane packing of faults\n"
       "         --engine NAME        reference | compiled | event (env "
       "SBST_ENGINE;\n"
-      "                              default: event)\n",
+      "                              default: event)\n"
+      "         --session-cache / --no-session-cache\n"
+      "                              reuse grading artifacts across "
+      "gradings\n"
+      "                              (default on; identical results)\n",
       stderr);
   return 2;
 }
@@ -152,14 +160,17 @@ int cmd_export(const ProcessorModel& model, CutId cut, const char* format) {
   return 0;
 }
 
-int cmd_evaluate(const ProcessorModel& model, const fault::SimOptions& sim) {
+int cmd_evaluate(const ProcessorModel& model, const fault::SimOptions& sim,
+                 bool session_cache) {
   TestProgramBuilder builder;
   builder.add_default_routines(model);
   const TestProgram program = builder.build();
   EvalOptions options;
   options.sim = sim;
+  GradingSession session(
+      model, {.num_threads = sim.num_threads, .cache = session_cache});
   const ProgramEvaluation ev =
-      evaluate_program(model, builder, program, options);
+      evaluate_program(session, builder, program, options);
   Table t({"Component", "FC (%)", "Miss. FC (%)"});
   for (const CutCoverage& c : ev.cuts) {
     t.add_row({model.component(c.id).name,
@@ -173,6 +184,14 @@ int cmd_evaluate(const ProcessorModel& model, const fault::SimOptions& sim) {
               static_cast<unsigned long long>(
                   ev.total.pipeline_stall_cycles),
               static_cast<unsigned long long>(ev.total.data_references()));
+  // Stage timings go to stderr: stdout must stay byte-identical for every
+  // thread count / engine / cache setting (the CI determinism check diffs
+  // it), while wall-clock never is.
+  std::fprintf(stderr,
+               "# stages (s): trace %.3f collapse %.3f compile %.3f "
+               "grade %.3f standalone %.3f\n",
+               ev.stages.trace, ev.stages.collapse, ev.stages.compile,
+               ev.stages.grade, ev.stages.standalone);
   return 0;
 }
 
@@ -181,6 +200,7 @@ int cmd_evaluate(const ProcessorModel& model, const fault::SimOptions& sim) {
 int main(int argc, char** argv) {
   // Strip global options; everything else stays positional.
   fault::SimOptions sim;
+  bool session_cache = true;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -191,6 +211,10 @@ int main(int argc, char** argv) {
       sim.num_threads = static_cast<unsigned>(v);
     } else if (std::strcmp(a, "--no-lane-parallel") == 0) {
       sim.lane_parallel = false;
+    } else if (std::strcmp(a, "--session-cache") == 0) {
+      session_cache = true;
+    } else if (std::strcmp(a, "--no-session-cache") == 0) {
+      session_cache = false;
     } else if (std::strcmp(a, "--engine") == 0 ||
                std::strncmp(a, "--engine=", 9) == 0) {
       const char* name = a[8] == '=' ? a + 9 : nullptr;
@@ -209,7 +233,7 @@ int main(int argc, char** argv) {
   if (cmd == "inventory") return cmd_inventory(model);
   if (cmd == "program") return cmd_program(model, false);
   if (cmd == "listing") return cmd_program(model, true);
-  if (cmd == "evaluate") return cmd_evaluate(model, sim);
+  if (cmd == "evaluate") return cmd_evaluate(model, sim, session_cache);
   if (cmd == "generate" || cmd == "export") {
     if (args.size() < 2) return usage();
     CutId cut;
