@@ -8,13 +8,36 @@
 // runs in < 12,000 cycles, i.e. < 200 us at 57 MHz — far below a quantum
 // (hundreds of ms). This bench evaluates both the analytic model (miss-rate
 // sweep) and measured direct-mapped caches of several sizes.
+#include <chrono>
 #include <cstdio>
+#include <functional>
 
 #include "common/tablefmt.hpp"
 #include "core/evaluate.hpp"
+#include "sim/exec.hpp"
 
 using namespace sbst;
 using namespace sbst::core;
+
+namespace {
+
+// Wall-clock instruction throughput of one run() variant. Repeats until the
+// sample is long enough to trust (>= 0.2 s), never fewer than 8 runs.
+double instructions_per_sec(const std::function<sim::ExecStats()>& run_once) {
+  using clock = std::chrono::steady_clock;
+  std::uint64_t instructions = 0;
+  std::size_t iterations = 0;
+  const clock::time_point start = clock::now();
+  double elapsed = 0.0;
+  do {
+    instructions += run_once().instructions;
+    ++iterations;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (iterations < 8 || elapsed < 0.2);
+  return static_cast<double>(instructions) / elapsed;
+}
+
+}  // namespace
 
 int main() {
   std::puts("==============================================================");
@@ -168,5 +191,66 @@ int main() {
                           2)});
   }
   l.print();
+
+  // Machine-readable throughput sample for CI trend tracking: interpreter
+  // vs decoded core vs decoded-with-trace-sink on the full SBST program.
+  // Goes to BENCH_exec.json + stderr only; stdout above is diffed in CI.
+  {
+    struct NullTrace {
+      void on_instruction_start(std::uint32_t) {}
+      void on_alu(rtlgen::AluOp, std::uint32_t, std::uint32_t) {}
+      void on_shift(rtlgen::ShiftOp, std::uint32_t, std::uint32_t) {}
+      void on_mult(std::uint32_t, std::uint32_t) {}
+      void on_div(std::uint32_t, std::uint32_t) {}
+      void on_regfile(std::uint8_t, std::uint32_t, bool, std::uint8_t,
+                      std::uint8_t) {}
+      void on_mem(std::uint32_t, std::uint32_t, rtlgen::MemSize, bool, bool,
+                  std::uint32_t) {}
+      void on_control(std::uint8_t, std::uint8_t) {}
+      void on_forward(std::uint8_t, std::uint8_t, std::uint8_t, bool,
+                      std::uint8_t, bool) {}
+      void on_branch_flush() {}
+      void on_branch_target(std::uint32_t, std::uint32_t) {}
+    };
+    sim::Cpu bench_cpu(base.cpu);
+    bench_cpu.load(program.image);
+    const double interp = instructions_per_sec([&] {
+      bench_cpu.reset();
+      return bench_cpu.run_interpreter(program.entry);
+    });
+    const double decoded = instructions_per_sec([&] {
+      bench_cpu.reset();
+      return bench_cpu.run(program.entry);
+    });
+    NullTrace trace;
+    const double traced = instructions_per_sec([&] {
+      bench_cpu.reset();
+      sim::TraceSink<NullTrace> sink{&trace};
+      return bench_cpu.run_sink(program.entry, sink);
+    });
+    if (std::FILE* f = std::fopen("BENCH_exec.json", "w")) {
+      std::fprintf(f,
+                   "{\n"
+                   "  \"bench\": \"exec_time_model\",\n"
+                   "  \"program_words\": %zu,\n"
+                   "  \"instructions_per_run\": %llu,\n"
+                   "  \"interpreter_instr_per_sec\": %.0f,\n"
+                   "  \"decoded_instr_per_sec\": %.0f,\n"
+                   "  \"traced_instr_per_sec\": %.0f,\n"
+                   "  \"decoded_speedup_vs_interpreter\": %.3f,\n"
+                   "  \"traced_speedup_vs_interpreter\": %.3f\n"
+                   "}\n",
+                   program.image.size_words(),
+                   static_cast<unsigned long long>(stats.instructions),
+                   interp, decoded, traced, decoded / interp,
+                   traced / interp);
+      std::fclose(f);
+    }
+    std::fprintf(stderr,
+                 "# throughput (Minstr/s): interpreter %.1f, decoded %.1f "
+                 "(%.2fx), traced %.1f (%.2fx) -> BENCH_exec.json\n",
+                 interp / 1e6, decoded / 1e6, decoded / interp, traced / 1e6,
+                 traced / interp);
+  }
   return 0;
 }

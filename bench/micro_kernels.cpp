@@ -13,10 +13,37 @@
 #include "rtlgen/alu.hpp"
 #include "rtlgen/multiplier.hpp"
 #include "sim/cpu.hpp"
+#include "sim/exec.hpp"
 
 using namespace sbst;
 
 namespace {
+
+// Minimal trace sink for run_sink<TraceSink>: counts every hook event so
+// nothing is optimised away, does no per-event allocation.
+struct CountingTrace {
+  std::uint64_t events = 0;
+  void on_instruction_start(std::uint32_t) { ++events; }
+  void on_alu(rtlgen::AluOp, std::uint32_t, std::uint32_t) { ++events; }
+  void on_shift(rtlgen::ShiftOp, std::uint32_t, std::uint32_t) { ++events; }
+  void on_mult(std::uint32_t, std::uint32_t) { ++events; }
+  void on_div(std::uint32_t, std::uint32_t) { ++events; }
+  void on_regfile(std::uint8_t, std::uint32_t, bool, std::uint8_t,
+                  std::uint8_t) {
+    ++events;
+  }
+  void on_mem(std::uint32_t, std::uint32_t, rtlgen::MemSize, bool, bool,
+              std::uint32_t) {
+    ++events;
+  }
+  void on_control(std::uint8_t, std::uint8_t) { ++events; }
+  void on_forward(std::uint8_t, std::uint8_t, std::uint8_t, bool,
+                  std::uint8_t, bool) {
+    ++events;
+  }
+  void on_branch_flush() { ++events; }
+  void on_branch_target(std::uint32_t, std::uint32_t) { ++events; }
+};
 
 const netlist::Netlist& alu16() {
   static const netlist::Netlist nl = rtlgen::build_alu({.width = 16});
@@ -89,12 +116,15 @@ void BM_PodemPerFault(benchmark::State& state) {
 }
 BENCHMARK(BM_PodemPerFault);
 
-void BM_CpuSimulation(benchmark::State& state) {
-  // Instruction throughput of the Plasma-model interpreter on the real
-  // SBST ALU routine.
+core::TestProgram alu_program() {
   core::TestProgramBuilder builder;
-  const core::TestProgram p =
-      builder.build_standalone(core::make_alu_routine({}));
+  return builder.build_standalone(core::make_alu_routine({}));
+}
+
+void BM_CpuSimulation(benchmark::State& state) {
+  // Instruction throughput of the decoded micro-op core (the default run()
+  // path) on the real SBST ALU routine.
+  const core::TestProgram p = alu_program();
   sim::Cpu cpu;
   cpu.load(p.image);
   std::uint64_t instructions = 0;
@@ -107,6 +137,42 @@ void BM_CpuSimulation(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
 }
 BENCHMARK(BM_CpuSimulation);
+
+void BM_CpuSimulationInterpreter(benchmark::State& state) {
+  // The pre-decode switch-on-fields interpreter, kept as the golden
+  // reference; the decoded core is measured against this baseline.
+  const core::TestProgram p = alu_program();
+  sim::Cpu cpu;
+  cpu.load(p.image);
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    cpu.reset();
+    const sim::ExecStats s = cpu.run_interpreter(p.entry);
+    instructions += s.instructions;
+    benchmark::DoNotOptimize(s.cpu_cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_CpuSimulationInterpreter);
+
+void BM_CpuSimulationTraced(benchmark::State& state) {
+  // Decoded core with a full trace sink attached (the evaluator's
+  // configuration): every on_* hook fires through the sink policy.
+  const core::TestProgram p = alu_program();
+  sim::Cpu cpu;
+  cpu.load(p.image);
+  CountingTrace trace;
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    cpu.reset();
+    sim::TraceSink<CountingTrace> sink{&trace};
+    const sim::ExecStats s = cpu.run_sink(p.entry, sink);
+    instructions += s.instructions;
+    benchmark::DoNotOptimize(trace.events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(instructions));
+}
+BENCHMARK(BM_CpuSimulationTraced);
 
 void BM_Assembler(benchmark::State& state) {
   const std::string source =

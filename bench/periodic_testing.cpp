@@ -5,12 +5,17 @@
 //  * short transients are the domain of concurrent schemes;
 //  * CPU overhead is test_time/period and stays negligible because the SBST
 //    program runs in far less than a quantum.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "common/rng.hpp"
 #include "common/tablefmt.hpp"
 #include "core/evaluate.hpp"
+#include "core/inject.hpp"
 #include "core/periodic.hpp"
+#include "fault/sim.hpp"
+#include "fault/thread_pool.hpp"
 
 using namespace sbst;
 using namespace sbst::core;
@@ -128,5 +133,78 @@ int main() {
   std::puts("-> with a realistic quantum (first row: 200 ms at 57 MHz) the"
             " whole test is one chunk; only absurdly small quanta make the"
             " paper's warned-about context-switch overhead material.");
+
+  // Machine-readable campaign timing for CI trend tracking. A periodic
+  // testing deployment re-runs the injected SBST program once per modelled
+  // fault; this measures that campaign serial (1 worker) vs pooled, plus
+  // the Monte-Carlo periodic campaign itself. BENCH_periodic.json + stderr
+  // only; stdout above stays untouched.
+  {
+    using clock = std::chrono::steady_clock;
+    auto seconds = [](clock::time_point a, clock::time_point b) {
+      return std::chrono::duration<double>(b - a).count();
+    };
+    // Multiplier faults corrupt data but never control flow, so every
+    // faulty run halts normally and the campaign finishes in seconds while
+    // still measuring the real scheduling path. (A shifter fault can hang
+    // the program into the instruction cap: ~14 s per fault.)
+    const netlist::Netlist& cut_nl =
+        model.component(CutId::kMultiplier).netlist;
+    std::vector<fault::Fault> faults = fault::FaultUniverse(cut_nl).collapsed();
+    if (faults.size() > 32) faults.resize(32);  // keep the bench short
+
+    GradingSession serial_session(model, {.num_threads = 1});
+    const clock::time_point t0 = clock::now();
+    const auto serial_out = run_injection_campaign(serial_session, program,
+                                                   CutId::kMultiplier, faults);
+    const clock::time_point t1 = clock::now();
+    GradingSession pooled_session(model, {});
+    const auto pooled_out = run_injection_campaign(pooled_session, program,
+                                                   CutId::kMultiplier, faults);
+    const clock::time_point t2 = clock::now();
+    const double serial_s = seconds(t0, t1);
+    const double pooled_s = seconds(t1, t2);
+    std::size_t detected = 0;
+    for (std::size_t k = 0; k < pooled_out.size(); ++k) {
+      if (pooled_out[k].detected) ++detected;
+      if (pooled_out[k].detected != serial_out[k].detected) {
+        std::fprintf(stderr, "# campaign mismatch at fault %zu\n", k);
+        return 1;
+      }
+    }
+
+    fault::ThreadPool mc_pool(0);  // hardware concurrency
+    std::vector<FaultProcess> processes(
+        64, {.kind = FaultKind::kPermanent, .arrival_s = 10.0});
+    const clock::time_point t3 = clock::now();
+    const auto mc = simulate_periodic_campaign(mc_pool, cfg, processes, 400,
+                                               2026);
+    const clock::time_point t4 = clock::now();
+
+    if (std::FILE* f = std::fopen("BENCH_periodic.json", "w")) {
+      std::fprintf(
+          f,
+          "{\n"
+          "  \"bench\": \"periodic_testing\",\n"
+          "  \"injection_faults\": %zu,\n"
+          "  \"injection_detected\": %zu,\n"
+          "  \"injection_serial_s\": %.4f,\n"
+          "  \"injection_pooled_s\": %.4f,\n"
+          "  \"injection_per_fault_ms\": %.4f,\n"
+          "  \"injection_pool_speedup\": %.3f,\n"
+          "  \"periodic_mc_faults\": %zu,\n"
+          "  \"periodic_mc_s\": %.4f\n"
+          "}\n",
+          faults.size(), detected, serial_s, pooled_s,
+          1e3 * pooled_s / static_cast<double>(faults.size()),
+          serial_s / pooled_s, mc.size(), seconds(t3, t4));
+      std::fclose(f);
+    }
+    std::fprintf(stderr,
+                 "# injection campaign: %zu faults, serial %.3f s, pooled "
+                 "%.3f s (%.2fx, %.3f ms/fault) -> BENCH_periodic.json\n",
+                 faults.size(), serial_s, pooled_s, serial_s / pooled_s,
+                 1e3 * pooled_s / static_cast<double>(faults.size()));
+  }
   return 0;
 }

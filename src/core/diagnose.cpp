@@ -52,4 +52,19 @@ Diagnosis diagnose(const TestProgram& program,
   return out;
 }
 
+std::vector<InjectionDiagnosis> diagnose_campaign(
+    GradingSession& session, const TestProgram& program, CutId target,
+    const std::vector<fault::Fault>& faults, const sim::CpuConfig& config) {
+  std::vector<InjectionOutcome> outcomes =
+      run_injection_campaign(session, program, target, faults, config);
+  std::vector<InjectionDiagnosis> out;
+  out.reserve(outcomes.size());
+  for (InjectionOutcome& o : outcomes) {
+    Diagnosis d =
+        diagnose(program, o.good_signatures, o.faulty_signatures);
+    out.push_back({std::move(o), std::move(d)});
+  }
+  return out;
+}
+
 }  // namespace sbst::core

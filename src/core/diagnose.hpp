@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/inject.hpp"
 #include "core/program.hpp"
 
 namespace sbst::core {
@@ -33,5 +34,20 @@ struct Diagnosis {
 Diagnosis diagnose(const TestProgram& program,
                    const std::vector<std::uint32_t>& good_signatures,
                    const std::vector<std::uint32_t>& observed_signatures);
+
+/// End-to-end injection + diagnosis for one fault.
+struct InjectionDiagnosis {
+  InjectionOutcome outcome;
+  Diagnosis diagnosis;
+};
+
+/// Injects every fault of `faults` into `target` (per-fault faulty runs on
+/// the session pool, see run_injection_campaign) and diagnoses each
+/// signature comparison. Results in fault order, bitwise-deterministic for
+/// any thread count.
+std::vector<InjectionDiagnosis> diagnose_campaign(
+    GradingSession& session, const TestProgram& program, CutId target,
+    const std::vector<fault::Fault>& faults,
+    const sim::CpuConfig& config = {});
 
 }  // namespace sbst::core

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fault/sim.hpp"
+#include "sim/exec.hpp"
 
 namespace sbst::core {
 
@@ -209,9 +210,9 @@ ProgramEvaluation evaluate_program(GradingSession& session,
   }
   sim::Cpu cpu(options.cpu);
   cpu.reset();
-  cpu.load(program.image);
-  cpu.set_hooks(&trace);
-  out.total = cpu.run(program.entry, options.max_instructions);
+  cpu.load(program.image, session.decoded(program.image));
+  sim::TraceSink<TraceCollector> sink{&trace};  // devirtualized event sink
+  out.total = cpu.run_sink(program.entry, sink, options.max_instructions);
   if (!out.total.halted) {
     throw std::runtime_error("evaluate_program: program did not halt");
   }
@@ -301,10 +302,13 @@ ProgramEvaluation evaluate_program(GradingSession& session,
     rs.name = r.name;
     rs.style = r.style;
     rs.size_words = program.sections[i].size_words();
-    runs.add_task([&standalone, &rs, &options] {
+    // Predecode serially (session caches are not for the pool workers);
+    // each task shares the immutable micro-op image.
+    runs.add_task([&standalone, &rs, &options,
+                   decoded = session.decoded(standalone.image)] {
       sim::Cpu solo(options.cpu);
       solo.reset();
-      solo.load(standalone.image);
+      solo.load(standalone.image, decoded);
       rs.exec = solo.run(standalone.entry, options.max_instructions);
     });
   }

@@ -60,7 +60,7 @@ struct TraceKeyHash {
 using TraceKeySet = std::unordered_set<TraceKey, TraceKeyHash>;
 
 /// Captures per-component stimulus from a program execution.
-class TraceCollector : public sim::CpuHooks {
+class TraceCollector final : public sim::CpuHooks {
  public:
   explicit TraceCollector(const ProcessorModel& model);
 

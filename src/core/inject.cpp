@@ -4,7 +4,9 @@
 
 #include "core/program.hpp"
 #include "core/session.hpp"
+#include "fault/sim_parallel.hpp"
 #include "rtlgen/multiplier.hpp"
+#include "sim/exec.hpp"
 
 namespace sbst::core {
 
@@ -32,6 +34,16 @@ GateLevelFaultInjector::GateLevelFaultInjector(GradingSession& session,
   check_target(target);
   comp_eval_ = std::make_unique<netlist::CompiledEvaluator>(
       session.compiled(target), /*event_driven=*/true);
+  comp_eval_->inject(fault.site, fault.stuck_value, ~std::uint64_t{0});
+}
+
+GateLevelFaultInjector::GateLevelFaultInjector(
+    const netlist::Netlist& nl, const netlist::CompiledNetlist& compiled,
+    CutId target, const fault::Fault& fault)
+    : target_(target), nl_(&nl) {
+  check_target(target);
+  comp_eval_ = std::make_unique<netlist::CompiledEvaluator>(
+      compiled, /*event_driven=*/true);
   comp_eval_->inject(fault.site, fault.stuck_value, ~std::uint64_t{0});
 }
 
@@ -86,22 +98,20 @@ std::optional<std::uint64_t> GateLevelFaultInjector::mult_result(
 
 namespace {
 
-InjectionOutcome run_outcome(const TestProgram& program,
-                             GateLevelFaultInjector& injector,
-                             const sim::CpuConfig& config) {
+/// One faulty run against precomputed good signatures. The good machine is
+/// NOT re-executed here — callers hoist it once per (program, config).
+InjectionOutcome faulty_outcome(
+    const TestProgram& program,
+    const std::vector<std::uint32_t>& good_signatures,
+    GateLevelFaultInjector& injector, const sim::CpuConfig& config,
+    std::shared_ptr<const isa::DecodedProgram> decoded) {
   InjectionOutcome out;
-
-  sim::Cpu good(config);
-  good.reset();
-  good.load(program.image);
-  if (!good.run(program.entry).halted) {
-    throw std::runtime_error("run_with_injection: good run did not halt");
-  }
+  out.good_signatures = good_signatures;
 
   sim::Cpu bad(config);
   bad.reset();
-  bad.load(program.image);
-  bad.set_hooks(&injector);
+  bad.load(program.image, std::move(decoded));
+  sim::InjectSink<GateLevelFaultInjector> sink{&injector};
   // A fault can corrupt an address computation and crash the program (bus
   // error) or keep it from ever reaching `break` (hang). Both are caught by
   // the exception handler / watchdog in a real deployment — architecturally
@@ -109,22 +119,39 @@ InjectionOutcome run_outcome(const TestProgram& program,
   bool crashed = false;
   sim::ExecStats faulty_stats;
   try {
-    faulty_stats = bad.run(program.entry);
+    faulty_stats = bad.run_sink(program.entry, sink);
   } catch (const sim::CpuError&) {
     crashed = true;
   }
 
   for (unsigned slot = 0; slot < kSignatureSlots; ++slot) {
-    out.good_signatures.push_back(
-        good.read_word(program.signature_address(slot)));
     out.faulty_signatures.push_back(
         !crashed && faulty_stats.halted
             ? bad.read_word(program.signature_address(slot))
-            : ~good.read_word(program.signature_address(slot)));
+            : ~good_signatures[slot]);
   }
   out.corrupted_results = injector.corrupted_results();
   out.detected = out.good_signatures != out.faulty_signatures;
   return out;
+}
+
+/// Session-less good run: executes the fault-free machine and unloads its
+/// signature words.
+std::vector<std::uint32_t> good_signatures_of(
+    const TestProgram& program, const sim::CpuConfig& config,
+    const std::shared_ptr<const isa::DecodedProgram>& decoded) {
+  sim::Cpu good(config);
+  good.reset();
+  good.load(program.image, decoded);
+  if (!good.run(program.entry).halted) {
+    throw std::runtime_error("run_with_injection: good run did not halt");
+  }
+  std::vector<std::uint32_t> sigs;
+  sigs.reserve(kSignatureSlots);
+  for (unsigned slot = 0; slot < kSignatureSlots; ++slot) {
+    sigs.push_back(good.read_word(program.signature_address(slot)));
+  }
+  return sigs;
 }
 
 }  // namespace
@@ -133,16 +160,69 @@ InjectionOutcome run_with_injection(const ProcessorModel& model,
                                     const TestProgram& program,
                                     CutId target, const fault::Fault& fault,
                                     const sim::CpuConfig& config) {
+  const auto decoded =
+      std::make_shared<const isa::DecodedProgram>(program.image);
+  const auto sigs = good_signatures_of(program, config, decoded);
   GateLevelFaultInjector injector(model, target, fault);
-  return run_outcome(program, injector, config);
+  return faulty_outcome(program, sigs, injector, config, decoded);
 }
 
 InjectionOutcome run_with_injection(GradingSession& session,
                                     const TestProgram& program,
                                     CutId target, const fault::Fault& fault,
                                     const sim::CpuConfig& config) {
+  const GoodRun& good = session.good_run(program, config);
+  if (!good.stats.halted) {
+    throw std::runtime_error("run_with_injection: good run did not halt");
+  }
+  // Copy before further session calls: with the cache off a later good_run
+  // request for the same program replaces the slot.
+  const std::vector<std::uint32_t> sigs = good.signatures;
+  auto decoded = session.decoded(program.image);
   GateLevelFaultInjector injector(session, target, fault);
-  return run_outcome(program, injector, config);
+  return faulty_outcome(program, sigs, injector, config, std::move(decoded));
+}
+
+std::vector<InjectionOutcome> run_injection_campaign(
+    GradingSession& session, const TestProgram& program, CutId target,
+    const std::vector<fault::Fault>& faults, const sim::CpuConfig& config) {
+  // Serial prefetch: one good run, one predecoded image, one compiled
+  // netlist — shared read-only by every per-fault task (workers never touch
+  // the session caches, so cache-off mode stays safe under parallelism).
+  const GoodRun good = session.good_run(program, config);
+  if (!good.stats.halted) {
+    throw std::runtime_error("run_with_injection: good run did not halt");
+  }
+  const auto decoded = session.decoded(program.image);
+  const netlist::Netlist& nl = session.model().component(target).netlist;
+  const netlist::CompiledNetlist& compiled = session.compiled(target);
+
+  std::vector<InjectionOutcome> out(faults.size());
+  fault::GradingPlan plan;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    plan.add_task([&, i] {
+      GateLevelFaultInjector injector(nl, compiled, target, faults[i]);
+      out[i] =
+          faulty_outcome(program, good.signatures, injector, config, decoded);
+    });
+  }
+  plan.run(session.pool());
+  return out;
+}
+
+std::vector<InjectionOutcome> run_injection_campaign(
+    const ProcessorModel& model, const TestProgram& program, CutId target,
+    const std::vector<fault::Fault>& faults, const sim::CpuConfig& config) {
+  const auto decoded =
+      std::make_shared<const isa::DecodedProgram>(program.image);
+  const auto sigs = good_signatures_of(program, config, decoded);
+  std::vector<InjectionOutcome> out;
+  out.reserve(faults.size());
+  for (const fault::Fault& fault : faults) {
+    GateLevelFaultInjector injector(model, target, fault);
+    out.push_back(faulty_outcome(program, sigs, injector, config, decoded));
+  }
+  return out;
 }
 
 }  // namespace sbst::core

@@ -20,7 +20,7 @@ namespace sbst::core {
 
 class GradingSession;
 
-class GateLevelFaultInjector : public sim::CpuHooks {
+class GateLevelFaultInjector final : public sim::CpuHooks {
  public:
   /// Supported targets: kAlu, kShifter, kMultiplier (the components whose
   /// results flow through the CpuHooks override points).
@@ -31,6 +31,13 @@ class GateLevelFaultInjector : public sim::CpuHooks {
   /// Results are bitwise-identical to the reference form.
   GateLevelFaultInjector(GradingSession& session, CutId target,
                          const fault::Fault& fault);
+  /// Prefetched form for campaign workers: evaluates event-driven through a
+  /// caller-held compiled netlist, so parallel per-fault tasks never touch
+  /// the session caches. `nl` and `compiled` must describe the same
+  /// component and outlive the injector.
+  GateLevelFaultInjector(const netlist::Netlist& nl,
+                         const netlist::CompiledNetlist& compiled,
+                         CutId target, const fault::Fault& fault);
 
   std::optional<std::uint32_t> alu_result(rtlgen::AluOp, std::uint32_t,
                                           std::uint32_t) override;
@@ -68,12 +75,29 @@ InjectionOutcome run_with_injection(const ProcessorModel& model,
                                     CutId target, const fault::Fault& fault,
                                     const sim::CpuConfig& config = {});
 
-/// Session form: amortizes the target's netlist compilation across many
-/// injection campaigns (e.g. the compaction-ablation sweep). Identical
-/// outcomes to the model form.
+/// Session form: amortizes the target's netlist compilation, the predecoded
+/// program image and the fault-free reference run across many injection
+/// calls (the good machine runs once per (program, config), not once per
+/// fault). Identical outcomes to the model form.
 InjectionOutcome run_with_injection(GradingSession& session,
                                     const struct TestProgram& program,
                                     CutId target, const fault::Fault& fault,
                                     const sim::CpuConfig& config = {});
+
+/// Multi-fault injection campaign: one fault-free reference run plus one
+/// faulty run per fault, the faulty runs scheduled as independent tasks on
+/// the session pool. Outcomes are returned in fault order and are
+/// bitwise-identical to calling run_with_injection per fault, for any
+/// thread count.
+std::vector<InjectionOutcome> run_injection_campaign(
+    GradingSession& session, const struct TestProgram& program, CutId target,
+    const std::vector<fault::Fault>& faults, const sim::CpuConfig& config = {});
+
+/// Session-less campaign: serial faulty runs, but still only ONE fault-free
+/// reference run for the whole fault list.
+std::vector<InjectionOutcome> run_injection_campaign(
+    const ProcessorModel& model, const struct TestProgram& program,
+    CutId target, const std::vector<fault::Fault>& faults,
+    const sim::CpuConfig& config = {});
 
 }  // namespace sbst::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/thread_pool.hpp"
+
 namespace sbst::core {
 
 bool fault_active_at(const FaultProcess& fault, double t) {
@@ -109,6 +111,20 @@ PeriodicResult simulate_periodic(const PeriodicConfig& config,
   out.cpu_overhead = config.policy == LaunchPolicy::kStartup
                          ? config.test_exec_s / config.horizon_s
                          : config.test_exec_s / config.test_period_s;
+  return out;
+}
+
+std::vector<PeriodicResult> simulate_periodic_campaign(
+    fault::ThreadPool& pool, const PeriodicConfig& config,
+    const std::vector<FaultProcess>& faults, std::size_t trials,
+    std::uint64_t seed) {
+  std::vector<PeriodicResult> out(faults.size());
+  pool.run_static(faults.size(), [&](std::size_t i) {
+    // Golden-ratio stream split: fault i always sees the same draws no
+    // matter which worker runs it or how many workers exist.
+    Rng rng(seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
+    out[i] = simulate_periodic(config, faults[i], trials, rng);
+  });
   return out;
 }
 

@@ -15,6 +15,10 @@
 
 #include "common/rng.hpp"
 
+namespace sbst::fault {
+class ThreadPool;
+}
+
 namespace sbst::core {
 
 enum class FaultKind {
@@ -60,6 +64,16 @@ struct PeriodicResult {
 PeriodicResult simulate_periodic(const PeriodicConfig& config,
                                  const FaultProcess& fault,
                                  std::size_t trials, Rng& rng);
+
+/// Campaign form: one Monte-Carlo simulation per fault process, scheduled
+/// as independent tasks on `pool`. Each fault draws from its own
+/// deterministic stream seeded from (`seed`, fault index), so results are
+/// in fault order and bitwise-identical for any thread count (they differ
+/// from threading `seed` through one shared sequential Rng).
+std::vector<PeriodicResult> simulate_periodic_campaign(
+    fault::ThreadPool& pool, const PeriodicConfig& config,
+    const std::vector<FaultProcess>& faults, std::size_t trials,
+    std::uint64_t seed);
 
 /// Closed-form checks used by tests:
 ///  - permanent faults: detection probability -> coverage, latency <= period

@@ -2,6 +2,61 @@
 
 namespace sbst::core {
 
+namespace {
+
+// 64-bit FNV-1a folded over 8-byte values; only a scan accelerator — every
+// cache probe still compares the full key.
+std::uint64_t fnv64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t hash_image(const isa::Program& image) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv64(h, image.base);
+  h = fnv64(h, image.words.size());
+  for (const std::uint32_t w : image.words) h = fnv64(h, w);
+  return h;
+}
+
+std::uint64_t hash_cache_config(std::uint64_t h, const sim::CacheConfig& c) {
+  h = fnv64(h, c.enabled);
+  h = fnv64(h, c.line_words);
+  h = fnv64(h, c.lines);
+  return fnv64(h, c.miss_penalty);
+}
+
+std::uint64_t hash_cpu_config(std::uint64_t h, const sim::CpuConfig& c) {
+  h = fnv64(h, c.forwarding);
+  h = fnv64(h, c.mem_access_cycles);
+  h = fnv64(h, c.mult_cycles);
+  h = fnv64(h, c.div_cycles);
+  h = fnv64(h, c.branch_taken_penalty);
+  h = fnv64(h, c.mem_bytes);
+  h = hash_cache_config(h, c.icache);
+  return hash_cache_config(h, c.dcache);
+}
+
+bool cache_config_equal(const sim::CacheConfig& a, const sim::CacheConfig& b) {
+  return a.enabled == b.enabled && a.line_words == b.line_words &&
+         a.lines == b.lines && a.miss_penalty == b.miss_penalty;
+}
+
+bool cpu_config_equal(const sim::CpuConfig& a, const sim::CpuConfig& b) {
+  return a.forwarding == b.forwarding &&
+         a.mem_access_cycles == b.mem_access_cycles &&
+         a.mult_cycles == b.mult_cycles && a.div_cycles == b.div_cycles &&
+         a.branch_taken_penalty == b.branch_taken_penalty &&
+         a.mem_bytes == b.mem_bytes &&
+         cache_config_equal(a.icache, b.icache) &&
+         cache_config_equal(a.dcache, b.dcache);
+}
+
+}  // namespace
+
 fault::ObserveSet observation_points(const ComponentInfo& info,
                                      ObserveMode mode) {
   const netlist::Netlist& nl = info.netlist;
@@ -106,6 +161,86 @@ const std::vector<std::uint8_t>& GradingSession::cone(CutId id,
   ++stats_.cone_builds;
   slot_ptr = std::make_unique<std::vector<std::uint8_t>>(cn.fanin_cone(obs));
   return *slot_ptr;
+}
+
+std::shared_ptr<const isa::DecodedProgram> GradingSession::decoded_locked(
+    const isa::Program& image) {
+  const std::uint64_t h = hash_image(image);
+  for (DecodedEntry& e : decoded_cache_) {
+    if (e.hash != h || e.base != image.base || e.words != image.words) {
+      continue;
+    }
+    if (options_.cache) {
+      ++stats_.decode_hits;
+      return e.decoded;
+    }
+    ++stats_.decode_builds;
+    e.decoded = std::make_shared<const isa::DecodedProgram>(image);
+    return e.decoded;
+  }
+  ++stats_.decode_builds;
+  DecodedEntry e;
+  e.hash = h;
+  e.base = image.base;
+  e.words = image.words;
+  e.decoded = std::make_shared<const isa::DecodedProgram>(image);
+  decoded_cache_.push_back(std::move(e));
+  return decoded_cache_.back().decoded;
+}
+
+std::shared_ptr<const isa::DecodedProgram> GradingSession::decoded(
+    const isa::Program& image) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decoded_locked(image);
+}
+
+const GoodRun& GradingSession::good_run(const TestProgram& program,
+                                        const sim::CpuConfig& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t h = hash_image(program.image);
+  h = fnv64(h, program.entry);
+  h = fnv64(h, program.signature_base);
+  h = hash_cpu_config(h, config);
+  GoodRunEntry* found = nullptr;
+  for (GoodRunEntry& e : goodrun_cache_) {
+    if (e.hash == h && e.base == program.image.base &&
+        e.entry == program.entry &&
+        e.signature_base == program.signature_base &&
+        cpu_config_equal(e.config, config) &&
+        e.words == program.image.words) {
+      found = &e;
+      break;
+    }
+  }
+  if (found && options_.cache) {
+    ++stats_.goodrun_hits;
+    return found->run;
+  }
+  ++stats_.goodrun_builds;
+  GoodRun run;
+  {
+    sim::Cpu cpu(config);
+    cpu.reset();
+    cpu.load(program.image, decoded_locked(program.image));
+    run.stats = cpu.run(program.entry);
+    for (unsigned s = 0; s < kSignatureSlots; ++s) {
+      run.signatures.push_back(cpu.read_word(program.signature_address(s)));
+    }
+  }
+  if (found) {
+    found->run = std::move(run);
+    return found->run;
+  }
+  GoodRunEntry e;
+  e.hash = h;
+  e.base = program.image.base;
+  e.entry = program.entry;
+  e.signature_base = program.signature_base;
+  e.words = program.image.words;
+  e.config = config;
+  e.run = std::move(run);
+  goodrun_cache_.push_back(std::move(e));
+  return goodrun_cache_.back().run;
 }
 
 SessionStats GradingSession::stats() const {

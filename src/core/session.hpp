@@ -18,15 +18,18 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "core/component.hpp"
+#include "core/program.hpp"
 #include "fault/fault.hpp"
 #include "fault/sim.hpp"
 #include "fault/thread_pool.hpp"
 #include "netlist/compiled.hpp"
+#include "sim/cpu.hpp"
 
 namespace sbst::core {
 
@@ -60,6 +63,16 @@ struct SessionStats {
   std::size_t compile_builds = 0, compile_hits = 0;
   std::size_t observe_builds = 0, observe_hits = 0;
   std::size_t cone_builds = 0, cone_hits = 0;
+  std::size_t decode_builds = 0, decode_hits = 0;
+  std::size_t goodrun_builds = 0, goodrun_hits = 0;
+};
+
+/// Fault-free reference execution of a test program: the stats of the run
+/// and the unloaded signature words every injected fault is compared
+/// against.
+struct GoodRun {
+  sim::ExecStats stats;
+  std::vector<std::uint32_t> signatures;
 };
 
 class GradingSession {
@@ -85,6 +98,19 @@ class GradingSession {
   /// with the cache off fetch the cone BEFORE taking references to those.
   const std::vector<std::uint8_t>& cone(CutId id, ObserveMode mode);
 
+  /// Predecoded micro-op image of a program, content-addressed over
+  /// (base, words). Shared read-only across concurrently-running CPUs —
+  /// Cpu clones before patching, so one handout serves any number of
+  /// parallel faulty runs.
+  std::shared_ptr<const isa::DecodedProgram> decoded(const isa::Program& image);
+
+  /// Fault-free reference run of `program` under `config`, executed once
+  /// per distinct (image, entry, signature layout, config) and cached.
+  /// Returned reference follows the same cache-off invalidation caveat as
+  /// the other accessors; copy it before fanning out faulty runs.
+  const GoodRun& good_run(const TestProgram& program,
+                          const sim::CpuConfig& config = {});
+
   SessionStats stats() const;
 
   // Accessors are thread-safe; with the cache ON, returned references stay
@@ -102,16 +128,40 @@ class GradingSession {
         cone;
   };
 
+  // Program-level caches are content-addressed: a fast 64-bit hash narrows
+  // the scan, then the full key (image words + run parameters) is compared,
+  // so a hash collision can never alias two different programs.
+  struct DecodedEntry {
+    std::uint64_t hash = 0;
+    std::uint32_t base = 0;
+    std::vector<std::uint32_t> words;
+    std::shared_ptr<const isa::DecodedProgram> decoded;
+  };
+  struct GoodRunEntry {
+    std::uint64_t hash = 0;
+    std::uint32_t base = 0;
+    std::uint32_t entry = 0;
+    std::uint32_t signature_base = 0;
+    std::vector<std::uint32_t> words;
+    sim::CpuConfig config;
+    GoodRun run;
+  };
+
   ComponentCache& slot(CutId id) {
     return cache_[static_cast<std::size_t>(id)];
   }
   const netlist::CompiledNetlist& compiled_locked(CutId id);
   const fault::ObserveSet& observe_locked(CutId id, ObserveMode mode);
+  std::shared_ptr<const isa::DecodedProgram> decoded_locked(
+      const isa::Program& image);
 
   const ProcessorModel* model_;
   SessionOptions options_;
   mutable std::mutex mutex_;
   std::vector<ComponentCache> cache_;  // indexed by CutId
+  // Deques: growth must not invalidate references handed out earlier.
+  std::deque<DecodedEntry> decoded_cache_;
+  std::deque<GoodRunEntry> goodrun_cache_;
   SessionStats stats_;
   fault::ThreadPool pool_;
 };

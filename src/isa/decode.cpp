@@ -1,0 +1,150 @@
+#include "isa/decode.hpp"
+
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace sbst::isa {
+
+namespace {
+
+// Hazard metadata mirrors the interpreter's operand-read table: which of
+// rs/rt an instruction actually reads decides load-use and RAW interlocks.
+std::uint8_t flags_of(const Fields& f) {
+  if (f.opcode == 0x00) {
+    switch (f.funct) {
+      case 0x00: case 0x02: case 0x03:  // immediate shifts read rt only
+        return kUopReadsRt;
+      case 0x08: case 0x11: case 0x13:  // jr, mthi, mtlo
+        return kUopReadsRs;
+      case 0x10: case 0x12: case 0x0d:  // mfhi, mflo, break
+        return 0;
+      default:
+        return kUopReadsRs | kUopReadsRt;
+    }
+  }
+  switch (f.opcode) {
+    case 0x02: case 0x03: case 0x0f:  // j, jal, lui
+      return 0;
+    case 0x04: case 0x05:  // branches
+      return kUopReadsRs | kUopReadsRt;
+    case 0x28: case 0x29: case 0x2b:  // stores read base + data
+      return kUopReadsRs | kUopReadsRt;
+    default:  // immediate ALU ops and loads read rs
+      return kUopReadsRs;
+  }
+}
+
+UopKind rtype_kind(std::uint8_t funct) {
+  switch (funct) {
+    case 0x00: return UopKind::kSll;
+    case 0x02: return UopKind::kSrl;
+    case 0x03: return UopKind::kSra;
+    case 0x04: return UopKind::kSllv;
+    case 0x06: return UopKind::kSrlv;
+    case 0x07: return UopKind::kSrav;
+    case 0x08: return UopKind::kJr;
+    case 0x0d: return UopKind::kBreak;
+    case 0x10: return UopKind::kMfhi;
+    case 0x11: return UopKind::kMthi;
+    case 0x12: return UopKind::kMflo;
+    case 0x13: return UopKind::kMtlo;
+    case 0x18: return UopKind::kMult;
+    case 0x19: return UopKind::kMultu;
+    case 0x1a: return UopKind::kDiv;
+    case 0x1b: return UopKind::kDivu;
+    case 0x20: case 0x21: return UopKind::kAddR;
+    case 0x22: case 0x23: return UopKind::kSubR;
+    case 0x24: return UopKind::kAndR;
+    case 0x25: return UopKind::kOrR;
+    case 0x26: return UopKind::kXorR;
+    case 0x27: return UopKind::kNorR;
+    case 0x2a: return UopKind::kSltR;
+    case 0x2b: return UopKind::kSltuR;
+    default: return UopKind::kIllegalFunct;
+  }
+}
+
+UopKind itype_kind(std::uint8_t opcode) {
+  switch (opcode) {
+    case 0x02: return UopKind::kJ;
+    case 0x03: return UopKind::kJal;
+    case 0x04: return UopKind::kBeq;
+    case 0x05: return UopKind::kBne;
+    case 0x08: case 0x09: return UopKind::kAddImm;
+    case 0x0a: return UopKind::kSltImm;
+    case 0x0b: return UopKind::kSltuImm;
+    case 0x0c: return UopKind::kAndImm;
+    case 0x0d: return UopKind::kOrImm;
+    case 0x0e: return UopKind::kXorImm;
+    case 0x0f: return UopKind::kLui;
+    case 0x20: return UopKind::kLb;
+    case 0x21: return UopKind::kLh;
+    case 0x23: return UopKind::kLw;
+    case 0x24: return UopKind::kLbu;
+    case 0x25: return UopKind::kLhu;
+    case 0x28: return UopKind::kSb;
+    case 0x29: return UopKind::kSh;
+    case 0x2b: return UopKind::kSw;
+    default: return UopKind::kIllegalOpcode;
+  }
+}
+
+// The immediate in the form the execute loop consumes it.
+std::uint32_t imm_of(UopKind kind, const Fields& f) {
+  switch (kind) {
+    case UopKind::kJ:
+    case UopKind::kJal:
+      return f.target << 2;  // byte offset within the 256 MB segment
+    case UopKind::kBeq:
+    case UopKind::kBne:
+      return sign_extend32(f.imm, 16) << 2;  // branch byte offset
+    case UopKind::kAndImm:
+    case UopKind::kOrImm:
+    case UopKind::kXorImm:
+      return f.imm;  // zero-extended logical immediate
+    case UopKind::kLui:
+      return static_cast<std::uint32_t>(f.imm) << 16;
+    default:
+      return sign_extend32(f.imm, 16);  // arithmetic / load-store offset
+  }
+}
+
+}  // namespace
+
+MicroOp decode_uop(std::uint32_t word) {
+  const Fields f = decode(word);
+  MicroOp op;
+  op.kind = f.opcode == 0x00 ? rtype_kind(f.funct) : itype_kind(f.opcode);
+  op.rs = f.rs;
+  op.rt = f.rt;
+  op.rd = f.rd;
+  op.shamt = f.shamt;
+  op.opcode = f.opcode;
+  op.funct = f.funct;
+  op.flags = flags_of(f);
+  op.imm = imm_of(op.kind, f);
+  return op;
+}
+
+DecodedProgram::DecodedProgram(std::uint32_t base, const std::uint32_t* words,
+                               std::size_t count)
+    : base_(base), bytes_(static_cast<std::uint32_t>(count * 4)) {
+  if (base & 3u) {
+    throw std::invalid_argument("DecodedProgram base must be word-aligned");
+  }
+  ops_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) ops_.push_back(decode_uop(words[i]));
+}
+
+DecodedProgram::DecodedProgram(const Program& program)
+    : DecodedProgram(program.base, program.words.data(),
+                     program.words.size()) {}
+
+void DecodedProgram::patch(std::uint32_t addr, std::uint32_t word) {
+  const std::uint32_t off = addr - base_;
+  if ((off & 3u) || off >= bytes_) return;
+  ops_[off >> 2] = decode_uop(word);
+}
+
+}  // namespace sbst::isa

@@ -1,0 +1,127 @@
+// Micro-op predecode: splitting instruction decode from execution.
+//
+// The CPU simulator used to call isa::decode on every retired instruction
+// and re-derive hazard metadata (which register operands are read) inside
+// the execute loop. For the paper's workloads — self-test routines executed
+// once per period, once per injected fault, once per candidate routine —
+// the same few hundred words are decoded millions of times. A MicroOp
+// precomputes everything that is a pure function of the instruction word:
+//
+//  * a dense semantic class (`UopKind`, one enum value per executable
+//    operation, so the dispatch switch compiles to a jump table);
+//  * register indices and the shift amount;
+//  * the immediate in its *consumed* form (sign- or zero-extended, shifted
+//    for branches/jumps, pre-shifted <<16 for lui);
+//  * hazard metadata (which of rs/rt the instruction actually reads — the
+//    interlock checks of the 3-stage pipeline model);
+//  * the raw opcode/funct byte pair (the control-decoder trace stream sees
+//    exactly what the hardware decoder sees).
+//
+// decode_uop never throws: data words and unsupported encodings map to
+// kIllegalFunct / kIllegalOpcode micro-ops that only raise an error when
+// executed, exactly like the interpreter's lazy illegal-instruction check.
+//
+// A DecodedProgram is the predecoded image of a code region: one contiguous
+// micro-op array indexed by word address. It is immutable under execution
+// except for `patch`, which re-decodes a single word after a store into the
+// code region (the CPU keeps a copy-on-write reference so a shared cache
+// entry is never mutated).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "isa/encoding.hpp"
+
+namespace sbst::isa {
+
+/// Semantic class of one instruction. Dense and closed: every supported
+/// (opcode, funct) combination maps to exactly one kind.
+enum class UopKind : std::uint8_t {
+  // R-type shifts (immediate shamt, then register shamt).
+  kSll, kSrl, kSra, kSllv, kSrlv, kSrav,
+  // R-type control / HI-LO plumbing.
+  kJr, kBreak, kMfhi, kMthi, kMflo, kMtlo,
+  // Multi-cycle arithmetic.
+  kMult, kMultu, kDiv, kDivu,
+  // R-type ALU (add/addu and sub/subu share semantics in this model).
+  kAddR, kSubR, kAndR, kOrR, kXorR, kNorR, kSltR, kSltuR,
+  // Jumps and branches.
+  kJ, kJal, kBeq, kBne,
+  // Immediate ALU (addi/addiu share semantics; imm is pre-extended).
+  kAddImm, kSltImm, kSltuImm, kAndImm, kOrImm, kXorImm, kLui,
+  // Memory.
+  kLb, kLh, kLw, kLbu, kLhu, kSb, kSh, kSw,
+  // Unsupported encodings: raise CpuError only if executed.
+  kIllegalFunct, kIllegalOpcode,
+};
+
+/// MicroOp::flags bits.
+inline constexpr std::uint8_t kUopReadsRs = 1u << 0;
+inline constexpr std::uint8_t kUopReadsRt = 1u << 1;
+
+/// One predecoded instruction (12 bytes, contiguous in DecodedProgram).
+struct MicroOp {
+  UopKind kind = UopKind::kIllegalOpcode;
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  std::uint8_t rd = 0;
+  std::uint8_t shamt = 0;
+  std::uint8_t opcode = 0;  // raw field: control-decoder trace + error text
+  std::uint8_t funct = 0;   // raw field: control-decoder trace + error text
+  std::uint8_t flags = 0;   // kUopReadsRs / kUopReadsRt hazard metadata
+  /// Precomputed immediate in consumed form: sign-extended I-type immediate
+  /// (also the load/store offset), zero-extended logical immediate, the
+  /// lui value (<<16), the branch byte offset (simm<<2), or the jump target
+  /// byte offset within the 256 MB segment (target<<2).
+  std::uint32_t imm = 0;
+
+  bool reads_rs() const { return flags & kUopReadsRs; }
+  bool reads_rt() const { return flags & kUopReadsRt; }
+};
+
+static_assert(sizeof(MicroOp) == 12, "MicroOp must stay packed");
+
+/// Predecodes one instruction word. Never throws; unsupported encodings
+/// yield kIllegalFunct/kIllegalOpcode.
+MicroOp decode_uop(std::uint32_t word);
+
+/// Predecoded image of a code region: micro-ops for every word in
+/// [base, base + 4*size). `base` must be word-aligned.
+class DecodedProgram {
+ public:
+  DecodedProgram() = default;
+  DecodedProgram(std::uint32_t base, const std::uint32_t* words,
+                 std::size_t count);
+  /// Predecodes a whole assembled image.
+  explicit DecodedProgram(const Program& program);
+
+  std::uint32_t base() const { return base_; }
+  std::size_t size() const { return ops_.size(); }  // words
+  std::uint32_t end_address() const { return base_ + bytes_; }
+
+  /// Micro-op at byte address `addr`, or nullptr when `addr` is misaligned
+  /// or outside the region (the caller falls back to decode-on-fetch).
+  const MicroOp* lookup(std::uint32_t addr) const {
+    const std::uint32_t off = addr - base_;  // wraps for addr < base_
+    if ((off & 3u) || off >= bytes_) return nullptr;
+    return &ops_[off >> 2];
+  }
+
+  /// Whether a word-aligned byte address lies inside the region.
+  bool contains(std::uint32_t addr) const {
+    return (addr - base_) < bytes_;
+  }
+
+  /// Re-decodes the word at `addr` (a store hit the code region).
+  void patch(std::uint32_t addr, std::uint32_t word);
+
+ private:
+  std::uint32_t base_ = 0;
+  std::uint32_t bytes_ = 0;
+  std::vector<MicroOp> ops_;
+};
+
+}  // namespace sbst::isa

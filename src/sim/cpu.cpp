@@ -5,6 +5,7 @@
 #include "common/bits.hpp"
 #include "rtlgen/divider.hpp"
 #include "rtlgen/multiplier.hpp"
+#include "sim/exec.hpp"
 
 namespace sbst::sim {
 
@@ -40,13 +41,30 @@ void Cpu::reset() {
   cycle_now_ = 0;
 }
 
-void Cpu::load(const isa::Program& program) {
+void Cpu::load(const isa::Program& program,
+               std::shared_ptr<const isa::DecodedProgram> decoded) {
   if (program.end_address() > memory_.size()) {
     throw CpuError("program does not fit in memory");
   }
+  // Drop the previous predecoded view first so the copy loop below does not
+  // clone-and-patch it word by word.
+  decoded_ = nullptr;
+  decoded_shared_.reset();
+  decoded_owned_.reset();
   for (std::size_t i = 0; i < program.words.size(); ++i) {
     write_word(program.base + static_cast<std::uint32_t>(i * 4),
                program.words[i]);
+  }
+  if (decoded) {
+    if (decoded->base() != program.base ||
+        decoded->size() != program.words.size()) {
+      throw CpuError("decoded program does not match image");
+    }
+    decoded_shared_ = std::move(decoded);
+    decoded_ = decoded_shared_.get();
+  } else {
+    decoded_owned_ = std::make_unique<isa::DecodedProgram>(program);
+    decoded_ = decoded_owned_.get();
   }
 }
 
@@ -64,6 +82,14 @@ void Cpu::write_word(std::uint32_t addr, std::uint32_t value) {
     throw CpuError("bad word write at " + to_hex32(addr));
   }
   std::memcpy(memory_.data() + addr, &value, 4);
+  if (decoded_ && decoded_->contains(addr)) {
+    if (!decoded_owned_) {  // never mutate a shared predecoded image
+      decoded_owned_ = std::make_unique<isa::DecodedProgram>(*decoded_);
+      decoded_shared_.reset();
+      decoded_ = decoded_owned_.get();
+    }
+    decoded_owned_->patch(addr, value);
+  }
 }
 
 std::uint32_t Cpu::fetch(std::uint32_t pc, ExecStats& stats) {
@@ -224,6 +250,16 @@ void Cpu::wait_muldiv(ExecStats& stats) {
 }
 
 ExecStats Cpu::run(std::uint32_t entry, std::uint64_t max_instructions) {
+  if (hooks_) {
+    HookSink sink{hooks_};
+    return run_sink(entry, sink, max_instructions);
+  }
+  NoSink sink;
+  return run_sink(entry, sink, max_instructions);
+}
+
+ExecStats Cpu::run_interpreter(std::uint32_t entry,
+                               std::uint64_t max_instructions) {
   ExecStats stats;
   std::uint32_t pc = entry;
   std::uint32_t next_pc = entry + 4;

@@ -21,9 +21,11 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "isa/assembler.hpp"
+#include "isa/decode.hpp"
 #include "isa/encoding.hpp"
 #include "sim/cache.hpp"
 #include "sim/trace.hpp"
@@ -82,11 +84,31 @@ class Cpu {
  public:
   explicit Cpu(const CpuConfig& config = {});
 
-  /// Copies a program image into memory. Does not set the PC.
-  void load(const isa::Program& program);
+  /// Copies a program image into memory. Does not set the PC. When a
+  /// predecoded image is supplied (e.g. from a GradingSession cache) it is
+  /// shared read-only; otherwise the program is predecoded locally. Stores
+  /// into the code region clone-then-patch, so a shared DecodedProgram is
+  /// never mutated (self-modifying code stays correct).
+  void load(const isa::Program& program,
+            std::shared_ptr<const isa::DecodedProgram> decoded = nullptr);
 
-  /// Runs from `entry` until a break instruction or `max_instructions`.
+  /// Runs from `entry` until a break instruction or `max_instructions`,
+  /// dispatching over the predecoded micro-op array. Bitwise-identical
+  /// stats, architectural state, and hook streams to run_interpreter().
   ExecStats run(std::uint32_t entry, std::uint64_t max_instructions = 1u << 24);
+
+  /// The original fetch-decode-execute interpreter (decodes every retired
+  /// instruction, virtual hook dispatch). Kept as the golden reference the
+  /// decoded core is differentially tested against.
+  ExecStats run_interpreter(std::uint32_t entry,
+                            std::uint64_t max_instructions = 1u << 24);
+
+  /// Statically-dispatched executor core: `Sink` decides at compile time
+  /// whether trace events and result overrides are delivered (see
+  /// sim/exec.hpp for the sink policies and the definition).
+  template <class Sink>
+  ExecStats run_sink(std::uint32_t entry, Sink& sink,
+                     std::uint64_t max_instructions = 1u << 24);
 
   // Architectural state access (test/bench observation).
   std::uint32_t reg(unsigned index) const { return regs_[index]; }
@@ -127,6 +149,13 @@ class Cpu {
   Cache icache_;
   Cache dcache_;
   CpuHooks* hooks_ = nullptr;
+
+  // Predecoded view of the loaded program. Either shared read-only (cache
+  // handout) or locally owned; a store into the code region switches to an
+  // owned clone before patching. `decoded_` is the active view.
+  std::shared_ptr<const isa::DecodedProgram> decoded_shared_;
+  std::unique_ptr<isa::DecodedProgram> decoded_owned_;
+  const isa::DecodedProgram* decoded_ = nullptr;
 
   // Hazard bookkeeping.
   std::uint8_t prev_dest_ = 0;       // destination of previous instruction

@@ -1,0 +1,514 @@
+// Sink-policy execution core: one templated dispatch loop over predecoded
+// micro-ops, instantiated per observation policy.
+//
+// The interpreter delivered every ALU / shifter / memory / register-file
+// event through the virtual CpuHooks interface, so even pure timing runs
+// paid a null check and the traced runs paid a virtual call per event. The
+// sink policy moves that decision to compile time:
+//
+//   NoSink          — pure timing runs; every trace/override site compiles
+//                     out (the common case: good-machine runs, periodic-test
+//                     cost measurement).
+//   TraceSink<T>    — trace events delivered by direct (devirtualized when T
+//                     is final) call; no override queries. Used by the
+//                     coverage evaluator's TraceCollector.
+//   InjectSink<T>   — override queries only (gate-level fault injection);
+//                     no trace events, matching GateLevelFaultInjector's
+//                     contract, which implements only the *_result points.
+//   HookSink        — both, through the virtual CpuHooks base: the adapter
+//                     for external users of Cpu::set_hooks.
+//
+// All four instantiations execute the same loop and are bitwise-identical
+// to Cpu::run_interpreter in ExecStats, architectural state, and event
+// order (differentially tested in tests/test_decode_roundtrip.cpp).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "isa/decode.hpp"
+#include "rtlgen/divider.hpp"
+#include "sim/cpu.hpp"
+
+namespace sbst::sim {
+
+/// Pure timing: no trace events, no override queries.
+struct NoSink {
+  static constexpr bool kTraces = false;
+  static constexpr bool kOverrides = false;
+};
+
+/// Statically-typed sink around an event consumer `T` (a CpuHooks-shaped
+/// class; calls devirtualize when T is a final class).
+template <class T, bool Traces, bool Overrides>
+struct SinkRef {
+  static constexpr bool kTraces = Traces;
+  static constexpr bool kOverrides = Overrides;
+  T* t;
+};
+
+/// Trace-only consumer (coverage evaluation).
+template <class T>
+using TraceSink = SinkRef<T, true, false>;
+/// Override-only consumer (gate-level fault injection).
+template <class T>
+using InjectSink = SinkRef<T, false, true>;
+/// Virtual adapter: full CpuHooks contract for external users.
+using HookSink = SinkRef<CpuHooks, true, true>;
+
+namespace exec_detail {
+
+// Inline width-32 replicas of the rtlgen golden models, so the hot loop has
+// no cross-TU calls for single-cycle datapath operations. Fuzz-tested
+// bit-for-bit against alu_ref / shifter_ref / memctrl_*_ref.
+
+inline std::uint32_t alu32(rtlgen::AluOp op, std::uint32_t a,
+                           std::uint32_t b) {
+  switch (op) {
+    case rtlgen::AluOp::kAnd: return a & b;
+    case rtlgen::AluOp::kOr: return a | b;
+    case rtlgen::AluOp::kXor: return a ^ b;
+    case rtlgen::AluOp::kNor: return ~(a | b);
+    case rtlgen::AluOp::kAdd: return a + b;
+    case rtlgen::AluOp::kSub: return a - b;
+    case rtlgen::AluOp::kSlt:
+      return static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b)
+                 ? 1u
+                 : 0u;
+    case rtlgen::AluOp::kSltu: return a < b ? 1u : 0u;
+  }
+  return 0;  // unreachable: all AluOp values handled above
+}
+
+/// `shamt` must already be masked to 0..31.
+inline std::uint32_t shift32(rtlgen::ShiftOp op, std::uint32_t a,
+                             std::uint32_t shamt) {
+  switch (op) {
+    case rtlgen::ShiftOp::kSll: return a << shamt;
+    case rtlgen::ShiftOp::kSrl: return a >> shamt;
+    case rtlgen::ShiftOp::kSra:
+      return static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >>
+                                        shamt);
+  }
+  return 0;  // unreachable
+}
+
+/// Lane extraction of memctrl_load_ref.
+inline std::uint32_t load_extract(std::uint32_t addr, std::uint32_t word,
+                                  rtlgen::MemSize size, bool sign) {
+  switch (size) {
+    case rtlgen::MemSize::kByte: {
+      const std::uint32_t b = (word >> ((addr & 3u) * 8)) & 0xffu;
+      return sign ? sign_extend32(b, 8) : b;
+    }
+    case rtlgen::MemSize::kHalf: {
+      const std::uint32_t h = (word >> ((addr & 2u) * 8)) & 0xffffu;
+      return sign ? sign_extend32(h, 16) : h;
+    }
+    case rtlgen::MemSize::kWord: return word;
+  }
+  return word;
+}
+
+/// Byte-enable merge of memctrl_store_ref into the old memory word.
+inline std::uint32_t store_merge(std::uint32_t addr, std::uint32_t old,
+                                 std::uint32_t value, rtlgen::MemSize size) {
+  switch (size) {
+    case rtlgen::MemSize::kByte: {
+      const std::uint32_t off = (addr & 3u) * 8;
+      return (old & ~(0xffu << off)) | ((value & 0xffu) << off);
+    }
+    case rtlgen::MemSize::kHalf: {
+      const std::uint32_t off = (addr & 2u) * 8;
+      return (old & ~(0xffffu << off)) | ((value & 0xffffu) << off);
+    }
+    case rtlgen::MemSize::kWord: return value;
+  }
+  return value;
+}
+
+inline std::uint32_t magnitude(std::uint32_t v) {
+  return static_cast<std::int32_t>(v) < 0 ? 0u - v : v;
+}
+
+inline std::uint64_t mult64(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b);
+}
+
+}  // namespace exec_detail
+
+template <class Sink>
+ExecStats Cpu::run_sink(std::uint32_t entry, Sink& sink,
+                        std::uint64_t max_instructions) {
+  using exec_detail::alu32;
+  using exec_detail::load_extract;
+  using exec_detail::magnitude;
+  using exec_detail::shift32;
+  using exec_detail::store_merge;
+  using isa::UopKind;
+  using rtlgen::AluOp;
+  using rtlgen::MemSize;
+  using rtlgen::ShiftOp;
+
+  ExecStats stats;
+  std::uint32_t pc = entry;
+  std::uint32_t next_pc = entry + 4;
+
+  auto alu_s = [&](AluOp op, std::uint32_t a,
+                   std::uint32_t b) -> std::uint32_t {
+    std::uint32_t r = alu32(op, a, b);
+    if constexpr (Sink::kTraces) sink.t->on_alu(op, a, b);
+    if constexpr (Sink::kOverrides) {
+      if (const auto forced = sink.t->alu_result(op, a, b)) r = *forced;
+    }
+    return r;
+  };
+  auto shift_s = [&](ShiftOp op, std::uint32_t value,
+                     std::uint32_t shamt) -> std::uint32_t {
+    shamt &= 31u;
+    std::uint32_t r = shift32(op, value, shamt);
+    if constexpr (Sink::kTraces) sink.t->on_shift(op, value, shamt);
+    if constexpr (Sink::kOverrides) {
+      if (const auto forced = sink.t->shift_result(op, value, shamt)) {
+        r = *forced;
+      }
+    }
+    return r;
+  };
+  auto mem_load_s = [&](std::uint32_t addr, MemSize size,
+                        bool sign) -> std::uint32_t {
+    const unsigned bytes = size == MemSize::kByte ? 1
+                           : size == MemSize::kHalf ? 2
+                                                    : 4;
+    if (addr % bytes != 0) {
+      throw CpuError("misaligned load at " + to_hex32(addr));
+    }
+    ++stats.loads;
+    ++stats.dcache_accesses;
+    stats.cpu_cycles += config_.mem_access_cycles;
+    cycle_now_ += config_.mem_access_cycles;
+    if (!dcache_.access(addr)) {
+      ++stats.dcache_misses;
+      stats.memory_stall_cycles += dcache_.config().miss_penalty;
+    }
+    const std::uint32_t word = read_word(addr & ~3u);
+    if constexpr (Sink::kTraces) {
+      sink.t->on_mem(addr, 0, size, sign, false, word);
+    }
+    return load_extract(addr, word, size, sign);
+  };
+  auto mem_store_s = [&](std::uint32_t addr, std::uint32_t value,
+                         MemSize size) {
+    const unsigned bytes = size == MemSize::kByte ? 1
+                           : size == MemSize::kHalf ? 2
+                                                    : 4;
+    if (addr % bytes != 0) {
+      throw CpuError("misaligned store at " + to_hex32(addr));
+    }
+    ++stats.stores;
+    ++stats.dcache_accesses;
+    stats.cpu_cycles += config_.mem_access_cycles;
+    cycle_now_ += config_.mem_access_cycles;
+    if (!dcache_.access(addr)) {
+      ++stats.dcache_misses;
+      stats.memory_stall_cycles += dcache_.config().miss_penalty;
+    }
+    const std::uint32_t old = read_word(addr & ~3u);
+    if constexpr (Sink::kTraces) {
+      sink.t->on_mem(addr, value, size, false, true, old);
+    }
+    write_word(addr & ~3u, store_merge(addr, old, value, size));
+  };
+  auto wait_muldiv_s = [&] {
+    if (cycle_now_ < muldiv_ready_) {
+      const std::uint64_t wait = muldiv_ready_ - cycle_now_;
+      stats.cpu_cycles += wait;
+      cycle_now_ += wait;
+    }
+  };
+
+  while (stats.instructions < max_instructions) {
+    ++stats.icache_accesses;
+    if (!icache_.access(pc)) {
+      ++stats.icache_misses;
+      stats.memory_stall_cycles += icache_.config().miss_penalty;
+    }
+    // Read decoded_ every iteration: a store into the code region swaps the
+    // active view to an owned clone mid-run.
+    isa::MicroOp tmp;
+    const isa::MicroOp* op = decoded_ ? decoded_->lookup(pc) : nullptr;
+    if (!op) {
+      tmp = isa::decode_uop(read_word(pc));  // throws on bad pc, like fetch
+      op = &tmp;
+    }
+    ++stats.instructions;
+    ++stats.cpu_cycles;
+    ++cycle_now_;
+
+    {
+      const std::uint8_t flags = op->flags;
+      const auto uses = [&](std::uint8_t reg) {
+        return reg != 0 &&
+               (((flags & isa::kUopReadsRs) && op->rs == reg) ||
+                ((flags & isa::kUopReadsRt) && op->rt == reg));
+      };
+      unsigned stall = 0;
+      if (config_.forwarding) {
+        // Only a load feeding the very next instruction bubbles.
+        if (prev_was_load_ && uses(prev_dest_)) stall = 1;
+      } else {
+        if (prev_dest_ != 0 && uses(prev_dest_)) {
+          stall = 2;
+        } else if (prev2_dest_ != 0 && uses(prev2_dest_)) {
+          stall = 1;
+        }
+      }
+      stats.pipeline_stall_cycles += stall;
+      cycle_now_ += stall;
+    }
+    if constexpr (Sink::kTraces) {
+      sink.t->on_instruction_start(pc);
+      sink.t->on_control(op->opcode, op->funct);
+    }
+
+    std::uint32_t new_next = next_pc + 4;
+    const std::uint32_t rs_v = regs_[op->rs];
+    const std::uint32_t rt_v = regs_[op->rt];
+
+    std::uint8_t dest = 0;
+    std::uint32_t dest_value = 0;
+    bool write = false;
+    bool is_load = false;
+    bool halted = false;
+
+    auto set_dest = [&](std::uint8_t reg, std::uint32_t value) {
+      dest = reg;
+      dest_value = value;
+      write = reg != 0;
+    };
+
+    switch (op->kind) {
+      case UopKind::kSll:
+        set_dest(op->rd, shift_s(ShiftOp::kSll, rt_v, op->shamt));
+        break;
+      case UopKind::kSrl:
+        set_dest(op->rd, shift_s(ShiftOp::kSrl, rt_v, op->shamt));
+        break;
+      case UopKind::kSra:
+        set_dest(op->rd, shift_s(ShiftOp::kSra, rt_v, op->shamt));
+        break;
+      case UopKind::kSllv:
+        set_dest(op->rd, shift_s(ShiftOp::kSll, rt_v, rs_v));
+        break;
+      case UopKind::kSrlv:
+        set_dest(op->rd, shift_s(ShiftOp::kSrl, rt_v, rs_v));
+        break;
+      case UopKind::kSrav:
+        set_dest(op->rd, shift_s(ShiftOp::kSra, rt_v, rs_v));
+        break;
+      case UopKind::kJr:
+        new_next = rs_v;
+        break;
+      case UopKind::kBreak:
+        halted = true;
+        break;
+      case UopKind::kMfhi:
+        wait_muldiv_s();
+        set_dest(op->rd, hi_);
+        break;
+      case UopKind::kMthi:
+        wait_muldiv_s();
+        hi_ = rs_v;
+        break;
+      case UopKind::kMflo:
+        wait_muldiv_s();
+        set_dest(op->rd, lo_);
+        break;
+      case UopKind::kMtlo:
+        wait_muldiv_s();
+        lo_ = rs_v;
+        break;
+      case UopKind::kMult:
+      case UopKind::kMultu: {
+        wait_muldiv_s();
+        const bool is_signed = op->kind == UopKind::kMult;
+        const std::uint32_t au = is_signed ? magnitude(rs_v) : rs_v;
+        const std::uint32_t bu = is_signed ? magnitude(rt_v) : rt_v;
+        std::uint64_t product = exec_detail::mult64(au, bu);
+        if constexpr (Sink::kTraces) sink.t->on_mult(au, bu);
+        if constexpr (Sink::kOverrides) {
+          if (const auto forced = sink.t->mult_result(au, bu)) {
+            product = *forced;
+          }
+        }
+        if (is_signed && (static_cast<std::int32_t>(rs_v) < 0) !=
+                             (static_cast<std::int32_t>(rt_v) < 0)) {
+          product = 0u - product;
+        }
+        lo_ = static_cast<std::uint32_t>(product);
+        hi_ = static_cast<std::uint32_t>(product >> 32);
+        muldiv_ready_ = cycle_now_ + config_.mult_cycles;
+        break;
+      }
+      case UopKind::kDiv:
+      case UopKind::kDivu: {
+        wait_muldiv_s();
+        const bool is_signed = op->kind == UopKind::kDiv;
+        const std::uint32_t au = is_signed ? magnitude(rs_v) : rs_v;
+        const std::uint32_t bu = is_signed ? magnitude(rt_v) : rt_v;
+        if constexpr (Sink::kTraces) sink.t->on_div(au, bu);
+        const rtlgen::DivRef d = rtlgen::divider_ref(au, bu);
+        std::uint32_t q = d.quotient;
+        std::uint32_t r = d.remainder;
+        if (is_signed && bu != 0) {
+          if ((static_cast<std::int32_t>(rs_v) < 0) !=
+              (static_cast<std::int32_t>(rt_v) < 0)) {
+            q = 0u - q;
+          }
+          if (static_cast<std::int32_t>(rs_v) < 0) r = 0u - r;
+        }
+        lo_ = q;
+        hi_ = r;
+        muldiv_ready_ = cycle_now_ + config_.div_cycles;
+        break;
+      }
+      case UopKind::kAddR:
+        set_dest(op->rd, alu_s(AluOp::kAdd, rs_v, rt_v));
+        break;
+      case UopKind::kSubR:
+        set_dest(op->rd, alu_s(AluOp::kSub, rs_v, rt_v));
+        break;
+      case UopKind::kAndR:
+        set_dest(op->rd, alu_s(AluOp::kAnd, rs_v, rt_v));
+        break;
+      case UopKind::kOrR:
+        set_dest(op->rd, alu_s(AluOp::kOr, rs_v, rt_v));
+        break;
+      case UopKind::kXorR:
+        set_dest(op->rd, alu_s(AluOp::kXor, rs_v, rt_v));
+        break;
+      case UopKind::kNorR:
+        set_dest(op->rd, alu_s(AluOp::kNor, rs_v, rt_v));
+        break;
+      case UopKind::kSltR:
+        set_dest(op->rd, alu_s(AluOp::kSlt, rs_v, rt_v));
+        break;
+      case UopKind::kSltuR:
+        set_dest(op->rd, alu_s(AluOp::kSltu, rs_v, rt_v));
+        break;
+      case UopKind::kJ:
+        new_next = (pc & 0xf0000000u) | op->imm;
+        break;
+      case UopKind::kJal:
+        set_dest(isa::kRa, pc + 8);
+        new_next = (pc & 0xf0000000u) | op->imm;
+        break;
+      case UopKind::kBeq:
+        if constexpr (Sink::kTraces) {
+          sink.t->on_branch_target(pc + 4, op->imm);
+        }
+        if (alu_s(AluOp::kSub, rs_v, rt_v) == 0) {
+          new_next = pc + 4 + op->imm;
+        }
+        break;
+      case UopKind::kBne:
+        if constexpr (Sink::kTraces) {
+          sink.t->on_branch_target(pc + 4, op->imm);
+        }
+        if (alu_s(AluOp::kSub, rs_v, rt_v) != 0) {
+          new_next = pc + 4 + op->imm;
+        }
+        break;
+      case UopKind::kAddImm:
+        set_dest(op->rt, alu_s(AluOp::kAdd, rs_v, op->imm));
+        break;
+      case UopKind::kSltImm:
+        set_dest(op->rt, alu_s(AluOp::kSlt, rs_v, op->imm));
+        break;
+      case UopKind::kSltuImm:
+        set_dest(op->rt, alu_s(AluOp::kSltu, rs_v, op->imm));
+        break;
+      case UopKind::kAndImm:
+        set_dest(op->rt, alu_s(AluOp::kAnd, rs_v, op->imm));
+        break;
+      case UopKind::kOrImm:
+        set_dest(op->rt, alu_s(AluOp::kOr, rs_v, op->imm));
+        break;
+      case UopKind::kXorImm:
+        set_dest(op->rt, alu_s(AluOp::kXor, rs_v, op->imm));
+        break;
+      case UopKind::kLui:
+        set_dest(op->rt, op->imm);
+        break;
+      case UopKind::kLb:
+        is_load = true;
+        set_dest(op->rt, mem_load_s(alu_s(AluOp::kAdd, rs_v, op->imm),
+                                    MemSize::kByte, true));
+        break;
+      case UopKind::kLh:
+        is_load = true;
+        set_dest(op->rt, mem_load_s(alu_s(AluOp::kAdd, rs_v, op->imm),
+                                    MemSize::kHalf, true));
+        break;
+      case UopKind::kLw:
+        is_load = true;
+        set_dest(op->rt, mem_load_s(alu_s(AluOp::kAdd, rs_v, op->imm),
+                                    MemSize::kWord, false));
+        break;
+      case UopKind::kLbu:
+        is_load = true;
+        set_dest(op->rt, mem_load_s(alu_s(AluOp::kAdd, rs_v, op->imm),
+                                    MemSize::kByte, false));
+        break;
+      case UopKind::kLhu:
+        is_load = true;
+        set_dest(op->rt, mem_load_s(alu_s(AluOp::kAdd, rs_v, op->imm),
+                                    MemSize::kHalf, false));
+        break;
+      case UopKind::kSb:
+        mem_store_s(alu_s(AluOp::kAdd, rs_v, op->imm), rt_v, MemSize::kByte);
+        break;
+      case UopKind::kSh:
+        mem_store_s(alu_s(AluOp::kAdd, rs_v, op->imm), rt_v, MemSize::kHalf);
+        break;
+      case UopKind::kSw:
+        mem_store_s(alu_s(AluOp::kAdd, rs_v, op->imm), rt_v, MemSize::kWord);
+        break;
+      case UopKind::kIllegalFunct:
+        throw CpuError("illegal funct " + to_hex32(op->funct) + " at pc " +
+                       to_hex32(pc));
+      case UopKind::kIllegalOpcode:
+        throw CpuError("illegal opcode " + to_hex32(op->opcode) + " at pc " +
+                       to_hex32(pc));
+    }
+
+    // Register-file and hidden-component traces.
+    if constexpr (Sink::kTraces) {
+      const std::uint8_t rrs = op->reads_rs() ? op->rs : 0;
+      const std::uint8_t rrt = op->reads_rt() ? op->rt : 0;
+      sink.t->on_regfile(write ? dest : 0, dest_value, write, rrs, rrt);
+      sink.t->on_forward(rrs, rrt, prev_dest_, prev_dest_ != 0, prev2_dest_,
+                         prev2_dest_ != 0);
+    }
+    if (write) regs_[dest] = dest_value;
+
+    prev2_dest_ = prev_dest_;
+    prev_dest_ = write ? dest : 0;
+    prev_was_load_ = is_load;
+
+    if (halted) {
+      stats.halted = true;
+      break;
+    }
+    if (new_next != next_pc + 4) {
+      if constexpr (Sink::kTraces) sink.t->on_branch_flush();
+      stats.pipeline_stall_cycles += config_.branch_taken_penalty;
+      cycle_now_ += config_.branch_taken_penalty;
+    }
+    pc = next_pc;
+    next_pc = new_next;
+  }
+  return stats;
+}
+
+}  // namespace sbst::sim

@@ -55,7 +55,10 @@ int usage() {
       "         --session-cache / --no-session-cache\n"
       "                              reuse grading artifacts across "
       "gradings\n"
-      "                              (default on; identical results)\n",
+      "                              (default on; identical results)\n"
+      "         --cpu-stats          print the CPU-time-equation breakdown\n"
+      "                              (cycles, stalls, miss rates) to "
+      "stderr\n",
       stderr);
   return 2;
 }
@@ -160,8 +163,51 @@ int cmd_export(const ProcessorModel& model, CutId cut, const char* format) {
   return 0;
 }
 
+// --cpu-stats: the paper's §2 CPU-time equation, term by term. Goes to
+// stderr so the determinism-checked stdout stays untouched.
+void print_cpu_stats(const sim::ExecStats& s) {
+  const double imiss =
+      s.icache_accesses == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(s.icache_misses) /
+                static_cast<double>(s.icache_accesses);
+  const double dmiss =
+      s.dcache_accesses == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(s.dcache_misses) /
+                static_cast<double>(s.dcache_accesses);
+  std::fprintf(stderr, "# cpu-stats: instructions %llu\n",
+               static_cast<unsigned long long>(s.instructions));
+  std::fprintf(stderr,
+               "# cpu-stats: cpu cycles %llu + pipeline stalls %llu + "
+               "memory stalls %llu = %llu total\n",
+               static_cast<unsigned long long>(s.cpu_cycles),
+               static_cast<unsigned long long>(s.pipeline_stall_cycles),
+               static_cast<unsigned long long>(s.memory_stall_cycles),
+               static_cast<unsigned long long>(s.total_cycles()));
+  std::fprintf(stderr,
+               "# cpu-stats: loads %llu stores %llu (data refs %llu)\n",
+               static_cast<unsigned long long>(s.loads),
+               static_cast<unsigned long long>(s.stores),
+               static_cast<unsigned long long>(s.data_references()));
+  std::fprintf(stderr,
+               "# cpu-stats: icache %llu/%llu misses (%.2f%%), dcache "
+               "%llu/%llu misses (%.2f%%)\n",
+               static_cast<unsigned long long>(s.icache_misses),
+               static_cast<unsigned long long>(s.icache_accesses), imiss,
+               static_cast<unsigned long long>(s.dcache_misses),
+               static_cast<unsigned long long>(s.dcache_accesses), dmiss);
+  std::fprintf(stderr,
+               "# cpu-stats: analytic total (5%% miss, 20-cycle penalty) "
+               "%llu cycles\n",
+               static_cast<unsigned long long>(
+                   s.analytic_total_cycles(0.05, 20)));
+  std::fprintf(stderr, "# cpu-stats: %.1f us at 57 MHz\n",
+               1e6 * s.seconds(57e6));
+}
+
 int cmd_evaluate(const ProcessorModel& model, const fault::SimOptions& sim,
-                 bool session_cache) {
+                 bool session_cache, bool cpu_stats) {
   TestProgramBuilder builder;
   builder.add_default_routines(model);
   const TestProgram program = builder.build();
@@ -192,6 +238,7 @@ int cmd_evaluate(const ProcessorModel& model, const fault::SimOptions& sim,
                "grade %.3f standalone %.3f\n",
                ev.stages.trace, ev.stages.collapse, ev.stages.compile,
                ev.stages.grade, ev.stages.standalone);
+  if (cpu_stats) print_cpu_stats(ev.total);
   return 0;
 }
 
@@ -201,6 +248,7 @@ int main(int argc, char** argv) {
   // Strip global options; everything else stays positional.
   fault::SimOptions sim;
   bool session_cache = true;
+  bool cpu_stats = false;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -215,6 +263,8 @@ int main(int argc, char** argv) {
       session_cache = true;
     } else if (std::strcmp(a, "--no-session-cache") == 0) {
       session_cache = false;
+    } else if (std::strcmp(a, "--cpu-stats") == 0) {
+      cpu_stats = true;
     } else if (std::strcmp(a, "--engine") == 0 ||
                std::strncmp(a, "--engine=", 9) == 0) {
       const char* name = a[8] == '=' ? a + 9 : nullptr;
@@ -233,7 +283,9 @@ int main(int argc, char** argv) {
   if (cmd == "inventory") return cmd_inventory(model);
   if (cmd == "program") return cmd_program(model, false);
   if (cmd == "listing") return cmd_program(model, true);
-  if (cmd == "evaluate") return cmd_evaluate(model, sim, session_cache);
+  if (cmd == "evaluate") {
+    return cmd_evaluate(model, sim, session_cache, cpu_stats);
+  }
   if (cmd == "generate" || cmd == "export") {
     if (args.size() < 2) return usage();
     CutId cut;
