@@ -54,14 +54,17 @@ Diagnosis diagnose(const TestProgram& program,
 
 std::vector<InjectionDiagnosis> diagnose_campaign(
     GradingSession& session, const TestProgram& program, CutId target,
-    const std::vector<fault::Fault>& faults, const sim::CpuConfig& config) {
+    const std::vector<fault::Fault>& faults, const sim::CpuConfig& config,
+    const InjectOptions& inject) {
   std::vector<InjectionOutcome> outcomes =
-      run_injection_campaign(session, program, target, faults, config);
+      run_injection_campaign(session, program, target, faults, config, inject);
   std::vector<InjectionDiagnosis> out;
   out.reserve(outcomes.size());
   for (InjectionOutcome& o : outcomes) {
-    Diagnosis d =
-        diagnose(program, o.good_signatures, o.faulty_signatures);
+    Diagnosis d;
+    if (o.outcome != RunOutcome::kInfraError) {
+      d = diagnose(program, o.good_signatures, o.faulty_signatures);
+    }
     out.push_back({std::move(o), std::move(d)});
   }
   return out;

@@ -44,10 +44,11 @@ struct InjectionDiagnosis {
 /// Injects every fault of `faults` into `target` (per-fault faulty runs on
 /// the session pool, see run_injection_campaign) and diagnoses each
 /// signature comparison. Results in fault order, bitwise-deterministic for
-/// any thread count.
+/// any thread count. A kInfraError outcome has no faulty signatures to
+/// compare, so its diagnosis is empty (no failing slots, no suspects).
 std::vector<InjectionDiagnosis> diagnose_campaign(
     GradingSession& session, const TestProgram& program, CutId target,
     const std::vector<fault::Fault>& faults,
-    const sim::CpuConfig& config = {});
+    const sim::CpuConfig& config = {}, const InjectOptions& inject = {});
 
 }  // namespace sbst::core

@@ -1,6 +1,9 @@
 #include "core/inject.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "core/program.hpp"
 #include "core/session.hpp"
@@ -10,6 +13,46 @@
 
 namespace sbst::core {
 
+const char* run_outcome_name(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kOkMatch: return "ok_match";
+    case RunOutcome::kDetectedMismatch: return "detected_mismatch";
+    case RunOutcome::kDetectedHang: return "detected_hang";
+    case RunOutcome::kDetectedTrap: return "detected_trap";
+    case RunOutcome::kDetectedWildStore: return "detected_wild_store";
+    case RunOutcome::kInfraError: return "infra_error";
+  }
+  return "unknown";
+}
+
+OutcomeHistogram histogram_of(const std::vector<InjectionOutcome>& outcomes) {
+  OutcomeHistogram h;
+  for (const InjectionOutcome& o : outcomes) h.add(o.outcome);
+  return h;
+}
+
+sim::RunBudget run_budget_for(const sim::ExecStats& good_stats, double factor,
+                              const InjectOptions& options) {
+  sim::RunBudget budget;  // defaults = legacy global cap, no cycle/store cap
+  if (factor <= 0.0) return budget;
+  const auto scaled = [factor](std::uint64_t v, std::uint64_t floor_v) {
+    const double s = std::ceil(static_cast<double>(v) * factor);
+    return std::max(static_cast<std::uint64_t>(s), floor_v);
+  };
+  budget.max_instructions =
+      scaled(good_stats.instructions, options.min_instructions);
+  budget.max_cycles = scaled(good_stats.total_cycles(), options.min_cycles);
+  budget.max_stores = scaled(good_stats.stores, options.min_stores);
+  return budget;
+}
+
+sim::StoreGuard store_guard_for(const TestProgram& program) {
+  sim::StoreGuard guard;
+  guard.regions.push_back(
+      {program.image.base, program.image.end_address()});
+  return guard;
+}
+
 void GateLevelFaultInjector::check_target(CutId target) const {
   if (target != CutId::kAlu && target != CutId::kShifter &&
       target != CutId::kMultiplier) {
@@ -18,11 +61,36 @@ void GateLevelFaultInjector::check_target(CutId target) const {
   }
 }
 
+namespace {
+
+/// Rejects fault sites that do not exist in the netlist BEFORE they reach
+/// Evaluator::inject (whose force arrays are indexed without bounds
+/// checks). This is the campaign layer's infra-error seam: a malformed
+/// fault descriptor throws here and is degraded to kInfraError instead of
+/// silently corrupting the simulation.
+void validate_fault_site(const netlist::Netlist& nl,
+                         const fault::Fault& fault) {
+  if (fault.site.gate >= nl.gates().size()) {
+    throw std::out_of_range(
+        "GateLevelFaultInjector: fault site gate " +
+        std::to_string(fault.site.gate) + " outside netlist (" +
+        std::to_string(nl.gates().size()) + " gates)");
+  }
+  if (!fault.site.is_output() && fault.site.pin >= 3) {
+    throw std::out_of_range("GateLevelFaultInjector: fault site pin " +
+                            std::to_string(fault.site.pin) +
+                            " outside gate input range");
+  }
+}
+
+}  // namespace
+
 GateLevelFaultInjector::GateLevelFaultInjector(const ProcessorModel& model,
                                                CutId target,
                                                const fault::Fault& fault)
     : target_(target), nl_(&model.component(target).netlist) {
   check_target(target);
+  validate_fault_site(*nl_, fault);
   ref_eval_ = std::make_unique<netlist::Evaluator>(*nl_);
   ref_eval_->inject(fault.site, fault.stuck_value, ~std::uint64_t{0});
 }
@@ -32,6 +100,7 @@ GateLevelFaultInjector::GateLevelFaultInjector(GradingSession& session,
                                                const fault::Fault& fault)
     : target_(target), nl_(&session.model().component(target).netlist) {
   check_target(target);
+  validate_fault_site(*nl_, fault);
   comp_eval_ = std::make_unique<netlist::CompiledEvaluator>(
       session.compiled(target), /*event_driven=*/true);
   comp_eval_->inject(fault.site, fault.stuck_value, ~std::uint64_t{0});
@@ -42,6 +111,7 @@ GateLevelFaultInjector::GateLevelFaultInjector(
     CutId target, const fault::Fault& fault)
     : target_(target), nl_(&nl) {
   check_target(target);
+  validate_fault_site(nl, fault);
   comp_eval_ = std::make_unique<netlist::CompiledEvaluator>(
       compiled, /*event_driven=*/true);
   comp_eval_->inject(fault.site, fault.stuck_value, ~std::uint64_t{0});
@@ -98,13 +168,15 @@ std::optional<std::uint64_t> GateLevelFaultInjector::mult_result(
 
 namespace {
 
-/// One faulty run against precomputed good signatures. The good machine is
-/// NOT re-executed here — callers hoist it once per (program, config).
+/// One guarded faulty run against precomputed good signatures. The good
+/// machine is NOT re-executed here — callers hoist it once per
+/// (program, config) and derive the watchdog budget from its stats.
 InjectionOutcome faulty_outcome(
     const TestProgram& program,
     const std::vector<std::uint32_t>& good_signatures,
     GateLevelFaultInjector& injector, const sim::CpuConfig& config,
-    std::shared_ptr<const isa::DecodedProgram> decoded) {
+    std::shared_ptr<const isa::DecodedProgram> decoded,
+    const sim::RunBudget& budget, const sim::StoreGuard* guard) {
   InjectionOutcome out;
   out.good_signatures = good_signatures;
 
@@ -112,46 +184,77 @@ InjectionOutcome faulty_outcome(
   bad.reset();
   bad.load(program.image, std::move(decoded));
   sim::InjectSink<GateLevelFaultInjector> sink{&injector};
-  // A fault can corrupt an address computation and crash the program (bus
-  // error) or keep it from ever reaching `break` (hang). Both are caught by
-  // the exception handler / watchdog in a real deployment — architecturally
-  // a detection, recorded here as inverted signatures.
-  bool crashed = false;
-  sim::ExecStats faulty_stats;
-  try {
-    faulty_stats = bad.run_sink(program.entry, sink);
-  } catch (const sim::CpuError&) {
-    crashed = true;
-  }
-
+  // A fault can corrupt an address computation (trap, wild store) or keep
+  // the program from ever reaching `break` (hang). The guarded run
+  // classifies each ending; the signature slots keep the legacy inverted
+  // convention for non-clean endings so `detected` and the signature
+  // vectors stay comparable with pre-taxonomy results.
+  const sim::GuardedResult run =
+      bad.run_guarded(program.entry, sink, budget, guard);
+  out.faulty_stats = run.stats;
+  out.stop = run.reason;
+  const bool clean = run.reason == sim::StopReason::kHalted;
   for (unsigned slot = 0; slot < kSignatureSlots; ++slot) {
     out.faulty_signatures.push_back(
-        !crashed && faulty_stats.halted
-            ? bad.read_word(program.signature_address(slot))
-            : ~good_signatures[slot]);
+        clean ? bad.read_word(program.signature_address(slot))
+              : ~good_signatures[slot]);
   }
   out.corrupted_results = injector.corrupted_results();
-  out.detected = out.good_signatures != out.faulty_signatures;
+  switch (run.reason) {
+    case sim::StopReason::kHalted:
+      out.outcome = out.good_signatures == out.faulty_signatures
+                        ? RunOutcome::kOkMatch
+                        : RunOutcome::kDetectedMismatch;
+      break;
+    case sim::StopReason::kInstructionBudget:
+    case sim::StopReason::kCycleBudget:
+    case sim::StopReason::kStoreBudget:
+      out.outcome = RunOutcome::kDetectedHang;
+      break;
+    case sim::StopReason::kWildStore:
+      out.outcome = RunOutcome::kDetectedWildStore;
+      break;
+    case sim::StopReason::kTrap:
+      out.outcome = RunOutcome::kDetectedTrap;
+      break;
+  }
+  out.detected = outcome_detected(out.outcome);
   return out;
 }
 
 /// Session-less good run: executes the fault-free machine and unloads its
-/// signature words.
-std::vector<std::uint32_t> good_signatures_of(
-    const TestProgram& program, const sim::CpuConfig& config,
-    const std::shared_ptr<const isa::DecodedProgram>& decoded) {
+/// signature words and stats (the stats seed the watchdog budget, exactly
+/// like the session's cached GoodRun).
+GoodRun good_run_of(const TestProgram& program, const sim::CpuConfig& config,
+                    const std::shared_ptr<const isa::DecodedProgram>& decoded) {
   sim::Cpu good(config);
   good.reset();
   good.load(program.image, decoded);
-  if (!good.run(program.entry).halted) {
+  GoodRun run;
+  run.stats = good.run(program.entry);
+  if (!run.stats.halted) {
     throw std::runtime_error("run_with_injection: good run did not halt");
   }
-  std::vector<std::uint32_t> sigs;
-  sigs.reserve(kSignatureSlots);
+  run.signatures.reserve(kSignatureSlots);
   for (unsigned slot = 0; slot < kSignatureSlots; ++slot) {
-    sigs.push_back(good.read_word(program.signature_address(slot)));
+    run.signatures.push_back(good.read_word(program.signature_address(slot)));
   }
-  return sigs;
+  return run;
+}
+
+double resolved_factor(const InjectOptions& inject,
+                       const GradingSession* session) {
+  if (inject.budget_factor) return *inject.budget_factor;
+  return session ? session->options().budget_factor : kDefaultBudgetFactor;
+}
+
+/// The campaign-side infra_error placeholder for fault whose task threw.
+InjectionOutcome infra_outcome(const std::vector<std::uint32_t>& good_sigs) {
+  InjectionOutcome out;
+  out.outcome = RunOutcome::kInfraError;
+  out.detected = false;
+  out.good_signatures = good_sigs;
+  return out;
 }
 
 }  // namespace
@@ -159,33 +262,44 @@ std::vector<std::uint32_t> good_signatures_of(
 InjectionOutcome run_with_injection(const ProcessorModel& model,
                                     const TestProgram& program,
                                     CutId target, const fault::Fault& fault,
-                                    const sim::CpuConfig& config) {
+                                    const sim::CpuConfig& config,
+                                    const InjectOptions& inject) {
   const auto decoded =
       std::make_shared<const isa::DecodedProgram>(program.image);
-  const auto sigs = good_signatures_of(program, config, decoded);
+  const GoodRun good = good_run_of(program, config, decoded);
+  const sim::RunBudget budget =
+      run_budget_for(good.stats, resolved_factor(inject, nullptr), inject);
+  const sim::StoreGuard guard = store_guard_for(program);
   GateLevelFaultInjector injector(model, target, fault);
-  return faulty_outcome(program, sigs, injector, config, decoded);
+  return faulty_outcome(program, good.signatures, injector, config, decoded,
+                        budget, inject.store_guard ? &guard : nullptr);
 }
 
 InjectionOutcome run_with_injection(GradingSession& session,
                                     const TestProgram& program,
                                     CutId target, const fault::Fault& fault,
-                                    const sim::CpuConfig& config) {
-  const GoodRun& good = session.good_run(program, config);
+                                    const sim::CpuConfig& config,
+                                    const InjectOptions& inject) {
+  // Copy before further session calls: with the cache off a later good_run
+  // request for the same program replaces the slot.
+  const GoodRun good = session.good_run(program, config);
   if (!good.stats.halted) {
     throw std::runtime_error("run_with_injection: good run did not halt");
   }
-  // Copy before further session calls: with the cache off a later good_run
-  // request for the same program replaces the slot.
-  const std::vector<std::uint32_t> sigs = good.signatures;
+  const sim::RunBudget budget =
+      run_budget_for(good.stats, resolved_factor(inject, &session), inject);
+  const sim::StoreGuard guard = store_guard_for(program);
   auto decoded = session.decoded(program.image);
   GateLevelFaultInjector injector(session, target, fault);
-  return faulty_outcome(program, sigs, injector, config, std::move(decoded));
+  return faulty_outcome(program, good.signatures, injector, config,
+                        std::move(decoded), budget,
+                        inject.store_guard ? &guard : nullptr);
 }
 
 std::vector<InjectionOutcome> run_injection_campaign(
     GradingSession& session, const TestProgram& program, CutId target,
-    const std::vector<fault::Fault>& faults, const sim::CpuConfig& config) {
+    const std::vector<fault::Fault>& faults, const sim::CpuConfig& config,
+    const InjectOptions& inject) {
   // Serial prefetch: one good run, one predecoded image, one compiled
   // netlist — shared read-only by every per-fault task (workers never touch
   // the session caches, so cache-off mode stays safe under parallelism).
@@ -193,34 +307,73 @@ std::vector<InjectionOutcome> run_injection_campaign(
   if (!good.stats.halted) {
     throw std::runtime_error("run_with_injection: good run did not halt");
   }
+  const sim::RunBudget budget =
+      run_budget_for(good.stats, resolved_factor(inject, &session), inject);
+  const sim::StoreGuard guard = store_guard_for(program);
+  const sim::StoreGuard* guard_p = inject.store_guard ? &guard : nullptr;
   const auto decoded = session.decoded(program.image);
   const netlist::Netlist& nl = session.model().component(target).netlist;
   const netlist::CompiledNetlist& compiled = session.compiled(target);
 
   std::vector<InjectionOutcome> out(faults.size());
+  const auto run_one = [&](std::size_t i) {
+    GateLevelFaultInjector injector(nl, compiled, target, faults[i]);
+    out[i] = faulty_outcome(program, good.signatures, injector, config,
+                            decoded, budget, guard_p);
+  };
   fault::GradingPlan plan;
   for (std::size_t i = 0; i < faults.size(); ++i) {
-    plan.add_task([&, i] {
-      GateLevelFaultInjector injector(nl, compiled, target, faults[i]);
-      out[i] =
-          faulty_outcome(program, good.signatures, injector, config, decoded);
-    });
+    plan.add_task([&run_one, i] { run_one(i); });
   }
-  plan.run(session.pool());
+  // Fault-tolerant execution: a throwing task is contained by the pool,
+  // retried serially here (the failure might be resource-transient), and
+  // only then pinned to kInfraError — the campaign always returns a verdict
+  // for every fault.
+  const std::vector<fault::ThreadPool::TaskFailure> failures =
+      plan.run_capture(session.pool());
+  for (const fault::ThreadPool::TaskFailure& f : failures) {
+    out[f.task] = infra_outcome(good.signatures);
+    for (unsigned attempt = 0; attempt < inject.infra_retries; ++attempt) {
+      try {
+        run_one(f.task);
+        break;
+      } catch (...) {
+        out[f.task] = infra_outcome(good.signatures);
+      }
+    }
+  }
   return out;
 }
 
 std::vector<InjectionOutcome> run_injection_campaign(
     const ProcessorModel& model, const TestProgram& program, CutId target,
-    const std::vector<fault::Fault>& faults, const sim::CpuConfig& config) {
+    const std::vector<fault::Fault>& faults, const sim::CpuConfig& config,
+    const InjectOptions& inject) {
   const auto decoded =
       std::make_shared<const isa::DecodedProgram>(program.image);
-  const auto sigs = good_signatures_of(program, config, decoded);
+  const GoodRun good = good_run_of(program, config, decoded);
+  const sim::RunBudget budget =
+      run_budget_for(good.stats, resolved_factor(inject, nullptr), inject);
+  const sim::StoreGuard guard = store_guard_for(program);
+  const sim::StoreGuard* guard_p = inject.store_guard ? &guard : nullptr;
   std::vector<InjectionOutcome> out;
   out.reserve(faults.size());
   for (const fault::Fault& fault : faults) {
-    GateLevelFaultInjector injector(model, target, fault);
-    out.push_back(faulty_outcome(program, sigs, injector, config, decoded));
+    const auto run_one = [&]() {
+      GateLevelFaultInjector injector(model, target, fault);
+      return faulty_outcome(program, good.signatures, injector, config,
+                            decoded, budget, guard_p);
+    };
+    InjectionOutcome one = infra_outcome(good.signatures);
+    for (unsigned attempt = 0; attempt <= inject.infra_retries; ++attempt) {
+      try {
+        one = run_one();
+        break;
+      } catch (...) {
+        one = infra_outcome(good.signatures);
+      }
+    }
+    out.push_back(std::move(one));
   }
   return out;
 }

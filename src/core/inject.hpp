@@ -8,7 +8,10 @@
 // methodology rests on (error identification via signatures, paper §3.3).
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <memory>
+#include <optional>
 
 #include "core/component.hpp"
 #include "fault/fault.hpp"
@@ -19,6 +22,101 @@
 namespace sbst::core {
 
 class GradingSession;
+
+/// Classified ending of one faulty-machine execution, split the way an
+/// on-line monitor sees it: a signature mismatch needs the test's unload
+/// step, while hang / trap / wild store are symptoms the OS watchdog or MPU
+/// reports without reading a single signature word.
+enum class RunOutcome : std::uint8_t {
+  kOkMatch = 0,         // ran to completion, signatures match (not detected)
+  kDetectedMismatch,    // clean completion, signature words differ
+  kDetectedHang,        // watchdog budget exhausted (instructions/cycles/stores)
+  kDetectedTrap,        // illegal instruction, misaligned or bus error
+  kDetectedWildStore,   // store outside the program's declared regions
+  kInfraError,          // the simulation infrastructure itself failed
+};
+
+inline constexpr std::size_t kRunOutcomeCount = 6;
+
+const char* run_outcome_name(RunOutcome outcome);
+
+/// True for every outcome an on-line monitor counts as a detection
+/// (everything but kOkMatch and kInfraError).
+inline bool outcome_detected(RunOutcome outcome) {
+  return outcome == RunOutcome::kDetectedMismatch ||
+         outcome == RunOutcome::kDetectedHang ||
+         outcome == RunOutcome::kDetectedTrap ||
+         outcome == RunOutcome::kDetectedWildStore;
+}
+
+/// Per-class outcome counts for a campaign, with the signature-vs-symptom
+/// coverage split.
+struct OutcomeHistogram {
+  std::array<std::size_t, kRunOutcomeCount> counts{};
+
+  void add(RunOutcome outcome) {
+    ++counts[static_cast<std::size_t>(outcome)];
+  }
+  std::size_t count(RunOutcome outcome) const {
+    return counts[static_cast<std::size_t>(outcome)];
+  }
+  std::size_t total() const {
+    std::size_t t = 0;
+    for (std::size_t c : counts) t += c;
+    return t;
+  }
+  std::size_t detected() const {
+    return detected_by_signature() + detected_by_symptom();
+  }
+  /// Detections that require unloading + comparing signature words.
+  std::size_t detected_by_signature() const {
+    return count(RunOutcome::kDetectedMismatch);
+  }
+  /// Detections visible to the OS monitor alone (hang, trap, wild store).
+  std::size_t detected_by_symptom() const {
+    return count(RunOutcome::kDetectedHang) +
+           count(RunOutcome::kDetectedTrap) +
+           count(RunOutcome::kDetectedWildStore);
+  }
+  friend bool operator==(const OutcomeHistogram&,
+                         const OutcomeHistogram&) = default;
+};
+
+/// Default watchdog budget factor (faulty runs get k × the good machine's
+/// resources before being declared hung).
+inline constexpr double kDefaultBudgetFactor = 8.0;
+
+/// Hardened-runtime knobs for faulty-machine execution.
+struct InjectOptions {
+  /// Watchdog budget factor k. Unset = the session's SessionOptions::
+  /// budget_factor (or kDefaultBudgetFactor in session-less forms). A value
+  /// <= 0 disables the watchdog: the faulty run falls back to the legacy
+  /// global 1<<24 instruction cap (a run that hits it still classifies as
+  /// kDetectedHang).
+  std::optional<double> budget_factor;
+  /// Budget floors, so short programs are not starved by rounding.
+  std::uint64_t min_instructions = 1u << 12;
+  std::uint64_t min_cycles = 1u << 14;
+  std::uint64_t min_stores = 64;
+  /// Software-MPU store guard over the program image span (code + data +
+  /// signature area). Off = wild stores land in simulated memory and
+  /// classify as hang/trap/mismatch, like the legacy behaviour.
+  bool store_guard = true;
+  /// Campaign-level serial retries for a fault whose task threw
+  /// (kInfraError). Retries are deterministic: they re-run the same fault
+  /// with the same inputs, so a deterministic failure stays kInfraError.
+  unsigned infra_retries = 1;
+};
+
+/// Derives the per-run watchdog budget from the good machine's measured
+/// resources: factor × good stats, clamped below by the InjectOptions
+/// floors. factor <= 0 returns the legacy unlimited budget.
+sim::RunBudget run_budget_for(const sim::ExecStats& good_stats, double factor,
+                              const InjectOptions& options = {});
+
+/// The software-MPU region set for `program`: its image span (code, data
+/// and signature words all live inside [image.base, image.end_address())).
+sim::StoreGuard store_guard_for(const struct TestProgram& program);
 
 class GateLevelFaultInjector final : public sim::CpuHooks {
  public:
@@ -62,18 +160,30 @@ class GateLevelFaultInjector final : public sim::CpuHooks {
 };
 
 /// Runs `image` twice — fault-free and with `fault` injected into `target`
-/// — and reports whether any signature word differs.
+/// — and reports whether any signature word differs, plus the classified
+/// RunOutcome of the faulty execution.
 struct InjectionOutcome {
   bool detected = false;
+  RunOutcome outcome = RunOutcome::kOkMatch;
+  /// Raw stop verdict of the guarded faulty run (which watchdog fired,
+  /// etc.). kHalted for kOkMatch/kDetectedMismatch.
+  sim::StopReason stop = sim::StopReason::kHalted;
   std::uint64_t corrupted_results = 0;
+  /// Faulty-run resource stats, complete up to the stopping point even for
+  /// traps and wild stores (detection-latency accounting).
+  sim::ExecStats faulty_stats;
   std::vector<std::uint32_t> good_signatures;
   std::vector<std::uint32_t> faulty_signatures;
 };
 
+/// Tallies the outcome classes of a campaign result.
+OutcomeHistogram histogram_of(const std::vector<InjectionOutcome>& outcomes);
+
 InjectionOutcome run_with_injection(const ProcessorModel& model,
                                     const struct TestProgram& program,
                                     CutId target, const fault::Fault& fault,
-                                    const sim::CpuConfig& config = {});
+                                    const sim::CpuConfig& config = {},
+                                    const InjectOptions& inject = {});
 
 /// Session form: amortizes the target's netlist compilation, the predecoded
 /// program image and the fault-free reference run across many injection
@@ -82,22 +192,27 @@ InjectionOutcome run_with_injection(const ProcessorModel& model,
 InjectionOutcome run_with_injection(GradingSession& session,
                                     const struct TestProgram& program,
                                     CutId target, const fault::Fault& fault,
-                                    const sim::CpuConfig& config = {});
+                                    const sim::CpuConfig& config = {},
+                                    const InjectOptions& inject = {});
 
 /// Multi-fault injection campaign: one fault-free reference run plus one
 /// faulty run per fault, the faulty runs scheduled as independent tasks on
 /// the session pool. Outcomes are returned in fault order and are
 /// bitwise-identical to calling run_with_injection per fault, for any
-/// thread count.
+/// thread count. A fault whose task throws is retried serially
+/// (InjectOptions::infra_retries) and, if it keeps failing, marked
+/// kInfraError — the rest of the campaign always completes.
 std::vector<InjectionOutcome> run_injection_campaign(
     GradingSession& session, const struct TestProgram& program, CutId target,
-    const std::vector<fault::Fault>& faults, const sim::CpuConfig& config = {});
+    const std::vector<fault::Fault>& faults, const sim::CpuConfig& config = {},
+    const InjectOptions& inject = {});
 
 /// Session-less campaign: serial faulty runs, but still only ONE fault-free
-/// reference run for the whole fault list.
+/// reference run for the whole fault list. Same retry/infra_error policy as
+/// the session form.
 std::vector<InjectionOutcome> run_injection_campaign(
     const ProcessorModel& model, const struct TestProgram& program,
     CutId target, const std::vector<fault::Fault>& faults,
-    const sim::CpuConfig& config = {});
+    const sim::CpuConfig& config = {}, const InjectOptions& inject = {});
 
 }  // namespace sbst::core

@@ -62,6 +62,7 @@ PeriodicResult simulate_periodic(const PeriodicConfig& config,
   PeriodicResult out;
   out.trials = trials;
   double latency_sum = 0.0;
+  double hang_latency_sum = 0.0;
 
   for (std::size_t trial = 0; trial < trials; ++trial) {
     // Randomise the fault arrival within one test period so results do not
@@ -73,6 +74,7 @@ PeriodicResult simulate_periodic(const PeriodicConfig& config,
 
     double t = 0.0;
     std::optional<double> detection;
+    bool by_hang = false;
     while (t < config.horizon_s) {
       double launch = t + config.test_period_s;
       if (config.policy == LaunchPolicy::kIdle) {
@@ -89,16 +91,31 @@ PeriodicResult simulate_periodic(const PeriodicConfig& config,
       const bool active = fault_active_at(f, launch) ||
                           fault_active_at(f, launch + config.test_exec_s / 2);
       if (active && rng.chance(config.fault_coverage)) {
-        detection = launch + config.test_exec_s;
+        // Symptom detections (hang/trap/wild store) complete when the OS
+        // watchdog fires, not when the signature unload would have run.
+        // The hang_fraction > 0 gate keeps the legacy draw stream intact
+        // when the symptom split is not modelled.
+        if (config.hang_fraction > 0 && rng.chance(config.hang_fraction)) {
+          by_hang = true;
+          detection = launch + (config.watchdog_s > 0 ? config.watchdog_s
+                                                      : config.test_exec_s);
+        } else {
+          by_hang = false;
+          detection = launch + config.test_exec_s;
+        }
         break;
       }
       t = launch;
     }
     if (detection) {
       ++out.detected;
-      latency_sum += *detection - f.arrival_s;
-      out.max_latency_s = std::max(out.max_latency_s,
-                                   *detection - f.arrival_s);
+      const double latency = *detection - f.arrival_s;
+      latency_sum += latency;
+      out.max_latency_s = std::max(out.max_latency_s, latency);
+      if (by_hang) {
+        ++out.detected_by_hang;
+        hang_latency_sum += latency;
+      }
     }
   }
 
@@ -108,6 +125,10 @@ PeriodicResult simulate_periodic(const PeriodicConfig& config,
                         static_cast<double>(trials);
   out.mean_latency_s =
       out.detected == 0 ? 0.0 : latency_sum / static_cast<double>(out.detected);
+  out.mean_hang_latency_s =
+      out.detected_by_hang == 0
+          ? 0.0
+          : hang_latency_sum / static_cast<double>(out.detected_by_hang);
   out.cpu_overhead = config.policy == LaunchPolicy::kStartup
                          ? config.test_exec_s / config.horizon_s
                          : config.test_exec_s / config.test_period_s;

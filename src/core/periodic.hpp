@@ -48,6 +48,16 @@ struct PeriodicConfig {
   LaunchPolicy policy = LaunchPolicy::kTimer;
   double fault_coverage = 0.956;  // probability a present fault is caught
   double horizon_s = 3600.0;      // simulated wall-clock per trial
+  /// Fraction of detections that manifest as a symptom the OS watchdog
+  /// catches (hang / trap / wild store) instead of a signature mismatch —
+  /// measured by an injection campaign's OutcomeHistogram
+  /// (detected_by_symptom() / detected()). 0 keeps the legacy
+  /// signature-only model and leaves the RNG draw stream untouched.
+  double hang_fraction = 0.0;
+  /// Detection-completion time for a symptom detection: the watchdog kills
+  /// the overrunning test after this budget instead of waiting for the
+  /// signature unload. <= 0 falls back to test_exec_s.
+  double watchdog_s = 0.0;
 };
 
 struct PeriodicResult {
@@ -57,6 +67,11 @@ struct PeriodicResult {
   double mean_latency_s = 0.0;   // arrival -> detection (detected trials)
   double max_latency_s = 0.0;
   double cpu_overhead = 0.0;     // fraction of CPU time spent testing
+  /// Detections that completed via the watchdog (subset of `detected`);
+  /// their latency is accounted separately because the watchdog budget, not
+  /// the signature unload, ends the run.
+  std::size_t detected_by_hang = 0;
+  double mean_hang_latency_s = 0.0;  // 0 when detected_by_hang == 0
 };
 
 /// Monte-Carlo estimate of detection probability and latency for a fault

@@ -54,6 +54,12 @@ struct SessionOptions {
   /// Cache artifacts across gradings. Off rebuilds each artifact on every
   /// request — same results, only slower (the differential-testing knob).
   bool cache = true;
+  /// Default watchdog budget factor for injection campaigns run through
+  /// this session: faulty runs get budget_factor × the good machine's
+  /// instructions / cycles / stores before the watchdog classifies them as
+  /// hung. <= 0 disables the watchdog (legacy 1<<24 instruction cap). Per
+  /// call overridable via InjectOptions::budget_factor.
+  double budget_factor = 8.0;
 };
 
 /// Build/hit counters per artifact kind; a cache-warm second grading of the

@@ -97,14 +97,22 @@ void GradingPlan::add_seq(const EngineContext& ctx,
 }
 
 void GradingPlan::run(ThreadPool& pool) {
+  std::vector<ThreadPool::TaskFailure> failures = run_capture(pool);
+  if (!failures.empty()) std::rethrow_exception(failures.front().error);
+}
+
+std::vector<ThreadPool::TaskFailure> GradingPlan::run_capture(
+    ThreadPool& pool) {
+  std::vector<ThreadPool::TaskFailure> failures;
   if (!tasks_.empty()) {
     const std::function<void(std::size_t)> task = [this](std::size_t t) {
       tasks_[t]();
     };
-    pool.run_static(tasks_.size(), task);
+    failures = pool.run_static_capture(tasks_.size(), task);
   }
   tasks_.clear();
   good_storage_.clear();
+  return failures;
 }
 
 CoverageResult simulate_comb_parallel(const netlist::Netlist& nl,

@@ -100,8 +100,15 @@ class GradingPlan {
   std::size_t size() const { return tasks_.size(); }
 
   /// Executes every queued task on `pool` (inline for a pool of size 1) and
-  /// clears the plan. Blocks until all tasks are done.
+  /// clears the plan. Blocks until all tasks are done. A throwing task does
+  /// not stop the batch; the lowest-index captured exception is rethrown
+  /// after every task has run.
   void run(ThreadPool& pool);
+
+  /// Like run() but returns captured task failures (indexed in add order)
+  /// instead of rethrowing, so campaign layers can degrade individual
+  /// faults to infra_error while the rest of the batch stands.
+  std::vector<ThreadPool::TaskFailure> run_capture(ThreadPool& pool);
 
  private:
   std::vector<std::function<void()>> tasks_;

@@ -1,6 +1,8 @@
 #include "fault/thread_pool.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <utility>
 
 namespace sbst::fault {
 
@@ -33,23 +35,38 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run_static(std::size_t count,
                             const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
+  std::vector<TaskFailure> failures = run_static_capture(count, fn);
+  if (!failures.empty()) std::rethrow_exception(failures.front().error);
+}
+
+std::vector<ThreadPool::TaskFailure> ThreadPool::run_static_capture(
+    std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return {};
+  failures_.clear();
   if (workers_.empty()) {
-    for (std::size_t task = 0; task < count; ++task) fn(task);
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
     task_count_ = count;
     task_fn_ = &fn;
-    pending_workers_ = static_cast<unsigned>(workers_.size());
-    ++generation_;
+    run_stride(0);
+    task_fn_ = nullptr;
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      task_count_ = count;
+      task_fn_ = &fn;
+      pending_workers_ = static_cast<unsigned>(workers_.size());
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    run_stride(0);  // the caller is worker 0
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+    task_fn_ = nullptr;
   }
-  start_cv_.notify_all();
-  run_stride(0);  // the caller is worker 0
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
-  task_fn_ = nullptr;
+  std::sort(failures_.begin(), failures_.end(),
+            [](const TaskFailure& a, const TaskFailure& b) {
+              return a.task < b.task;
+            });
+  return std::move(failures_);
 }
 
 void ThreadPool::worker_loop(unsigned worker_index) {
@@ -75,7 +92,14 @@ void ThreadPool::worker_loop(unsigned worker_index) {
 void ThreadPool::run_stride(unsigned worker_index) {
   const unsigned stride = size();
   for (std::size_t task = worker_index; task < task_count_; task += stride) {
-    (*task_fn_)(task);
+    try {
+      (*task_fn_)(task);
+    } catch (...) {
+      // Contain the failure to this task: record it and keep draining the
+      // stride, so the batch always completes and the pool stays usable.
+      std::lock_guard<std::mutex> lock(failure_mutex_);
+      failures_.push_back({task, std::current_exception()});
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -37,11 +38,28 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
 
+  /// An exception captured from one pool task: `task` is the index fn was
+  /// called with, `error` the exception it threw.
+  struct TaskFailure {
+    std::size_t task = 0;
+    std::exception_ptr error;
+  };
+
   /// Runs fn(task) for every task in [0, count) and blocks until all are
   /// done. Tasks are assigned statically by stride (worker w gets tasks
-  /// w, w + size(), ...); fn must not throw.
+  /// w, w + size(), ...). A throwing task cannot poison the pool: the
+  /// exception is captured, every other task still runs, and the lowest-
+  /// index captured exception is rethrown after the batch completes — the
+  /// same one for any pool size, so error reporting stays deterministic.
   void run_static(std::size_t count,
                   const std::function<void(std::size_t)>& fn);
+
+  /// Like run_static but never throws on task failure: returns every
+  /// captured exception sorted by task index (empty when all tasks
+  /// succeeded). The campaign layer uses this to degrade single faults to
+  /// infra_error instead of aborting the whole batch.
+  std::vector<TaskFailure> run_static_capture(
+      std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop(unsigned worker_index);
@@ -55,6 +73,8 @@ class ThreadPool {
   const std::function<void(std::size_t)>* task_fn_ = nullptr;
   unsigned pending_workers_ = 0;
   bool stopping_ = false;
+  std::mutex failure_mutex_;
+  std::vector<TaskFailure> failures_;
   std::vector<std::thread> workers_;
 };
 

@@ -14,6 +14,21 @@ using rtlgen::AluOp;
 using rtlgen::MemSize;
 using rtlgen::ShiftOp;
 
+WildStoreError::WildStoreError(std::uint32_t addr)
+    : CpuError("wild store at " + to_hex32(addr)), addr_(addr) {}
+
+const char* stop_reason_name(StopReason reason) {
+  switch (reason) {
+    case StopReason::kHalted: return "halted";
+    case StopReason::kInstructionBudget: return "instruction_budget";
+    case StopReason::kCycleBudget: return "cycle_budget";
+    case StopReason::kStoreBudget: return "store_budget";
+    case StopReason::kWildStore: return "wild_store";
+    case StopReason::kTrap: return "trap";
+  }
+  return "unknown";
+}
+
 std::uint64_t ExecStats::analytic_total_cycles(double miss_rate,
                                                unsigned miss_penalty) const {
   const double accesses = static_cast<double>(instructions + loads + stores);

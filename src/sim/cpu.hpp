@@ -22,6 +22,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "isa/assembler.hpp"
@@ -80,6 +81,72 @@ class CpuError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A guarded store outside every StoreGuard region (the software-MPU
+/// violation). Thrown from inside guarded execution; run_guarded() converts
+/// it into StopReason::kWildStore.
+class WildStoreError : public CpuError {
+ public:
+  explicit WildStoreError(std::uint32_t addr);
+  std::uint32_t addr() const { return addr_; }
+
+ private:
+  std::uint32_t addr_;
+};
+
+/// Per-run watchdog budgets for guarded (faulty) execution, modelling the
+/// OS-level monitor an in-field periodic test runs under: the test must
+/// finish within its quantum budget, so a run exceeding k× the good
+/// machine's resources is declared hung instead of simulated to a global
+/// cap. 0 means "unlimited" for cycles/stores; max_instructions always
+/// bounds the run.
+struct RunBudget {
+  std::uint64_t max_instructions = 1u << 24;
+  std::uint64_t max_cycles = 0;
+  std::uint64_t max_stores = 0;
+};
+
+/// Software MPU model: the address ranges a program may legitimately store
+/// to (its declared code/data regions). A guarded run treats a store
+/// outside every region as a wild store — the symptom an in-field memory
+/// protection unit would trap on.
+struct StoreGuard {
+  struct Region {
+    std::uint32_t lo = 0;  // inclusive
+    std::uint32_t hi = 0;  // exclusive
+  };
+  std::vector<Region> regions;
+
+  bool allows(std::uint32_t addr) const {
+    for (const Region& r : regions) {
+      if (addr >= r.lo && addr < r.hi) return true;
+    }
+    return false;
+  }
+};
+
+/// Why a guarded run stopped. Everything except kHalted is a symptom an
+/// on-line monitor observes without ever reading a signature word.
+enum class StopReason : std::uint8_t {
+  kHalted,             // reached a break instruction (clean completion)
+  kInstructionBudget,  // watchdog: instruction budget exhausted
+  kCycleBudget,        // watchdog: cycle budget exhausted
+  kStoreBudget,        // watchdog: store budget exhausted
+  kWildStore,          // software-MPU violation (store outside regions)
+  kTrap,               // illegal instruction / misaligned or bus error
+};
+
+const char* stop_reason_name(StopReason reason);
+
+/// Result of a guarded run. `stats` is complete up to the stopping point
+/// even for traps and wild stores (partial-progress accounting for
+/// detection-latency models).
+struct GuardedResult {
+  ExecStats stats;
+  StopReason reason = StopReason::kHalted;
+  std::uint32_t wild_store_addr = 0;  // valid when reason == kWildStore
+  std::string trap_message;           // valid when reason == kTrap
+};
+
 class Cpu {
  public:
   explicit Cpu(const CpuConfig& config = {});
@@ -110,6 +177,17 @@ class Cpu {
   ExecStats run_sink(std::uint32_t entry, Sink& sink,
                      std::uint64_t max_instructions = 1u << 24);
 
+  /// Guarded variant of run_sink for faulty-machine execution: enforces the
+  /// full RunBudget (instructions / cycles / stores), optionally checks
+  /// every store against a StoreGuard, and converts CPU traps into a
+  /// classified GuardedResult instead of propagating exceptions. The
+  /// unguarded run_sink hot path is unchanged — the extra checks compile
+  /// away in that instantiation.
+  template <class Sink>
+  GuardedResult run_guarded(std::uint32_t entry, Sink& sink,
+                            const RunBudget& budget,
+                            const StoreGuard* guard = nullptr);
+
   // Architectural state access (test/bench observation).
   std::uint32_t reg(unsigned index) const { return regs_[index]; }
   void set_reg(unsigned index, std::uint32_t value) {
@@ -130,6 +208,10 @@ class Cpu {
   void reset();
 
  private:
+  template <class Sink, bool Guarded>
+  StopReason run_sink_impl(std::uint32_t entry, Sink& sink, ExecStats& stats,
+                           const RunBudget& budget, const StoreGuard* guard);
+
   std::uint32_t fetch(std::uint32_t pc, ExecStats& stats);
   std::uint32_t mem_load(std::uint32_t addr, rtlgen::MemSize size, bool sign,
                          ExecStats& stats);

@@ -137,9 +137,14 @@ inline std::uint64_t mult64(std::uint32_t a, std::uint32_t b) {
 
 }  // namespace exec_detail
 
-template <class Sink>
-ExecStats Cpu::run_sink(std::uint32_t entry, Sink& sink,
-                        std::uint64_t max_instructions) {
+// The shared loop. `stats` is caller-owned so partial progress survives a
+// thrown trap (run_guarded reports it in GuardedResult::stats). When
+// `Guarded` is false every budget/guard check beyond the instruction cap
+// compiles out and the loop is the original run_sink hot path.
+template <class Sink, bool Guarded>
+StopReason Cpu::run_sink_impl(std::uint32_t entry, Sink& sink,
+                              ExecStats& stats, const RunBudget& budget,
+                              [[maybe_unused]] const StoreGuard* guard) {
   using exec_detail::alu32;
   using exec_detail::load_extract;
   using exec_detail::magnitude;
@@ -150,7 +155,6 @@ ExecStats Cpu::run_sink(std::uint32_t entry, Sink& sink,
   using rtlgen::MemSize;
   using rtlgen::ShiftOp;
 
-  ExecStats stats;
   std::uint32_t pc = entry;
   std::uint32_t next_pc = entry + 4;
 
@@ -202,6 +206,11 @@ ExecStats Cpu::run_sink(std::uint32_t entry, Sink& sink,
     const unsigned bytes = size == MemSize::kByte ? 1
                            : size == MemSize::kHalf ? 2
                                                     : 4;
+    if constexpr (Guarded) {
+      // Software MPU: the store address is checked before the access, like
+      // a protection unit would, so a wild store never mutates memory.
+      if (guard && !guard->allows(addr)) throw WildStoreError(addr);
+    }
     if (addr % bytes != 0) {
       throw CpuError("misaligned store at " + to_hex32(addr));
     }
@@ -227,7 +236,15 @@ ExecStats Cpu::run_sink(std::uint32_t entry, Sink& sink,
     }
   };
 
-  while (stats.instructions < max_instructions) {
+  while (stats.instructions < budget.max_instructions) {
+    if constexpr (Guarded) {
+      if (budget.max_cycles != 0 && stats.total_cycles() >= budget.max_cycles) {
+        return StopReason::kCycleBudget;
+      }
+      if (budget.max_stores != 0 && stats.stores >= budget.max_stores) {
+        return StopReason::kStoreBudget;
+      }
+    }
     ++stats.icache_accesses;
     if (!icache_.access(pc)) {
       ++stats.icache_misses;
@@ -508,7 +525,34 @@ ExecStats Cpu::run_sink(std::uint32_t entry, Sink& sink,
     pc = next_pc;
     next_pc = new_next;
   }
+  return stats.halted ? StopReason::kHalted : StopReason::kInstructionBudget;
+}
+
+template <class Sink>
+ExecStats Cpu::run_sink(std::uint32_t entry, Sink& sink,
+                        std::uint64_t max_instructions) {
+  ExecStats stats;
+  RunBudget budget;
+  budget.max_instructions = max_instructions;
+  run_sink_impl<Sink, false>(entry, sink, stats, budget, nullptr);
   return stats;
+}
+
+template <class Sink>
+GuardedResult Cpu::run_guarded(std::uint32_t entry, Sink& sink,
+                               const RunBudget& budget,
+                               const StoreGuard* guard) {
+  GuardedResult out;
+  try {
+    out.reason = run_sink_impl<Sink, true>(entry, sink, out.stats, budget, guard);
+  } catch (const WildStoreError& e) {
+    out.reason = StopReason::kWildStore;
+    out.wild_store_addr = e.addr();
+  } catch (const CpuError& e) {
+    out.reason = StopReason::kTrap;
+    out.trap_message = e.what();
+  }
+  return out;
 }
 
 }  // namespace sbst::sim

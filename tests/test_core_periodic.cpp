@@ -2,6 +2,8 @@
 // latency and CPU overhead (paper §1-§2 claims).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/periodic.hpp"
 
 namespace sbst::core {
@@ -127,6 +129,73 @@ TEST(Periodic, StartupPolicyHasLargeLatency) {
   // Startup-only testing detects nothing until the next boot inside the
   // horizon (paper: "imposes large fault detection latency").
   EXPECT_GT(rt.detection_probability, rs.detection_probability);
+}
+
+TEST(Periodic, NoDetectionsGiveZeroLatencyNotNaN) {
+  PeriodicConfig cfg;
+  cfg.test_period_s = 1.0;
+  cfg.horizon_s = 20.0;
+  cfg.fault_coverage = 0.0;  // nothing is ever caught
+  Rng rng(11);
+  const FaultProcess f{.kind = FaultKind::kPermanent, .arrival_s = 1.0};
+  const PeriodicResult r = simulate_periodic(cfg, f, 200, rng);
+  EXPECT_EQ(r.detected, 0u);
+  EXPECT_EQ(r.detection_probability, 0.0);
+  // The means are defined (0), not a 0/0 NaN that poisons downstream
+  // aggregation.
+  EXPECT_EQ(r.mean_latency_s, 0.0);
+  EXPECT_EQ(r.mean_hang_latency_s, 0.0);
+  EXPECT_FALSE(std::isnan(r.mean_latency_s));
+  EXPECT_FALSE(std::isnan(r.mean_hang_latency_s));
+
+  // Zero trials is equally well-defined.
+  const PeriodicResult none = simulate_periodic(cfg, f, 0, rng);
+  EXPECT_EQ(none.detection_probability, 0.0);
+  EXPECT_EQ(none.mean_latency_s, 0.0);
+  EXPECT_EQ(none.mean_hang_latency_s, 0.0);
+}
+
+TEST(Periodic, HangFractionSplitsDetectionsAndUsesWatchdogLatency) {
+  PeriodicConfig cfg;
+  cfg.test_period_s = 0.5;
+  cfg.horizon_s = 50.0;
+  cfg.fault_coverage = 1.0;
+  cfg.hang_fraction = 0.5;
+  cfg.watchdog_s = 0.05;
+  Rng rng(13);
+  const FaultProcess f{.kind = FaultKind::kPermanent, .arrival_s = 2.0};
+  const PeriodicResult r = simulate_periodic(cfg, f, 1000, rng);
+  ASSERT_GT(r.detected, 0u);
+  EXPECT_GT(r.detected_by_hang, 0u);
+  EXPECT_LT(r.detected_by_hang, r.detected);
+  EXPECT_NEAR(static_cast<double>(r.detected_by_hang) /
+                  static_cast<double>(r.detected),
+              cfg.hang_fraction, 0.08);
+  // A hang detection completes at the watchdog budget, which here exceeds
+  // the signature unload time — the hang mean must reflect that extra wait.
+  EXPECT_GT(r.mean_hang_latency_s, 0.0);
+  EXPECT_GT(r.mean_hang_latency_s,
+            expected_permanent_latency(cfg) - cfg.test_exec_s);
+}
+
+TEST(Periodic, ZeroHangFractionKeepsLegacyDrawStream) {
+  PeriodicConfig cfg;
+  cfg.test_period_s = 1.0;
+  cfg.horizon_s = 30.0;
+  const FaultProcess f{.kind = FaultKind::kPermanent, .arrival_s = 1.0};
+  Rng a(7);
+  const PeriodicResult base = simulate_periodic(cfg, f, 500, a);
+  // A configured watchdog must not perturb results (or RNG draws) while the
+  // symptom split is disabled.
+  PeriodicConfig with = cfg;
+  with.watchdog_s = 0.25;
+  Rng b(7);
+  const PeriodicResult same = simulate_periodic(with, f, 500, b);
+  EXPECT_EQ(base.detected, same.detected);
+  EXPECT_EQ(base.mean_latency_s, same.mean_latency_s);
+  EXPECT_EQ(base.max_latency_s, same.max_latency_s);
+  EXPECT_EQ(same.detected_by_hang, 0u);
+  EXPECT_EQ(same.mean_hang_latency_s, 0.0);
 }
 
 TEST(Periodic, IdlePolicyDetectsLikeTimerOnAverage) {

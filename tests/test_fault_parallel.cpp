@@ -3,7 +3,9 @@
 // the pattern/lane machinery and the CoverageResult invariant.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -370,6 +372,57 @@ TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
 TEST(ThreadPool, ResolveThreadCountPrefersExplicit) {
   EXPECT_EQ(resolve_thread_count(3), 3u);
   EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+TEST(ThreadPool, ThrowingTaskIsCapturedAndBatchCompletes) {
+  for (unsigned threads : {1u, 3u}) {
+    ThreadPool pool(threads);
+    std::vector<int> hits(64, 0);
+    const std::vector<ThreadPool::TaskFailure> failures =
+        pool.run_static_capture(hits.size(), [&](std::size_t t) {
+          if (t == 5 || t == 40) throw std::runtime_error("task failed");
+          ++hits[t];
+        });
+    // Exactly the throwing tasks are reported, in index order, and every
+    // other task still ran exactly once.
+    ASSERT_EQ(failures.size(), 2u) << "threads " << threads;
+    EXPECT_EQ(failures[0].task, 5u);
+    EXPECT_EQ(failures[1].task, 40u);
+    for (const ThreadPool::TaskFailure& fail : failures) {
+      ASSERT_TRUE(fail.error);
+      EXPECT_THROW(std::rethrow_exception(fail.error), std::runtime_error);
+    }
+    for (std::size_t t = 0; t < hits.size(); ++t) {
+      EXPECT_EQ(hits[t], (t == 5 || t == 40) ? 0 : 1) << "task " << t;
+    }
+    // The pool stays usable after a failed batch.
+    const auto clean =
+        pool.run_static_capture(hits.size(), [&](std::size_t t) { ++hits[t]; });
+    EXPECT_TRUE(clean.empty());
+    for (std::size_t t = 0; t < hits.size(); ++t) {
+      EXPECT_EQ(hits[t], (t == 5 || t == 40) ? 1 : 2);
+    }
+  }
+}
+
+TEST(ThreadPool, RunStaticRethrowsLowestIndexAfterFinishingBatch) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  try {
+    pool.run_static(32, [&](std::size_t t) {
+      if (t == 7) throw std::logic_error("seven");
+      if (t == 3) throw std::runtime_error("three");
+      ++ran;
+    });
+    FAIL() << "run_static swallowed the task exceptions";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "three");  // lowest failing index wins
+  }
+  // Every non-throwing task completed before the rethrow.
+  EXPECT_EQ(ran.load(), 30);
+  // And the pool still works.
+  pool.run_static(8, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 38);
 }
 
 }  // namespace

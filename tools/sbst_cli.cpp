@@ -6,6 +6,8 @@
 //   sbst listing                       disassembled program listing
 //   sbst export <cut> [verilog|blif]   gate-level netlist export
 //   sbst evaluate                      run + fault-grade the full program
+//   sbst campaign [<cut>...]           guarded injection campaign with the
+//                                      RunOutcome taxonomy table
 //
 // <cut> is one of: mul div rf mem shifter alu ctrl
 //
@@ -19,6 +21,12 @@
 //                        reuse grading artifacts (fault universes, compiled
 //                        netlists, observe cones) across gradings (default
 //                        on; results are identical either way)
+//   --budget-factor K    watchdog budget for faulty runs: K x the good
+//                        machine's instructions/cycles/stores (default 8;
+//                        0 = legacy unlimited 1<<24 instruction cap)
+//   --max-faults N       cap the per-CUT fault list of `campaign`
+//                        (default 32; 0 = the full collapsed universe)
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +52,8 @@ int usage() {
       "  listing                       disassembled program listing\n"
       "  export <cut> [verilog|blif]   netlist export (default verilog)\n"
       "  evaluate                      run + fault-grade the program\n"
+      "  campaign [<cut>...]           guarded injection campaign outcome\n"
+      "                                table (default: alu shifter mul)\n"
       "cuts: mul div rf mem shifter alu ctrl\n"
       "options: --threads N | -j N   fault-sim worker threads (env "
       "SBST_THREADS;\n"
@@ -58,7 +68,11 @@ int usage() {
       "                              (default on; identical results)\n"
       "         --cpu-stats          print the CPU-time-equation breakdown\n"
       "                              (cycles, stalls, miss rates) to "
-      "stderr\n",
+      "stderr\n"
+      "         --budget-factor K    faulty-run watchdog budget: K x the\n"
+      "                              good run (default 8; 0 = legacy cap)\n"
+      "         --max-faults N       per-CUT fault cap for campaign\n"
+      "                              (default 32; 0 = full universe)\n",
       stderr);
   return 2;
 }
@@ -242,6 +256,68 @@ int cmd_evaluate(const ProcessorModel& model, const fault::SimOptions& sim,
   return 0;
 }
 
+// Guarded injection campaign over the injectable CUTs: every fault gets a
+// classified RunOutcome; the table splits detections into signature vs
+// symptom. Stdout is deterministic for any thread count / cache setting
+// (the CI smoke diffs it); wall-clock goes to stderr.
+int cmd_campaign(const ProcessorModel& model, const fault::SimOptions& sim,
+                 bool session_cache, double budget_factor,
+                 std::size_t max_faults, const std::vector<CutId>& cuts) {
+  TestProgramBuilder builder;
+  builder.add_default_routines(model);
+  const TestProgram program = builder.build();
+  GradingSession session(model, {.num_threads = sim.num_threads,
+                                 .cache = session_cache,
+                                 .budget_factor = budget_factor});
+  const auto t0 = std::chrono::steady_clock::now();
+  OutcomeHistogram total;
+  Table t({"Component", "Faults", "Sig", "Hang", "Trap", "Wild", "Ok",
+           "Infra", "Det (%)"});
+  for (const CutId cut : cuts) {
+    std::vector<fault::Fault> faults = session.universe(cut).collapsed();
+    if (max_faults != 0 && faults.size() > max_faults) {
+      faults.resize(max_faults);
+    }
+    const OutcomeHistogram h = histogram_of(
+        run_injection_campaign(session, program, cut, faults, {}));
+    for (std::size_t k = 0; k < kRunOutcomeCount; ++k) {
+      total.counts[k] += h.counts[k];
+    }
+    const double det =
+        h.total() == 0 ? 0.0
+                       : 100.0 * static_cast<double>(h.detected()) /
+                             static_cast<double>(h.total());
+    t.add_row({model.component(cut).name,
+               Table::num(static_cast<std::uint64_t>(h.total())),
+               Table::num(static_cast<std::uint64_t>(
+                   h.detected_by_signature())),
+               Table::num(static_cast<std::uint64_t>(
+                   h.count(RunOutcome::kDetectedHang))),
+               Table::num(static_cast<std::uint64_t>(
+                   h.count(RunOutcome::kDetectedTrap))),
+               Table::num(static_cast<std::uint64_t>(
+                   h.count(RunOutcome::kDetectedWildStore))),
+               Table::num(static_cast<std::uint64_t>(
+                   h.count(RunOutcome::kOkMatch))),
+               Table::num(static_cast<std::uint64_t>(
+                   h.count(RunOutcome::kInfraError))),
+               Table::num(det, 1)});
+  }
+  t.print();
+  std::printf(
+      "campaign: %zu faults, detected %zu (signature %zu, symptom %zu), "
+      "infra errors %zu\n",
+      total.total(), total.detected(), total.detected_by_signature(),
+      total.detected_by_symptom(), total.count(RunOutcome::kInfraError));
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::fprintf(stderr,
+               "# campaign: budget factor %.1f, %.3f s wall, %zu faults\n",
+               budget_factor, wall, total.total());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -249,6 +325,8 @@ int main(int argc, char** argv) {
   fault::SimOptions sim;
   bool session_cache = true;
   bool cpu_stats = false;
+  double budget_factor = 8.0;
+  std::size_t max_faults = 32;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -265,6 +343,16 @@ int main(int argc, char** argv) {
       session_cache = false;
     } else if (std::strcmp(a, "--cpu-stats") == 0) {
       cpu_stats = true;
+    } else if (std::strcmp(a, "--budget-factor") == 0) {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      budget_factor = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0') return usage();
+    } else if (std::strcmp(a, "--max-faults") == 0) {
+      if (i + 1 >= argc) return usage();
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      if (v < 0) return usage();
+      max_faults = static_cast<std::size_t>(v);
     } else if (std::strcmp(a, "--engine") == 0 ||
                std::strncmp(a, "--engine=", 9) == 0) {
       const char* name = a[8] == '=' ? a + 9 : nullptr;
@@ -285,6 +373,27 @@ int main(int argc, char** argv) {
   if (cmd == "listing") return cmd_program(model, true);
   if (cmd == "evaluate") {
     return cmd_evaluate(model, sim, session_cache, cpu_stats);
+  }
+  if (cmd == "campaign") {
+    std::vector<CutId> cuts;
+    for (std::size_t k = 1; k < args.size(); ++k) {
+      CutId cut;
+      if (!parse_cut(args[k], cut)) return usage();
+      if (cut != CutId::kAlu && cut != CutId::kShifter &&
+          cut != CutId::kMultiplier) {
+        std::fprintf(stderr,
+                     "campaign: %s is not an injectable CUT "
+                     "(alu / shifter / mul)\n",
+                     args[k]);
+        return 2;
+      }
+      cuts.push_back(cut);
+    }
+    if (cuts.empty()) {
+      cuts = {CutId::kAlu, CutId::kShifter, CutId::kMultiplier};
+    }
+    return cmd_campaign(model, sim, session_cache, budget_factor, max_faults,
+                        cuts);
   }
   if (cmd == "generate" || cmd == "export") {
     if (args.size() < 2) return usage();
