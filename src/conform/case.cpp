@@ -1,0 +1,407 @@
+#include "conform/case.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "conform/json.hpp"
+
+namespace sbst::conform {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- canonical writer ------------------------------------------------------
+// Hand-built strings, not a generic serializer: the byte sequence is part of
+// the corpus identity (content hash, golden diffs), so key order and the
+// absence of whitespace are fixed here once.
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void put_key(std::string& out, const char* key) {
+  out += '"';
+  out += key;
+  out += "\":";
+}
+
+void put_kv(std::string& out, const char* key, std::uint64_t v) {
+  put_key(out, key);
+  put_u64(out, v);
+  out += ',';
+}
+
+void put_kv_bool(std::string& out, const char* key, bool v) {
+  put_key(out, key);
+  out += v ? "true" : "false";
+  out += ',';
+}
+
+void put_cache(std::string& out, const char* key, const CacheParams& c) {
+  put_key(out, key);
+  out += '{';
+  put_kv_bool(out, "enabled", c.enabled);
+  put_kv(out, "line_words", c.line_words);
+  put_kv(out, "lines", c.lines);
+  put_key(out, "miss_penalty");
+  put_u64(out, c.miss_penalty);
+  out += "},";
+}
+
+void put_state(std::string& out, const char* key, const ArchState& s) {
+  put_key(out, key);
+  out += "{\"regs\":[";
+  for (unsigned r = 0; r < 32; ++r) {
+    if (r) out += ',';
+    put_u64(out, s.regs[r]);
+  }
+  out += "],";
+  put_kv(out, "hi", s.hi);
+  put_kv(out, "lo", s.lo);
+  out += "\"mem\":[";
+  for (std::size_t i = 0; i < s.mem.size(); ++i) {
+    if (i) out += ',';
+    out += '[';
+    put_u64(out, s.mem[i].addr);
+    out += ',';
+    put_u64(out, s.mem[i].word);
+    out += ']';
+  }
+  out += "]},";
+}
+
+// ---- typed JSON extraction -------------------------------------------------
+
+CacheParams cache_of(const JsonValue& v) {
+  CacheParams c;
+  c.enabled = v.at("enabled").as_bool();
+  c.line_words = v.at("line_words").as_u32();
+  c.lines = v.at("lines").as_u32();
+  c.miss_penalty = v.at("miss_penalty").as_u32();
+  return c;
+}
+
+ArchState state_of(const JsonValue& v) {
+  ArchState s;
+  const JsonValue& regs = v.at("regs");
+  if (regs.kind != JsonValue::Kind::kArray || regs.array.size() != 32) {
+    throw ConformError("corpus: \"regs\" must be an array of 32 words");
+  }
+  for (unsigned r = 0; r < 32; ++r) s.regs[r] = regs.array[r].as_u32();
+  s.hi = v.at("hi").as_u32();
+  s.lo = v.at("lo").as_u32();
+  for (const JsonValue& m : v.at("mem").array) {
+    if (m.kind != JsonValue::Kind::kArray || m.array.size() != 2) {
+      throw ConformError("corpus: \"mem\" entries must be [addr, word]");
+    }
+    s.mem.push_back({m.array[0].as_u32(), m.array[1].as_u32()});
+  }
+  return s;
+}
+
+std::string manifest_file_name(const std::string& cls) {
+  return cls + ".json";
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ConformError("corpus: cannot open " + path.string());
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+sim::CpuConfig CaseConfig::cpu_config() const {
+  sim::CpuConfig cfg;
+  cfg.forwarding = forwarding;
+  cfg.mem_access_cycles = mem_access_cycles;
+  cfg.mult_cycles = mult_cycles;
+  cfg.div_cycles = div_cycles;
+  cfg.branch_taken_penalty = branch_taken_penalty;
+  cfg.mem_bytes = mem_bytes;
+  cfg.icache = {icache.enabled, icache.line_words, icache.lines,
+                icache.miss_penalty};
+  cfg.dcache = {dcache.enabled, dcache.line_words, dcache.lines,
+                dcache.miss_penalty};
+  return cfg;
+}
+
+CycleStats CycleStats::of(const sim::ExecStats& s) {
+  CycleStats c;
+  c.instructions = s.instructions;
+  c.cpu_cycles = s.cpu_cycles;
+  c.pipeline_stall_cycles = s.pipeline_stall_cycles;
+  c.memory_stall_cycles = s.memory_stall_cycles;
+  c.loads = s.loads;
+  c.stores = s.stores;
+  c.icache_misses = s.icache_misses;
+  c.dcache_misses = s.dcache_misses;
+  c.icache_accesses = s.icache_accesses;
+  c.dcache_accesses = s.dcache_accesses;
+  c.halted = s.halted;
+  return c;
+}
+
+std::string write_case(const ConformCase& c) {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"name\":\"";
+  out += json_escape(c.name);
+  out += "\",\"class\":\"";
+  out += json_escape(c.cls);
+  out += "\",";
+  put_kv(out, "seed", c.seed);
+
+  put_key(out, "initial");
+  out += '{';
+  put_kv(out, "entry", c.entry);
+  out += "\"code\":[";
+  for (std::size_t i = 0; i < c.code.size(); ++i) {
+    if (i) out += ',';
+    put_u64(out, c.code[i]);
+  }
+  out += "],";
+  put_key(out, "config");
+  out += '{';
+  put_kv_bool(out, "forwarding", c.config.forwarding);
+  put_kv(out, "mem_access_cycles", c.config.mem_access_cycles);
+  put_kv(out, "mult_cycles", c.config.mult_cycles);
+  put_kv(out, "div_cycles", c.config.div_cycles);
+  put_kv(out, "branch_taken_penalty", c.config.branch_taken_penalty);
+  put_kv(out, "mem_bytes", c.config.mem_bytes);
+  put_cache(out, "icache", c.config.icache);
+  put_cache(out, "dcache", c.config.dcache);
+  out.back() = '}';  // replace trailing comma
+  out += ',';
+  put_state(out, "state", c.initial);
+  out.back() = '}';
+  out += ',';
+
+  put_state(out, "final", c.final_state);
+  out += "\"trap\":\"";
+  out += json_escape(c.trap);
+  out += "\",";
+
+  put_key(out, "cycles");
+  out += '{';
+  put_kv(out, "instructions", c.cycles.instructions);
+  put_kv(out, "cpu_cycles", c.cycles.cpu_cycles);
+  put_kv(out, "pipeline_stall_cycles", c.cycles.pipeline_stall_cycles);
+  put_kv(out, "memory_stall_cycles", c.cycles.memory_stall_cycles);
+  put_kv(out, "loads", c.cycles.loads);
+  put_kv(out, "stores", c.cycles.stores);
+  put_kv(out, "icache_misses", c.cycles.icache_misses);
+  put_kv(out, "dcache_misses", c.cycles.dcache_misses);
+  put_kv(out, "icache_accesses", c.cycles.icache_accesses);
+  put_kv(out, "dcache_accesses", c.cycles.dcache_accesses);
+  put_key(out, "halted");
+  out += c.cycles.halted ? "true" : "false";
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+ConformCase case_of(const JsonValue& v) {
+  try {
+    ConformCase c;
+    c.name = v.at("name").as_string();
+    c.cls = v.at("class").as_string();
+    c.seed = v.at("seed").as_u64();
+
+    const JsonValue& init = v.at("initial");
+    c.entry = init.at("entry").as_u32();
+    for (const JsonValue& w : init.at("code").array) {
+      c.code.push_back(w.as_u32());
+    }
+    if (c.code.empty()) throw ConformError("corpus: case has no code");
+    const JsonValue& cfg = init.at("config");
+    c.config.forwarding = cfg.at("forwarding").as_bool();
+    c.config.mem_access_cycles = cfg.at("mem_access_cycles").as_u32();
+    c.config.mult_cycles = cfg.at("mult_cycles").as_u32();
+    c.config.div_cycles = cfg.at("div_cycles").as_u32();
+    c.config.branch_taken_penalty = cfg.at("branch_taken_penalty").as_u32();
+    c.config.mem_bytes = cfg.at("mem_bytes").as_u32();
+    c.config.icache = cache_of(cfg.at("icache"));
+    c.config.dcache = cache_of(cfg.at("dcache"));
+    c.initial = state_of(init.at("state"));
+
+    c.final_state = state_of(v.at("final"));
+    c.trap = v.at("trap").as_string();
+
+    const JsonValue& cy = v.at("cycles");
+    c.cycles.instructions = cy.at("instructions").as_u64();
+    c.cycles.cpu_cycles = cy.at("cpu_cycles").as_u64();
+    c.cycles.pipeline_stall_cycles = cy.at("pipeline_stall_cycles").as_u64();
+    c.cycles.memory_stall_cycles = cy.at("memory_stall_cycles").as_u64();
+    c.cycles.loads = cy.at("loads").as_u64();
+    c.cycles.stores = cy.at("stores").as_u64();
+    c.cycles.icache_misses = cy.at("icache_misses").as_u64();
+    c.cycles.dcache_misses = cy.at("dcache_misses").as_u64();
+    c.cycles.icache_accesses = cy.at("icache_accesses").as_u64();
+    c.cycles.dcache_accesses = cy.at("dcache_accesses").as_u64();
+    c.cycles.halted = cy.at("halted").as_bool();
+    return c;
+  } catch (const JsonError& e) {
+    throw ConformError(std::string("corpus: malformed case: ") + e.what());
+  }
+}
+
+}  // namespace
+
+ConformCase parse_case(const std::string& line) {
+  try {
+    return case_of(json_parse(line));
+  } catch (const JsonError& e) {
+    throw ConformError(std::string("corpus: malformed case: ") + e.what());
+  }
+}
+
+std::uint64_t corpus_content_hash(const Corpus& corpus) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  const auto mix = [&h](const char* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(data[i]);
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  // Serialization order (class-grouped), NOT raw corpus order: a freshly
+  // generated corpus interleaves classes while a loaded one is grouped per
+  // file, and the identity stamp must agree between the two.
+  for (const std::string& cls : corpus_class_names(corpus)) {
+    for (const ConformCase& c : corpus.cases) {
+      if (c.cls != cls) continue;
+      const std::string line = write_case(c);
+      mix(line.data(), line.size());
+      mix("\n", 1);
+    }
+  }
+  return h;
+}
+
+std::vector<std::string> corpus_class_names(const Corpus& corpus) {
+  std::vector<std::string> names;
+  for (const ConformCase& c : corpus.cases) {
+    if (std::find(names.begin(), names.end(), c.cls) == names.end()) {
+      names.push_back(c.cls);
+    }
+  }
+  return names;
+}
+
+void save_corpus(const Corpus& corpus, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw ConformError("corpus: cannot create " + dir + ": " + ec.message());
+  }
+
+  const std::vector<std::string> classes = corpus_class_names(corpus);
+  for (const std::string& cls : classes) {
+    std::string body = "{\"class\":\"" + json_escape(cls) +
+                       "\",\"cases\":[\n";
+    bool first = true;
+    for (const ConformCase& c : corpus.cases) {
+      if (c.cls != cls) continue;
+      if (!first) body += ",\n";
+      body += write_case(c);
+      first = false;
+    }
+    body += "\n]}\n";
+    const fs::path path = fs::path(dir) / manifest_file_name(cls);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << body;
+    if (!out) throw ConformError("corpus: write failed: " + path.string());
+  }
+
+  char hash[20];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(corpus_content_hash(corpus)));
+  std::string manifest = "{\"version\":\"" + json_escape(corpus.version) +
+                         "\",";
+  put_kv(manifest, "seed", corpus.seed);
+  put_kv(manifest, "count", corpus.cases.size());
+  manifest += "\"content_hash\":\"";
+  manifest += hash;
+  manifest += "\",\"files\":[";
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (i) manifest += ',';
+    manifest += '"' + json_escape(manifest_file_name(classes[i])) + '"';
+  }
+  manifest += "]}\n";
+  const fs::path path = fs::path(dir) / "corpus.json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << manifest;
+  if (!out) throw ConformError("corpus: write failed: " + path.string());
+}
+
+Corpus load_corpus(const std::string& dir) {
+  JsonValue manifest;
+  try {
+    manifest = json_parse(read_file(fs::path(dir) / "corpus.json"));
+  } catch (const JsonError& e) {
+    throw ConformError(std::string("corpus: malformed manifest: ") +
+                       e.what());
+  }
+
+  Corpus corpus;
+  try {
+    corpus.version = manifest.at("version").as_string();
+    if (corpus.version != kCorpusVersion) {
+      throw ConformError("corpus: unsupported version \"" + corpus.version +
+                         "\" (this build reads " + kCorpusVersion + ")");
+    }
+    corpus.seed = manifest.at("seed").as_u64();
+    const std::uint64_t count = manifest.at("count").as_u64();
+    const std::string declared_hash = manifest.at("content_hash").as_string();
+
+    for (const JsonValue& f : manifest.at("files").array) {
+      const std::string& file = f.as_string();
+      JsonValue doc;
+      try {
+        doc = json_parse(read_file(fs::path(dir) / file));
+      } catch (const JsonError& e) {
+        throw ConformError("corpus: malformed " + file + ": " + e.what());
+      }
+      const std::string& cls = doc.at("class").as_string();
+      for (const JsonValue& cv : doc.at("cases").array) {
+        ConformCase c = case_of(cv);
+        if (c.cls != cls) {
+          throw ConformError("corpus: case " + c.name + " in " + file +
+                             " declares class " + c.cls);
+        }
+        corpus.cases.push_back(std::move(c));
+      }
+    }
+
+    if (corpus.cases.size() != count) {
+      throw ConformError("corpus: manifest count " + std::to_string(count) +
+                         " != " + std::to_string(corpus.cases.size()) +
+                         " loaded cases");
+    }
+    char hash[20];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(
+                      corpus_content_hash(corpus)));
+    if (declared_hash != hash) {
+      throw ConformError("corpus: content hash mismatch (manifest " +
+                         declared_hash + ", computed " + hash + ")");
+    }
+  } catch (const JsonError& e) {
+    throw ConformError(std::string("corpus: malformed manifest: ") +
+                       e.what());
+  }
+  return corpus;
+}
+
+}  // namespace sbst::conform

@@ -1,0 +1,159 @@
+// Conformance-corpus data model: one randomized single-instruction test
+// with full pre/post architectural state, ProcessorTests-style.
+//
+// A case pins down everything the three executors need to agree on:
+//
+//   initial — registers, HI/LO, a small data-memory window, and the
+//             cache/pipeline configuration the CPU is built with;
+//   code    — one instruction word (two for the hazard/delay-slot classes)
+//             at a randomized entry address;
+//   final   — the bitwise post-state after executing exactly
+//             `code.size()` instructions on the reference interpreter,
+//             including the code-region words (self-modifying cases);
+//   cycles  — the full ExecStats breakdown, so the timing model (stalls,
+//             interlocks, cache misses) is conformance-checked too;
+//   trap    — non-empty when the case ends in a CPU trap: every executor
+//             must raise the identical message.
+//
+// Serialization is canonical one-line JSON per case, grouped into one file
+// per instruction class plus a corpus.json manifest stamped with an FNV-1a
+// content hash over the case lines (the versioned-corpus policy of
+// SNIPPETS.md §2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/cpu.hpp"
+
+namespace sbst::conform {
+
+class ConformError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Corpus format version. Bump on any serialization or generation change
+/// that alters checked-in bytes; old directories keep their version string.
+inline constexpr const char* kCorpusVersion = "v1";
+
+/// Data-memory window size per case, in words.
+inline constexpr unsigned kWindowWords = 8;
+
+/// Cache geometry drawn per case (a compact mirror of sim::CacheConfig).
+struct CacheParams {
+  bool enabled = false;
+  std::uint32_t line_words = 4;
+  std::uint32_t lines = 128;
+  std::uint32_t miss_penalty = 20;
+
+  friend bool operator==(const CacheParams&, const CacheParams&) = default;
+};
+
+/// The per-case CPU build configuration.
+struct CaseConfig {
+  bool forwarding = true;
+  std::uint32_t mem_access_cycles = 1;
+  std::uint32_t mult_cycles = 4;
+  std::uint32_t div_cycles = 32;
+  std::uint32_t branch_taken_penalty = 0;
+  std::uint32_t mem_bytes = 1u << 16;
+  CacheParams icache;
+  CacheParams dcache;
+
+  sim::CpuConfig cpu_config() const;
+
+  friend bool operator==(const CaseConfig&, const CaseConfig&) = default;
+};
+
+/// One observed memory word.
+struct MemWord {
+  std::uint32_t addr = 0;
+  std::uint32_t word = 0;
+
+  friend bool operator==(const MemWord&, const MemWord&) = default;
+};
+
+/// Register/HI/LO/memory snapshot. `mem` holds the data window pre-state;
+/// the post-state additionally lists the code-region words first (so
+/// self-modifying stores are part of the bitwise comparison).
+struct ArchState {
+  std::array<std::uint32_t, 32> regs{};
+  std::uint32_t hi = 0;
+  std::uint32_t lo = 0;
+  std::vector<MemWord> mem;
+
+  friend bool operator==(const ArchState&, const ArchState&) = default;
+};
+
+/// Full ExecStats mirror: the cycle-accounting side of conformance.
+struct CycleStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t cpu_cycles = 0;
+  std::uint64_t pipeline_stall_cycles = 0;
+  std::uint64_t memory_stall_cycles = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t icache_misses = 0;
+  std::uint64_t dcache_misses = 0;
+  std::uint64_t icache_accesses = 0;
+  std::uint64_t dcache_accesses = 0;
+  bool halted = false;
+
+  static CycleStats of(const sim::ExecStats& s);
+
+  friend bool operator==(const CycleStats&, const CycleStats&) = default;
+};
+
+struct ConformCase {
+  std::string name;   // "<class>_<ordinal>", unique within a corpus
+  std::string cls;    // instruction-class key (encoder builder name)
+  std::uint64_t seed = 0;  // this case's independent RNG stream seed
+  std::uint32_t entry = 0;
+  std::vector<std::uint32_t> code;
+  CaseConfig config;
+  ArchState initial;
+  ArchState final_state;
+  /// Non-empty: executing the case must raise exactly this CpuError text.
+  std::string trap;
+  /// For trap cases these are the guarded run's partial-progress stats.
+  CycleStats cycles;
+
+  friend bool operator==(const ConformCase&, const ConformCase&) = default;
+};
+
+struct Corpus {
+  std::string version = kCorpusVersion;
+  std::uint64_t seed = 0;
+  std::vector<ConformCase> cases;
+};
+
+/// Canonical one-line JSON for a case (no trailing newline).
+std::string write_case(const ConformCase& c);
+/// Inverse of write_case. Throws ConformError on missing/ill-typed fields.
+ConformCase parse_case(const std::string& line);
+
+/// FNV-1a 64 over every case line + newline separators, iterated in
+/// serialization order (class-grouped, classes in first-appearance order):
+/// the corpus identity stamped into the manifest and the run summary. The
+/// grouped order makes the hash agree between a freshly generated corpus
+/// (class-interleaved) and one reloaded from disk (grouped per file).
+std::uint64_t corpus_content_hash(const Corpus& corpus);
+
+/// Class keys in first-appearance order.
+std::vector<std::string> corpus_class_names(const Corpus& corpus);
+
+/// Writes `dir/corpus.json` (manifest: version, seed, count, content hash,
+/// file list) plus one `<class>.json` case file per instruction class.
+/// Creates `dir` if needed. Throws ConformError on I/O failure.
+void save_corpus(const Corpus& corpus, const std::string& dir);
+
+/// Loads a directory written by save_corpus. Verifies the manifest version,
+/// the per-file case classes, and the content hash; throws ConformError on
+/// any mismatch or malformed file.
+Corpus load_corpus(const std::string& dir);
+
+}  // namespace sbst::conform

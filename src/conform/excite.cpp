@@ -1,0 +1,39 @@
+#include "conform/excite.hpp"
+
+#include "conform/runner.hpp"
+#include "sim/exec.hpp"
+
+namespace sbst::conform {
+
+CorpusExcitation::CorpusExcitation(const core::ProcessorModel& model,
+                                   const Corpus& corpus)
+    : collector_(model) {
+  for (const ConformCase& c : corpus.cases) {
+    sim::Cpu cpu(c.config.cpu_config());
+    prepare_cpu(cpu, c, nullptr);
+    sim::TraceSink<core::TraceCollector> sink{&collector_};
+    try {
+      cpu.run_sink(c.entry, sink, c.code.size());
+    } catch (const sim::CpuError&) {
+      // Trap cases still contribute every event up to the trap.
+    }
+  }
+}
+
+const fault::PatternSet& CorpusExcitation::patterns(core::CutId id) const {
+  switch (id) {
+    case core::CutId::kAlu: return collector_.alu_patterns();
+    case core::CutId::kShifter: return collector_.shifter_patterns();
+    case core::CutId::kMultiplier: return collector_.multiplier_patterns();
+    case core::CutId::kControl: return collector_.control_patterns();
+    case core::CutId::kForwarding: return collector_.forwarding_patterns();
+    case core::CutId::kBranchAdder:
+      return collector_.branch_adder_patterns();
+    default:
+      throw ConformError(
+          "corpus excitation: component has no combinational pattern "
+          "stream");
+  }
+}
+
+}  // namespace sbst::conform

@@ -1,0 +1,30 @@
+// Corpus-as-TPG hook: replaying conformance cases with the coverage
+// evaluator's TraceCollector turns the randomized pre-states into
+// excitation PatternSets — an instruction-level pseudorandom stimulus
+// source for the components no dedicated routine targets directly (the
+// hidden forwarding unit, the M-VC branch adder, the control decoder).
+#pragma once
+
+#include "conform/case.hpp"
+#include "core/evaluate.hpp"
+
+namespace sbst::conform {
+
+/// Replays a whole corpus through the traced decoded executor and exposes
+/// the per-component excitation streams.
+class CorpusExcitation {
+ public:
+  CorpusExcitation(const core::ProcessorModel& model, const Corpus& corpus);
+
+  const core::TraceCollector& collector() const { return collector_; }
+
+  /// The deduplicated combinational pattern stream a component received
+  /// across the corpus. Supported: kAlu, kShifter, kMultiplier, kControl,
+  /// kForwarding, kBranchAdder; throws ConformError otherwise.
+  const fault::PatternSet& patterns(core::CutId id) const;
+
+ private:
+  core::TraceCollector collector_;
+};
+
+}  // namespace sbst::conform

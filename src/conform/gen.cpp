@@ -1,0 +1,422 @@
+#include "conform/gen.hpp"
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "conform/runner.hpp"
+#include "isa/decode.hpp"
+#include "isa/encoding.hpp"
+
+namespace sbst::conform {
+
+namespace {
+
+/// Mutable working state handed to each class emitter: the case under
+/// construction (config and pre-state already drawn) plus draw helpers.
+/// Emitters may adjust pre-state registers (memory targeting, forced branch
+/// equality) — that is part of the case's pre-state, not a side channel.
+struct Draft {
+  Rng& rng;
+  ConformCase& c;
+  std::uint32_t window_base;
+
+  std::uint8_t reg() { return static_cast<std::uint8_t>(1 + rng.below(31)); }
+  std::uint8_t any_reg() {
+    return static_cast<std::uint8_t>(rng.below(32));
+  }
+  std::uint8_t shamt() { return static_cast<std::uint8_t>(rng.below(32)); }
+  std::int16_t imm16() { return static_cast<std::int16_t>(rng.next32()); }
+  std::uint16_t uimm16() { return static_cast<std::uint16_t>(rng.next32()); }
+
+  /// A memory operand hitting a `align`-aligned address inside the data
+  /// window: picks the address, then solves regs[base] = addr - offset.
+  struct MemRef {
+    std::uint8_t base = 0;
+    std::int16_t off = 0;
+  };
+  MemRef mem_ref(unsigned align) {
+    const std::uint32_t span = kWindowWords * 4;
+    const std::uint32_t addr =
+        window_base +
+        static_cast<std::uint32_t>(rng.below(span / align)) * align;
+    return solve(addr);
+  }
+  /// Same, but the address violates `align` (the trap class).
+  MemRef misaligned_ref(unsigned align) {
+    const std::uint32_t word_addr =
+        window_base + static_cast<std::uint32_t>(rng.below(kWindowWords)) * 4;
+    const std::uint32_t skew =
+        align == 2 ? 1 : static_cast<std::uint32_t>(1 + rng.below(3));
+    return solve(word_addr + skew);
+  }
+  MemRef solve(std::uint32_t addr) {
+    MemRef m;
+    m.base = reg();
+    m.off = imm16();
+    c.initial.regs[m.base] =
+        addr - static_cast<std::uint32_t>(static_cast<std::int32_t>(m.off));
+    return m;
+  }
+
+  /// Forces regs[a] == regs[b] (taken-branch coin flip).
+  void force_equal(std::uint8_t a, std::uint8_t b) {
+    if (b != 0) {
+      c.initial.regs[b] = c.initial.regs[a];
+    } else if (a != 0) {
+      c.initial.regs[a] = 0;
+    }
+  }
+
+  void emit(std::uint32_t word) { c.code.push_back(word); }
+};
+
+using Emit = void (*)(Draft&);
+
+std::uint32_t draw_value(Rng& rng) {
+  // Corner values often enough that sign/carry/overflow paths are hit.
+  static constexpr std::uint32_t kSpecial[] = {
+      0u, 1u, 0xffffffffu, 0x80000000u, 0x7fffffffu, 0xaaaaaaaau,
+      0x55555555u, 0x0000ffffu,
+  };
+  if (rng.chance(0.25)) {
+    return kSpecial[rng.below(sizeof(kSpecial) / sizeof(kSpecial[0]))];
+  }
+  return rng.next32();
+}
+
+CacheParams draw_cache(Rng& rng) {
+  CacheParams p;
+  p.enabled = rng.chance(0.5);
+  static constexpr std::uint32_t kLineWords[] = {2, 4, 8};
+  static constexpr std::uint32_t kLines[] = {16, 64, 128};
+  p.line_words = kLineWords[rng.below(3)];
+  p.lines = kLines[rng.below(3)];
+  p.miss_penalty = 5 + static_cast<std::uint32_t>(rng.below(28));
+  return p;
+}
+
+CaseConfig draw_config(Rng& rng) {
+  CaseConfig cfg;
+  cfg.forwarding = rng.chance(0.5);
+  cfg.mem_access_cycles = 1 + static_cast<std::uint32_t>(rng.below(2));
+  cfg.mult_cycles = 1 + static_cast<std::uint32_t>(rng.below(8));
+  cfg.div_cycles = 8 + static_cast<std::uint32_t>(rng.below(33));
+  cfg.branch_taken_penalty = static_cast<std::uint32_t>(rng.below(3));
+  cfg.mem_bytes = 1u << 16;
+  cfg.icache = draw_cache(rng);
+  cfg.dcache = draw_cache(rng);
+  return cfg;
+}
+
+// ---- class emitters --------------------------------------------------------
+
+namespace emitters {
+
+using namespace sbst::isa;
+
+// R-type shifts.
+void e_sll(Draft& d) { d.emit(sll(d.any_reg(), d.any_reg(), d.shamt())); }
+void e_srl(Draft& d) { d.emit(srl(d.any_reg(), d.any_reg(), d.shamt())); }
+void e_sra(Draft& d) { d.emit(sra(d.any_reg(), d.any_reg(), d.shamt())); }
+void e_sllv(Draft& d) { d.emit(sllv(d.any_reg(), d.any_reg(), d.any_reg())); }
+void e_srlv(Draft& d) { d.emit(srlv(d.any_reg(), d.any_reg(), d.any_reg())); }
+void e_srav(Draft& d) { d.emit(srav(d.any_reg(), d.any_reg(), d.any_reg())); }
+// R-type control / HI-LO.
+void e_jr(Draft& d) { d.emit(jr(d.reg())); }
+void e_break(Draft& d) { d.emit(brk()); }
+void e_mfhi(Draft& d) { d.emit(mfhi(d.any_reg())); }
+void e_mthi(Draft& d) { d.emit(mthi(d.any_reg())); }
+void e_mflo(Draft& d) { d.emit(mflo(d.any_reg())); }
+void e_mtlo(Draft& d) { d.emit(mtlo(d.any_reg())); }
+// Multi-cycle arithmetic; divisor forced to 0 now and then.
+void e_mult(Draft& d) { d.emit(mult(d.any_reg(), d.any_reg())); }
+void e_multu(Draft& d) { d.emit(multu(d.any_reg(), d.any_reg())); }
+void e_div(Draft& d) {
+  const std::uint8_t rs = d.any_reg();
+  const std::uint8_t rt = d.any_reg();
+  if (rt != 0 && d.rng.chance(0.125)) d.c.initial.regs[rt] = 0;
+  d.emit(isa::div(rs, rt));
+}
+void e_divu(Draft& d) {
+  const std::uint8_t rs = d.any_reg();
+  const std::uint8_t rt = d.any_reg();
+  if (rt != 0 && d.rng.chance(0.125)) d.c.initial.regs[rt] = 0;
+  d.emit(isa::divu(rs, rt));
+}
+// R-type ALU.
+void e_add(Draft& d) { d.emit(add(d.any_reg(), d.any_reg(), d.any_reg())); }
+void e_addu(Draft& d) { d.emit(addu(d.any_reg(), d.any_reg(), d.any_reg())); }
+void e_sub(Draft& d) { d.emit(sub(d.any_reg(), d.any_reg(), d.any_reg())); }
+void e_subu(Draft& d) { d.emit(subu(d.any_reg(), d.any_reg(), d.any_reg())); }
+void e_and(Draft& d) { d.emit(and_(d.any_reg(), d.any_reg(), d.any_reg())); }
+void e_or(Draft& d) { d.emit(or_(d.any_reg(), d.any_reg(), d.any_reg())); }
+void e_xor(Draft& d) { d.emit(xor_(d.any_reg(), d.any_reg(), d.any_reg())); }
+void e_nor(Draft& d) { d.emit(nor_(d.any_reg(), d.any_reg(), d.any_reg())); }
+void e_slt(Draft& d) { d.emit(slt(d.any_reg(), d.any_reg(), d.any_reg())); }
+void e_sltu(Draft& d) { d.emit(sltu(d.any_reg(), d.any_reg(), d.any_reg())); }
+// Branches (single-instruction form: the delay slot is not executed).
+void e_beq(Draft& d) {
+  const std::uint8_t rs = d.any_reg();
+  const std::uint8_t rt = d.any_reg();
+  if (d.rng.chance(0.5)) d.force_equal(rs, rt);
+  d.emit(beq(rs, rt, d.imm16()));
+}
+void e_bne(Draft& d) {
+  const std::uint8_t rs = d.any_reg();
+  const std::uint8_t rt = d.any_reg();
+  if (d.rng.chance(0.5)) d.force_equal(rs, rt);
+  d.emit(bne(rs, rt, d.imm16()));
+}
+// Immediate ALU.
+void e_addi(Draft& d) { d.emit(addi(d.any_reg(), d.any_reg(), d.imm16())); }
+void e_addiu(Draft& d) { d.emit(addiu(d.any_reg(), d.any_reg(), d.imm16())); }
+void e_slti(Draft& d) { d.emit(slti(d.any_reg(), d.any_reg(), d.imm16())); }
+void e_sltiu(Draft& d) { d.emit(sltiu(d.any_reg(), d.any_reg(), d.imm16())); }
+void e_andi(Draft& d) { d.emit(andi(d.any_reg(), d.any_reg(), d.uimm16())); }
+void e_ori(Draft& d) { d.emit(ori(d.any_reg(), d.any_reg(), d.uimm16())); }
+void e_xori(Draft& d) { d.emit(xori(d.any_reg(), d.any_reg(), d.uimm16())); }
+void e_lui(Draft& d) { d.emit(lui(d.any_reg(), d.uimm16())); }
+// Memory.
+void e_lb(Draft& d) {
+  const Draft::MemRef m = d.mem_ref(1);
+  d.emit(lb(d.any_reg(), m.off, m.base));
+}
+void e_lh(Draft& d) {
+  const Draft::MemRef m = d.mem_ref(2);
+  d.emit(lh(d.any_reg(), m.off, m.base));
+}
+void e_lw(Draft& d) {
+  const Draft::MemRef m = d.mem_ref(4);
+  d.emit(lw(d.any_reg(), m.off, m.base));
+}
+void e_lbu(Draft& d) {
+  const Draft::MemRef m = d.mem_ref(1);
+  d.emit(lbu(d.any_reg(), m.off, m.base));
+}
+void e_lhu(Draft& d) {
+  const Draft::MemRef m = d.mem_ref(2);
+  d.emit(lhu(d.any_reg(), m.off, m.base));
+}
+void e_sb(Draft& d) {
+  const Draft::MemRef m = d.mem_ref(1);
+  d.emit(sb(d.any_reg(), m.off, m.base));
+}
+void e_sh(Draft& d) {
+  const Draft::MemRef m = d.mem_ref(2);
+  d.emit(sh(d.any_reg(), m.off, m.base));
+}
+void e_sw(Draft& d) {
+  const Draft::MemRef m = d.mem_ref(4);
+  d.emit(sw(d.any_reg(), m.off, m.base));
+}
+// Jumps (single-instruction form).
+void e_j(Draft& d) { d.emit(j(d.rng.next32() & 0x03ffffffu)); }
+void e_jal(Draft& d) { d.emit(jal(d.rng.next32() & 0x03ffffffu)); }
+void e_nop(Draft& d) { d.emit(nop()); }
+
+// ---- hazard / corner classes (two instructions) ----------------------------
+
+/// Load-use: a load feeding the very next instruction (the one-bubble
+/// forwarding gap).
+void e_loaduse(Draft& d) {
+  const Draft::MemRef m = d.mem_ref(4);
+  const std::uint8_t rt = d.reg();
+  d.emit(lw(rt, m.off, m.base));
+  d.emit(addu(d.any_reg(), rt, d.any_reg()));
+}
+/// RAW at distance 1 without forwarding (the 2-stall regime).
+void e_rawhazard(Draft& d) {
+  d.c.config.forwarding = false;
+  const std::uint8_t rd = d.reg();
+  d.emit(addu(rd, d.any_reg(), d.any_reg()));
+  d.emit(xor_(d.any_reg(), rd, d.any_reg()));
+}
+/// HI/LO interlock: read HI/LO while a mult/div is still in flight.
+void e_muldiv_interlock(Draft& d) {
+  if (d.rng.chance(0.5)) {
+    d.emit(d.rng.chance(0.5) ? mult(d.any_reg(), d.any_reg())
+                             : multu(d.any_reg(), d.any_reg()));
+  } else {
+    d.emit(d.rng.chance(0.5) ? isa::div(d.any_reg(), d.any_reg())
+                             : isa::divu(d.any_reg(), d.any_reg()));
+  }
+  d.emit(d.rng.chance(0.5) ? mfhi(d.any_reg()) : mflo(d.any_reg()));
+}
+/// Branch with its delay slot executed (taken-branch flush accounting).
+void e_branch_delay(Draft& d) {
+  const std::uint8_t rs = d.any_reg();
+  const std::uint8_t rt = d.any_reg();
+  if (d.rng.chance(0.5)) d.force_equal(rs, rt);
+  d.emit(d.rng.chance(0.5) ? beq(rs, rt, d.imm16())
+                           : bne(rs, rt, d.imm16()));
+  d.emit(addu(d.any_reg(), d.any_reg(), d.any_reg()));
+}
+/// Jump with its delay slot executed ($ra link for jal).
+void e_jump_delay(Draft& d) {
+  const std::uint32_t target = d.rng.next32() & 0x03ffffffu;
+  d.emit(d.rng.chance(0.5) ? j(target) : jal(target));
+  d.emit(ori(d.any_reg(), d.any_reg(), d.uimm16()));
+}
+/// jr with its delay slot executed.
+void e_jr_delay(Draft& d) {
+  d.emit(jr(d.reg()));
+  d.emit(addu(d.any_reg(), d.any_reg(), d.any_reg()));
+}
+/// Self-modifying code: the first instruction stores a new word over the
+/// second before it is fetched (exercises the copy-on-write decode patch).
+/// The stored word is filtered to non-store kinds so the StoreGuard verdict
+/// cannot depend on random wild addresses.
+void e_smc(Draft& d) {
+  const std::uint32_t patch_addr = d.c.entry + 4;
+  const std::uint8_t data = d.reg();
+  std::uint32_t word;
+  for (;;) {
+    word = d.rng.chance(0.25) ? brk() : d.rng.next32();
+    const isa::UopKind k = isa::decode_uop(word).kind;
+    if (k != isa::UopKind::kSb && k != isa::UopKind::kSh &&
+        k != isa::UopKind::kSw) {
+      break;
+    }
+  }
+  d.c.initial.regs[data] = word;
+  // The base register must differ from the data register, or solving the
+  // address would clobber the stored word.
+  std::uint8_t base = d.reg();
+  while (base == data) base = d.reg();
+  const std::int16_t off = d.imm16();
+  d.c.initial.regs[base] =
+      patch_addr - static_cast<std::uint32_t>(static_cast<std::int32_t>(off));
+  d.emit(sw(data, off, base));
+  d.emit(addu(d.any_reg(), d.any_reg(), d.any_reg()));  // gets overwritten
+}
+/// Misaligned access: all three executors must raise the identical trap.
+void e_misaligned(Draft& d) {
+  switch (d.rng.below(5)) {
+    case 0: {
+      const Draft::MemRef m = d.misaligned_ref(2);
+      d.emit(lh(d.any_reg(), m.off, m.base));
+      break;
+    }
+    case 1: {
+      const Draft::MemRef m = d.misaligned_ref(2);
+      d.emit(lhu(d.any_reg(), m.off, m.base));
+      break;
+    }
+    case 2: {
+      const Draft::MemRef m = d.misaligned_ref(4);
+      d.emit(lw(d.any_reg(), m.off, m.base));
+      break;
+    }
+    case 3: {
+      const Draft::MemRef m = d.misaligned_ref(2);
+      d.emit(sh(d.any_reg(), m.off, m.base));
+      break;
+    }
+    default: {
+      const Draft::MemRef m = d.misaligned_ref(4);
+      d.emit(sw(d.any_reg(), m.off, m.base));
+      break;
+    }
+  }
+}
+
+}  // namespace emitters
+
+struct ClassSpec {
+  const char* name;
+  Emit emit;
+};
+
+const std::vector<ClassSpec>& class_specs() {
+  using namespace emitters;
+  static const std::vector<ClassSpec> kSpecs = {
+      {"sll", e_sll}, {"srl", e_srl}, {"sra", e_sra},
+      {"sllv", e_sllv}, {"srlv", e_srlv}, {"srav", e_srav},
+      {"jr", e_jr}, {"break", e_break},
+      {"mfhi", e_mfhi}, {"mthi", e_mthi}, {"mflo", e_mflo},
+      {"mtlo", e_mtlo},
+      {"mult", e_mult}, {"multu", e_multu}, {"div", e_div},
+      {"divu", e_divu},
+      {"add", e_add}, {"addu", e_addu}, {"sub", e_sub}, {"subu", e_subu},
+      {"and", e_and}, {"or", e_or}, {"xor", e_xor}, {"nor", e_nor},
+      {"slt", e_slt}, {"sltu", e_sltu},
+      {"beq", e_beq}, {"bne", e_bne},
+      {"addi", e_addi}, {"addiu", e_addiu}, {"slti", e_slti},
+      {"sltiu", e_sltiu},
+      {"andi", e_andi}, {"ori", e_ori}, {"xori", e_xori}, {"lui", e_lui},
+      {"lb", e_lb}, {"lh", e_lh}, {"lw", e_lw}, {"lbu", e_lbu},
+      {"lhu", e_lhu},
+      {"sb", e_sb}, {"sh", e_sh}, {"sw", e_sw},
+      {"j", e_j}, {"jal", e_jal}, {"nop", e_nop},
+      {"loaduse", e_loaduse}, {"rawhazard", e_rawhazard},
+      {"muldiv_interlock", e_muldiv_interlock},
+      {"branch_delay", e_branch_delay}, {"jump_delay", e_jump_delay},
+      {"jr_delay", e_jr_delay}, {"smc", e_smc},
+      {"misaligned", e_misaligned},
+  };
+  return kSpecs;
+}
+
+}  // namespace
+
+const std::vector<const char*>& CaseGen::class_names() {
+  static const std::vector<const char*> kNames = [] {
+    std::vector<const char*> names;
+    for (const ClassSpec& s : class_specs()) names.push_back(s.name);
+    return names;
+  }();
+  return kNames;
+}
+
+ConformCase CaseGen::make_case(std::size_t index) const {
+  const std::vector<ClassSpec>& specs = class_specs();
+  const std::size_t ci = index % specs.size();
+  // Golden-ratio stream split (same idiom as the periodic-test campaign):
+  // case i always sees the same draws no matter how the corpus is produced.
+  const std::uint64_t case_seed =
+      options_.seed ^ (0x9e3779b97f4a7c15ull * (index + 1));
+  Rng rng(case_seed);
+
+  ConformCase c;
+  c.cls = specs[ci].name;
+  c.seed = case_seed;
+  char ordinal[16];
+  std::snprintf(ordinal, sizeof(ordinal), "%04zu", index / specs.size());
+  c.name = c.cls + std::string("_") + ordinal;
+
+  c.config = draw_config(rng);
+  c.entry = 0x1000 + 4 * static_cast<std::uint32_t>(rng.below(0x400));
+  const std::uint32_t window_base =
+      0x8000 + kWindowWords * 4 * static_cast<std::uint32_t>(rng.below(256));
+  for (unsigned r = 1; r < 32; ++r) c.initial.regs[r] = draw_value(rng);
+  c.initial.hi = draw_value(rng);
+  c.initial.lo = draw_value(rng);
+  for (unsigned w = 0; w < kWindowWords; ++w) {
+    c.initial.mem.push_back({window_base + 4 * w, rng.next32()});
+  }
+
+  Draft draft{rng, c, window_base};
+  specs[ci].emit(draft);
+
+  // Reference execution fixes the post-state. Trap cases take their cycle
+  // breakdown from the guarded executor's partial-progress stats (the
+  // interpreter loses its stats when the trap unwinds).
+  const Replay ref = replay_case(c, Executor::kInterpreter);
+  c.trap = ref.trap;
+  c.final_state = ref.state;
+  c.cycles =
+      c.trap.empty() ? ref.cycles : replay_case(c, Executor::kGuarded).cycles;
+  return c;
+}
+
+Corpus CaseGen::generate() const {
+  Corpus corpus;
+  corpus.seed = options_.seed;
+  corpus.cases.reserve(options_.count);
+  for (std::size_t i = 0; i < options_.count; ++i) {
+    corpus.cases.push_back(make_case(i));
+  }
+  return corpus;
+}
+
+}  // namespace sbst::conform

@@ -1,0 +1,48 @@
+// Randomized conformance-case generation (ProcessorTests-style).
+//
+// CaseGen covers every word builder in src/isa/encoding (46 single-
+// instruction classes) plus the hazard / delay-slot / self-modifying /
+// misaligned corner classes that need a second instruction, cycling through
+// the class table case by case. Each case draws its own architectural
+// pre-state AND its own CPU build configuration (forwarding, memory
+// latency, mul/div latency, branch penalty, cache geometry), then executes
+// on the reference interpreter to record the post-state.
+//
+// Determinism contract: case `i` is generated on its own golden-ratio-
+// derived RNG stream (seed ^ 0x9e3779b97f4a7c15 * (i+1), the same stream-
+// split idiom as the periodic-test campaign), so the bytes of case `i`
+// depend only on (corpus seed, i) — never on generation order, batch size,
+// or thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "conform/case.hpp"
+
+namespace sbst::conform {
+
+struct GenOptions {
+  std::uint64_t seed = 1;
+  std::size_t count = 500;
+};
+
+class CaseGen {
+ public:
+  explicit CaseGen(const GenOptions& options = {}) : options_(options) {}
+
+  /// The fixed class table (one key per encoder builder + corner classes).
+  static const std::vector<const char*>& class_names();
+
+  /// Generates case `index` of this corpus on its independent RNG stream.
+  ConformCase make_case(std::size_t index) const;
+
+  /// All `options.count` cases, in index order.
+  Corpus generate() const;
+
+ private:
+  GenOptions options_;
+};
+
+}  // namespace sbst::conform

@@ -1,0 +1,230 @@
+#include "conform/json.hpp"
+
+#include <cctype>
+
+namespace sbst::conform {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > 64) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{': {
+        ++pos_;
+        v.kind = JsonValue::Kind::kObject;
+        skip_ws();
+        if (consume('}')) return v;
+        for (;;) {
+          skip_ws();
+          std::string key = parse_string_body();
+          skip_ws();
+          expect(':');
+          v.object.emplace_back(std::move(key), parse_value(depth + 1));
+          skip_ws();
+          if (consume(',')) continue;
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        ++pos_;
+        v.kind = JsonValue::Kind::kArray;
+        skip_ws();
+        if (consume(']')) return v;
+        for (;;) {
+          v.array.push_back(parse_value(depth + 1));
+          skip_ws();
+          if (consume(',')) continue;
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string_body();
+        return v;
+      case 't':
+        if (!consume_word("true")) fail("bad literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consume_word("false")) fail("bad literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        if (!consume_word("null")) fail("bad literal");
+        return v;
+      case '-':
+        fail("negative numbers are not valid in a corpus document");
+      default:
+        break;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      fail(std::string("unexpected character '") + c + "'");
+    }
+    v.kind = JsonValue::Kind::kNumber;
+    std::uint64_t n = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      const std::uint64_t digit =
+          static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (n > (UINT64_MAX - digit) / 10) fail("number out of range");
+      n = n * 10 + digit;
+      ++pos_;
+    }
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      fail("fractional numbers are not valid in a corpus document");
+    }
+    v.number = n;
+    return v;
+  }
+
+  std::string parse_string_body() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        default: fail(std::string("unsupported escape '\\") + e + "'");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  if (kind != Kind::kObject) {
+    throw JsonError("json: member lookup '" + std::string(key) +
+                    "' on a non-object value");
+  }
+  const JsonValue* v = find(key);
+  if (!v) throw JsonError("json: missing member '" + std::string(key) + "'");
+  return *v;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (kind != Kind::kNumber) throw JsonError("json: expected a number");
+  return number;
+}
+
+std::uint32_t JsonValue::as_u32() const {
+  const std::uint64_t n = as_u64();
+  if (n > UINT32_MAX) throw JsonError("json: number does not fit 32 bits");
+  return static_cast<std::uint32_t>(n);
+}
+
+bool JsonValue::as_bool() const {
+  if (kind != Kind::kBool) throw JsonError("json: expected a boolean");
+  return boolean;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind != Kind::kString) throw JsonError("json: expected a string");
+  return string;
+}
+
+JsonValue json_parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace sbst::conform

@@ -1,0 +1,58 @@
+// Minimal JSON reader/writer for the conformance corpus.
+//
+// The corpus format (ProcessorTests-style pre/post state pairs) only needs
+// objects, arrays, strings, booleans and unsigned integers, so this is a
+// deliberately small hand-rolled parser rather than a dependency: numbers
+// are uint64 (register words, cycle counts, seeds), and the writer emits a
+// canonical byte sequence (no whitespace variation, fixed key order chosen
+// by the caller) so corpora can be golden-diffed and content-hashed.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sbst::conform {
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One parsed JSON value. Object member order is preserved.
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::uint64_t number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member by key; throws JsonError when missing or not an object.
+  const JsonValue& at(std::string_view key) const;
+  /// Object member by key, nullptr when missing.
+  const JsonValue* find(std::string_view key) const;
+
+  // Typed accessors with clear errors (used all over corpus loading).
+  std::uint64_t as_u64() const;
+  std::uint32_t as_u32() const;
+  bool as_bool() const;
+  const std::string& as_string() const;
+};
+
+/// Parses one JSON document. Throws JsonError on malformed input, negative
+/// or fractional numbers (the corpus stores unsigned integers only), depth
+/// beyond 64, or trailing garbage.
+JsonValue json_parse(std::string_view text);
+
+/// Escapes a string for embedding between double quotes.
+std::string json_escape(std::string_view s);
+
+}  // namespace sbst::conform

@@ -1,0 +1,368 @@
+#include "conform/runner.hpp"
+
+#include <cstdio>
+
+#include "common/bits.hpp"
+#include "core/session.hpp"
+
+namespace sbst::conform {
+
+namespace {
+
+/// Records every trace hook as a formatted line: the replayable event
+/// stream used for first-divergence minimization. Final, so the TraceSink
+/// calls devirtualize.
+class EventRecorder final : public sim::CpuHooks {
+ public:
+  std::vector<std::string>& events() { return events_; }
+
+  void on_instruction_start(std::uint32_t pc) override {
+    add("instr pc=" + to_hex32(pc));
+  }
+  void on_alu(rtlgen::AluOp op, std::uint32_t a, std::uint32_t b) override {
+    add("alu op=" + std::to_string(static_cast<int>(op)) + " a=" +
+        to_hex32(a) + " b=" + to_hex32(b));
+  }
+  void on_shift(rtlgen::ShiftOp op, std::uint32_t value,
+                std::uint32_t shamt) override {
+    add("shift op=" + std::to_string(static_cast<int>(op)) + " value=" +
+        to_hex32(value) + " shamt=" + std::to_string(shamt));
+  }
+  void on_mult(std::uint32_t a, std::uint32_t b) override {
+    add("mult a=" + to_hex32(a) + " b=" + to_hex32(b));
+  }
+  void on_div(std::uint32_t a, std::uint32_t b) override {
+    add("div a=" + to_hex32(a) + " b=" + to_hex32(b));
+  }
+  void on_regfile(std::uint8_t waddr, std::uint32_t wdata, bool wen,
+                  std::uint8_t raddr1, std::uint8_t raddr2) override {
+    add("regfile waddr=" + std::to_string(waddr) + " wdata=" +
+        to_hex32(wdata) + " wen=" + std::to_string(wen) + " raddr1=" +
+        std::to_string(raddr1) + " raddr2=" + std::to_string(raddr2));
+  }
+  void on_mem(std::uint32_t addr, std::uint32_t wdata, rtlgen::MemSize size,
+              bool sign, bool wr, std::uint32_t rdata) override {
+    add("mem addr=" + to_hex32(addr) + " wdata=" + to_hex32(wdata) +
+        " size=" + std::to_string(static_cast<int>(size)) + " sign=" +
+        std::to_string(sign) + " wr=" + std::to_string(wr) + " rdata=" +
+        to_hex32(rdata));
+  }
+  void on_control(std::uint8_t opcode, std::uint8_t funct) override {
+    add("control opcode=" + std::to_string(opcode) + " funct=" +
+        std::to_string(funct));
+  }
+  void on_forward(std::uint8_t rs, std::uint8_t rt, std::uint8_t ex_rd,
+                  bool ex_wen, std::uint8_t mem_rd, bool mem_wen) override {
+    add("forward rs=" + std::to_string(rs) + " rt=" + std::to_string(rt) +
+        " ex_rd=" + std::to_string(ex_rd) + " ex_wen=" +
+        std::to_string(ex_wen) + " mem_rd=" + std::to_string(mem_rd) +
+        " mem_wen=" + std::to_string(mem_wen));
+  }
+  void on_branch_flush() override { add("branch_flush"); }
+  void on_branch_target(std::uint32_t pc_plus4,
+                        std::uint32_t offset) override {
+    add("branch_target pc_plus4=" + to_hex32(pc_plus4) + " offset=" +
+        to_hex32(offset));
+  }
+
+ private:
+  void add(std::string s) { events_.push_back(std::move(s)); }
+  std::vector<std::string> events_;
+};
+
+ArchState read_state(const sim::Cpu& cpu, const ConformCase& c) {
+  ArchState s;
+  for (unsigned r = 0; r < 32; ++r) s.regs[r] = cpu.reg(r);
+  s.hi = cpu.hi();
+  s.lo = cpu.lo();
+  for (std::size_t i = 0; i < c.code.size(); ++i) {
+    const std::uint32_t addr = c.entry + static_cast<std::uint32_t>(4 * i);
+    s.mem.push_back({addr, cpu.read_word(addr)});
+  }
+  for (const MemWord& m : c.initial.mem) {
+    s.mem.push_back({m.addr, cpu.read_word(m.addr)});
+  }
+  return s;
+}
+
+std::string hex_pair(const char* field, std::uint32_t expected,
+                     std::uint32_t got) {
+  return std::string(field) + ": expected " + to_hex32(expected) + ", got " +
+         to_hex32(got);
+}
+
+std::string num_pair(const char* field, std::uint64_t expected,
+                     std::uint64_t got) {
+  return std::string(field) + ": expected " + std::to_string(expected) +
+         ", got " + std::to_string(got);
+}
+
+/// First bitwise difference between the recorded post-state and one
+/// executor's replay; empty when they agree.
+std::string diff_replay(const ConformCase& c, const Replay& rep,
+                        Executor exec) {
+  if (rep.trap != c.trap) {
+    return "trap: expected \"" + c.trap + "\", got \"" + rep.trap + "\"";
+  }
+  for (unsigned r = 0; r < 32; ++r) {
+    if (rep.state.regs[r] != c.final_state.regs[r]) {
+      return hex_pair(("regs[" + std::to_string(r) + "]").c_str(),
+                      c.final_state.regs[r], rep.state.regs[r]);
+    }
+  }
+  if (rep.state.hi != c.final_state.hi) {
+    return hex_pair("hi", c.final_state.hi, rep.state.hi);
+  }
+  if (rep.state.lo != c.final_state.lo) {
+    return hex_pair("lo", c.final_state.lo, rep.state.lo);
+  }
+  if (rep.state.mem.size() != c.final_state.mem.size()) {
+    return num_pair("mem entries", c.final_state.mem.size(),
+                    rep.state.mem.size());
+  }
+  for (std::size_t i = 0; i < rep.state.mem.size(); ++i) {
+    if (rep.state.mem[i] != c.final_state.mem[i]) {
+      return hex_pair(
+          ("mem[" + to_hex32(c.final_state.mem[i].addr) + "]").c_str(),
+          c.final_state.mem[i].word, rep.state.mem[i].word);
+    }
+  }
+  // The interpreter/decoded legs lose their stats when a trap unwinds, so
+  // the recorded cycle breakdown (taken from the guarded run's
+  // partial-progress stats) is only checked on the guarded leg there.
+  const bool check_cycles = exec == Executor::kGuarded || c.trap.empty();
+  if (check_cycles && rep.cycles != c.cycles) {
+    const CycleStats& e = c.cycles;
+    const CycleStats& g = rep.cycles;
+    if (e.instructions != g.instructions) {
+      return num_pair("cycles.instructions", e.instructions, g.instructions);
+    }
+    if (e.cpu_cycles != g.cpu_cycles) {
+      return num_pair("cycles.cpu_cycles", e.cpu_cycles, g.cpu_cycles);
+    }
+    if (e.pipeline_stall_cycles != g.pipeline_stall_cycles) {
+      return num_pair("cycles.pipeline_stall_cycles", e.pipeline_stall_cycles,
+                      g.pipeline_stall_cycles);
+    }
+    if (e.memory_stall_cycles != g.memory_stall_cycles) {
+      return num_pair("cycles.memory_stall_cycles", e.memory_stall_cycles,
+                      g.memory_stall_cycles);
+    }
+    if (e.loads != g.loads) return num_pair("cycles.loads", e.loads, g.loads);
+    if (e.stores != g.stores) {
+      return num_pair("cycles.stores", e.stores, g.stores);
+    }
+    if (e.icache_misses != g.icache_misses) {
+      return num_pair("cycles.icache_misses", e.icache_misses,
+                      g.icache_misses);
+    }
+    if (e.dcache_misses != g.dcache_misses) {
+      return num_pair("cycles.dcache_misses", e.dcache_misses,
+                      g.dcache_misses);
+    }
+    if (e.icache_accesses != g.icache_accesses) {
+      return num_pair("cycles.icache_accesses", e.icache_accesses,
+                      g.icache_accesses);
+    }
+    if (e.dcache_accesses != g.dcache_accesses) {
+      return num_pair("cycles.dcache_accesses", e.dcache_accesses,
+                      g.dcache_accesses);
+    }
+    if (e.halted != g.halted) {
+      return num_pair("cycles.halted", e.halted, g.halted);
+    }
+  }
+  if (exec == Executor::kGuarded) {
+    const sim::StopReason expect =
+        !c.trap.empty() ? sim::StopReason::kTrap
+        : c.cycles.halted ? sim::StopReason::kHalted
+                          : sim::StopReason::kInstructionBudget;
+    if (rep.stop != expect) {
+      return std::string("stop reason: expected ") +
+             sim::stop_reason_name(expect) + ", got " +
+             sim::stop_reason_name(rep.stop);
+    }
+  }
+  return {};
+}
+
+/// Replays the case on the interpreter and decoded executors with event
+/// recording and reports the first differing hook event — the minimized
+/// divergence witness.
+std::string first_divergence(const ConformCase& c) {
+  EventRecorder ref;
+  {
+    sim::Cpu cpu(c.config.cpu_config());
+    prepare_cpu(cpu, c, nullptr);
+    cpu.set_hooks(&ref);
+    try {
+      cpu.run_interpreter(c.entry, c.code.size());
+    } catch (const sim::CpuError&) {
+    }
+  }
+  EventRecorder dec;
+  {
+    sim::Cpu cpu(c.config.cpu_config());
+    prepare_cpu(cpu, c, nullptr);
+    sim::TraceSink<EventRecorder> sink{&dec};
+    try {
+      cpu.run_sink(c.entry, sink, c.code.size());
+    } catch (const sim::CpuError&) {
+    }
+  }
+  const std::vector<std::string>& a = ref.events();
+  const std::vector<std::string>& b = dec.events();
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) {
+      return "first differing event [" + std::to_string(i) +
+             "]: interpreter {" + a[i] + "} vs decoded {" + b[i] + "}";
+    }
+  }
+  if (a.size() != b.size()) {
+    const bool ref_longer = a.size() > b.size();
+    return "event streams diverge at [" + std::to_string(n) + "]: " +
+           (ref_longer ? "interpreter" : "decoded") + " continues with {" +
+           (ref_longer ? a[n] : b[n]) + "}";
+  }
+  return "hook event streams identical (" + std::to_string(a.size()) +
+         " events)";
+}
+
+}  // namespace
+
+const char* executor_name(Executor e) {
+  switch (e) {
+    case Executor::kInterpreter: return "interpreter";
+    case Executor::kDecoded: return "decoded";
+    case Executor::kGuarded: return "guarded";
+  }
+  return "?";
+}
+
+void prepare_cpu(sim::Cpu& cpu, const ConformCase& c,
+                 std::shared_ptr<const isa::DecodedProgram> decoded) {
+  cpu.reset();
+  isa::Program image;
+  image.base = c.entry;
+  image.words = c.code;
+  cpu.load(image, std::move(decoded));
+  for (const MemWord& m : c.initial.mem) cpu.write_word(m.addr, m.word);
+  for (unsigned r = 1; r < 32; ++r) cpu.set_reg(r, c.initial.regs[r]);
+  cpu.set_hi(c.initial.hi);
+  cpu.set_lo(c.initial.lo);
+}
+
+sim::RunBudget case_budget(const ConformCase& c) {
+  sim::RunBudget budget;
+  budget.max_instructions = c.code.size();
+  budget.max_cycles = 0;   // unlimited
+  budget.max_stores = 0;   // unlimited
+  return budget;
+}
+
+sim::StoreGuard case_store_guard(const ConformCase& c) {
+  sim::StoreGuard guard;
+  guard.regions.push_back(
+      {c.entry, c.entry + static_cast<std::uint32_t>(4 * c.code.size())});
+  if (!c.initial.mem.empty()) {
+    guard.regions.push_back(
+        {c.initial.mem.front().addr, c.initial.mem.back().addr + 4});
+  }
+  return guard;
+}
+
+Replay replay_case(const ConformCase& c, Executor exec,
+                   std::shared_ptr<const isa::DecodedProgram> decoded) {
+  sim::Cpu cpu(c.config.cpu_config());
+  prepare_cpu(cpu, c,
+              exec == Executor::kInterpreter ? nullptr : std::move(decoded));
+  const std::uint64_t len = c.code.size();
+  Replay rep;
+  switch (exec) {
+    case Executor::kInterpreter:
+      try {
+        rep.cycles = CycleStats::of(cpu.run_interpreter(c.entry, len));
+      } catch (const sim::CpuError& e) {
+        rep.trap = e.what();
+      }
+      break;
+    case Executor::kDecoded: {
+      sim::NoSink sink;
+      try {
+        rep.cycles = CycleStats::of(cpu.run_sink(c.entry, sink, len));
+      } catch (const sim::CpuError& e) {
+        rep.trap = e.what();
+      }
+      break;
+    }
+    case Executor::kGuarded: {
+      sim::NoSink sink;
+      const sim::RunBudget budget = case_budget(c);
+      const sim::StoreGuard guard = case_store_guard(c);
+      const sim::GuardedResult r =
+          cpu.run_guarded(c.entry, sink, budget, &guard);
+      rep.cycles = CycleStats::of(r.stats);
+      rep.stop = r.reason;
+      if (r.reason == sim::StopReason::kTrap) {
+        rep.trap = r.trap_message;
+      } else if (r.reason == sim::StopReason::kWildStore) {
+        rep.trap = "wild store at " + to_hex32(r.wild_store_addr);
+      }
+      break;
+    }
+  }
+  rep.state = read_state(cpu, c);
+  return rep;
+}
+
+ConformReport ConformRunner::run(const Corpus& corpus) const {
+  constexpr std::size_t kMaxReportedFailures = 10;
+  ConformReport report;
+  for (const ConformCase& c : corpus.cases) {
+    ClassTally* tally = nullptr;
+    for (ClassTally& t : report.by_class) {
+      if (t.cls == c.cls) {
+        tally = &t;
+        break;
+      }
+    }
+    if (!tally) {
+      report.by_class.push_back({c.cls, 0, 0, 0});
+      tally = &report.by_class.back();
+    }
+    ++report.cases;
+    ++tally->cases;
+
+    isa::Program image;
+    image.base = c.entry;
+    image.words = c.code;
+    const std::shared_ptr<const isa::DecodedProgram> decoded =
+        session_ ? session_->decoded(image)
+                 : std::make_shared<const isa::DecodedProgram>(image);
+
+    bool ok = true;
+    for (std::size_t e = 0; e < kExecutorCount; ++e) {
+      const Executor exec = static_cast<Executor>(e);
+      const Replay rep = replay_case(c, exec, decoded);
+      const std::string diff = diff_replay(c, rep, exec);
+      if (diff.empty()) continue;
+      ok = false;
+      if (report.failures.size() < kMaxReportedFailures) {
+        report.failures.push_back(
+            {c.name, c.cls, exec,
+             diff + "; " + first_divergence(c)});
+      }
+    }
+    if (ok) {
+      ++report.passed;
+      ++tally->pass;
+    } else {
+      ++report.failed;
+      ++tally->fail;
+    }
+  }
+  return report;
+}
+
+}  // namespace sbst::conform

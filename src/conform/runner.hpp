@@ -1,0 +1,106 @@
+// Three-executor differential replay of a conformance corpus.
+//
+// Every case runs through:
+//   * Cpu::run_interpreter      — the golden fetch-decode-execute reference;
+//   * Cpu::run_sink<NoSink>     — the predecoded micro-op core;
+//   * Cpu::run_guarded<NoSink>  — the watchdog executor, with a generous
+//     RunBudget and a StoreGuard spanning the code region and the data
+//     window, so a clean case must end in kHalted / kInstructionBudget and
+//     a trap case in kTrap (never kWildStore).
+//
+// The post-state (registers, HI/LO, code + window memory), the trap text,
+// and the cycle accounting are diffed bitwise against the case's recorded
+// final state. On an interpreter-vs-decoded divergence the case is re-run
+// with event-recording sinks and the first differing hook event is
+// reported (first-divergence minimization).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "conform/case.hpp"
+#include "sim/exec.hpp"
+
+namespace sbst::core {
+class GradingSession;
+}
+
+namespace sbst::conform {
+
+enum class Executor : std::uint8_t { kInterpreter, kDecoded, kGuarded };
+inline constexpr std::size_t kExecutorCount = 3;
+
+const char* executor_name(Executor e);
+
+/// One executor's observation of a case.
+struct Replay {
+  ArchState state;
+  CycleStats cycles;
+  std::string trap;
+  /// Guarded executor only; kHalted for the unguarded legs.
+  sim::StopReason stop = sim::StopReason::kHalted;
+};
+
+/// Builds the pre-state of `c` into a fresh Cpu: loads the code image
+/// (optionally sharing `decoded`), writes the data window, and sets
+/// registers and HI/LO.
+void prepare_cpu(sim::Cpu& cpu, const ConformCase& c,
+                 std::shared_ptr<const isa::DecodedProgram> decoded);
+
+/// Replays `c` on one executor. `decoded` (optional) is the shared
+/// predecoded image for the decoded/guarded legs — e.g. a GradingSession
+/// cache handout; when null those legs predecode locally. The interpreter
+/// leg never uses it (it decodes every retired instruction by definition).
+Replay replay_case(const ConformCase& c, Executor exec,
+                   std::shared_ptr<const isa::DecodedProgram> decoded =
+                       nullptr);
+
+/// The generous guarded budget for a case: the exact instruction count,
+/// unlimited cycles/stores.
+sim::RunBudget case_budget(const ConformCase& c);
+/// StoreGuard regions: the code span and the data window.
+sim::StoreGuard case_store_guard(const ConformCase& c);
+
+struct ClassTally {
+  std::string cls;
+  std::size_t cases = 0;
+  std::size_t pass = 0;
+  std::size_t fail = 0;
+};
+
+struct CaseFailure {
+  std::string name;
+  std::string cls;
+  Executor exec = Executor::kInterpreter;
+  /// First bitwise difference (field, expected vs got) and — for an
+  /// interpreter/decoded split — the first differing hook event.
+  std::string detail;
+};
+
+struct ConformReport {
+  std::vector<ClassTally> by_class;  // corpus first-appearance order
+  std::size_t cases = 0;
+  std::size_t passed = 0;
+  std::size_t failed = 0;
+  std::vector<CaseFailure> failures;
+
+  bool ok() const { return failed == 0; }
+};
+
+/// Replays a corpus through all three executors.
+class ConformRunner {
+ public:
+  /// `session` (optional) serves the decoded/guarded legs from the
+  /// session's content-addressed DecodedProgram cache.
+  explicit ConformRunner(core::GradingSession* session = nullptr)
+      : session_(session) {}
+
+  ConformReport run(const Corpus& corpus) const;
+
+ private:
+  core::GradingSession* session_;
+};
+
+}  // namespace sbst::conform

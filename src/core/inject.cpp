@@ -25,6 +25,23 @@ const char* run_outcome_name(RunOutcome outcome) {
   return "unknown";
 }
 
+RunOutcome classify_stop(sim::StopReason stop, bool signatures_match) {
+  switch (stop) {
+    case sim::StopReason::kHalted:
+      return signatures_match ? RunOutcome::kOkMatch
+                              : RunOutcome::kDetectedMismatch;
+    case sim::StopReason::kInstructionBudget:
+    case sim::StopReason::kCycleBudget:
+    case sim::StopReason::kStoreBudget:
+      return RunOutcome::kDetectedHang;
+    case sim::StopReason::kWildStore:
+      return RunOutcome::kDetectedWildStore;
+    case sim::StopReason::kTrap:
+      return RunOutcome::kDetectedTrap;
+  }
+  return RunOutcome::kInfraError;
+}
+
 OutcomeHistogram histogram_of(const std::vector<InjectionOutcome>& outcomes) {
   OutcomeHistogram h;
   for (const InjectionOutcome& o : outcomes) h.add(o.outcome);
@@ -200,24 +217,8 @@ InjectionOutcome faulty_outcome(
               : ~good_signatures[slot]);
   }
   out.corrupted_results = injector.corrupted_results();
-  switch (run.reason) {
-    case sim::StopReason::kHalted:
-      out.outcome = out.good_signatures == out.faulty_signatures
-                        ? RunOutcome::kOkMatch
-                        : RunOutcome::kDetectedMismatch;
-      break;
-    case sim::StopReason::kInstructionBudget:
-    case sim::StopReason::kCycleBudget:
-    case sim::StopReason::kStoreBudget:
-      out.outcome = RunOutcome::kDetectedHang;
-      break;
-    case sim::StopReason::kWildStore:
-      out.outcome = RunOutcome::kDetectedWildStore;
-      break;
-    case sim::StopReason::kTrap:
-      out.outcome = RunOutcome::kDetectedTrap;
-      break;
-  }
+  out.outcome = classify_stop(run.reason,
+                              out.good_signatures == out.faulty_signatures);
   out.detected = outcome_detected(out.outcome);
   return out;
 }

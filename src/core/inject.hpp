@@ -108,6 +108,13 @@ struct InjectOptions {
   unsigned infra_retries = 1;
 };
 
+/// Maps a guarded run's stop verdict onto the outcome taxonomy — the single
+/// classification rule shared by the injection campaign and the conformance
+/// runner. `signatures_match` is consulted only for clean (kHalted)
+/// endings; every budget exhaustion is kDetectedHang (a watchdog firing is
+/// a detection, never an infrastructure error).
+RunOutcome classify_stop(sim::StopReason stop, bool signatures_match);
+
 /// Derives the per-run watchdog budget from the good machine's measured
 /// resources: factor × good stats, clamped below by the InjectOptions
 /// floors. factor <= 0 returns the legacy unlimited budget.

@@ -195,6 +195,8 @@ class Cpu {
   }
   std::uint32_t hi() const { return hi_; }
   std::uint32_t lo() const { return lo_; }
+  void set_hi(std::uint32_t value) { hi_ = value; }
+  void set_lo(std::uint32_t value) { lo_ = value; }
   std::uint32_t read_word(std::uint32_t addr) const;
   void write_word(std::uint32_t addr, std::uint32_t value);
 

@@ -1,0 +1,336 @@
+// Conformance corpus: generation determinism, serialization round trips,
+// corrupted-corpus rejection, the three-executor differential harness, the
+// watchdog boundary classification, and the corpus-as-TPG excitation hook.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "conform/case.hpp"
+#include "conform/excite.hpp"
+#include "conform/gen.hpp"
+#include "conform/json.hpp"
+#include "conform/runner.hpp"
+#include "core/inject.hpp"
+#include "core/session.hpp"
+#include "isa/encoding.hpp"
+#include "sim/exec.hpp"
+
+namespace sbst::conform {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const fs::path& p, const std::string& body) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out << body;
+}
+
+fs::path temp_dir(const char* leaf) {
+  const fs::path dir = fs::path(::testing::TempDir()) / leaf;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(Gen, SeedDeterminismPerCase) {
+  const CaseGen gen({.seed = 5, .count = 110});
+  const Corpus corpus = gen.generate();
+  ASSERT_EQ(corpus.cases.size(), 110u);
+  // Case i regenerated standalone equals the batch result: each case lives
+  // on its own golden-ratio RNG stream, untouched by the other cases.
+  for (std::size_t i = 0; i < corpus.cases.size(); ++i) {
+    EXPECT_EQ(gen.make_case(i), corpus.cases[i]) << "case " << i;
+  }
+  // A second generator with the same options is byte-identical.
+  const Corpus again = CaseGen({.seed = 5, .count = 110}).generate();
+  ASSERT_EQ(again.cases.size(), corpus.cases.size());
+  for (std::size_t i = 0; i < corpus.cases.size(); ++i) {
+    EXPECT_EQ(write_case(again.cases[i]), write_case(corpus.cases[i]));
+  }
+  EXPECT_EQ(corpus_content_hash(again), corpus_content_hash(corpus));
+}
+
+TEST(Gen, CaseBytesIndependentOfBatchSizeAndThreads) {
+  // The first 30 cases of a 110-case corpus are bitwise the cases of a
+  // 30-case corpus: no cross-case stream perturbation.
+  const Corpus small = CaseGen({.seed = 21, .count = 30}).generate();
+  const Corpus big = CaseGen({.seed = 21, .count = 110}).generate();
+  for (std::size_t i = 0; i < small.cases.size(); ++i) {
+    EXPECT_EQ(small.cases[i], big.cases[i]) << "case " << i;
+  }
+  // SBST_THREADS must not leak into generation.
+  ::setenv("SBST_THREADS", "4", 1);
+  const Corpus threaded = CaseGen({.seed = 21, .count = 30}).generate();
+  ::unsetenv("SBST_THREADS");
+  for (std::size_t i = 0; i < small.cases.size(); ++i) {
+    EXPECT_EQ(write_case(threaded.cases[i]), write_case(small.cases[i]));
+  }
+}
+
+TEST(Case, JsonLineRoundTrip) {
+  const Corpus corpus = CaseGen({.seed = 2, .count = 110}).generate();
+  for (const ConformCase& c : corpus.cases) {
+    EXPECT_EQ(parse_case(write_case(c)), c) << c.name;
+  }
+}
+
+TEST(Case, SaveLoadRoundTripAndByteStability) {
+  const Corpus corpus = CaseGen({.seed = 4, .count = 110}).generate();
+  const fs::path a = temp_dir("conform_rt_a");
+  const fs::path b = temp_dir("conform_rt_b");
+  save_corpus(corpus, a.string());
+  save_corpus(corpus, b.string());
+  // Two saves of the same corpus produce byte-identical directories.
+  for (const auto& entry : fs::directory_iterator(a)) {
+    const fs::path name = entry.path().filename();
+    EXPECT_EQ(read_file(entry.path()), read_file(b / name)) << name;
+  }
+
+  const Corpus loaded = load_corpus(a.string());
+  EXPECT_EQ(loaded.version, corpus.version);
+  EXPECT_EQ(loaded.seed, corpus.seed);
+  ASSERT_EQ(loaded.cases.size(), corpus.cases.size());
+  EXPECT_EQ(corpus_content_hash(loaded), corpus_content_hash(corpus));
+  // Loading groups cases per class file; match them back by name.
+  for (const ConformCase& lc : loaded.cases) {
+    bool found = false;
+    for (const ConformCase& c : corpus.cases) {
+      if (c.name == lc.name) {
+        EXPECT_EQ(lc, c);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << lc.name;
+  }
+  // A reloaded corpus saves back byte-identically (idempotent round trip).
+  const fs::path c2 = temp_dir("conform_rt_c");
+  save_corpus(loaded, c2.string());
+  for (const auto& entry : fs::directory_iterator(a)) {
+    const fs::path name = entry.path().filename();
+    EXPECT_EQ(read_file(entry.path()), read_file(c2 / name)) << name;
+  }
+}
+
+TEST(Case, LoadRejectsCorruption) {
+  const Corpus corpus = CaseGen({.seed = 6, .count = 55}).generate();
+  const fs::path dir = temp_dir("conform_corrupt");
+  save_corpus(corpus, dir.string());
+
+  // Tampering with one case byte must fail the content-hash check.
+  {
+    const fs::path victim = dir / (corpus.cases[0].cls + ".json");
+    std::string body = read_file(victim);
+    const std::size_t pos = body.find("\"seed\":");
+    ASSERT_NE(pos, std::string::npos);
+    body[pos + 7] = body[pos + 7] == '1' ? '2' : '1';
+    write_file(victim, body);
+    EXPECT_THROW(load_corpus(dir.string()), ConformError);
+    save_corpus(corpus, dir.string());  // restore
+  }
+  // Unsupported manifest version.
+  {
+    std::string manifest = read_file(dir / "corpus.json");
+    const std::size_t pos = manifest.find("\"v1\"");
+    ASSERT_NE(pos, std::string::npos);
+    manifest.replace(pos, 4, "\"v9\"");
+    write_file(dir / "corpus.json", manifest);
+    EXPECT_THROW(load_corpus(dir.string()), ConformError);
+    save_corpus(corpus, dir.string());
+  }
+  // Missing case file.
+  {
+    fs::remove(dir / (corpus.cases[0].cls + ".json"));
+    EXPECT_THROW(load_corpus(dir.string()), ConformError);
+    save_corpus(corpus, dir.string());
+  }
+  // Syntactically broken case file.
+  {
+    write_file(dir / (corpus.cases[0].cls + ".json"), "{\"class\":");
+    EXPECT_THROW(load_corpus(dir.string()), ConformError);
+  }
+  // Missing directory.
+  EXPECT_THROW(load_corpus((dir / "nope").string()), ConformError);
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW(json_parse("{"), JsonError);
+  EXPECT_THROW(json_parse(""), JsonError);
+  EXPECT_THROW(json_parse("{} trailing"), JsonError);
+  EXPECT_THROW(json_parse("{\"a\":1,}"), JsonError);
+  EXPECT_THROW(json_parse("[1, 2"), JsonError);
+  EXPECT_THROW(json_parse("-1"), JsonError);       // unsigned-only numbers
+  EXPECT_THROW(json_parse("1.5"), JsonError);
+  EXPECT_THROW(json_parse("1e3"), JsonError);
+  EXPECT_THROW(json_parse("\"\\x\""), JsonError);  // unsupported escape
+  EXPECT_THROW(json_parse("99999999999999999999999"), JsonError);
+  // Depth bomb.
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  EXPECT_THROW(json_parse(deep), JsonError);
+
+  EXPECT_THROW(parse_case("not json at all"), ConformError);
+  EXPECT_THROW(parse_case("{\"name\":\"x\"}"), ConformError);  // missing keys
+  EXPECT_THROW(parse_case("{\"name\":17}"), ConformError);     // ill-typed
+}
+
+TEST(Runner, DifferentialPassAcrossThreeExecutors) {
+  const Corpus corpus = CaseGen({.seed = 3, .count = 550}).generate();
+  const ConformReport report = ConformRunner().run(corpus);
+  for (const CaseFailure& f : report.failures) {
+    ADD_FAILURE() << f.name << " [" << executor_name(f.exec)
+                  << "]: " << f.detail;
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cases, 550u);
+  EXPECT_EQ(report.passed, 550u);
+  std::size_t tallied = 0;
+  for (const ClassTally& t : report.by_class) {
+    EXPECT_EQ(t.cases, t.pass + t.fail);
+    tallied += t.cases;
+  }
+  EXPECT_EQ(tallied, report.cases);
+}
+
+TEST(Runner, TrapCasesAgreeOnAllExecutors) {
+  const Corpus corpus = CaseGen({.seed = 8, .count = 220}).generate();
+  std::size_t traps = 0;
+  for (const ConformCase& c : corpus.cases) {
+    if (c.trap.empty()) continue;
+    ++traps;
+    for (const Executor exec :
+         {Executor::kInterpreter, Executor::kDecoded, Executor::kGuarded}) {
+      const Replay r = replay_case(c, exec);
+      EXPECT_EQ(r.trap, c.trap) << c.name << " on " << executor_name(exec);
+    }
+    EXPECT_EQ(replay_case(c, Executor::kGuarded).stop,
+              sim::StopReason::kTrap)
+        << c.name;
+  }
+  EXPECT_GT(traps, 0u);  // the misaligned class guarantees trap cases
+}
+
+TEST(Runner, SessionDecodedCacheServesReplay) {
+  core::ProcessorModel model;
+  core::GradingSession session(model);
+  const Corpus corpus = CaseGen({.seed = 12, .count = 110}).generate();
+  const ConformReport report = ConformRunner(&session).run(corpus);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cases, 110u);
+  // Session-backed and session-less replays classify identically.
+  const ConformReport plain = ConformRunner().run(corpus);
+  EXPECT_EQ(plain.passed, report.passed);
+  EXPECT_EQ(plain.failed, report.failed);
+}
+
+// The ISSUE acceptance check: 10,000 generated cases replay
+// bitwise-identical across all three executors.
+TEST(Runner, TenThousandCasesReplayIdentically) {
+  const Corpus corpus = CaseGen({.seed = 9, .count = 10000}).generate();
+  const ConformReport report = ConformRunner().run(corpus);
+  for (const CaseFailure& f : report.failures) {
+    ADD_FAILURE() << f.name << " [" << executor_name(f.exec)
+                  << "]: " << f.detail;
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.passed, 10000u);
+}
+
+TEST(Watchdog, FloorBudgetsAtFactorEight) {
+  sim::ExecStats tiny;
+  tiny.instructions = 1;
+  tiny.cpu_cycles = 1;
+  const sim::RunBudget budget = core::run_budget_for(tiny, 8.0, {});
+  EXPECT_EQ(budget.max_instructions, 1u << 12);
+  EXPECT_EQ(budget.max_cycles, 1u << 14);
+  EXPECT_EQ(budget.max_stores, 64u);
+}
+
+// A run landing exactly on RunBudget::max_instructions: halting on the
+// budget's last instruction is a clean kHalted; needing one more is the
+// watchdog firing — classified detected_hang, never infra_error.
+TEST(Watchdog, BudgetBoundaryClassifiesAsHangNotInfraError) {
+  // Good-run stats chosen so the scaled instruction budget lands exactly on
+  // the 1<<12 floor while the cycle budget stays slack (a nop costs several
+  // total cycles, so floor cycles would otherwise fire first).
+  sim::ExecStats good;
+  good.instructions = 512;   // x8 = 4096 = the instruction floor
+  good.cpu_cycles = 100000;  // x8 cycles: far above the boundary runs
+  const sim::RunBudget budget = core::run_budget_for(good, 8.0, {});
+  const std::uint64_t n = budget.max_instructions;
+  ASSERT_EQ(n, 1u << 12);
+
+  const auto run_nops = [&](std::uint64_t nops) {
+    isa::Program image;
+    image.base = 0;
+    image.words.assign(nops, isa::nop());
+    image.words.push_back(isa::brk());
+    sim::Cpu cpu;
+    cpu.reset();
+    cpu.load(image);
+    sim::NoSink sink;
+    return cpu.run_guarded(0, sink, budget);
+  };
+
+  // break retires as instruction `n` exactly: clean completion.
+  const sim::GuardedResult at = run_nops(n - 1);
+  EXPECT_EQ(at.reason, sim::StopReason::kHalted);
+  EXPECT_EQ(at.stats.instructions, n);
+  EXPECT_TRUE(at.stats.halted);
+  EXPECT_EQ(core::classify_stop(at.reason, true), core::RunOutcome::kOkMatch);
+
+  // break would be instruction n+1: the watchdog fires at the boundary.
+  const sim::GuardedResult over = run_nops(n);
+  EXPECT_EQ(over.reason, sim::StopReason::kInstructionBudget);
+  EXPECT_EQ(over.stats.instructions, n);
+  EXPECT_FALSE(over.stats.halted);
+  const core::RunOutcome outcome = core::classify_stop(over.reason, true);
+  EXPECT_EQ(outcome, core::RunOutcome::kDetectedHang);
+  EXPECT_NE(outcome, core::RunOutcome::kInfraError);
+}
+
+TEST(Watchdog, ClassifyStopCoversEveryStopReason) {
+  using core::RunOutcome;
+  using core::classify_stop;
+  using sim::StopReason;
+  EXPECT_EQ(classify_stop(StopReason::kHalted, true), RunOutcome::kOkMatch);
+  EXPECT_EQ(classify_stop(StopReason::kHalted, false),
+            RunOutcome::kDetectedMismatch);
+  EXPECT_EQ(classify_stop(StopReason::kInstructionBudget, true),
+            RunOutcome::kDetectedHang);
+  EXPECT_EQ(classify_stop(StopReason::kCycleBudget, true),
+            RunOutcome::kDetectedHang);
+  EXPECT_EQ(classify_stop(StopReason::kStoreBudget, true),
+            RunOutcome::kDetectedHang);
+  EXPECT_EQ(classify_stop(StopReason::kWildStore, true),
+            RunOutcome::kDetectedWildStore);
+  EXPECT_EQ(classify_stop(StopReason::kTrap, true),
+            RunOutcome::kDetectedTrap);
+}
+
+TEST(Excite, CorpusPreStatesFeedHiddenComponents) {
+  core::ProcessorModel model;
+  const Corpus corpus = CaseGen({.seed = 13, .count = 110}).generate();
+  const CorpusExcitation excite(model, corpus);
+  // The hidden forwarding unit and the M-VC branch adder both receive
+  // excitation patterns from corpus replay — components no generated
+  // routine targets directly.
+  EXPECT_GT(excite.patterns(core::CutId::kForwarding).size(), 0u);
+  EXPECT_GT(excite.patterns(core::CutId::kBranchAdder).size(), 0u);
+  EXPECT_GT(excite.patterns(core::CutId::kAlu).size(), 0u);
+  // Sequential-stimulus components have no combinational pattern stream.
+  EXPECT_THROW(excite.patterns(core::CutId::kDivider), ConformError);
+}
+
+}  // namespace
+}  // namespace sbst::conform

@@ -1,0 +1,225 @@
+// Negative paths of the assembler, disassembler, and micro-op decoder:
+// invalid opcodes, out-of-range operands, and truncated source must all
+// error cleanly, and random instruction words are fuzzed against the
+// decoder's operand table (raw fields, hazard flags, consumed immediates,
+// illegal-kind agreement with the disassembler).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+#include "isa/decode.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+
+namespace sbst::isa {
+namespace {
+
+TEST(AssemblerNegative, UnknownMnemonics) {
+  EXPECT_THROW(assemble("frobnicate $t0, $t1"), AsmError);
+  EXPECT_THROW(assemble("addw $t0, $t1, $t2"), AsmError);   // near miss
+  EXPECT_THROW(assemble("lwx $t0, 0($t1)"), AsmError);
+  EXPECT_THROW(assemble("sllv3 $t0, $t1, $t2"), AsmError);
+  EXPECT_THROW(assemble(".wordx 1"), AsmError);
+}
+
+TEST(AssemblerNegative, OutOfRangeOperands) {
+  // Shift amount is a 5-bit field.
+  EXPECT_THROW(assemble("sll $t0, $t1, 32"), AsmError);
+  // Signed 16-bit immediates: [-32768, 32767].
+  EXPECT_THROW(assemble("addi $t0, $t1, 32768"), AsmError);
+  EXPECT_THROW(assemble("addi $t0, $t1, -32769"), AsmError);
+  EXPECT_THROW(assemble("slti $t0, $t1, 0x10000"), AsmError);
+  // Unsigned 16-bit logical immediates.
+  EXPECT_THROW(assemble("andi $t0, $t1, 0x10000"), AsmError);
+  EXPECT_THROW(assemble("ori $t0, $t1, 0x12345"), AsmError);
+  // Load/store offsets are signed 16-bit.
+  EXPECT_THROW(assemble("lw $t0, 32768($t1)"), AsmError);
+  EXPECT_THROW(assemble("sw $t0, -32769($t1)"), AsmError);
+  // Register numbers stop at $31.
+  EXPECT_THROW(assemble("addu $t0, $32, $t1"), AsmError);
+  EXPECT_THROW(assemble("addu $t0, $qq, $t1"), AsmError);
+  // lui takes a 16-bit value.
+  EXPECT_THROW(assemble("lui $t0, 0x10000"), AsmError);
+}
+
+TEST(AssemblerNegative, TruncatedSource) {
+  EXPECT_THROW(assemble("add $t0"), AsmError);
+  EXPECT_THROW(assemble("add $t0, $t1,"), AsmError);
+  EXPECT_THROW(assemble("lw $t0"), AsmError);
+  EXPECT_THROW(assemble("lw $t0, 4("), AsmError);
+  EXPECT_THROW(assemble("lw $t0, 4($t1"), AsmError);
+  EXPECT_THROW(assemble("beq $t0, $t1"), AsmError);
+  EXPECT_THROW(assemble("lui $t0"), AsmError);
+  EXPECT_THROW(assemble("sw $t0,"), AsmError);
+  EXPECT_THROW(assemble("j"), AsmError);
+}
+
+TEST(AssemblerNegative, ErrorsCarryTheFailingLine) {
+  try {
+    assemble("nop\nnop\nsll $t0, $t1, 99\nnop");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+// Fuzz: disassemble and decode_uop accept every 32-bit word. The raw
+// opcode/funct fields always mirror the word, and the two ends agree on
+// what is illegal (decode_uop's lazy illegal kinds match the
+// disassembler's "<illegal ...>" markers).
+TEST(DecodeFuzz, EveryWordDecodesAndIllegalKindsAgreeWithDisasm) {
+  Rng rng(0xc0ffee);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint32_t w = rng.next32();
+    const MicroOp op = decode_uop(w);  // must not throw
+    EXPECT_EQ(op.opcode, w >> 26);
+    EXPECT_EQ(op.funct, w & 0x3f);
+
+    const std::string text = disassemble(w, 0x1000);  // must not throw
+    ASSERT_FALSE(text.empty());
+    if (op.kind == UopKind::kIllegalFunct) {
+      EXPECT_EQ(text.rfind("<illegal funct", 0), 0u) << text;
+    } else if (op.kind == UopKind::kIllegalOpcode) {
+      EXPECT_EQ(text.rfind("<illegal opcode", 0), 0u) << text;
+    } else {
+      EXPECT_EQ(text.find("<illegal"), std::string::npos) << text;
+    }
+  }
+}
+
+TEST(DecodeFuzz, OperandFieldsMatchWordSlices) {
+  Rng rng(0xdecade);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint32_t w = rng.next32();
+    const MicroOp op = decode_uop(w);
+    if (op.kind == UopKind::kIllegalFunct ||
+        op.kind == UopKind::kIllegalOpcode) {
+      continue;
+    }
+    EXPECT_EQ(op.rs, (w >> 21) & 31);
+    EXPECT_EQ(op.rt, (w >> 16) & 31);
+    EXPECT_EQ(op.rd, (w >> 11) & 31);
+    EXPECT_EQ(op.shamt, (w >> 6) & 31);
+  }
+}
+
+TEST(DecodeFuzz, ConsumedImmediateForms) {
+  // Sign-extended arithmetic immediate / load-store offset.
+  EXPECT_EQ(decode_uop(addi(kT0, kT1, -5)).imm, 0xfffffffbu);
+  EXPECT_EQ(decode_uop(lw(kT0, -8, kT1)).imm, 0xfffffff8u);
+  // Zero-extended logical immediate.
+  EXPECT_EQ(decode_uop(ori(kT0, kT1, 0x8000)).imm, 0x8000u);
+  // lui pre-shifted.
+  EXPECT_EQ(decode_uop(lui(kT0, 0xaaaa)).imm, 0xaaaa0000u);
+  // Branch offsets pre-shifted to byte offsets.
+  EXPECT_EQ(decode_uop(beq(kT0, kT1, -3)).imm,
+            static_cast<std::uint32_t>(-12));
+  // Jump targets pre-shifted to byte offsets within the segment.
+  EXPECT_EQ(decode_uop(j(0x100)).imm, 0x400u);
+}
+
+TEST(DecodeFuzz, HazardFlagsFollowOperandTable) {
+  // Immediate shifts read rt only.
+  EXPECT_EQ(decode_uop(sll(kT0, kT1, 3)).flags, kUopReadsRt);
+  // R-type ALU reads both.
+  EXPECT_EQ(decode_uop(addu(kT0, kT1, kT2)).flags,
+            kUopReadsRs | kUopReadsRt);
+  // jr reads rs; mfhi reads neither.
+  EXPECT_EQ(decode_uop(jr(kT0)).flags, kUopReadsRs);
+  EXPECT_EQ(decode_uop(mfhi(kT0)).flags, 0);
+  // Loads read the base only; stores read base + data.
+  EXPECT_EQ(decode_uop(lw(kT0, 0, kT1)).flags, kUopReadsRs);
+  EXPECT_EQ(decode_uop(sw(kT0, 0, kT1)).flags, kUopReadsRs | kUopReadsRt);
+  // lui and jumps read nothing.
+  EXPECT_EQ(decode_uop(lui(kT0, 1)).flags, 0);
+  EXPECT_EQ(decode_uop(j(1)).flags, 0);
+}
+
+// Fuzzed canonical round trip: every encoder builder with random operands
+// survives disassemble -> assemble back to the identical word. (Branches
+// are excluded: their disassembly renders pc-relative targets as absolute
+// addresses, so the text only reassembles at the original pc.)
+TEST(DisasmFuzz, BuilderWordsRoundTripThroughAssembler) {
+  Rng rng(0xfeedbee5);
+  const auto reg = [&rng] {
+    return static_cast<std::uint8_t>(rng.below(32));
+  };
+  const auto sham = [&rng] {
+    return static_cast<std::uint8_t>(rng.below(32));
+  };
+  const auto simm = [&rng] {
+    return static_cast<std::int32_t>(rng.next32() & 0xffff) - 0x8000;
+  };
+  const auto uimm = [&rng] {
+    return static_cast<std::uint32_t>(rng.next32() & 0xffff);
+  };
+
+  std::vector<std::uint32_t> words;
+  for (int rep = 0; rep < 64; ++rep) {
+    const std::uint8_t rd = reg(), rs_ = reg(), rt_ = reg();
+    words.push_back(sll(rd, rt_, sham()));
+    words.push_back(srl(rd, rt_, sham()));
+    words.push_back(sra(rd, rt_, sham()));
+    words.push_back(sllv(rd, rt_, rs_));
+    words.push_back(srlv(rd, rt_, rs_));
+    words.push_back(srav(rd, rt_, rs_));
+    words.push_back(jr(rs_));
+    words.push_back(brk());
+    words.push_back(mfhi(rd));
+    words.push_back(mthi(rs_));
+    words.push_back(mflo(rd));
+    words.push_back(mtlo(rs_));
+    words.push_back(mult(rs_, rt_));
+    words.push_back(multu(rs_, rt_));
+    words.push_back(isa::div(rs_, rt_));
+    words.push_back(isa::divu(rs_, rt_));
+    words.push_back(add(rd, rs_, rt_));
+    words.push_back(addu(rd, rs_, rt_));
+    words.push_back(sub(rd, rs_, rt_));
+    words.push_back(subu(rd, rs_, rt_));
+    words.push_back(and_(rd, rs_, rt_));
+    words.push_back(or_(rd, rs_, rt_));
+    words.push_back(xor_(rd, rs_, rt_));
+    words.push_back(nor_(rd, rs_, rt_));
+    words.push_back(slt(rd, rs_, rt_));
+    words.push_back(sltu(rd, rs_, rt_));
+    words.push_back(addi(rt_, rs_, simm()));
+    words.push_back(addiu(rt_, rs_, simm()));
+    words.push_back(slti(rt_, rs_, simm()));
+    words.push_back(sltiu(rt_, rs_, simm()));
+    words.push_back(andi(rt_, rs_, uimm()));
+    words.push_back(ori(rt_, rs_, uimm()));
+    words.push_back(xori(rt_, rs_, uimm()));
+    words.push_back(lui(rt_, uimm()));
+    words.push_back(lb(rt_, simm(), rs_));
+    words.push_back(lh(rt_, simm(), rs_));
+    words.push_back(lw(rt_, simm(), rs_));
+    words.push_back(lbu(rt_, simm(), rs_));
+    words.push_back(lhu(rt_, simm(), rs_));
+    words.push_back(sb(rt_, simm(), rs_));
+    words.push_back(sh(rt_, simm(), rs_));
+    words.push_back(sw(rt_, simm(), rs_));
+    words.push_back(j(rng.below(1u << 26)));
+    words.push_back(jal(rng.below(1u << 26)));
+    words.push_back(nop());
+  }
+
+  std::size_t round_tripped = 0;
+  for (const std::uint32_t w : words) {
+    const std::string text = disassemble(w, 0);
+    ASSERT_EQ(text.find("<illegal"), std::string::npos) << text;
+    Program p;
+    ASSERT_NO_THROW(p = assemble(text)) << text;
+    ASSERT_EQ(p.size_words(), 1u) << text;
+    EXPECT_EQ(p.words[0], w) << text;
+    ++round_tripped;
+  }
+  EXPECT_EQ(round_tripped, words.size());
+}
+
+}  // namespace
+}  // namespace sbst::isa

@@ -8,6 +8,10 @@
 //   sbst evaluate                      run + fault-grade the full program
 //   sbst campaign [<cut>...]           guarded injection campaign with the
 //                                      RunOutcome taxonomy table
+//   sbst conform generate --seed N --count M --out DIR
+//                                      write a randomized conformance corpus
+//   sbst conform run DIR               three-executor differential replay of
+//                                      a corpus directory
 //
 // <cut> is one of: mul div rf mem shifter alu ctrl
 //
@@ -34,6 +38,8 @@
 #include <vector>
 
 #include "common/tablefmt.hpp"
+#include "conform/gen.hpp"
+#include "conform/runner.hpp"
 #include "core/evaluate.hpp"
 #include "isa/disasm.hpp"
 #include "netlist/export.hpp"
@@ -54,6 +60,12 @@ int usage() {
       "  evaluate                      run + fault-grade the program\n"
       "  campaign [<cut>...]           guarded injection campaign outcome\n"
       "                                table (default: alu shifter mul)\n"
+      "  conform generate --seed N --count M --out DIR\n"
+      "                                write a randomized conformance "
+      "corpus\n"
+      "                                (defaults: seed 1, count 500)\n"
+      "  conform run DIR               replay a corpus through all three\n"
+      "                                executors, diff bitwise\n"
       "cuts: mul div rf mem shifter alu ctrl\n"
       "options: --threads N | -j N   fault-sim worker threads (env "
       "SBST_THREADS;\n"
@@ -318,6 +330,107 @@ int cmd_campaign(const ProcessorModel& model, const fault::SimOptions& sim,
   return 0;
 }
 
+// `conform generate`: write a randomized corpus directory. The summary on
+// stdout (count, classes, content hash) is deterministic for a given
+// (seed, count); wall-clock goes to stderr.
+int cmd_conform_generate(std::uint64_t seed, std::size_t count,
+                         const char* out_dir) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const conform::CaseGen gen({.seed = seed, .count = count});
+  const conform::Corpus corpus = gen.generate();
+  conform::save_corpus(corpus, out_dir);
+  std::size_t traps = 0;
+  for (const conform::ConformCase& c : corpus.cases) {
+    if (!c.trap.empty()) ++traps;
+  }
+  std::printf("conform: generated %zu cases, %zu classes, %zu trap cases, "
+              "seed %llu\n",
+              corpus.cases.size(),
+              conform::corpus_class_names(corpus).size(), traps,
+              static_cast<unsigned long long>(corpus.seed));
+  std::printf("corpus %s content hash %016llx\n", corpus.version.c_str(),
+              static_cast<unsigned long long>(
+                  conform::corpus_content_hash(corpus)));
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::fprintf(stderr, "# conform: generated in %.3f s, wrote %s\n", wall,
+               out_dir);
+  return 0;
+}
+
+// `conform run`: three-executor differential replay. Stdout (per-class
+// table, failure details, summary) is deterministic for any thread count /
+// cache setting — the CI golden diff depends on it. Timings go to stderr.
+int cmd_conform_run(const ProcessorModel& model, const fault::SimOptions& sim,
+                    bool session_cache, const char* dir) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const conform::Corpus corpus = conform::load_corpus(dir);
+  const auto t1 = std::chrono::steady_clock::now();
+  GradingSession session(
+      model, {.num_threads = sim.num_threads, .cache = session_cache});
+  const conform::ConformRunner runner(&session);
+  const conform::ConformReport report = runner.run(corpus);
+  const auto t2 = std::chrono::steady_clock::now();
+  Table t({"Class", "Cases", "Pass", "Fail"});
+  for (const conform::ClassTally& tally : report.by_class) {
+    t.add_row({tally.cls,
+               Table::num(static_cast<std::uint64_t>(tally.cases)),
+               Table::num(static_cast<std::uint64_t>(tally.pass)),
+               Table::num(static_cast<std::uint64_t>(tally.fail))});
+  }
+  t.print();
+  for (const conform::CaseFailure& f : report.failures) {
+    std::printf("FAIL %s [%s]: %s\n", f.name.c_str(),
+                conform::executor_name(f.exec), f.detail.c_str());
+  }
+  std::printf("conform: %zu cases, passed %zu, failed %zu "
+              "(%s, seed %llu, content hash %016llx)\n",
+              report.cases, report.passed, report.failed,
+              corpus.version.c_str(),
+              static_cast<unsigned long long>(corpus.seed),
+              static_cast<unsigned long long>(
+                  conform::corpus_content_hash(corpus)));
+  std::fprintf(stderr, "# conform: load %.3f s, replay %.3f s, %zu cases\n",
+               std::chrono::duration<double>(t1 - t0).count(),
+               std::chrono::duration<double>(t2 - t1).count(), report.cases);
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_conform(const ProcessorModel& model, const fault::SimOptions& sim,
+                bool session_cache, const std::vector<const char*>& args) {
+  if (args.size() < 2) return usage();
+  const std::string sub = args[1];
+  if (sub == "generate") {
+    std::uint64_t seed = 1;
+    std::size_t count = 500;
+    const char* out_dir = nullptr;
+    for (std::size_t k = 2; k < args.size(); ++k) {
+      const char* a = args[k];
+      if (std::strcmp(a, "--seed") == 0 && k + 1 < args.size()) {
+        char* end = nullptr;
+        seed = std::strtoull(args[++k], &end, 10);
+        if (end == args[k] || *end != '\0') return usage();
+      } else if (std::strcmp(a, "--count") == 0 && k + 1 < args.size()) {
+        const long v = std::strtol(args[++k], nullptr, 10);
+        if (v <= 0) return usage();
+        count = static_cast<std::size_t>(v);
+      } else if (std::strcmp(a, "--out") == 0 && k + 1 < args.size()) {
+        out_dir = args[++k];
+      } else {
+        return usage();
+      }
+    }
+    if (!out_dir) return usage();
+    return cmd_conform_generate(seed, count, out_dir);
+  }
+  if (sub == "run") {
+    if (args.size() != 3) return usage();
+    return cmd_conform_run(model, sim, session_cache, args[2]);
+  }
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -394,6 +507,14 @@ int main(int argc, char** argv) {
     }
     return cmd_campaign(model, sim, session_cache, budget_factor, max_faults,
                         cuts);
+  }
+  if (cmd == "conform") {
+    try {
+      return cmd_conform(model, sim, session_cache, args);
+    } catch (const conform::ConformError& e) {
+      std::fprintf(stderr, "conform: %s\n", e.what());
+      return 1;
+    }
   }
   if (cmd == "generate" || cmd == "export") {
     if (args.size() < 2) return usage();
