@@ -18,6 +18,8 @@
 #include "common/tablefmt.hpp"
 #include "conform/gen.hpp"
 #include "conform/runner.hpp"
+#include "core/component.hpp"
+#include "core/session.hpp"
 
 using namespace sbst;
 using conform::Executor;
@@ -64,13 +66,27 @@ int main(int argc, char** argv) {
   rows.push_back({"generate", gen_s,
                   static_cast<double>(count) / gen_s});
 
+  // The session hands each replay leg the shared predecoded image from its
+  // content-addressed cache. Its grading configuration is pinned explicitly —
+  // lane width and compile-opt setting key the session caches, so relying on
+  // env defaults would let SBST_LANES / SBST_NETLIST_OPT silently change
+  // what this bench measures.
+  core::ProcessorModel model;
+  core::GradingSession session(model,
+                               {.num_threads = 1, .lanes = 1,
+                                .netlist_opt = 0});
+
   const Executor executors[] = {Executor::kInterpreter, Executor::kDecoded,
                                 Executor::kGuarded};
   for (const Executor exec : executors) {
     const auto t0 = std::chrono::steady_clock::now();
     std::size_t mismatches = 0;
     for (const conform::ConformCase& c : corpus.cases) {
-      const conform::Replay r = conform::replay_case(c, exec);
+      isa::Program image;
+      image.base = c.entry;
+      image.words = c.code;
+      const conform::Replay r =
+          conform::replay_case(c, exec, session.decoded(image));
       if (r.state != c.final_state || r.trap != c.trap) ++mismatches;
     }
     const double s = seconds_since(t0);

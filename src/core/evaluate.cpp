@@ -253,11 +253,17 @@ ProgramEvaluation evaluate_program(GradingSession& session,
       // Cone first: with the cache off it (re)builds compiled + observe, so
       // the references fetched after it stay the live objects.
       reach = session.cone(info.id, mode).data();
-      compiled = &session.compiled(info.id);
+      const bool opt = options.sim.netlist_opt < 0
+                           ? fault::default_netlist_opt()
+                           : options.sim.netlist_opt != 0;
+      compiled = &session.compiled(info.id,
+                                   opt ? netlist::CompileOptions::all()
+                                       : netlist::CompileOptions{});
     }
     const fault::ObserveSet& obs = session.observe(info.id, mode);
     const fault::EngineContext& ctx = ctxs.emplace_back(
-        options.sim.engine, info.netlist, obs, compiled, reach);
+        options.sim.engine, info.netlist, obs, compiled, reach,
+        options.sim.lanes, options.sim.netlist_opt);
     out.stages.compile += seconds_since(t_compile);
 
     CutCoverage cc;
@@ -354,8 +360,9 @@ ProgramEvaluation evaluate_program(const ProcessorModel& model,
                                    const TestProgramBuilder& builder,
                                    const TestProgram& program,
                                    const EvalOptions& options) {
-  GradingSession session(model,
-                         {.num_threads = options.sim.num_threads});
+  GradingSession session(model, {.num_threads = options.sim.num_threads,
+                                 .lanes = options.sim.lanes,
+                                 .netlist_opt = options.sim.netlist_opt});
   return evaluate_program(session, builder, program, options);
 }
 

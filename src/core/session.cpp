@@ -98,6 +98,18 @@ GradingSession::GradingSession(const ProcessorModel& model,
       cache_(model.components().size()),
       pool_(fault::resolve_thread_count(options.num_threads)) {}
 
+unsigned GradingSession::lanes() const {
+  const unsigned lanes =
+      options_.lanes == 0 ? fault::default_lanes() : options_.lanes;
+  return lanes == 4 ? 4 : 1;
+}
+
+netlist::CompileOptions GradingSession::compile_options() const {
+  const bool opt = options_.netlist_opt < 0 ? fault::default_netlist_opt()
+                                            : options_.netlist_opt != 0;
+  return opt ? netlist::CompileOptions::all() : netlist::CompileOptions{};
+}
+
 const fault::FaultUniverse& GradingSession::universe(CutId id) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot_ptr = slot(id).universe;
@@ -111,21 +123,36 @@ const fault::FaultUniverse& GradingSession::universe(CutId id) {
   return *slot_ptr;
 }
 
-const netlist::CompiledNetlist& GradingSession::compiled_locked(CutId id) {
-  auto& slot_ptr = slot(id).compiled;
-  if (slot_ptr && options_.cache) {
-    ++stats_.compile_hits;
-    return *slot_ptr;
+const netlist::CompiledNetlist& GradingSession::compiled_locked(
+    CutId id, const netlist::CompileOptions& opts) {
+  auto& entries = slot(id).compiled;
+  for (CompiledEntry& e : entries) {
+    if (!(e.opts == opts)) continue;
+    if (options_.cache) {
+      ++stats_.compile_hits;
+      return *e.compiled;
+    }
+    ++stats_.compile_builds;
+    e.compiled = std::make_unique<netlist::CompiledNetlist>(
+        model_->component(id).netlist, opts);
+    return *e.compiled;
   }
   ++stats_.compile_builds;
-  slot_ptr =
-      std::make_unique<netlist::CompiledNetlist>(model_->component(id).netlist);
-  return *slot_ptr;
+  entries.push_back(CompiledEntry{
+      opts, std::make_unique<netlist::CompiledNetlist>(
+                model_->component(id).netlist, opts)});
+  return *entries.back().compiled;
 }
 
 const netlist::CompiledNetlist& GradingSession::compiled(CutId id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  return compiled_locked(id);
+  return compiled_locked(id, compile_options());
+}
+
+const netlist::CompiledNetlist& GradingSession::compiled(
+    CutId id, const netlist::CompileOptions& opts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return compiled_locked(id, opts);
 }
 
 const fault::ObserveSet& GradingSession::observe_locked(CutId id,
@@ -155,8 +182,10 @@ const std::vector<std::uint8_t>& GradingSession::cone(CutId id,
     return *slot_ptr;
   }
   // The cone derives from the compiled netlist and the observe set; fetch
-  // both through the cache so a cone build warms them too.
-  const netlist::CompiledNetlist& cn = compiled_locked(id);
+  // both through the cache so a cone build warms them too. fanin_cone
+  // traverses ORIGINAL edges, so the cone is identical for every
+  // CompileOptions and the mode alone keys this slot.
+  const netlist::CompiledNetlist& cn = compiled_locked(id, compile_options());
   const fault::ObserveSet& obs = observe_locked(id, mode);
   ++stats_.cone_builds;
   slot_ptr = std::make_unique<std::vector<std::uint8_t>>(cn.fanin_cone(obs));

@@ -54,6 +54,16 @@ struct SessionOptions {
   /// Cache artifacts across gradings. Off rebuilds each artifact on every
   /// request — same results, only slower (the differential-testing knob).
   bool cache = true;
+  /// Lane-block width in words for the compiled engines (0 =
+  /// fault::default_lanes()). Part of the grading configuration handed to
+  /// every simulation this session drives; detection results are identical
+  /// for every width.
+  unsigned lanes = 0;
+  /// Netlist-compile optimization passes for compiled netlists built by this
+  /// session: 1 = on, 0 = off, -1 = fault::default_netlist_opt(). Keyed into
+  /// the compiled-netlist cache, so sessions with different settings never
+  /// alias.
+  int netlist_opt = -1;
   /// Default watchdog budget factor for injection campaigns run through
   /// this session: faulty runs get budget_factor × the good machine's
   /// instructions / cycles / stores before the watchdog classifies them as
@@ -93,10 +103,22 @@ class GradingSession {
   /// the pool must not submit to it.
   fault::ThreadPool& pool() { return pool_; }
 
+  /// Resolved lane-block width for gradings driven by this session.
+  unsigned lanes() const;
+  /// Resolved compile options for compiled netlists built by this session
+  /// (all passes on, or none, per SessionOptions::netlist_opt).
+  netlist::CompileOptions compile_options() const;
+
   /// Collapsed fault universe of a component.
   const fault::FaultUniverse& universe(CutId id);
-  /// Compiled netlist of a component (shared read-only across workers).
+  /// Compiled netlist of a component under the session's compile options
+  /// (shared read-only across workers).
   const netlist::CompiledNetlist& compiled(CutId id);
+  /// Compiled netlist of a component under explicit compile options. The
+  /// cache is keyed by (component, options), so differently-optimized
+  /// programs never alias.
+  const netlist::CompiledNetlist& compiled(CutId id,
+                                           const netlist::CompileOptions& opts);
   /// Observe set of a component under a mode.
   const fault::ObserveSet& observe(CutId id, ObserveMode mode);
   /// Fanin-cone reach prefilter of the mode's observe set, indexed per gate.
@@ -126,9 +148,14 @@ class GradingSession {
   // does).
 
  private:
+  struct CompiledEntry {
+    netlist::CompileOptions opts;
+    std::unique_ptr<netlist::CompiledNetlist> compiled;
+  };
   struct ComponentCache {
     std::unique_ptr<fault::FaultUniverse> universe;
-    std::unique_ptr<netlist::CompiledNetlist> compiled;
+    // One entry per distinct CompileOptions requested for this component.
+    std::vector<CompiledEntry> compiled;
     std::array<std::unique_ptr<fault::ObserveSet>, kObserveModes> observe;
     std::array<std::unique_ptr<std::vector<std::uint8_t>>, kObserveModes>
         cone;
@@ -156,7 +183,8 @@ class GradingSession {
   ComponentCache& slot(CutId id) {
     return cache_[static_cast<std::size_t>(id)];
   }
-  const netlist::CompiledNetlist& compiled_locked(CutId id);
+  const netlist::CompiledNetlist& compiled_locked(
+      CutId id, const netlist::CompileOptions& opts);
   const fault::ObserveSet& observe_locked(CutId id, ObserveMode mode);
   std::shared_ptr<const isa::DecodedProgram> decoded_locked(
       const isa::Program& image);

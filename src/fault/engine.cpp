@@ -36,19 +36,50 @@ Engine default_engine() {
   return Engine::kEvent;
 }
 
+bool parse_lanes(const std::string& text, unsigned& out) {
+  if (text == "1") {
+    out = 1;
+  } else if (text == "4") {
+    out = 4;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+unsigned default_lanes() {
+  if (const char* env = std::getenv("SBST_LANES")) {
+    unsigned lanes;
+    if (parse_lanes(env, lanes)) return lanes;
+  }
+  return 4;
+}
+
+bool default_netlist_opt() {
+  if (const char* env = std::getenv("SBST_NETLIST_OPT")) {
+    return std::string(env) != "0";
+  }
+  return true;
+}
+
 EngineContext::EngineContext(Engine engine, const netlist::Netlist& nl,
                              std::vector<netlist::NetId> observe,
                              const netlist::CompiledNetlist* compiled,
-                             const std::uint8_t* reach)
+                             const std::uint8_t* reach, unsigned lanes,
+                             int netlist_opt)
     : engine_(engine),
       nl_(&nl),
       observe_(detail::resolve_observe(nl, observe)) {
+  if (lanes == 0) lanes = default_lanes();
+  lanes_ = engine_ != Engine::kReference && lanes == 4 ? 4 : 1;
   nl.topo_order();  // warm the shared cache before workers touch it
   if (engine_ == Engine::kReference) return;
   if (compiled) {
     compiled_ = compiled;
   } else {
-    owned_compiled_ = std::make_unique<netlist::CompiledNetlist>(nl);
+    const bool opt = netlist_opt < 0 ? default_netlist_opt() : netlist_opt != 0;
+    owned_compiled_ = std::make_unique<netlist::CompiledNetlist>(
+        nl, opt ? netlist::CompileOptions::all() : netlist::CompileOptions{});
     compiled_ = owned_compiled_.get();
   }
   if (reach) {

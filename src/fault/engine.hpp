@@ -50,6 +50,20 @@ bool parse_engine(const std::string& name, Engine& out);
 /// environment variable if it names one, else kEvent.
 Engine default_engine();
 
+/// Lane-block width in 64-bit words when none is requested explicitly: the
+/// SBST_LANES environment variable if it parses to a supported width
+/// (1 or 4), else 4. One event-driven pass lane-packs 64*width - 1 faults.
+/// The reference engine always runs single-word and ignores this.
+unsigned default_lanes();
+
+/// Parses a lane width ("1" or "4"); returns false on anything else.
+bool parse_lanes(const std::string& text, unsigned& out);
+
+/// Whether the compiled engines run the netlist-compile optimization passes
+/// (constant propagation, inverter fusion, dead-gate sweep) when nothing is
+/// requested explicitly: SBST_NETLIST_OPT=0 disables, else enabled.
+bool default_netlist_opt();
+
 /// Immutable per-run grading artifacts for one (engine, netlist, observe
 /// set) triple: the resolved observe set, the compiled program (for the
 /// compiled engines), and the observe-cone reach prefilter. Construction
@@ -62,13 +76,20 @@ class EngineContext {
   /// all declared outputs). When the caller already owns a matching
   /// `compiled` netlist and/or `reach` prefilter (they must correspond to
   /// `nl` and `observe`), they are borrowed instead of rebuilt and must
-  /// outlive this context.
+  /// outlive this context. `lanes` is the lane-block width in words (0 =
+  /// default_lanes(); values other than 4 run single-word). `netlist_opt`
+  /// selects the compile-time optimization passes when this context builds
+  /// its own compiled netlist; a borrowed `compiled` keeps whatever options
+  /// it was built with.
   EngineContext(Engine engine, const netlist::Netlist& nl,
                 std::vector<netlist::NetId> observe,
                 const netlist::CompiledNetlist* compiled = nullptr,
-                const std::uint8_t* reach = nullptr);
+                const std::uint8_t* reach = nullptr, unsigned lanes = 0,
+                int netlist_opt = -1);
 
   Engine engine() const { return engine_; }
+  /// Resolved lane-block width in words (1 for the reference engine).
+  unsigned lanes() const { return lanes_; }
   const netlist::Netlist& netlist() const { return *nl_; }
   const std::vector<netlist::NetId>& observe() const { return observe_; }
   /// Per-gate observe-cone membership, or nullptr for the reference engine
@@ -77,21 +98,29 @@ class EngineContext {
   /// Compiled program, or nullptr for the reference engine.
   const netlist::CompiledNetlist* compiled() const { return compiled_; }
 
-  /// Calls grade(ev) on a freshly built evaluator for this engine.
+  /// Calls grade(ev) on a freshly built evaluator for this engine at the
+  /// resolved lane width. The grading templates in sim_detail.hpp are
+  /// lane-generic (Ev::kWords), so each width instantiates its own inner
+  /// loops.
   template <typename GradeFn>
   void grade_with_evaluator(const GradeFn& grade) const {
     if (engine_ == Engine::kReference) {
       netlist::Evaluator ev(*nl_);
       grade(ev);
+    } else if (lanes_ == 4) {
+      netlist::CompiledEvaluatorT<4> ev(
+          *compiled_, /*event_driven=*/engine_ == Engine::kEvent);
+      grade(ev);
     } else {
-      netlist::CompiledEvaluator ev(*compiled_,
-                                    /*event_driven=*/engine_ == Engine::kEvent);
+      netlist::CompiledEvaluatorT<1> ev(
+          *compiled_, /*event_driven=*/engine_ == Engine::kEvent);
       grade(ev);
     }
   }
 
  private:
   Engine engine_;
+  unsigned lanes_;
   const netlist::Netlist* nl_;
   std::vector<netlist::NetId> observe_;
   std::unique_ptr<netlist::CompiledNetlist> owned_compiled_;

@@ -40,8 +40,9 @@ namespace {
 /// or event-driven — with the observe-cone prefilter.
 template <typename GradeFn>
 void with_engine(Engine engine, const Netlist& nl, const ObserveSet& observe,
-                 const GradeFn& grade) {
-  const EngineContext ctx(engine, nl, observe);
+                 unsigned lanes, const GradeFn& grade) {
+  const EngineContext ctx(engine, nl, observe, /*compiled=*/nullptr,
+                          /*reach=*/nullptr, lanes);
   ctx.grade_with_evaluator([&](auto& ev) { grade(ev, ctx.reach()); });
 }
 
@@ -50,14 +51,16 @@ void with_engine(Engine engine, const Netlist& nl, const ObserveSet& observe,
 CoverageResult simulate_serial(const Netlist& nl,
                                const std::vector<Fault>& faults,
                                const PatternSet& patterns,
-                               const ObserveSet& observe_in, Engine engine) {
+                               const ObserveSet& observe_in, Engine engine,
+                               unsigned lanes) {
   detail::require_combinational(nl, "simulate_serial");
   const ObserveSet observe = detail::resolve_observe(nl, observe_in);
 
   CoverageResult res;
   res.total = faults.size();
   res.detected_flags.assign(faults.size(), 0);
-  with_engine(engine, nl, observe, [&](auto& ev, const std::uint8_t* reach) {
+  with_engine(engine, nl, observe, lanes,
+              [&](auto& ev, const std::uint8_t* reach) {
     detail::grade_serial(ev, faults, patterns, observe, reach,
                          res.detected_flags.data());
   });
@@ -68,14 +71,16 @@ CoverageResult simulate_serial(const Netlist& nl,
 CoverageResult simulate_comb(const Netlist& nl,
                              const std::vector<Fault>& faults,
                              const PatternSet& patterns,
-                             const ObserveSet& observe_in, Engine engine) {
+                             const ObserveSet& observe_in, Engine engine,
+                             unsigned lanes) {
   detail::require_combinational(nl, "simulate_comb");
   const ObserveSet observe = detail::resolve_observe(nl, observe_in);
 
   CoverageResult res;
   res.total = faults.size();
   res.detected_flags.assign(faults.size(), 0);
-  with_engine(engine, nl, observe, [&](auto& ev, const std::uint8_t* reach) {
+  with_engine(engine, nl, observe, lanes,
+              [&](auto& ev, const std::uint8_t* reach) {
     detail::grade_comb(ev, faults, patterns, observe, reach,
                        res.detected_flags.data());
   });
@@ -86,13 +91,15 @@ CoverageResult simulate_comb(const Netlist& nl,
 CoverageResult simulate_seq(const Netlist& nl,
                             const std::vector<Fault>& faults,
                             const SeqStimulus& stimulus,
-                            const ObserveSet& observe_in, Engine engine) {
+                            const ObserveSet& observe_in, Engine engine,
+                            unsigned lanes) {
   const ObserveSet observe = detail::resolve_observe(nl, observe_in);
 
   CoverageResult res;
   res.total = faults.size();
   res.detected_flags.assign(faults.size(), 0);
-  with_engine(engine, nl, observe, [&](auto& ev, const std::uint8_t* reach) {
+  with_engine(engine, nl, observe, lanes,
+              [&](auto& ev, const std::uint8_t* reach) {
     detail::grade_seq_batches(ev, faults, 0, faults.size(), stimulus, observe,
                               reach, res.detected_flags.data());
   });

@@ -34,25 +34,31 @@ using ObserveSet = std::vector<netlist::NetId>;
 
 // Each simulator accepts an evaluation Engine (engine.hpp). The default is
 // kReference so these remain the oracles the fast paths are cross-checked
-// against; detection flags are bitwise-identical for every engine.
+// against; detection flags are bitwise-identical for every engine, lane
+// width, and optimization setting. `lanes` is the lane-block width in words
+// for the compiled engines (0 = default_lanes(); the reference engine
+// ignores it).
 
 CoverageResult simulate_serial(const netlist::Netlist& nl,
                                const std::vector<Fault>& faults,
                                const PatternSet& patterns,
                                const ObserveSet& observe = {},
-                               Engine engine = Engine::kReference);
+                               Engine engine = Engine::kReference,
+                               unsigned lanes = 0);
 
 CoverageResult simulate_comb(const netlist::Netlist& nl,
                              const std::vector<Fault>& faults,
                              const PatternSet& patterns,
                              const ObserveSet& observe = {},
-                             Engine engine = Engine::kReference);
+                             Engine engine = Engine::kReference,
+                             unsigned lanes = 0);
 
 CoverageResult simulate_seq(const netlist::Netlist& nl,
                             const std::vector<Fault>& faults,
                             const SeqStimulus& stimulus,
                             const ObserveSet& observe = {},
-                            Engine engine = Engine::kReference);
+                            Engine engine = Engine::kReference,
+                            unsigned lanes = 0);
 
 /// Incremental PPSFP grading for fault-dropping loops (ATPG test-set
 /// generation): simulates `patterns` against the faults whose `flags` entry

@@ -46,6 +46,24 @@ void apply_block(Ev& ev, const PatternSet& patterns, std::size_t b) {
   }
 }
 
+/// Loads pattern blocks [b0, b0 + Ev::kWords) into the words of the
+/// evaluator's lane blocks — 64 * kWords patterns per eval. Trailing
+/// missing blocks are zero-padded (their valid-lane masks are 0, so the
+/// padding never grades anything).
+template <class Ev>
+void apply_block_group(Ev& ev, const PatternSet& patterns, std::size_t b0) {
+  constexpr unsigned W = Ev::kWords;
+  const auto& inputs = patterns.netlist().inputs();
+  const std::size_t n_blocks = patterns.block_count();
+  std::uint64_t block[W];
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    for (unsigned w = 0; w < W; ++w) {
+      block[w] = b0 + w < n_blocks ? patterns.block(b0 + w)[k] : 0;
+    }
+    ev.set_input_block(inputs[k], block);
+  }
+}
+
 /// Loads the single pattern `p` broadcast into all 64 lanes.
 template <class Ev>
 void apply_pattern_broadcast(Ev& ev, const PatternSet& patterns,
@@ -56,6 +74,9 @@ void apply_pattern_broadcast(Ev& ev, const PatternSet& patterns,
   for (std::size_t k = 0; k < inputs.size(); ++k) {
     ev.set_input(inputs[k], (words[k] >> lane) & 1u);
   }
+  // The whole stimulus just changed; a worklist pass would rediscover a
+  // netlist-wide frontier gate by gate, so ask for one level-major sweep.
+  ev.request_full_eval();
 }
 
 /// One fault at a time, one broadcast pattern at a time (the serial oracle's
@@ -87,29 +108,42 @@ void grade_serial(Ev& ev, const std::vector<Fault>& faults,
   }
 }
 
-/// PPSFP over all blocks: good pass per block, then one faulty eval per
-/// undetected fault with fault dropping.
+/// PPSFP over all blocks, Ev::kWords blocks per eval: good pass per block
+/// group, then one faulty eval per undetected fault with fault dropping.
+/// Detection flags are independent of kWords — grouping only changes how
+/// many patterns each eval carries, never whether some pattern detects a
+/// fault.
 template <class Ev>
 void grade_comb(Ev& ev, const std::vector<Fault>& faults,
                 const PatternSet& patterns, const ObserveSet& observe,
                 const std::uint8_t* reach, std::uint8_t* flags) {
-  std::vector<std::uint64_t> good_out(observe.size());
-  for (std::size_t b = 0; b < patterns.block_count(); ++b) {
-    const std::uint64_t valid = patterns.valid_lanes(b);
-    apply_block(ev, patterns, b);
+  constexpr unsigned W = Ev::kWords;
+  const std::size_t n_blocks = patterns.block_count();
+  std::vector<std::uint64_t> good_out(observe.size() * W);
+  std::uint64_t valid[W];
+  for (std::size_t b = 0; b < n_blocks; b += W) {
+    for (unsigned w = 0; w < W; ++w) {
+      valid[w] = b + w < n_blocks ? patterns.valid_lanes(b + w) : 0;
+    }
+    apply_block_group(ev, patterns, b);
     ev.eval();
     for (std::size_t o = 0; o < observe.size(); ++o) {
-      good_out[o] = ev.value(observe[o]);
+      for (unsigned w = 0; w < W; ++w) {
+        good_out[o * W + w] = ev.value_word(observe[o], w);
+      }
     }
     for (std::size_t f = 0; f < faults.size(); ++f) {
       if (flags[f]) continue;  // fault dropping
       if (reach && !reach[faults[f].site.gate]) continue;
-      ev.inject(faults[f].site, faults[f].stuck_value, ~std::uint64_t{0});
+      ev.inject_broadcast(faults[f].site, faults[f].stuck_value);
       ev.eval();
-      for (std::size_t o = 0; o < observe.size(); ++o) {
-        if ((good_out[o] ^ ev.value(observe[o])) & valid) {
-          flags[f] = 1;
-          break;
+      for (std::size_t o = 0; o < observe.size() && !flags[f]; ++o) {
+        for (unsigned w = 0; w < W; ++w) {
+          if ((good_out[o * W + w] ^ ev.value_word(observe[o], w)) &
+              valid[w]) {
+            flags[f] = 1;
+            break;
+          }
         }
       }
       ev.clear_faults();
@@ -125,22 +159,35 @@ void grade_comb_blocks(
     std::size_t end, const PatternSet& patterns, const ObserveSet& observe,
     const std::vector<std::vector<std::uint64_t>>& good_out,
     const std::uint8_t* reach, std::uint8_t* flags) {
+  constexpr unsigned W = Ev::kWords;
+  const std::size_t n_blocks = patterns.block_count();
   std::size_t undetected = end - begin;
-  for (std::size_t b = 0; b < patterns.block_count() && undetected > 0; ++b) {
-    const std::uint64_t valid = patterns.valid_lanes(b);
-    apply_block(ev, patterns, b);
+  std::uint64_t valid[W];
+  for (std::size_t b = 0; b < n_blocks && undetected > 0; b += W) {
+    for (unsigned w = 0; w < W; ++w) {
+      valid[w] = b + w < n_blocks ? patterns.valid_lanes(b + w) : 0;
+    }
+    apply_block_group(ev, patterns, b);
     ev.eval();  // good-machine baseline (the event engine branches from it)
     for (std::size_t f = begin; f < end; ++f) {
       if (flags[f]) continue;  // fault dropping
       if (reach && !reach[faults[f].site.gate]) continue;
-      ev.inject(faults[f].site, faults[f].stuck_value, ~std::uint64_t{0});
+      ev.inject_broadcast(faults[f].site, faults[f].stuck_value);
       ev.eval();
-      for (std::size_t o = 0; o < observe.size(); ++o) {
-        if ((good_out[b][o] ^ ev.value(observe[o])) & valid) {
-          flags[f] = 1;
-          --undetected;
-          break;
+      bool det = false;
+      for (std::size_t o = 0; o < observe.size() && !det; ++o) {
+        for (unsigned w = 0; w < W; ++w) {
+          if (valid[w] == 0) continue;  // padded word: no good_out row
+          if ((good_out[b + w][o] ^ ev.value_word(observe[o], w)) &
+              valid[w]) {
+            det = true;
+            break;
+          }
         }
+      }
+      if (det) {
+        flags[f] = 1;
+        --undetected;
       }
       ev.clear_faults();
     }
@@ -156,26 +203,38 @@ void grade_comb_lanes(Ev& ev, const std::vector<Fault>& faults,
                       std::size_t begin, std::size_t end,
                       const PatternSet& patterns, const ObserveSet& observe,
                       const std::uint8_t* reach, std::uint8_t* flags) {
-  for (std::size_t base = begin; base < end; base += 63) {
-    const std::size_t batch = std::min<std::size_t>(63, end - base);
+  constexpr unsigned W = Ev::kWords;
+  constexpr std::size_t kFaultLanes = 64 * W - 1;  // lane 0 = good machine
+  for (std::size_t base = begin; base < end; base += kFaultLanes) {
+    const std::size_t batch = std::min<std::size_t>(kFaultLanes, end - base);
     ev.clear_faults();
-    std::uint64_t batch_lanes = 0;
+    std::uint64_t batch_lanes[W] = {};
     for (std::size_t j = 0; j < batch; ++j) {
       const Fault& f = faults[base + j];
       if (reach && !reach[f.site.gate]) continue;
-      ev.inject(f.site, f.stuck_value, std::uint64_t{1} << (j + 1));
-      batch_lanes |= std::uint64_t{1} << (j + 1);
+      ev.inject_lane(f.site, f.stuck_value, static_cast<unsigned>(j + 1));
+      batch_lanes[(j + 1) / 64] |= std::uint64_t{1} << ((j + 1) % 64);
     }
-    std::uint64_t detected = 0;
-    for (std::size_t p = 0;
-         p < patterns.size() && (detected & batch_lanes) != batch_lanes;
-         ++p) {
+    std::uint64_t detected[W] = {};
+    auto all_done = [&] {
+      for (unsigned w = 0; w < W; ++w) {
+        if ((detected[w] & batch_lanes[w]) != batch_lanes[w]) return false;
+      }
+      return true;
+    };
+    for (std::size_t p = 0; p < patterns.size() && !all_done(); ++p) {
       apply_pattern_broadcast(ev, patterns, p);
       ev.eval();
-      for (netlist::NetId out : observe) detected |= ev.diff_mask(out, 0);
+      for (netlist::NetId out : observe) {
+        for (unsigned w = 0; w < W; ++w) {
+          detected[w] |= ev.diff_word(out, w, 0);
+        }
+      }
     }
     for (std::size_t j = 0; j < batch; ++j) {
-      if ((detected >> (j + 1)) & 1u) flags[base + j] = 1;
+      if ((detected[(j + 1) / 64] >> ((j + 1) % 64)) & 1u) {
+        flags[base + j] = 1;
+      }
     }
   }
 }
@@ -186,30 +245,38 @@ void grade_seq_batches(Ev& ev, const std::vector<Fault>& faults,
                        std::size_t begin, std::size_t end,
                        const SeqStimulus& stimulus, const ObserveSet& observe,
                        const std::uint8_t* reach, std::uint8_t* flags) {
+  constexpr unsigned W = Ev::kWords;
+  constexpr std::size_t kFaultLanes = 64 * W - 1;  // lane 0 = good machine
   const auto& inputs = ev.netlist().inputs();
-  for (std::size_t base = begin; base < end; base += 63) {
-    const std::size_t batch = std::min<std::size_t>(63, end - base);
+  for (std::size_t base = begin; base < end; base += kFaultLanes) {
+    const std::size_t batch = std::min<std::size_t>(kFaultLanes, end - base);
     ev.clear_faults();
     ev.reset_state(false);
     for (std::size_t j = 0; j < batch; ++j) {
       const Fault& f = faults[base + j];
       if (reach && !reach[f.site.gate]) continue;
-      ev.inject(f.site, f.stuck_value, std::uint64_t{1} << (j + 1));
+      ev.inject_lane(f.site, f.stuck_value, static_cast<unsigned>(j + 1));
     }
-    std::uint64_t detected_lanes = 0;
+    std::uint64_t detected[W] = {};
     for (std::size_t c = 0; c < stimulus.size(); ++c) {
       for (std::size_t k = 0; k < inputs.size(); ++k) {
         ev.set_input(inputs[k], stimulus.input_bit(c, k));
       }
+      // Every input changes each cycle, so the frontier is netlist-wide.
+      ev.request_full_eval();
       ev.step();
       if (stimulus.observed(c)) {
         for (netlist::NetId out : observe) {
-          detected_lanes |= ev.diff_mask(out, 0);
+          for (unsigned w = 0; w < W; ++w) {
+            detected[w] |= ev.diff_word(out, w, 0);
+          }
         }
       }
     }
     for (std::size_t j = 0; j < batch; ++j) {
-      if ((detected_lanes >> (j + 1)) & 1u) flags[base + j] = 1;
+      if ((detected[(j + 1) / 64] >> ((j + 1) % 64)) & 1u) {
+        flags[base + j] = 1;
+      }
     }
   }
 }

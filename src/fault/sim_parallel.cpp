@@ -1,6 +1,7 @@
 #include "fault/sim_parallel.hpp"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "common/bits.hpp"
 #include "fault/sim_detail.hpp"
@@ -10,10 +11,16 @@ namespace sbst::fault {
 
 namespace {
 
-// Faults per fault-partitioned task. A multiple of 63 keeps the lane-packed
-// batches full; small enough that static striding load-balances fault
-// dropping, large enough to amortize per-task evaluator construction.
-constexpr std::size_t kChunkFaults = 63 * 16;
+// Faults per fault-partitioned task: a multiple of the context's lane-packed
+// batch size (64 * lanes - 1), so batches stay full; small enough that
+// static striding load-balances fault dropping, large enough to amortize
+// per-task evaluator construction. Depends only on the context (never the
+// thread count), so chunk boundaries — and therefore flags — stay
+// deterministic.
+std::size_t chunk_faults(const EngineContext& ctx) {
+  const std::size_t batch = 64 * ctx.lanes() - 1;
+  return batch * std::max<std::size_t>(1, 1008 / batch);
+}
 
 /// Runs a plan on the external pool if one was lent in, else on a per-call
 /// pool sized by the usual num_threads resolution.
@@ -38,22 +45,27 @@ void GradingPlan::add_comb(const EngineContext& ctx,
   if (faults.empty()) return;
   std::uint8_t* flags = out.detected_flags.data();
 
+  const std::size_t chunk = chunk_faults(ctx);
   if (!lane_parallel) {
     // Fault-free responses, computed once here and shared read-only by every
     // chunk task of this grading.
     auto& good_out = good_storage_.emplace_back(patterns.block_count());
     ctx.grade_with_evaluator([&](auto& good) {
-      for (std::size_t b = 0; b < patterns.block_count(); ++b) {
-        detail::apply_block(good, patterns, b);
+      constexpr unsigned W = std::decay_t<decltype(good)>::kWords;
+      const std::size_t n_blocks = patterns.block_count();
+      for (std::size_t b = 0; b < n_blocks; b += W) {
+        detail::apply_block_group(good, patterns, b);
         good.eval();
-        good_out[b].resize(ctx.observe().size());
-        for (std::size_t o = 0; o < ctx.observe().size(); ++o) {
-          good_out[b][o] = good.value(ctx.observe()[o]);
+        for (unsigned w = 0; w < W && b + w < n_blocks; ++w) {
+          good_out[b + w].resize(ctx.observe().size());
+          for (std::size_t o = 0; o < ctx.observe().size(); ++o) {
+            good_out[b + w][o] = good.value_word(ctx.observe()[o], w);
+          }
         }
       }
     });
-    for (std::size_t begin = 0; begin < faults.size(); begin += kChunkFaults) {
-      const std::size_t end = std::min(begin + kChunkFaults, faults.size());
+    for (std::size_t begin = 0; begin < faults.size(); begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, faults.size());
       tasks_.push_back([&ctx, &faults, &patterns, &good_out, flags, begin,
                         end] {
         ctx.grade_with_evaluator([&](auto& ev) {
@@ -66,8 +78,8 @@ void GradingPlan::add_comb(const EngineContext& ctx,
     return;
   }
 
-  for (std::size_t begin = 0; begin < faults.size(); begin += kChunkFaults) {
-    const std::size_t end = std::min(begin + kChunkFaults, faults.size());
+  for (std::size_t begin = 0; begin < faults.size(); begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, faults.size());
     tasks_.push_back([&ctx, &faults, &patterns, flags, begin, end] {
       ctx.grade_with_evaluator([&](auto& ev) {
         detail::grade_comb_lanes(ev, faults, begin, end, patterns,
@@ -85,8 +97,9 @@ void GradingPlan::add_seq(const EngineContext& ctx,
   if (faults.empty()) return;
   std::uint8_t* flags = out.detected_flags.data();
 
-  for (std::size_t begin = 0; begin < faults.size(); begin += kChunkFaults) {
-    const std::size_t end = std::min(begin + kChunkFaults, faults.size());
+  const std::size_t chunk = chunk_faults(ctx);
+  for (std::size_t begin = 0; begin < faults.size(); begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, faults.size());
     tasks_.push_back([&ctx, &faults, &stimulus, flags, begin, end] {
       ctx.grade_with_evaluator([&](auto& ev) {
         detail::grade_seq_batches(ev, faults, begin, end, stimulus,
@@ -122,7 +135,7 @@ CoverageResult simulate_comb_parallel(const netlist::Netlist& nl,
                                       const SimOptions& options) {
   detail::require_combinational(nl, "simulate_comb_parallel");
   const EngineContext ctx(options.engine, nl, observe, options.compiled,
-                          options.reach);
+                          options.reach, options.lanes, options.netlist_opt);
   CoverageResult res;
   GradingPlan plan;
   plan.add_comb(ctx, faults, patterns, options.lane_parallel, res);
@@ -137,7 +150,7 @@ CoverageResult simulate_seq_parallel(const netlist::Netlist& nl,
                                      const ObserveSet& observe,
                                      const SimOptions& options) {
   const EngineContext ctx(options.engine, nl, observe, options.compiled,
-                          options.reach);
+                          options.reach, options.lanes, options.netlist_opt);
   CoverageResult res;
   GradingPlan plan;
   plan.add_seq(ctx, faults, stimulus, res);

@@ -32,6 +32,12 @@ struct Site {
 
 class Evaluator {
  public:
+  /// Words per lane block. The reference evaluator is fixed at one 64-bit
+  /// word; the constant lets lane-generic grading templates (sim_detail.hpp)
+  /// treat it uniformly with CompiledEvaluatorT<W>.
+  static constexpr unsigned kWords = 1;
+  static constexpr unsigned kLanes = 64;
+
   explicit Evaluator(const Netlist& nl);
 
   const Netlist& netlist() const { return *nl_; }
@@ -44,6 +50,10 @@ class Evaluator {
   }
   /// Sets the raw 64-lane word of an input net.
   void set_input_word(NetId net, std::uint64_t word) { inputs_[net] = word; }
+  /// Block form (kWords words) of set_input_word, for lane-generic callers.
+  void set_input_block(NetId net, const std::uint64_t* words) {
+    inputs_[net] = words[0];
+  }
 
   /// Drives a bus from an integer (bit i of `value` -> bus[i]), broadcast.
   void set_bus(const Bus& bus, std::uint64_t value);
@@ -54,6 +64,14 @@ class Evaluator {
 
   /// Forces `site` to `stuck_value` in the lanes selected by `lane_mask`.
   void inject(const Site& site, bool stuck_value, std::uint64_t lane_mask);
+  /// Forces a single lane in [0, kLanes).
+  void inject_lane(const Site& site, bool stuck_value, unsigned lane) {
+    inject(site, stuck_value, std::uint64_t{1} << lane);
+  }
+  /// Forces every lane.
+  void inject_broadcast(const Site& site, bool stuck_value) {
+    inject(site, stuck_value, ~std::uint64_t{0});
+  }
   void clear_faults();
   bool has_faults() const { return has_faults_; }
 
@@ -61,6 +79,11 @@ class Evaluator {
 
   /// Evaluates all combinational logic (DFF outputs hold current state).
   void eval();
+
+  /// Hint that the whole stimulus changed (lane-generic callers issue this
+  /// when broadcasting a fresh pattern). The reference evaluator always
+  /// sweeps the full netlist, so this is a no-op.
+  void request_full_eval() {}
 
   /// eval() and then clocks all DFFs (state <- D).
   void step();
@@ -72,9 +95,18 @@ class Evaluator {
 
   /// Raw 64-lane word on a net after eval().
   std::uint64_t value(NetId net) const { return values_[net]; }
+  /// Word `w` of a net's lane block (w must be 0 here).
+  std::uint64_t value_word(NetId net, unsigned /*w*/) const {
+    return values_[net];
+  }
 
   /// Lanes (as a mask) in which `net` differs from lane `ref_lane`.
   std::uint64_t diff_mask(NetId net, unsigned ref_lane = 0) const;
+  /// Lanes of word `w` differing from reference lane `ref_lane` of word 0.
+  std::uint64_t diff_word(NetId net, unsigned /*w*/,
+                          unsigned ref_lane = 0) const {
+    return diff_mask(net, ref_lane);
+  }
 
  private:
   std::uint64_t apply_output_force(NetId id, std::uint64_t v) const {

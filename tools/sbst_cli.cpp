@@ -21,6 +21,14 @@
 //   --no-lane-parallel   disable PPSFP lane packing of faults
 //   --engine NAME        evaluation engine: reference | compiled | event
 //                        (also SBST_ENGINE env var; default: event)
+//   --lanes N            lane-block width in 64-bit words for the compiled
+//                        engines: 1 or 4 (also SBST_LANES env var; default
+//                        4 = 255 faults + good machine per pass; results
+//                        are identical for every width)
+//   --netlist-opt / --no-netlist-opt
+//                        netlist-compile optimization passes (const prop,
+//                        inverter fusion, dead sweep; also SBST_NETLIST_OPT
+//                        env var; default on; results identical either way)
 //   --session-cache / --no-session-cache
 //                        reuse grading artifacts (fault universes, compiled
 //                        netlists, observe cones) across gradings (default
@@ -74,6 +82,14 @@ int usage() {
       "         --engine NAME        reference | compiled | event (env "
       "SBST_ENGINE;\n"
       "                              default: event)\n"
+      "         --lanes N            lane-block width in words: 1 | 4 (env "
+      "SBST_LANES;\n"
+      "                              default 4; identical results)\n"
+      "         --netlist-opt / --no-netlist-opt\n"
+      "                              netlist-compile optimization passes "
+      "(env\n"
+      "                              SBST_NETLIST_OPT; default on; identical "
+      "results)\n"
       "         --session-cache / --no-session-cache\n"
       "                              reuse grading artifacts across "
       "gradings\n"
@@ -232,15 +248,37 @@ void print_cpu_stats(const sim::ExecStats& s) {
                1e6 * s.seconds(57e6));
 }
 
+// Selected engine / lane / optimization configuration, resolved to what the
+// gradings will actually run. Stderr only: stdout is golden-diffed across
+// widths and engines.
+void print_engine_config(const fault::SimOptions& sim) {
+  const bool reference = sim.engine == fault::Engine::kReference;
+  const unsigned lanes =
+      reference ? 1
+                : (sim.lanes == 0 ? fault::default_lanes()
+                                  : (sim.lanes == 4 ? 4u : 1u));
+  const bool opt = !reference &&
+                   (sim.netlist_opt < 0 ? fault::default_netlist_opt()
+                                        : sim.netlist_opt != 0);
+  std::fprintf(stderr,
+               "# config: engine %s, lanes %u (%u fault lanes/pass), "
+               "netlist-opt %s\n",
+               fault::engine_name(sim.engine), lanes, 64 * lanes - 1,
+               opt ? "on" : "off");
+}
+
 int cmd_evaluate(const ProcessorModel& model, const fault::SimOptions& sim,
                  bool session_cache, bool cpu_stats) {
+  print_engine_config(sim);
   TestProgramBuilder builder;
   builder.add_default_routines(model);
   const TestProgram program = builder.build();
   EvalOptions options;
   options.sim = sim;
-  GradingSession session(
-      model, {.num_threads = sim.num_threads, .cache = session_cache});
+  GradingSession session(model, {.num_threads = sim.num_threads,
+                                 .cache = session_cache,
+                                 .lanes = sim.lanes,
+                                 .netlist_opt = sim.netlist_opt});
   const ProgramEvaluation ev =
       evaluate_program(session, builder, program, options);
   Table t({"Component", "FC (%)", "Miss. FC (%)"});
@@ -275,11 +313,14 @@ int cmd_evaluate(const ProcessorModel& model, const fault::SimOptions& sim,
 int cmd_campaign(const ProcessorModel& model, const fault::SimOptions& sim,
                  bool session_cache, double budget_factor,
                  std::size_t max_faults, const std::vector<CutId>& cuts) {
+  print_engine_config(sim);
   TestProgramBuilder builder;
   builder.add_default_routines(model);
   const TestProgram program = builder.build();
   GradingSession session(model, {.num_threads = sim.num_threads,
                                  .cache = session_cache,
+                                 .lanes = sim.lanes,
+                                 .netlist_opt = sim.netlist_opt,
                                  .budget_factor = budget_factor});
   const auto t0 = std::chrono::steady_clock::now();
   OutcomeHistogram total;
@@ -367,8 +408,10 @@ int cmd_conform_run(const ProcessorModel& model, const fault::SimOptions& sim,
   const auto t0 = std::chrono::steady_clock::now();
   const conform::Corpus corpus = conform::load_corpus(dir);
   const auto t1 = std::chrono::steady_clock::now();
-  GradingSession session(
-      model, {.num_threads = sim.num_threads, .cache = session_cache});
+  GradingSession session(model, {.num_threads = sim.num_threads,
+                                 .cache = session_cache,
+                                 .lanes = sim.lanes,
+                                 .netlist_opt = sim.netlist_opt});
   const conform::ConformRunner runner(&session);
   const conform::ConformReport report = runner.run(corpus);
   const auto t2 = std::chrono::steady_clock::now();
@@ -474,6 +517,18 @@ int main(int argc, char** argv) {
         name = argv[++i];
       }
       if (!fault::parse_engine(name, sim.engine)) return usage();
+    } else if (std::strcmp(a, "--lanes") == 0 ||
+               std::strncmp(a, "--lanes=", 8) == 0) {
+      const char* value = a[7] == '=' ? a + 8 : nullptr;
+      if (!value) {
+        if (i + 1 >= argc) return usage();
+        value = argv[++i];
+      }
+      if (!fault::parse_lanes(value, sim.lanes)) return usage();
+    } else if (std::strcmp(a, "--netlist-opt") == 0) {
+      sim.netlist_opt = 1;
+    } else if (std::strcmp(a, "--no-netlist-opt") == 0) {
+      sim.netlist_opt = 0;
     } else {
       args.push_back(a);
     }
