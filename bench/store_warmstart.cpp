@@ -1,0 +1,168 @@
+// Persistent-store warm-start: cold vs warm per-stage build times.
+//
+// Runs the full-program evaluation three times, each in a FRESH
+// GradingSession (so nothing carries over in memory):
+//
+//   off    no persistent store — every artifact built from scratch
+//   cold   fresh store directory — builds everything, writes it back
+//   warm   same directory again — every store-covered artifact deserializes
+//          instead of rebuilding
+//
+// Each pass times the artifact stages separately (fault-universe collapse,
+// netlist compile, program decode, fault-free good run) by touching them
+// through the session accessors before the final grading, exactly as
+// evaluate_program would. The three evaluations are also diffed — a warm
+// speedup that changed coverage numbers would be a correctness bug, so any
+// mismatch is a hard failure.
+//
+// Usage: store_warmstart [store-dir]   (default: ./.bench-store, wiped)
+// Emits a table to stdout and machine-readable BENCH_store.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/tablefmt.hpp"
+#include "core/evaluate.hpp"
+#include "store/artifact_store.hpp"
+
+using namespace sbst;
+using namespace sbst::core;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct PassTimes {
+  std::string key;
+  double collapse = 0, compile = 0, decode = 0, goodrun = 0, grade = 0;
+  double total() const {
+    return collapse + compile + decode + goodrun + grade;
+  }
+  SessionStats stats;
+  double fc = 0;
+};
+
+PassTimes run_pass(const std::string& key, const ProcessorModel& model,
+                   TestProgramBuilder& builder, const TestProgram& program,
+                   std::shared_ptr<store::ArtifactStore> store) {
+  PassTimes t;
+  t.key = key;
+  SessionOptions sopts;
+  sopts.store = store;
+  GradingSession session(model, sopts);
+  const EvalOptions options;
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (const ComponentInfo& c : model.components()) session.universe(c.id);
+  t.collapse = seconds_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  for (const ComponentInfo& c : model.components()) session.compiled(c.id);
+  t.compile = seconds_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  session.decoded(program.image);
+  t.decode = seconds_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  session.good_run(program);
+  t.goodrun = seconds_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  const ProgramEvaluation ev =
+      evaluate_program(session, builder, program, options);
+  t.grade = seconds_since(t0);
+
+  t.stats = session.stats();
+  t.fc = ev.overall_fc();
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".bench-store";
+  std::filesystem::remove_all(dir);
+
+  ProcessorModel model;
+  TestProgramBuilder builder;
+  builder.add_default_routines(model);
+  const TestProgram program = builder.build();
+
+  const PassTimes off = run_pass("off", model, builder, program, nullptr);
+  auto store = std::make_shared<store::ArtifactStore>(dir);
+  const PassTimes cold = run_pass("cold", model, builder, program, store);
+  const PassTimes warm = run_pass("warm", model, builder, program, store);
+
+  if (warm.fc != cold.fc || cold.fc != off.fc) {
+    std::fprintf(stderr,
+                 "FAIL: coverage diverged (off %.6f cold %.6f warm %.6f)\n",
+                 off.fc, cold.fc, warm.fc);
+    return 1;
+  }
+  if (warm.stats.store_hits == 0) {
+    std::fprintf(stderr, "FAIL: warm pass had no store hits\n");
+    return 1;
+  }
+  if (warm.stats.universe_builds != 0 || warm.stats.decode_builds != 0 ||
+      warm.stats.goodrun_builds != 0) {
+    std::fprintf(stderr, "FAIL: warm pass rebuilt store-covered artifacts\n");
+    return 1;
+  }
+
+  Table t({"Pass", "Collapse (s)", "Compile (s)", "Decode (s)",
+           "Good run (s)", "Grade (s)", "Total (s)", "Store hits",
+           "Store writes"});
+  for (const PassTimes* p : {&off, &cold, &warm}) {
+    t.add_row({p->key, Table::num(p->collapse, 4), Table::num(p->compile, 4),
+               Table::num(p->decode, 4), Table::num(p->goodrun, 4),
+               Table::num(p->grade, 4), Table::num(p->total(), 4),
+               Table::num(static_cast<std::uint64_t>(p->stats.store_hits)),
+               Table::num(static_cast<std::uint64_t>(p->stats.store_writes))});
+  }
+  t.print();
+  const double prep_cold =
+      cold.collapse + cold.compile + cold.decode + cold.goodrun;
+  const double prep_warm =
+      warm.collapse + warm.compile + warm.decode + warm.goodrun;
+  std::printf("warm-start: artifact prep %.4f s cold -> %.4f s warm "
+              "(%.2fx), overall FC %.2f%% in all passes\n",
+              prep_cold, prep_warm,
+              prep_warm > 0 ? prep_cold / prep_warm : 0.0, warm.fc);
+
+  std::FILE* json = std::fopen("BENCH_store.json", "w");
+  if (!json) {
+    std::perror("BENCH_store.json");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"passes\": [\n");
+  bool first = true;
+  for (const PassTimes* p : {&off, &cold, &warm}) {
+    std::fprintf(
+        json,
+        "%s    {\"pass\": \"%s\", \"collapse_s\": %.6f, \"compile_s\": %.6f, "
+        "\"decode_s\": %.6f, \"goodrun_s\": %.6f, \"grade_s\": %.6f, "
+        "\"total_s\": %.6f, \"store_hits\": %zu, \"store_misses\": %zu, "
+        "\"store_writes\": %zu}",
+        first ? "" : ",\n", p->key.c_str(), p->collapse, p->compile,
+        p->decode,
+        p->goodrun, p->grade, p->total(), p->stats.store_hits,
+        p->stats.store_misses, p->stats.store_writes);
+    first = false;
+  }
+  std::fprintf(json,
+               "\n  ],\n  \"prep_cold_s\": %.6f,\n  \"prep_warm_s\": %.6f,\n"
+               "  \"prep_speedup\": %.3f,\n  \"overall_fc\": %.6f\n}\n",
+               prep_cold, prep_warm,
+               prep_warm > 0 ? prep_cold / prep_warm : 0.0, warm.fc);
+  std::fclose(json);
+  std::puts("wrote BENCH_store.json");
+  return 0;
+}

@@ -48,7 +48,9 @@ TestGenResult generate_atpg_tests(const Netlist& nl,
   // marking happen once (or are borrowed from a session), and already-set
   // flags short-circuit re-simulation of retired faults.
   const fault::EngineContext ctx(options.engine, nl, observe,
-                                 options.compiled);
+                                 options.compiled, /*reach=*/nullptr,
+                                 /*lanes=*/0, /*netlist_opt=*/-1,
+                                 options.store);
 
   // Pending patterns not yet fault-simulated.
   PatternSet pending(nl);

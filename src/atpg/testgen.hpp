@@ -44,6 +44,9 @@ struct TestGenOptions {
   /// Pre-compiled netlist lent in by a long-lived caller (GradingSession);
   /// must match the netlist under test. nullptr = compile per call.
   const netlist::CompiledNetlist* compiled = nullptr;
+  /// Persistent artifact store for the fault-dropping engine's compiled
+  /// netlist when none is lent in; generated tests are identical either way.
+  store::ArtifactStore* store = nullptr;
 };
 
 TestGenResult generate_atpg_tests(const netlist::Netlist& nl,

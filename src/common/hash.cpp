@@ -1,0 +1,17 @@
+#include "common/hash.hpp"
+
+namespace sbst::common {
+
+void Fnv1a::mix_bytes(const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) mix_byte(p[i]);
+}
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t n,
+                          std::uint64_t seed) {
+  Fnv1a acc(seed);
+  acc.mix_bytes(data, n);
+  return acc.value();
+}
+
+}  // namespace sbst::common

@@ -1,0 +1,62 @@
+// Shared 64-bit FNV-1a hashing.
+//
+// One implementation serves every content-addressing use in the tree: the
+// conformance-corpus identity stamp (conform/case.cpp), the session's
+// program-cache scan keys (core/session.cpp), and the artifact-store entry
+// keys and payload checksums (store/artifact_store.cpp). FNV-1a is not
+// collision-resistant, so every consumer either compares the full key bytes
+// after the hash narrows the search (session caches, store entries) or
+// treats the value as an identity stamp over bytes it also stores verbatim
+// (the corpus manifest).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sbst::common {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Incremental FNV-1a accumulator. Multi-byte integers are mixed in
+/// little-endian byte order regardless of host endianness, so hashes are
+/// stable across platforms (they end up in on-disk store keys).
+class Fnv1a {
+ public:
+  constexpr Fnv1a() = default;
+  explicit constexpr Fnv1a(std::uint64_t seed) : state_(seed) {}
+
+  constexpr void mix_byte(std::uint8_t b) {
+    state_ ^= b;
+    state_ *= kFnvPrime;
+  }
+  void mix_bytes(const void* data, std::size_t n);
+  void mix_string(std::string_view s) { mix_bytes(s.data(), s.size()); }
+  constexpr void mix_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) mix_byte((v >> (i * 8)) & 0xffu);
+  }
+  constexpr void mix_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte((v >> (i * 8)) & 0xffu);
+  }
+
+  constexpr std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kFnvOffsetBasis;
+};
+
+/// One-shot FNV-1a over a byte range.
+std::uint64_t fnv1a_bytes(const void* data, std::size_t n,
+                          std::uint64_t seed = kFnvOffsetBasis);
+
+/// Folds the 8 little-endian bytes of `v` into a running hash — the legacy
+/// session-cache mixing step (bit-compatible with the fnv64 helper this
+/// replaces).
+constexpr std::uint64_t fnv1a_mix_u64(std::uint64_t h, std::uint64_t v) {
+  Fnv1a acc(h);
+  acc.mix_u64(v);
+  return acc.value();
+}
+
+}  // namespace sbst::common

@@ -1,0 +1,129 @@
+#include "common/serialize.hpp"
+
+#include <cstring>
+
+namespace sbst::common {
+
+void ByteWriter::put_u16(std::uint16_t v) {
+  put_u8(v & 0xffu);
+  put_u8((v >> 8) & 0xffu);
+}
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) put_u8((v >> (i * 8)) & 0xffu);
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) put_u8((v >> (i * 8)) & 0xffu);
+}
+
+void ByteWriter::put_bytes(const void* data, std::size_t n) {
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  out_.insert(out_.end(), p, p + n);
+}
+
+void ByteWriter::put_string(std::string_view s) {
+  put_u64(s.size());
+  put_bytes(s.data(), s.size());
+}
+
+void ByteWriter::put_vec_u8(const std::vector<std::uint8_t>& v) {
+  put_u64(v.size());
+  put_bytes(v.data(), v.size());
+}
+
+void ByteWriter::put_vec_u32(const std::vector<std::uint32_t>& v) {
+  put_u64(v.size());
+  for (const std::uint32_t x : v) put_u32(x);
+}
+
+void ByteWriter::put_vec_u64(const std::vector<std::uint64_t>& v) {
+  put_u64(v.size());
+  for (const std::uint64_t x : v) put_u64(x);
+}
+
+std::uint8_t ByteReader::get_u8() {
+  if (!ok_ || pos_ >= size_) {
+    ok_ = false;
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::get_u16() {
+  std::uint16_t v = get_u8();
+  v |= static_cast<std::uint16_t>(get_u8()) << 8;
+  return ok_ ? v : 0;
+}
+
+std::uint32_t ByteReader::get_u32() {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(get_u8()) << (i * 8);
+  }
+  return ok_ ? v : 0;
+}
+
+std::uint64_t ByteReader::get_u64() {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(get_u8()) << (i * 8);
+  }
+  return ok_ ? v : 0;
+}
+
+void ByteReader::get_bytes(void* out, std::size_t n) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    std::memset(out, 0, n);
+    return;
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+}
+
+std::size_t ByteReader::get_count(std::size_t elem_size) {
+  const std::uint64_t count = get_u64();
+  // elem_size >= 1 for every caller; the division keeps the overflow check
+  // exact for multi-byte elements.
+  if (!ok_ || (elem_size != 0 && count > remaining() / elem_size)) {
+    ok_ = false;
+    return 0;
+  }
+  return static_cast<std::size_t>(count);
+}
+
+std::string ByteReader::get_string() {
+  const std::size_t n = get_count(1);
+  std::string s(n, '\0');
+  if (n != 0) get_bytes(s.data(), n);
+  return ok_ ? s : std::string{};
+}
+
+std::vector<std::uint8_t> ByteReader::get_vec_u8() {
+  const std::size_t n = get_count(1);
+  std::vector<std::uint8_t> v(n);
+  if (n != 0) get_bytes(v.data(), n);
+  if (!ok_) v.clear();
+  return v;
+}
+
+std::vector<std::uint32_t> ByteReader::get_vec_u32() {
+  const std::size_t n = get_count(4);
+  std::vector<std::uint32_t> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(get_u32());
+  if (!ok_) v.clear();
+  return v;
+}
+
+std::vector<std::uint64_t> ByteReader::get_vec_u64() {
+  const std::size_t n = get_count(8);
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(get_u64());
+  if (!ok_) v.clear();
+  return v;
+}
+
+}  // namespace sbst::common

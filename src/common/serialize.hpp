@@ -1,0 +1,93 @@
+// Bounds-checked binary serialization primitives for artifact persistence.
+//
+// Every expensive grading artifact (compiled netlists, collapsed fault
+// universes, decoded programs, good runs, pattern sets) encodes itself with
+// a ByteWriter and rebuilds itself with a ByteReader. The contract that
+// makes the on-disk store safe:
+//
+//  * ByteWriter emits fixed-width little-endian integers, so images are
+//    byte-identical across hosts and a content hash of the bytes is a
+//    stable identity.
+//  * ByteReader NEVER reads out of bounds and NEVER throws: any overrun or
+//    malformed length sets a sticky failure flag and yields zeros from then
+//    on. Decoders check ok() (plus their own semantic validation) and
+//    report failure; the store then falls back to a clean rebuild. A
+//    truncated or bit-flipped blob must never crash the process or smuggle
+//    in garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbst::common {
+
+class ByteWriter {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return out_; }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_bytes(const void* data, std::size_t n);
+  /// Length-prefixed (u64) string.
+  void put_string(std::string_view s);
+
+  /// Length-prefixed (u64 count) vector of fixed-width integers.
+  void put_vec_u8(const std::vector<std::uint8_t>& v);
+  void put_vec_u32(const std::vector<std::uint32_t>& v);
+  void put_vec_u64(const std::vector<std::uint64_t>& v);
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t n)
+      : data_(data), size_(n) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  /// False once any read overran the buffer or a length prefix was
+  /// implausible. Sticky: all subsequent reads yield zeros/empties.
+  bool ok() const { return ok_; }
+  /// True when every byte has been consumed and no read failed — decoders
+  /// use this to reject trailing garbage.
+  bool at_end() const { return ok_ && pos_ == size_; }
+  std::size_t remaining() const { return ok_ ? size_ - pos_ : 0; }
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  bool get_bool() { return get_u8() != 0; }
+  /// Copies `n` bytes out; zero-fills (and fails) on overrun.
+  void get_bytes(void* out, std::size_t n);
+  std::string get_string();
+
+  std::vector<std::uint8_t> get_vec_u8();
+  std::vector<std::uint32_t> get_vec_u32();
+  std::vector<std::uint64_t> get_vec_u64();
+
+  /// Reads a u64 element count and fails unless count * elem_size bytes
+  /// actually remain — the guard that keeps a corrupt length prefix from
+  /// requesting a multi-gigabyte allocation.
+  std::size_t get_count(std::size_t elem_size);
+
+  void fail() { ok_ = false; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace sbst::common

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/hash.hpp"
 #include "conform/json.hpp"
 
 namespace sbst::conform {
@@ -268,25 +269,18 @@ ConformCase parse_case(const std::string& line) {
 }
 
 std::uint64_t corpus_content_hash(const Corpus& corpus) {
-  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
-  const auto mix = [&h](const char* data, std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) {
-      h ^= static_cast<unsigned char>(data[i]);
-      h *= 1099511628211ull;  // FNV prime
-    }
-  };
+  common::Fnv1a h;
   // Serialization order (class-grouped), NOT raw corpus order: a freshly
   // generated corpus interleaves classes while a loaded one is grouped per
   // file, and the identity stamp must agree between the two.
   for (const std::string& cls : corpus_class_names(corpus)) {
     for (const ConformCase& c : corpus.cases) {
       if (c.cls != cls) continue;
-      const std::string line = write_case(c);
-      mix(line.data(), line.size());
-      mix("\n", 1);
+      h.mix_string(write_case(c));
+      h.mix_byte('\n');
     }
   }
-  return h;
+  return h.value();
 }
 
 std::vector<std::string> corpus_class_names(const Corpus& corpus) {

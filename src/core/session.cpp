@@ -1,21 +1,22 @@
 #include "core/session.hpp"
 
+#include "common/hash.hpp"
+#include "common/serialize.hpp"
+#include "fault/engine.hpp"
+
 namespace sbst::core {
 
 namespace {
 
-// 64-bit FNV-1a folded over 8-byte values; only a scan accelerator — every
-// cache probe still compares the full key.
+// In-memory scan accelerator for the program-level caches; every probe
+// still compares the full key. (Bit-compatible with common::fnv1a_bytes
+// folded over little-endian u64 values.)
 std::uint64_t fnv64(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (i * 8)) & 0xffu;
-    h *= 1099511628211ull;
-  }
-  return h;
+  return common::fnv1a_mix_u64(h, v);
 }
 
 std::uint64_t hash_image(const isa::Program& image) {
-  std::uint64_t h = 1469598103934665603ull;
+  std::uint64_t h = common::kFnvOffsetBasis;
   h = fnv64(h, image.base);
   h = fnv64(h, image.words.size());
   for (const std::uint32_t w : image.words) h = fnv64(h, w);
@@ -53,6 +54,127 @@ bool cpu_config_equal(const sim::CpuConfig& a, const sim::CpuConfig& b) {
          a.mem_bytes == b.mem_bytes &&
          cache_config_equal(a.icache, b.icache) &&
          cache_config_equal(a.dcache, b.dcache);
+}
+
+// ---- canonical artifact keys ----------------------------------------------
+// One constructor per kind, zeroing every irrelevant axis (see ArtifactKey).
+// Compiled netlists use fault::compiled_store_key so the session and
+// EngineContext agree on the key.
+
+store::ArtifactKey universe_key(const netlist::Netlist& nl) {
+  store::ArtifactKey k;
+  k.kind = "universe";
+  k.version = fault::FaultUniverse::kSerialVersion;
+  k.content = nl.content_hash();
+  return k;
+}
+
+store::ArtifactKey observe_key(CutId id, ObserveMode mode,
+                               const netlist::Netlist& nl) {
+  store::ArtifactKey k;
+  k.kind = "observe";
+  k.cut = static_cast<std::uint32_t>(id);
+  k.mode = static_cast<std::uint8_t>(mode);
+  k.content = nl.content_hash();
+  return k;
+}
+
+store::ArtifactKey cone_key(CutId id, ObserveMode mode,
+                            const netlist::Netlist& nl) {
+  store::ArtifactKey k;
+  k.kind = "cone";
+  k.cut = static_cast<std::uint32_t>(id);
+  k.mode = static_cast<std::uint8_t>(mode);
+  k.content = nl.content_hash();
+  return k;
+}
+
+store::ArtifactKey patterns_key(const netlist::Netlist& nl,
+                                const std::string& tag) {
+  store::ArtifactKey k;
+  k.kind = "patterns";
+  k.version = fault::PatternSet::kSerialVersion;
+  k.content = nl.content_hash();
+  k.tag = tag;
+  return k;
+}
+
+// ---- program-scoped store keys and the good-run codec ---------------------
+// Decoded programs and good runs are keyed by the full program image (plus
+// run parameters), not a hash of it: the store compares key bytes verbatim,
+// so carrying the real key material rules out collision aliasing outright.
+
+std::vector<std::uint8_t> decoded_key_bytes(const isa::Program& image) {
+  common::ByteWriter w;
+  w.put_u32(isa::DecodedProgram::kSerialVersion);
+  w.put_u32(image.base);
+  w.put_vec_u32(image.words);
+  return w.take();
+}
+
+constexpr std::uint32_t kGoodRunSerialVersion = 1;
+
+void put_cache_config(common::ByteWriter& w, const sim::CacheConfig& c) {
+  w.put_bool(c.enabled);
+  w.put_u64(c.line_words);
+  w.put_u64(c.lines);
+  w.put_u64(c.miss_penalty);
+}
+
+std::vector<std::uint8_t> goodrun_key_bytes(const TestProgram& program,
+                                            const sim::CpuConfig& config) {
+  common::ByteWriter w;
+  w.put_u32(kGoodRunSerialVersion);
+  w.put_u32(program.image.base);
+  w.put_u32(program.entry);
+  w.put_u32(program.signature_base);
+  w.put_vec_u32(program.image.words);
+  w.put_bool(config.forwarding);
+  w.put_u64(config.mem_access_cycles);
+  w.put_u64(config.mult_cycles);
+  w.put_u64(config.div_cycles);
+  w.put_u64(config.branch_taken_penalty);
+  w.put_u64(config.mem_bytes);
+  put_cache_config(w, config.icache);
+  put_cache_config(w, config.dcache);
+  return w.take();
+}
+
+std::vector<std::uint8_t> serialize_good_run(const GoodRun& run) {
+  common::ByteWriter w;
+  w.put_u32(kGoodRunSerialVersion);
+  const sim::ExecStats& s = run.stats;
+  w.put_u64(s.instructions);
+  w.put_u64(s.cpu_cycles);
+  w.put_u64(s.pipeline_stall_cycles);
+  w.put_u64(s.memory_stall_cycles);
+  w.put_u64(s.loads);
+  w.put_u64(s.stores);
+  w.put_u64(s.icache_misses);
+  w.put_u64(s.dcache_misses);
+  w.put_u64(s.icache_accesses);
+  w.put_u64(s.dcache_accesses);
+  w.put_bool(s.halted);
+  w.put_vec_u32(run.signatures);
+  return w.take();
+}
+
+bool deserialize_good_run(common::ByteReader& r, GoodRun& out) {
+  if (r.get_u32() != kGoodRunSerialVersion) return false;
+  sim::ExecStats& s = out.stats;
+  s.instructions = r.get_u64();
+  s.cpu_cycles = r.get_u64();
+  s.pipeline_stall_cycles = r.get_u64();
+  s.memory_stall_cycles = r.get_u64();
+  s.loads = r.get_u64();
+  s.stores = r.get_u64();
+  s.icache_misses = r.get_u64();
+  s.dcache_misses = r.get_u64();
+  s.icache_accesses = r.get_u64();
+  s.dcache_accesses = r.get_u64();
+  s.halted = r.get_bool();
+  out.signatures = r.get_vec_u32();
+  return r.at_end() && out.signatures.size() == kSignatureSlots;
 }
 
 }  // namespace
@@ -95,7 +217,6 @@ GradingSession::GradingSession(const ProcessorModel& model,
                                const SessionOptions& options)
     : model_(&model),
       options_(options),
-      cache_(model.components().size()),
       pool_(fault::resolve_thread_count(options.num_threads)) {}
 
 unsigned GradingSession::lanes() const {
@@ -110,38 +231,86 @@ netlist::CompileOptions GradingSession::compile_options() const {
   return opt ? netlist::CompileOptions::all() : netlist::CompileOptions{};
 }
 
+std::optional<std::vector<std::uint8_t>> GradingSession::probe_store(
+    const store::ArtifactKey& key) {
+  return probe_store(key.kind, key.bytes());
+}
+
+std::optional<std::vector<std::uint8_t>> GradingSession::probe_store(
+    const std::string& kind, const std::vector<std::uint8_t>& key_bytes) {
+  if (!options_.store) return std::nullopt;
+  ++stats_.store_loads;
+  auto payload = options_.store->load(kind, key_bytes);
+  if (!payload) ++stats_.store_misses;
+  return payload;
+}
+
+void GradingSession::write_store(const store::ArtifactKey& key,
+                                 const std::vector<std::uint8_t>& payload) {
+  write_store(key.kind, key.bytes(), payload);
+}
+
+void GradingSession::write_store(const std::string& kind,
+                                 const std::vector<std::uint8_t>& key_bytes,
+                                 const std::vector<std::uint8_t>& payload) {
+  if (!options_.store) return;
+  if (options_.store->save(kind, key_bytes, payload)) ++stats_.store_writes;
+}
+
 const fault::FaultUniverse& GradingSession::universe(CutId id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot_ptr = slot(id).universe;
-  if (slot_ptr && options_.cache) {
+  const netlist::Netlist& nl = model_->component(id).netlist;
+  ArtifactSlot& slot = artifacts_[universe_key(nl)];
+  if (slot.universe && options_.cache) {
     ++stats_.universe_hits;
-    return *slot_ptr;
+    return *slot.universe;
+  }
+  if (auto payload = probe_store(universe_key(nl))) {
+    common::ByteReader r(*payload);
+    if (auto u = fault::FaultUniverse::deserialize(nl, r)) {
+      ++stats_.store_hits;
+      slot.universe = std::move(u);
+      return *slot.universe;
+    }
+    ++stats_.store_invalid;
   }
   ++stats_.universe_builds;
-  slot_ptr =
-      std::make_unique<fault::FaultUniverse>(model_->component(id).netlist);
-  return *slot_ptr;
+  slot.universe = std::make_unique<fault::FaultUniverse>(nl);
+  if (options_.store) {
+    common::ByteWriter w;
+    slot.universe->serialize(w);
+    write_store(universe_key(nl), w.bytes());
+  }
+  return *slot.universe;
 }
 
 const netlist::CompiledNetlist& GradingSession::compiled_locked(
     CutId id, const netlist::CompileOptions& opts) {
-  auto& entries = slot(id).compiled;
-  for (CompiledEntry& e : entries) {
-    if (!(e.opts == opts)) continue;
-    if (options_.cache) {
-      ++stats_.compile_hits;
-      return *e.compiled;
+  const netlist::Netlist& nl = model_->component(id).netlist;
+  const store::ArtifactKey key = fault::compiled_store_key(nl, opts, lanes());
+  ArtifactSlot& slot = artifacts_[key];
+  if (slot.compiled && options_.cache) {
+    ++stats_.compile_hits;
+    return *slot.compiled;
+  }
+  if (auto payload = probe_store(key)) {
+    common::ByteReader r(*payload);
+    auto cn = netlist::CompiledNetlist::deserialize(nl, r);
+    if (cn && cn->options() == opts) {
+      ++stats_.store_hits;
+      slot.compiled = std::move(cn);
+      return *slot.compiled;
     }
-    ++stats_.compile_builds;
-    e.compiled = std::make_unique<netlist::CompiledNetlist>(
-        model_->component(id).netlist, opts);
-    return *e.compiled;
+    ++stats_.store_invalid;
   }
   ++stats_.compile_builds;
-  entries.push_back(CompiledEntry{
-      opts, std::make_unique<netlist::CompiledNetlist>(
-                model_->component(id).netlist, opts)});
-  return *entries.back().compiled;
+  slot.compiled = std::make_unique<netlist::CompiledNetlist>(nl, opts);
+  if (options_.store) {
+    common::ByteWriter w;
+    slot.compiled->serialize(w);
+    write_store(key, w.bytes());
+  }
+  return *slot.compiled;
 }
 
 const netlist::CompiledNetlist& GradingSession::compiled(CutId id) {
@@ -157,15 +326,16 @@ const netlist::CompiledNetlist& GradingSession::compiled(
 
 const fault::ObserveSet& GradingSession::observe_locked(CutId id,
                                                         ObserveMode mode) {
-  auto& slot_ptr = slot(id).observe[static_cast<std::size_t>(mode)];
-  if (slot_ptr && options_.cache) {
+  const ComponentInfo& info = model_->component(id);
+  ArtifactSlot& slot = artifacts_[observe_key(id, mode, info.netlist)];
+  if (slot.observe && options_.cache) {
     ++stats_.observe_hits;
-    return *slot_ptr;
+    return *slot.observe;
   }
   ++stats_.observe_builds;
-  slot_ptr = std::make_unique<fault::ObserveSet>(
-      observation_points(model_->component(id), mode));
-  return *slot_ptr;
+  slot.observe =
+      std::make_unique<fault::ObserveSet>(observation_points(info, mode));
+  return *slot.observe;
 }
 
 const fault::ObserveSet& GradingSession::observe(CutId id, ObserveMode mode) {
@@ -176,10 +346,11 @@ const fault::ObserveSet& GradingSession::observe(CutId id, ObserveMode mode) {
 const std::vector<std::uint8_t>& GradingSession::cone(CutId id,
                                                       ObserveMode mode) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot_ptr = slot(id).cone[static_cast<std::size_t>(mode)];
-  if (slot_ptr && options_.cache) {
+  const netlist::Netlist& nl = model_->component(id).netlist;
+  ArtifactSlot& slot = artifacts_[cone_key(id, mode, nl)];
+  if (slot.cone && options_.cache) {
     ++stats_.cone_hits;
-    return *slot_ptr;
+    return *slot.cone;
   }
   // The cone derives from the compiled netlist and the observe set; fetch
   // both through the cache so a cone build warms them too. fanin_cone
@@ -188,12 +359,33 @@ const std::vector<std::uint8_t>& GradingSession::cone(CutId id,
   const netlist::CompiledNetlist& cn = compiled_locked(id, compile_options());
   const fault::ObserveSet& obs = observe_locked(id, mode);
   ++stats_.cone_builds;
-  slot_ptr = std::make_unique<std::vector<std::uint8_t>>(cn.fanin_cone(obs));
-  return *slot_ptr;
+  slot.cone = std::make_unique<std::vector<std::uint8_t>>(cn.fanin_cone(obs));
+  return *slot.cone;
 }
 
 std::shared_ptr<const isa::DecodedProgram> GradingSession::decoded_locked(
     const isa::Program& image) {
+  // Store probe / predecode / write-back for one image: shared by the cold
+  // path and the cache-off rebuild path, so both honor the store contract.
+  auto make_decoded = [&]() -> std::shared_ptr<const isa::DecodedProgram> {
+    if (auto payload = probe_store("decoded", decoded_key_bytes(image))) {
+      common::ByteReader r(*payload);
+      if (auto dp = isa::DecodedProgram::deserialize(r)) {
+        ++stats_.store_hits;
+        return std::shared_ptr<const isa::DecodedProgram>(std::move(dp));
+      }
+      ++stats_.store_invalid;
+    }
+    ++stats_.decode_builds;
+    auto dp = std::make_shared<const isa::DecodedProgram>(image);
+    if (options_.store) {
+      common::ByteWriter w;
+      dp->serialize(w);
+      write_store("decoded", decoded_key_bytes(image), w.bytes());
+    }
+    return dp;
+  };
+
   const std::uint64_t h = hash_image(image);
   for (DecodedEntry& e : decoded_cache_) {
     if (e.hash != h || e.base != image.base || e.words != image.words) {
@@ -203,16 +395,14 @@ std::shared_ptr<const isa::DecodedProgram> GradingSession::decoded_locked(
       ++stats_.decode_hits;
       return e.decoded;
     }
-    ++stats_.decode_builds;
-    e.decoded = std::make_shared<const isa::DecodedProgram>(image);
+    e.decoded = make_decoded();
     return e.decoded;
   }
-  ++stats_.decode_builds;
   DecodedEntry e;
   e.hash = h;
   e.base = image.base;
   e.words = image.words;
-  e.decoded = std::make_shared<const isa::DecodedProgram>(image);
+  e.decoded = make_decoded();
   decoded_cache_.push_back(std::move(e));
   return decoded_cache_.back().decoded;
 }
@@ -245,15 +435,30 @@ const GoodRun& GradingSession::good_run(const TestProgram& program,
     ++stats_.goodrun_hits;
     return found->run;
   }
-  ++stats_.goodrun_builds;
   GoodRun run;
-  {
+  bool from_store = false;
+  if (auto payload = probe_store("goodrun", goodrun_key_bytes(program, config))) {
+    common::ByteReader r(*payload);
+    if (deserialize_good_run(r, run)) {
+      ++stats_.store_hits;
+      from_store = true;
+    } else {
+      ++stats_.store_invalid;
+      run = GoodRun{};
+    }
+  }
+  if (!from_store) {
+    ++stats_.goodrun_builds;
     sim::Cpu cpu(config);
     cpu.reset();
     cpu.load(program.image, decoded_locked(program.image));
     run.stats = cpu.run(program.entry);
     for (unsigned s = 0; s < kSignatureSlots; ++s) {
       run.signatures.push_back(cpu.read_word(program.signature_address(s)));
+    }
+    if (options_.store) {
+      write_store("goodrun", goodrun_key_bytes(program, config),
+                  serialize_good_run(run));
     }
   }
   if (found) {
@@ -270,6 +475,48 @@ const GoodRun& GradingSession::good_run(const TestProgram& program,
   e.run = std::move(run);
   goodrun_cache_.push_back(std::move(e));
   return goodrun_cache_.back().run;
+}
+
+const fault::PatternSet& GradingSession::patterns(
+    CutId id, const std::string& tag,
+    const std::function<fault::PatternSet(const netlist::Netlist&)>& build) {
+  const netlist::Netlist& nl = model_->component(id).netlist;
+  const store::ArtifactKey key = patterns_key(nl, tag);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ArtifactSlot& slot = artifacts_[key];
+    if (slot.patterns && options_.cache) {
+      ++stats_.patterns_hits;
+      return *slot.patterns;
+    }
+    if (auto payload = probe_store(key)) {
+      common::ByteReader r(*payload);
+      if (auto ps = fault::PatternSet::deserialize(nl, r)) {
+        ++stats_.store_hits;
+        slot.patterns = std::move(ps);
+        return *slot.patterns;
+      }
+      ++stats_.store_invalid;
+    }
+  }
+  // The builder runs with the session unlocked so it can use the other
+  // accessors (ATPG builders typically fetch compiled()).
+  auto built = std::make_unique<fault::PatternSet>(build(nl));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.patterns_builds;
+  ArtifactSlot& slot = artifacts_[key];
+  if (slot.patterns && options_.cache) {
+    // Lost a concurrent build race; keep the published object so references
+    // already handed out stay valid.
+    return *slot.patterns;
+  }
+  slot.patterns = std::move(built);
+  if (options_.store) {
+    common::ByteWriter w;
+    slot.patterns->serialize(w);
+    write_store(key, w.bytes());
+  }
+  return *slot.patterns;
 }
 
 SessionStats GradingSession::stats() const {

@@ -16,20 +16,25 @@
 // cache on or off (enforced by tests/test_session.cpp).
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/component.hpp"
 #include "core/program.hpp"
 #include "fault/fault.hpp"
+#include "fault/pattern.hpp"
 #include "fault/sim.hpp"
 #include "fault/thread_pool.hpp"
 #include "netlist/compiled.hpp"
 #include "sim/cpu.hpp"
+#include "store/artifact_store.hpp"
 
 namespace sbst::core {
 
@@ -70,10 +75,20 @@ struct SessionOptions {
   /// hung. <= 0 disables the watchdog (legacy 1<<24 instruction cap). Per
   /// call overridable via InjectOptions::budget_factor.
   double budget_factor = 8.0;
+  /// Persistent artifact store. When set, every lazy cache slot probes the
+  /// store before building (a hit skips the build entirely) and writes the
+  /// freshly built image back after. Results are bitwise-identical with the
+  /// store on, off, cold, or warm — the store only moves work, never
+  /// answers. nullptr = in-memory caching only (the default; tests and CI
+  /// stay hermetic).
+  std::shared_ptr<store::ArtifactStore> store;
 };
 
 /// Build/hit counters per artifact kind; a cache-warm second grading of the
-/// same component must increase only the hit counts.
+/// same component must increase only the hit counts. `*_builds` counts
+/// from-scratch constructions only — an artifact loaded from the persistent
+/// store increments `store_hits` instead, which is how a warm-store run
+/// proves it skipped the rebuild.
 struct SessionStats {
   std::size_t universe_builds = 0, universe_hits = 0;
   std::size_t compile_builds = 0, compile_hits = 0;
@@ -81,6 +96,13 @@ struct SessionStats {
   std::size_t cone_builds = 0, cone_hits = 0;
   std::size_t decode_builds = 0, decode_hits = 0;
   std::size_t goodrun_builds = 0, goodrun_hits = 0;
+  std::size_t patterns_builds = 0, patterns_hits = 0;
+  /// Persistent-store probe outcomes, counted per artifact request:
+  /// store_loads = store_hits + store_misses + store_invalid. `store_invalid`
+  /// counts payloads the store served but the artifact codec rejected (the
+  /// store's own StoreStats counts file-level corruption separately).
+  std::size_t store_loads = 0, store_hits = 0, store_misses = 0;
+  std::size_t store_invalid = 0, store_writes = 0;
 };
 
 /// Fault-free reference execution of a test program: the stats of the run
@@ -139,6 +161,16 @@ class GradingSession {
   const GoodRun& good_run(const TestProgram& program,
                           const sim::CpuConfig& config = {});
 
+  /// Named pattern set for a component, built by `build` on a cold miss.
+  /// `tag` names the generator (e.g. "atpg-podem") and is part of the key,
+  /// so differently-generated sets for the same component never alias. The
+  /// builder must be deterministic for the tag — the store hands back a
+  /// previous process's build verbatim. It runs with the session unlocked,
+  /// so it may freely call the other accessors (compiled(), universe(), …).
+  const fault::PatternSet& patterns(
+      CutId id, const std::string& tag,
+      const std::function<fault::PatternSet(const netlist::Netlist&)>& build);
+
   SessionStats stats() const;
 
   // Accessors are thread-safe; with the cache ON, returned references stay
@@ -148,17 +180,19 @@ class GradingSession {
   // does).
 
  private:
-  struct CompiledEntry {
-    netlist::CompileOptions opts;
-    std::unique_ptr<netlist::CompiledNetlist> compiled;
-  };
-  struct ComponentCache {
+  // One slot per canonical ArtifactKey; at most one member is non-null
+  // (which one is determined by the key's kind). A std::map keyed by the
+  // full ArtifactKey replaces the old per-kind parallel containers
+  // (component-indexed vector + per-slot options scan + mode arrays):
+  // node stability keeps handed-out references valid as the map grows, and
+  // the in-memory key is the exact struct the store serializes, so memory
+  // and disk can never disagree about an artifact's identity.
+  struct ArtifactSlot {
     std::unique_ptr<fault::FaultUniverse> universe;
-    // One entry per distinct CompileOptions requested for this component.
-    std::vector<CompiledEntry> compiled;
-    std::array<std::unique_ptr<fault::ObserveSet>, kObserveModes> observe;
-    std::array<std::unique_ptr<std::vector<std::uint8_t>>, kObserveModes>
-        cone;
+    std::unique_ptr<netlist::CompiledNetlist> compiled;
+    std::unique_ptr<fault::ObserveSet> observe;
+    std::unique_ptr<std::vector<std::uint8_t>> cone;
+    std::unique_ptr<fault::PatternSet> patterns;
   };
 
   // Program-level caches are content-addressed: a fast 64-bit hash narrows
@@ -180,19 +214,30 @@ class GradingSession {
     GoodRun run;
   };
 
-  ComponentCache& slot(CutId id) {
-    return cache_[static_cast<std::size_t>(id)];
-  }
   const netlist::CompiledNetlist& compiled_locked(
       CutId id, const netlist::CompileOptions& opts);
   const fault::ObserveSet& observe_locked(CutId id, ObserveMode mode);
   std::shared_ptr<const isa::DecodedProgram> decoded_locked(
       const isa::Program& image);
 
+  // Store plumbing (all called under mutex_). probe_store returns the
+  // payload bytes for a key, maintaining the load/miss counters; the caller
+  // reports the decode outcome via the hit/invalid counters.
+  std::optional<std::vector<std::uint8_t>> probe_store(
+      const store::ArtifactKey& key);
+  std::optional<std::vector<std::uint8_t>> probe_store(
+      const std::string& kind, const std::vector<std::uint8_t>& key_bytes);
+  void write_store(const store::ArtifactKey& key,
+                   const std::vector<std::uint8_t>& payload);
+  void write_store(const std::string& kind,
+                   const std::vector<std::uint8_t>& key_bytes,
+                   const std::vector<std::uint8_t>& payload);
+
   const ProcessorModel* model_;
   SessionOptions options_;
   mutable std::mutex mutex_;
-  std::vector<ComponentCache> cache_;  // indexed by CutId
+  // Canonical artifact cache; see ArtifactSlot. std::map for node stability.
+  std::map<store::ArtifactKey, ArtifactSlot> artifacts_;
   // Deques: growth must not invalidate references handed out earlier.
   std::deque<DecodedEntry> decoded_cache_;
   std::deque<GoodRunEntry> goodrun_cache_;

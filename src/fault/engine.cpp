@@ -2,9 +2,25 @@
 
 #include <cstdlib>
 
+#include "common/serialize.hpp"
 #include "fault/sim_detail.hpp"
+#include "store/artifact_store.hpp"
 
 namespace sbst::fault {
+
+store::ArtifactKey compiled_store_key(const netlist::Netlist& nl,
+                                      const netlist::CompileOptions& opts,
+                                      unsigned lanes) {
+  store::ArtifactKey key;
+  key.kind = "compiled";
+  key.version = netlist::CompiledNetlist::kSerialVersion;
+  key.lanes = static_cast<std::uint8_t>(lanes);
+  key.opts = static_cast<std::uint8_t>((opts.const_prop ? 1u : 0) |
+                                       (opts.fuse_inverters ? 2u : 0) |
+                                       (opts.dead_sweep ? 4u : 0));
+  key.content = nl.content_hash();
+  return key;
+}
 
 const char* engine_name(Engine engine) {
   switch (engine) {
@@ -66,7 +82,7 @@ EngineContext::EngineContext(Engine engine, const netlist::Netlist& nl,
                              std::vector<netlist::NetId> observe,
                              const netlist::CompiledNetlist* compiled,
                              const std::uint8_t* reach, unsigned lanes,
-                             int netlist_opt)
+                             int netlist_opt, store::ArtifactStore* store)
     : engine_(engine),
       nl_(&nl),
       observe_(detail::resolve_observe(nl, observe)) {
@@ -78,8 +94,24 @@ EngineContext::EngineContext(Engine engine, const netlist::Netlist& nl,
     compiled_ = compiled;
   } else {
     const bool opt = netlist_opt < 0 ? default_netlist_opt() : netlist_opt != 0;
-    owned_compiled_ = std::make_unique<netlist::CompiledNetlist>(
-        nl, opt ? netlist::CompileOptions::all() : netlist::CompileOptions{});
+    const netlist::CompileOptions opts =
+        opt ? netlist::CompileOptions::all() : netlist::CompileOptions{};
+    if (store) {
+      const store::ArtifactKey key = compiled_store_key(nl, opts, lanes_);
+      if (auto payload = store->load(key)) {
+        common::ByteReader r(*payload);
+        auto cn = netlist::CompiledNetlist::deserialize(nl, r);
+        if (cn && cn->options() == opts) owned_compiled_ = std::move(cn);
+      }
+      if (!owned_compiled_) {
+        owned_compiled_ = std::make_unique<netlist::CompiledNetlist>(nl, opts);
+        common::ByteWriter w;
+        owned_compiled_->serialize(w);
+        store->save(key, w.bytes());
+      }
+    } else {
+      owned_compiled_ = std::make_unique<netlist::CompiledNetlist>(nl, opts);
+    }
     compiled_ = owned_compiled_.get();
   }
   if (reach) {

@@ -30,8 +30,17 @@
 
 #include "netlist/compiled.hpp"
 #include "netlist/eval.hpp"
+#include "store/artifact_store.hpp"
 
 namespace sbst::fault {
+
+/// Canonical persistent-store key for a compiled netlist: content hash of
+/// the netlist plus the compile options and lane width. Shared by
+/// EngineContext and core::GradingSession so a store warmed through either
+/// layer serves the other.
+store::ArtifactKey compiled_store_key(const netlist::Netlist& nl,
+                                      const netlist::CompileOptions& opts,
+                                      unsigned lanes);
 
 enum class Engine : std::uint8_t {
   kReference,
@@ -80,12 +89,15 @@ class EngineContext {
   /// default_lanes(); values other than 4 run single-word). `netlist_opt`
   /// selects the compile-time optimization passes when this context builds
   /// its own compiled netlist; a borrowed `compiled` keeps whatever options
-  /// it was built with.
+  /// it was built with. When `store` is set and this context compiles its
+  /// own netlist, the persistent artifact store is probed first (keyed by
+  /// netlist content hash + options + lane width) and written back after a
+  /// from-scratch compile — results are identical either way.
   EngineContext(Engine engine, const netlist::Netlist& nl,
                 std::vector<netlist::NetId> observe,
                 const netlist::CompiledNetlist* compiled = nullptr,
                 const std::uint8_t* reach = nullptr, unsigned lanes = 0,
-                int netlist_opt = -1);
+                int netlist_opt = -1, store::ArtifactStore* store = nullptr);
 
   Engine engine() const { return engine_; }
   /// Resolved lane-block width in words (1 for the reference engine).

@@ -164,6 +164,45 @@ FaultUniverse::FaultUniverse(const Netlist& nl) : nl_(&nl) {
   }
 }
 
+void FaultUniverse::serialize(common::ByteWriter& w) const {
+  w.put_u32(kSerialVersion);
+  w.put_u64(uncollapsed_count_);
+  w.put_u64(representatives_.size());
+  for (const Fault& f : representatives_) {
+    w.put_u32(f.site.gate);
+    w.put_u8(f.site.pin);
+    w.put_bool(f.stuck_value);
+  }
+}
+
+std::unique_ptr<FaultUniverse> FaultUniverse::deserialize(
+    const Netlist& nl, common::ByteReader& r) {
+  if (r.get_u32() != kSerialVersion) return nullptr;
+  auto u = std::unique_ptr<FaultUniverse>(
+      new FaultUniverse(nl, DeserializeTag{}));
+  u->uncollapsed_count_ = static_cast<std::size_t>(r.get_u64());
+  const std::size_t count = r.get_count(6);
+  u->representatives_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Fault f;
+    f.site.gate = r.get_u32();
+    f.site.pin = r.get_u8();
+    f.stuck_value = r.get_bool();
+    u->representatives_.push_back(f);
+  }
+  if (!r.ok()) return nullptr;
+  // Sites must name real injection points of this netlist: a gate in range
+  // and a pin that is the output or an existing input slot.
+  for (const Fault& f : u->representatives_) {
+    if (f.site.gate >= nl.size()) return nullptr;
+    if (!f.site.is_output() &&
+        f.site.pin >= fanin_count(nl.gate(f.site.gate).kind)) {
+      return nullptr;
+    }
+  }
+  return u;
+}
+
 void CoverageResult::recount() {
   detected = 0;
   for (auto flag : detected_flags) detected += flag ? 1 : 0;

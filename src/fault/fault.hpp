@@ -11,9 +11,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "netlist/eval.hpp"
 #include "netlist/netlist.hpp"
 
@@ -44,7 +46,23 @@ class FaultUniverse {
   /// Number of equivalence classes (== collapsed().size()).
   std::size_t size() const { return representatives_.size(); }
 
+  /// Binary-image format version (part of the artifact-store key).
+  static constexpr std::uint32_t kSerialVersion = 1;
+
+  /// Appends a versioned binary image of the collapsed universe to `w`.
+  void serialize(common::ByteWriter& w) const;
+
+  /// Rebuilds a collapsed universe from serialize() bytes produced against
+  /// a structurally identical `nl`. Returns nullptr on any malformed image
+  /// (wrong version, truncation, out-of-range sites); the caller then
+  /// re-collapses from scratch.
+  static std::unique_ptr<FaultUniverse> deserialize(const netlist::Netlist& nl,
+                                                    common::ByteReader& r);
+
  private:
+  struct DeserializeTag {};
+  FaultUniverse(const netlist::Netlist& nl, DeserializeTag) : nl_(&nl) {}
+
   const netlist::Netlist* nl_;
   std::vector<Fault> representatives_;
   std::size_t uncollapsed_count_ = 0;

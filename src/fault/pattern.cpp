@@ -66,6 +66,29 @@ std::uint64_t PatternSet::value_of(std::size_t index,
   return out;
 }
 
+void PatternSet::serialize(common::ByteWriter& w) const {
+  w.put_u32(kSerialVersion);
+  w.put_u64(count_);
+  w.put_u64(blocks_.size());
+  for (const auto& block : blocks_) w.put_vec_u64(block);
+}
+
+std::unique_ptr<PatternSet> PatternSet::deserialize(const netlist::Netlist& nl,
+                                                    common::ByteReader& r) {
+  if (r.get_u32() != kSerialVersion) return nullptr;
+  auto ps = std::make_unique<PatternSet>(nl);
+  ps->count_ = static_cast<std::size_t>(r.get_u64());
+  const std::size_t n_blocks = r.get_count(8 * (nl.inputs().size() + 1));
+  if (n_blocks != (ps->count_ + 63) / 64) return nullptr;
+  ps->blocks_.reserve(n_blocks);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    ps->blocks_.push_back(r.get_vec_u64());
+    if (ps->blocks_.back().size() != nl.inputs().size()) return nullptr;
+  }
+  if (!r.ok()) return nullptr;
+  return ps;
+}
+
 SeqStimulus::SeqStimulus(const netlist::Netlist& nl)
     : nl_(&nl), index_map_(input_index_map(nl)) {}
 

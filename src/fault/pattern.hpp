@@ -8,12 +8,14 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/bits.hpp"
 #include "common/rng.hpp"
+#include "common/serialize.hpp"
 #include "netlist/netlist.hpp"
 
 namespace sbst::fault {
@@ -50,6 +52,19 @@ class PatternSet {
   /// Decodes the value of input port `port` in pattern `index` (for reports
   /// and for cross-checking against the serial simulator).
   std::uint64_t value_of(std::size_t index, const std::string& port) const;
+
+  /// Binary-image format version (part of the artifact-store key).
+  static constexpr std::uint32_t kSerialVersion = 1;
+
+  /// Appends a versioned binary image of the packed patterns to `w`.
+  void serialize(common::ByteWriter& w) const;
+
+  /// Rebuilds a pattern set from serialize() bytes produced against a
+  /// netlist with the same input ordering as `nl`. Returns nullptr on any
+  /// malformed image (wrong version, truncation, block-shape mismatch);
+  /// the caller then regenerates the patterns from scratch.
+  static std::unique_ptr<PatternSet> deserialize(const netlist::Netlist& nl,
+                                                 common::ByteReader& r);
 
  private:
   const netlist::Netlist* nl_;

@@ -135,7 +135,8 @@ CoverageResult simulate_comb_parallel(const netlist::Netlist& nl,
                                       const SimOptions& options) {
   detail::require_combinational(nl, "simulate_comb_parallel");
   const EngineContext ctx(options.engine, nl, observe, options.compiled,
-                          options.reach, options.lanes, options.netlist_opt);
+                          options.reach, options.lanes, options.netlist_opt,
+                          options.store);
   CoverageResult res;
   GradingPlan plan;
   plan.add_comb(ctx, faults, patterns, options.lane_parallel, res);
@@ -150,7 +151,8 @@ CoverageResult simulate_seq_parallel(const netlist::Netlist& nl,
                                      const ObserveSet& observe,
                                      const SimOptions& options) {
   const EngineContext ctx(options.engine, nl, observe, options.compiled,
-                          options.reach, options.lanes, options.netlist_opt);
+                          options.reach, options.lanes, options.netlist_opt,
+                          options.store);
   CoverageResult res;
   GradingPlan plan;
   plan.add_seq(ctx, faults, stimulus, res);

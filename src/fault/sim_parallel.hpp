@@ -76,6 +76,10 @@ struct SimOptions {
   /// Precomputed fanin-cone prefilter matching the observe set, indexed per
   /// gate. nullptr = compute per call (compiled engines only).
   const std::uint8_t* reach = nullptr;
+  /// Persistent artifact store probed (and written back) when no
+  /// pre-compiled netlist is lent in; detection flags are identical with it
+  /// set or not. nullptr = compile from scratch per call.
+  store::ArtifactStore* store = nullptr;
 };
 
 /// Deferred fault-grading work: each add_*() call initializes its

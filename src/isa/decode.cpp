@@ -147,4 +147,56 @@ void DecodedProgram::patch(std::uint32_t addr, std::uint32_t word) {
   ops_[off >> 2] = decode_uop(word);
 }
 
+void DecodedProgram::serialize(common::ByteWriter& w) const {
+  w.put_u32(kSerialVersion);
+  w.put_u32(base_);
+  w.put_u64(ops_.size());
+  for (const MicroOp& op : ops_) {
+    w.put_u8(static_cast<std::uint8_t>(op.kind));
+    w.put_u8(op.rs);
+    w.put_u8(op.rt);
+    w.put_u8(op.rd);
+    w.put_u8(op.shamt);
+    w.put_u8(op.opcode);
+    w.put_u8(op.funct);
+    w.put_u8(op.flags);
+    w.put_u32(op.imm);
+  }
+}
+
+std::unique_ptr<DecodedProgram> DecodedProgram::deserialize(
+    common::ByteReader& r) {
+  if (r.get_u32() != kSerialVersion) return nullptr;
+  const std::uint32_t base = r.get_u32();
+  const std::size_t count = r.get_count(12);
+  // bytes_ is a 32-bit byte length; a count that overflows it is corrupt.
+  if ((base & 3u) || count > (std::uint32_t{0xffffffff} >> 2)) return nullptr;
+  auto dp = std::make_unique<DecodedProgram>();
+  dp->base_ = base;
+  dp->bytes_ = static_cast<std::uint32_t>(count * 4);
+  dp->ops_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    MicroOp op;
+    const std::uint8_t kind = r.get_u8();
+    if (kind > static_cast<std::uint8_t>(UopKind::kIllegalOpcode)) {
+      return nullptr;
+    }
+    op.kind = static_cast<UopKind>(kind);
+    op.rs = r.get_u8();
+    op.rt = r.get_u8();
+    op.rd = r.get_u8();
+    op.shamt = r.get_u8();
+    // Register indices and shamt are 5-bit fields; anything wider would
+    // index out of the CPU's register file.
+    if ((op.rs | op.rt | op.rd | op.shamt) & ~0x1fu) return nullptr;
+    op.opcode = r.get_u8();
+    op.funct = r.get_u8();
+    op.flags = r.get_u8();
+    op.imm = r.get_u32();
+    dp->ops_.push_back(op);
+  }
+  if (!r.ok()) return nullptr;
+  return dp;
+}
+
 }  // namespace sbst::isa

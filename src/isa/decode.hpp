@@ -30,8 +30,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "isa/assembler.hpp"
 #include "isa/encoding.hpp"
 
@@ -117,6 +119,17 @@ class DecodedProgram {
 
   /// Re-decodes the word at `addr` (a store hit the code region).
   void patch(std::uint32_t addr, std::uint32_t word);
+
+  /// Binary-image format version (part of the artifact-store key).
+  static constexpr std::uint32_t kSerialVersion = 1;
+
+  /// Appends a versioned binary image of the predecoded region to `w`.
+  void serialize(common::ByteWriter& w) const;
+
+  /// Rebuilds a predecoded region from serialize() bytes. Returns nullptr
+  /// on any malformed image (wrong version, truncation, misaligned base,
+  /// out-of-range kind bytes); the caller then re-decodes from scratch.
+  static std::unique_ptr<DecodedProgram> deserialize(common::ByteReader& r);
 
  private:
   std::uint32_t base_ = 0;

@@ -444,6 +444,132 @@ std::vector<std::uint8_t> CompiledNetlist::fanin_cone(
 }
 
 // ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+void CompiledNetlist::serialize(common::ByteWriter& w) const {
+  w.put_u32(kSerialVersion);
+  w.put_bool(opts_.const_prop);
+  w.put_bool(opts_.fuse_inverters);
+  w.put_bool(opts_.dead_sweep);
+  w.put_u32(n_levels_);
+  w.put_vec_u8(op_);
+  w.put_vec_u32(in_);
+  w.put_vec_u8(inv_);
+  w.put_vec_u8(orig_op_);
+  w.put_vec_u32(orig_in_);
+  w.put_vec_u8(folded_);
+  w.put_vec_u8(live_);
+  w.put_vec_u32(level_);
+  w.put_vec_u32(order_);
+  w.put_vec_u32(fan_begin_);
+  w.put_vec_u32(fan_);
+  w.put_vec_u32(dffs_);
+  w.put_vec_u32(remap_begin_);
+  w.put_u64(remap_.size());
+  for (const Remap& rm : remap_) {
+    w.put_u32(rm.slot);
+    w.put_u8(rm.invert);
+  }
+  w.put_vec_u32(marker_begin_);
+  w.put_vec_u32(marker_);
+}
+
+std::unique_ptr<CompiledNetlist> CompiledNetlist::deserialize(
+    const Netlist& nl, common::ByteReader& r) {
+  if (r.get_u32() != kSerialVersion) return nullptr;
+  CompileOptions opts;
+  opts.const_prop = r.get_bool();
+  opts.fuse_inverters = r.get_bool();
+  opts.dead_sweep = r.get_bool();
+  auto cn = std::unique_ptr<CompiledNetlist>(
+      new CompiledNetlist(nl, opts, DeserializeTag{}));
+  cn->n_levels_ = r.get_u32();
+  cn->op_ = r.get_vec_u8();
+  cn->in_ = r.get_vec_u32();
+  cn->inv_ = r.get_vec_u8();
+  cn->orig_op_ = r.get_vec_u8();
+  cn->orig_in_ = r.get_vec_u32();
+  cn->folded_ = r.get_vec_u8();
+  cn->live_ = r.get_vec_u8();
+  cn->level_ = r.get_vec_u32();
+  cn->order_ = r.get_vec_u32();
+  cn->fan_begin_ = r.get_vec_u32();
+  cn->fan_ = r.get_vec_u32();
+  cn->dffs_ = r.get_vec_u32();
+  cn->remap_begin_ = r.get_vec_u32();
+  const std::size_t n_remap = r.get_count(5);
+  cn->remap_.reserve(n_remap);
+  for (std::size_t i = 0; i < n_remap; ++i) {
+    Remap rm;
+    rm.slot = r.get_u32();
+    rm.invert = r.get_u8();
+    cn->remap_.push_back(rm);
+  }
+  cn->marker_begin_ = r.get_vec_u32();
+  cn->marker_ = r.get_vec_u32();
+  if (!r.ok()) return nullptr;
+
+  // Structural validation: the evaluators index these tables without bounds
+  // checks, so a blob that decoded cleanly but names out-of-range gates,
+  // inconsistent sizes, or broken CSR offsets is rejected rather than
+  // trusted. (The store's payload hash makes this unreachable for honest
+  // corruption; it guards key collisions and hand-edited files.)
+  const std::size_t n = nl.size();
+  const bool any = opts.any();
+  auto ids_ok = [n](const std::vector<NetId>& v, bool allow_no_net = false) {
+    for (const NetId id : v) {
+      if (id >= n && !(allow_no_net && id == kNoNet)) return false;
+    }
+    return true;
+  };
+  auto csr_ok = [n](const std::vector<std::uint32_t>& begin,
+                    std::size_t entries) {
+    if (begin.size() != n + 1 || begin.front() != 0 ||
+        begin.back() != entries) {
+      return false;
+    }
+    for (std::size_t i = 0; i + 1 < begin.size(); ++i) {
+      if (begin[i] > begin[i + 1]) return false;
+    }
+    return true;
+  };
+  if (cn->op_.size() != n || cn->in_.size() != n * 3 ||
+      cn->inv_.size() != n || cn->live_.size() != n ||
+      cn->level_.size() != n) {
+    return nullptr;
+  }
+  if (any ? (cn->orig_op_.size() != n || cn->orig_in_.size() != n * 3 ||
+             cn->folded_.size() != n)
+          : (!cn->orig_op_.empty() || !cn->orig_in_.empty() ||
+             !cn->folded_.empty())) {
+    return nullptr;
+  }
+  if (!ids_ok(cn->in_, /*allow_no_net=*/true) ||
+      !ids_ok(cn->orig_in_, /*allow_no_net=*/true) || !ids_ok(cn->order_) ||
+      !ids_ok(cn->fan_) || !ids_ok(cn->dffs_) || !ids_ok(cn->marker_)) {
+    return nullptr;
+  }
+  if (!csr_ok(cn->fan_begin_, cn->fan_.size())) return nullptr;
+  if (any) {
+    if (!csr_ok(cn->remap_begin_, cn->remap_.size()) ||
+        !csr_ok(cn->marker_begin_, cn->marker_.size())) {
+      return nullptr;
+    }
+    for (const Remap& rm : cn->remap_) {
+      if (rm.slot >= n * 3) return nullptr;
+    }
+  } else if (!cn->remap_begin_.empty() || !cn->remap_.empty() ||
+             !cn->marker_begin_.empty() || !cn->marker_.empty()) {
+    return nullptr;
+  }
+  for (const NetId g : cn->order_) {
+    if (cn->level_[g] >= cn->n_levels_) return nullptr;
+  }
+  return cn;
+}
+
+// ---------------------------------------------------------------------------
 // CompiledEvaluatorT
 // ---------------------------------------------------------------------------
 

@@ -63,6 +63,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "netlist/eval.hpp"
 #include "netlist/netlist.hpp"
 
@@ -122,6 +123,24 @@ class CompiledNetlist {
   /// altering detection flags.
   std::vector<std::uint8_t> fanin_cone(const std::vector<NetId>& roots) const;
 
+  /// Binary-image format version. Part of every artifact-store key, so a
+  /// layout change makes old entries miss (and rebuild) instead of
+  /// deserializing garbage.
+  static constexpr std::uint32_t kSerialVersion = 1;
+
+  /// Appends a versioned binary image of the compiled structure to `w`.
+  /// The image captures only what compilation derived — the source netlist
+  /// is re-bound on deserialize, so the blob is valid exactly for netlists
+  /// with the content the store key names.
+  void serialize(common::ByteWriter& w) const;
+
+  /// Rebuilds a compiled netlist from serialize() bytes produced against a
+  /// structurally identical `nl`. Returns nullptr on ANY malformed or
+  /// inconsistent image — wrong version, truncation, out-of-range indices —
+  /// in which case the caller compiles from scratch.
+  static std::unique_ptr<CompiledNetlist> deserialize(
+      const Netlist& nl, common::ByteReader& r);
+
  private:
   template <unsigned W>
   friend class CompiledEvaluatorT;
@@ -132,6 +151,12 @@ class CompiledNetlist {
     std::uint32_t slot;
     std::uint8_t invert;
   };
+
+  struct DeserializeTag {};
+  /// Shell for deserialize(): binds the netlist, fills nothing.
+  CompiledNetlist(const Netlist& nl, const CompileOptions& opts,
+                  DeserializeTag)
+      : nl_(&nl), opts_(opts) {}
 
   void build_order_and_fanout();
   void optimize();

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/bits.hpp"
+#include "common/hash.hpp"
 
 namespace sbst::netlist {
 
@@ -298,6 +299,34 @@ unsigned Netlist::depth() const {
     max_level = std::max(max_level, lvl);
   }
   return max_level;
+}
+
+std::uint64_t Netlist::content_hash() const {
+  if (content_hash_valid_) return content_hash_;
+  common::Fnv1a h;
+  h.mix_string(name_);
+  h.mix_u64(gates_.size());
+  for (const Gate& g : gates_) {
+    h.mix_byte(static_cast<std::uint8_t>(g.kind));
+    for (const NetId in : g.in) h.mix_u32(in);
+  }
+  h.mix_u64(input_nets_.size());
+  for (const NetId n : input_nets_) h.mix_u32(n);
+  h.mix_u64(dff_nets_.size());
+  for (const NetId n : dff_nets_) h.mix_u32(n);
+  const auto mix_ports = [&h](const std::vector<Port>& ports) {
+    h.mix_u64(ports.size());
+    for (const Port& p : ports) {
+      h.mix_string(p.name);
+      h.mix_u64(p.nets.size());
+      for (const NetId n : p.nets) h.mix_u32(n);
+    }
+  };
+  mix_ports(input_ports_);
+  mix_ports(output_ports_);
+  content_hash_ = h.value();
+  content_hash_valid_ = true;
+  return content_hash_;
 }
 
 std::size_t Netlist::logic_gate_count() const {

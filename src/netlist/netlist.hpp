@@ -140,6 +140,14 @@ class Netlist {
   /// Raw gate count excluding inputs and constants.
   std::size_t logic_gate_count() const;
 
+  /// 64-bit FNV-1a over the full structural content — every gate (kind +
+  /// input nets), the input/DFF orderings, and the named ports. Two
+  /// netlists with equal content hashes that were built by the same
+  /// generator are structurally identical; the artifact store uses this as
+  /// the content-address of every netlist-derived artifact. Computed once
+  /// and cached (like topo_order(); warm it before sharing across threads).
+  std::uint64_t content_hash() const;
+
   /// NAND2-equivalent area estimate (synthesised "gates" as in the paper).
   double gate_equivalents() const;
 
@@ -162,6 +170,8 @@ class Netlist {
   NetId const0_ = kNoNet;
   NetId const1_ = kNoNet;
   mutable std::vector<NetId> topo_cache_;
+  mutable std::uint64_t content_hash_ = 0;  // 0 = not yet computed
+  mutable bool content_hash_valid_ = false;
 };
 
 }  // namespace sbst::netlist

@@ -1,0 +1,388 @@
+#include "serve/serve.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/tablefmt.hpp"
+#include "conform/runner.hpp"
+
+namespace sbst::serve {
+
+using namespace sbst::core;
+
+namespace {
+
+struct CutName {
+  const char* name;
+  CutId id;
+};
+constexpr CutName kCuts[] = {
+    {"mul", CutId::kMultiplier}, {"div", CutId::kDivider},
+    {"rf", CutId::kRegisterFile}, {"mem", CutId::kMemCtrl},
+    {"shifter", CutId::kShifter}, {"alu", CutId::kAlu},
+    {"ctrl", CutId::kControl},
+};
+
+// --cpu-stats: the paper's §2 CPU-time equation, term by term. Goes to
+// stderr so the determinism-checked stdout stays untouched.
+void print_cpu_stats(const sim::ExecStats& s, std::FILE* err) {
+  const double imiss =
+      s.icache_accesses == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(s.icache_misses) /
+                static_cast<double>(s.icache_accesses);
+  const double dmiss =
+      s.dcache_accesses == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(s.dcache_misses) /
+                static_cast<double>(s.dcache_accesses);
+  std::fprintf(err, "# cpu-stats: instructions %llu\n",
+               static_cast<unsigned long long>(s.instructions));
+  std::fprintf(err,
+               "# cpu-stats: cpu cycles %llu + pipeline stalls %llu + "
+               "memory stalls %llu = %llu total\n",
+               static_cast<unsigned long long>(s.cpu_cycles),
+               static_cast<unsigned long long>(s.pipeline_stall_cycles),
+               static_cast<unsigned long long>(s.memory_stall_cycles),
+               static_cast<unsigned long long>(s.total_cycles()));
+  std::fprintf(err,
+               "# cpu-stats: loads %llu stores %llu (data refs %llu)\n",
+               static_cast<unsigned long long>(s.loads),
+               static_cast<unsigned long long>(s.stores),
+               static_cast<unsigned long long>(s.data_references()));
+  std::fprintf(err,
+               "# cpu-stats: icache %llu/%llu misses (%.2f%%), dcache "
+               "%llu/%llu misses (%.2f%%)\n",
+               static_cast<unsigned long long>(s.icache_misses),
+               static_cast<unsigned long long>(s.icache_accesses), imiss,
+               static_cast<unsigned long long>(s.dcache_misses),
+               static_cast<unsigned long long>(s.dcache_accesses), dmiss);
+  std::fprintf(err,
+               "# cpu-stats: analytic total (5%% miss, 20-cycle penalty) "
+               "%llu cycles\n",
+               static_cast<unsigned long long>(
+                   s.analytic_total_cycles(0.05, 20)));
+  std::fprintf(err, "# cpu-stats: %.1f us at 57 MHz\n",
+               1e6 * s.seconds(57e6));
+}
+
+// Reads one \n-terminated (or EOF-terminated) line; false on EOF with no
+// bytes read.
+bool read_line(std::FILE* in, std::string& line) {
+  line.clear();
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c == '\n') return true;
+    if (c != '\r') line.push_back(static_cast<char>(c));
+  }
+  return !line.empty();
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (const char ch : line) {
+    if (ch == ' ' || ch == '\t') {
+      if (!cur.empty()) tokens.push_back(std::move(cur)), cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+}  // namespace
+
+bool parse_cut_name(const std::string& name, CutId& out) {
+  for (const CutName& c : kCuts) {
+    if (name == c.name) {
+      out = c.id;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool injectable_cut(CutId id) {
+  return id == CutId::kAlu || id == CutId::kShifter ||
+         id == CutId::kMultiplier;
+}
+
+// Selected engine / lane / optimization configuration, resolved to what the
+// gradings will actually run. Stderr only: stdout is golden-diffed across
+// widths and engines.
+void print_engine_config(const fault::SimOptions& sim, std::FILE* err) {
+  const bool reference = sim.engine == fault::Engine::kReference;
+  const unsigned lanes =
+      reference ? 1
+                : (sim.lanes == 0 ? fault::default_lanes()
+                                  : (sim.lanes == 4 ? 4u : 1u));
+  const bool opt = !reference &&
+                   (sim.netlist_opt < 0 ? fault::default_netlist_opt()
+                                        : sim.netlist_opt != 0);
+  std::fprintf(err,
+               "# config: engine %s, lanes %u (%u fault lanes/pass), "
+               "netlist-opt %s\n",
+               fault::engine_name(sim.engine), lanes, 64 * lanes - 1,
+               opt ? "on" : "off");
+}
+
+void print_store_summary(const core::GradingSession& session,
+                         const store::ArtifactStore* store, std::FILE* err) {
+  if (!store) return;
+  const SessionStats s = session.stats();
+  std::fprintf(err,
+               "# store: loads %zu hits %zu misses %zu invalid %zu "
+               "writes %zu (dir %s)\n",
+               s.store_loads, s.store_hits, s.store_misses, s.store_invalid,
+               s.store_writes, store->dir().c_str());
+}
+
+int render_evaluate(GradingSession& session, const fault::SimOptions& sim,
+                    bool cpu_stats, std::FILE* out, std::FILE* err) {
+  print_engine_config(sim, err);
+  TestProgramBuilder builder;
+  builder.add_default_routines(session.model());
+  const TestProgram program = builder.build();
+  EvalOptions options;
+  options.sim = sim;
+  const ProgramEvaluation ev =
+      evaluate_program(session, builder, program, options);
+  Table t({"Component", "FC (%)", "Miss. FC (%)"});
+  for (const CutCoverage& c : ev.cuts) {
+    t.add_row({session.model().component(c.id).name,
+               Table::num(c.coverage.percent(), 1),
+               Table::num(ev.missing_fc(c.id), 2)});
+  }
+  std::fputs(t.str().c_str(), out);
+  std::fprintf(out,
+               "overall FC %.2f%%; %llu cycles, %llu stalls, %llu data refs\n",
+               ev.overall_fc(),
+               static_cast<unsigned long long>(ev.total.cpu_cycles),
+               static_cast<unsigned long long>(ev.total.pipeline_stall_cycles),
+               static_cast<unsigned long long>(ev.total.data_references()));
+  // Stage timings go to stderr: stdout must stay byte-identical for every
+  // thread count / engine / cache / store setting (the CI determinism check
+  // diffs it), while wall-clock never is.
+  std::fprintf(err,
+               "# stages (s): trace %.3f collapse %.3f compile %.3f "
+               "grade %.3f standalone %.3f\n",
+               ev.stages.trace, ev.stages.collapse, ev.stages.compile,
+               ev.stages.grade, ev.stages.standalone);
+  if (cpu_stats) print_cpu_stats(ev.total, err);
+  return 0;
+}
+
+// Guarded injection campaign over the injectable CUTs: every fault gets a
+// classified RunOutcome; the table splits detections into signature vs
+// symptom. Stdout is deterministic for any thread count / cache setting
+// (the CI smoke diffs it); wall-clock goes to stderr.
+int render_campaign(GradingSession& session, const fault::SimOptions& sim,
+                    std::size_t max_faults, const std::vector<CutId>& cuts,
+                    std::FILE* out, std::FILE* err) {
+  print_engine_config(sim, err);
+  const ProcessorModel& model = session.model();
+  TestProgramBuilder builder;
+  builder.add_default_routines(model);
+  const TestProgram program = builder.build();
+  const auto t0 = std::chrono::steady_clock::now();
+  OutcomeHistogram total;
+  Table t({"Component", "Faults", "Sig", "Hang", "Trap", "Wild", "Ok",
+           "Infra", "Det (%)"});
+  for (const CutId cut : cuts) {
+    std::vector<fault::Fault> faults = session.universe(cut).collapsed();
+    if (max_faults != 0 && faults.size() > max_faults) {
+      faults.resize(max_faults);
+    }
+    const OutcomeHistogram h = histogram_of(
+        run_injection_campaign(session, program, cut, faults, {}));
+    for (std::size_t k = 0; k < kRunOutcomeCount; ++k) {
+      total.counts[k] += h.counts[k];
+    }
+    const double det =
+        h.total() == 0 ? 0.0
+                       : 100.0 * static_cast<double>(h.detected()) /
+                             static_cast<double>(h.total());
+    t.add_row({model.component(cut).name,
+               Table::num(static_cast<std::uint64_t>(h.total())),
+               Table::num(static_cast<std::uint64_t>(
+                   h.detected_by_signature())),
+               Table::num(static_cast<std::uint64_t>(
+                   h.count(RunOutcome::kDetectedHang))),
+               Table::num(static_cast<std::uint64_t>(
+                   h.count(RunOutcome::kDetectedTrap))),
+               Table::num(static_cast<std::uint64_t>(
+                   h.count(RunOutcome::kDetectedWildStore))),
+               Table::num(static_cast<std::uint64_t>(
+                   h.count(RunOutcome::kOkMatch))),
+               Table::num(static_cast<std::uint64_t>(
+                   h.count(RunOutcome::kInfraError))),
+               Table::num(det, 1)});
+  }
+  std::fputs(t.str().c_str(), out);
+  std::fprintf(
+      out,
+      "campaign: %zu faults, detected %zu (signature %zu, symptom %zu), "
+      "infra errors %zu\n",
+      total.total(), total.detected(), total.detected_by_signature(),
+      total.detected_by_symptom(), total.count(RunOutcome::kInfraError));
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::fprintf(err, "# campaign: budget factor %.1f, %.3f s wall, %zu faults\n",
+               session.options().budget_factor, wall, total.total());
+  return 0;
+}
+
+// `conform run`: three-executor differential replay. Stdout (per-class
+// table, failure details, summary) is deterministic for any thread count /
+// cache setting — the CI golden diff depends on it. Timings go to stderr.
+int render_conform_run(GradingSession& session, const char* dir,
+                       std::FILE* out, std::FILE* err) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const conform::Corpus corpus = conform::load_corpus(dir);
+  const auto t1 = std::chrono::steady_clock::now();
+  const conform::ConformRunner runner(&session);
+  const conform::ConformReport report = runner.run(corpus);
+  const auto t2 = std::chrono::steady_clock::now();
+  Table t({"Class", "Cases", "Pass", "Fail"});
+  for (const conform::ClassTally& tally : report.by_class) {
+    t.add_row({tally.cls,
+               Table::num(static_cast<std::uint64_t>(tally.cases)),
+               Table::num(static_cast<std::uint64_t>(tally.pass)),
+               Table::num(static_cast<std::uint64_t>(tally.fail))});
+  }
+  std::fputs(t.str().c_str(), out);
+  for (const conform::CaseFailure& f : report.failures) {
+    std::fprintf(out, "FAIL %s [%s]: %s\n", f.name.c_str(),
+                 conform::executor_name(f.exec), f.detail.c_str());
+  }
+  std::fprintf(out,
+               "conform: %zu cases, passed %zu, failed %zu "
+               "(%s, seed %llu, content hash %016llx)\n",
+               report.cases, report.passed, report.failed,
+               corpus.version.c_str(),
+               static_cast<unsigned long long>(corpus.seed),
+               static_cast<unsigned long long>(
+                   conform::corpus_content_hash(corpus)));
+  std::fprintf(err, "# conform: load %.3f s, replay %.3f s, %zu cases\n",
+               std::chrono::duration<double>(t1 - t0).count(),
+               std::chrono::duration<double>(t2 - t1).count(), report.cases);
+  return report.ok() ? 0 : 1;
+}
+
+void render_stats(const GradingSession& session,
+                  const store::ArtifactStore* store, std::FILE* out) {
+  const SessionStats s = session.stats();
+  std::fprintf(out,
+               "session: universe %zu/%zu compile %zu/%zu observe %zu/%zu "
+               "cone %zu/%zu decode %zu/%zu goodrun %zu/%zu patterns %zu/%zu "
+               "(builds/hits)\n",
+               s.universe_builds, s.universe_hits, s.compile_builds,
+               s.compile_hits, s.observe_builds, s.observe_hits,
+               s.cone_builds, s.cone_hits, s.decode_builds, s.decode_hits,
+               s.goodrun_builds, s.goodrun_hits, s.patterns_builds,
+               s.patterns_hits);
+  if (store) {
+    std::fprintf(out,
+                 "store: loads %zu hits %zu misses %zu invalid %zu "
+                 "writes %zu\n",
+                 s.store_loads, s.store_hits, s.store_misses,
+                 s.store_invalid, s.store_writes);
+  } else {
+    std::fputs("store: none\n", out);
+  }
+}
+
+int run_serve(const ProcessorModel& model, const ServeOptions& options,
+              std::shared_ptr<store::ArtifactStore> store, std::FILE* in,
+              std::FILE* out, std::FILE* err) {
+  SessionOptions sopts;
+  sopts.num_threads = options.sim.num_threads;
+  sopts.cache = options.session_cache;
+  sopts.lanes = options.sim.lanes;
+  sopts.netlist_opt = options.sim.netlist_opt;
+  sopts.budget_factor = options.budget_factor;
+  sopts.store = store;
+  GradingSession session(model, sopts);
+
+  std::fprintf(err, "# serve: ready (engine %s, store %s)\n",
+               fault::engine_name(options.sim.engine),
+               store ? store->dir().c_str() : "off");
+  std::fflush(err);
+
+  std::string line;
+  while (read_line(in, line)) {
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& verb = tokens[0];
+    const auto t0 = std::chrono::steady_clock::now();
+
+    if (verb == "quit") {
+      std::fputs("ok quit\n", out);
+      std::fflush(out);
+      return 0;
+    } else if (verb == "ping") {
+      std::fputs("ok ping\n", out);
+    } else if (verb == "stats") {
+      render_stats(session, store.get(), out);
+      std::fputs("ok stats\n", out);
+    } else if (verb == "evaluate") {
+      if (tokens.size() != 1) {
+        std::fputs("err evaluate takes no arguments\n", out);
+      } else {
+        render_evaluate(session, options.sim, options.cpu_stats, out, err);
+        std::fputs("ok evaluate\n", out);
+      }
+    } else if (verb == "campaign") {
+      std::vector<CutId> cuts;
+      bool bad = false;
+      for (std::size_t k = 1; k < tokens.size(); ++k) {
+        CutId cut;
+        if (!parse_cut_name(tokens[k], cut) || !injectable_cut(cut)) {
+          std::fprintf(out, "err campaign: %s is not an injectable CUT "
+                            "(alu / shifter / mul)\n",
+                       tokens[k].c_str());
+          bad = true;
+          break;
+        }
+        cuts.push_back(cut);
+      }
+      if (!bad) {
+        if (cuts.empty()) {
+          cuts = {CutId::kAlu, CutId::kShifter, CutId::kMultiplier};
+        }
+        render_campaign(session, options.sim, options.max_faults, cuts, out,
+                        err);
+        std::fputs("ok campaign\n", out);
+      }
+    } else if (verb == "conform" && tokens.size() == 3 &&
+               tokens[1] == "run") {
+      try {
+        const int status =
+            render_conform_run(session, tokens[2].c_str(), out, err);
+        if (status == 0) {
+          std::fputs("ok conform\n", out);
+        } else {
+          std::fputs("err conform: differential failures\n", out);
+        }
+      } catch (const conform::ConformError& e) {
+        std::fprintf(out, "err conform: %s\n", e.what());
+      }
+    } else {
+      std::fprintf(out, "err unknown command: %s\n", verb.c_str());
+    }
+
+    std::fflush(out);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::fprintf(err, "# serve: %s %.3f s\n", verb.c_str(), wall);
+    print_store_summary(session, store.get(), err);
+    std::fflush(err);
+  }
+  return 0;
+}
+
+}  // namespace sbst::serve

@@ -1,0 +1,89 @@
+// `sbst serve`: a warm, long-running campaign daemon over one shared
+// GradingSession, plus the renderers it shares with the one-shot CLI.
+//
+// The one-shot CLI pays the full artifact cost (collapse, compile, decode,
+// good run) on every invocation — the persistent store removes the rebuild
+// cost but not the process-startup or deserialization cost. serve keeps one
+// GradingSession alive across requests instead, so the second and every
+// later request starts fully warm, and layers the store underneath for
+// warm-across-process restarts.
+//
+// Protocol: deterministic line-oriented request/response on (in, out).
+// One request per line, tokens separated by spaces:
+//
+//   ping                 liveness probe
+//   evaluate             run + fault-grade the full SBST program
+//   campaign [<cut>...]  guarded injection campaign (default alu shifter mul)
+//   conform run <dir>    three-executor differential replay of a corpus
+//   stats                session + store counters (deterministic: no clocks)
+//   quit                 exit cleanly (EOF does too)
+//
+// Each request's response is exactly the bytes the one-shot CLI command
+// would print to stdout — the renderers below are the SAME code both paths
+// call — followed by one terminator line: `ok <verb>` on success or
+// `err <detail>` on failure. The stream is flushed after every request.
+// Timings, engine config, and store summaries go to `err` only, so the
+// response stream stays byte-deterministic for any engine / lanes / thread
+// count / store temperature.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluate.hpp"
+#include "core/session.hpp"
+#include "store/artifact_store.hpp"
+
+namespace sbst::serve {
+
+/// Request configuration shared by every command a serve loop (or one-shot
+/// CLI invocation) runs.
+struct ServeOptions {
+  fault::SimOptions sim;
+  bool session_cache = true;
+  bool cpu_stats = false;
+  double budget_factor = 8.0;
+  std::size_t max_faults = 32;
+};
+
+/// Parses a CLI/protocol cut name (mul div rf mem shifter alu ctrl).
+bool parse_cut_name(const std::string& name, core::CutId& out);
+
+/// True for the CUTs the injection campaign can target (alu, shifter, mul).
+bool injectable_cut(core::CutId id);
+
+/// Resolved engine/lane/optimization configuration, to `err` only.
+void print_engine_config(const fault::SimOptions& sim, std::FILE* err);
+
+/// Per-artifact store counters of `session` (one line, `err` audience).
+void print_store_summary(const core::GradingSession& session,
+                         const store::ArtifactStore* store, std::FILE* err);
+
+// Command renderers. Byte-for-byte the one-shot CLI commands' stdout when
+// given `out` = stdout; serve points them at its response stream. Each
+// returns the command's exit status (0 = success).
+int render_evaluate(core::GradingSession& session,
+                    const fault::SimOptions& sim, bool cpu_stats,
+                    std::FILE* out, std::FILE* err);
+int render_campaign(core::GradingSession& session,
+                    const fault::SimOptions& sim, std::size_t max_faults,
+                    const std::vector<core::CutId>& cuts, std::FILE* out,
+                    std::FILE* err);
+int render_conform_run(core::GradingSession& session, const char* dir,
+                       std::FILE* out, std::FILE* err);
+
+/// The `stats` verb: session build/hit counters and store counters. Purely
+/// counter-valued (no wall-clock), so repeated identical request sequences
+/// produce identical output.
+void render_stats(const core::GradingSession& session,
+                  const store::ArtifactStore* store, std::FILE* out);
+
+/// Runs the serve loop until `quit` or EOF on `in`. Returns the process
+/// exit status.
+int run_serve(const core::ProcessorModel& model, const ServeOptions& options,
+              std::shared_ptr<store::ArtifactStore> store, std::FILE* in,
+              std::FILE* out, std::FILE* err);
+
+}  // namespace sbst::serve

@@ -1,0 +1,189 @@
+// `sbst serve` protocol loop: sequential requests over one warm session,
+// deterministic response bytes (a repeated request renders identically, and
+// identically to the one-shot renderer), error handling that keeps the loop
+// alive, and clean EOF/quit shutdown.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/serve.hpp"
+
+namespace sbst::serve {
+namespace {
+
+using core::ProcessorModel;
+
+ProcessorModel& model() {
+  static ProcessorModel m;
+  return m;
+}
+
+// Small request budget so campaign gradings stay fast.
+ServeOptions fast_options() {
+  ServeOptions options;
+  options.sim.num_threads = 2;
+  options.max_faults = 2;
+  return options;
+}
+
+struct ServeResult {
+  int status;
+  std::string out;
+  std::string err;
+};
+
+// Feeds `script` to run_serve over in-memory streams.
+ServeResult run_script(const std::string& script,
+                       const ServeOptions& options,
+                       std::shared_ptr<store::ArtifactStore> store = nullptr) {
+  std::FILE* in = fmemopen(const_cast<char*>(script.data()),
+                           script.size() ? script.size() : 1, "r");
+  if (script.empty()) {
+    // fmemopen needs a nonzero size; emulate EOF with an already-consumed
+    // one-byte stream.
+    std::fgetc(in);
+  }
+  char* out_buf = nullptr;
+  std::size_t out_len = 0;
+  std::FILE* out = open_memstream(&out_buf, &out_len);
+  char* err_buf = nullptr;
+  std::size_t err_len = 0;
+  std::FILE* err = open_memstream(&err_buf, &err_len);
+
+  ServeResult r;
+  r.status = run_serve(model(), options, std::move(store), in, out, err);
+  std::fclose(in);
+  std::fclose(out);
+  std::fclose(err);
+  r.out.assign(out_buf, out_len);
+  r.err.assign(err_buf, err_len);
+  std::free(out_buf);
+  std::free(err_buf);
+  return r;
+}
+
+// Splits a response stream into per-request segments, each ending at its
+// `ok <verb>` / `err ...` terminator line.
+std::vector<std::string> split_responses(const std::string& out) {
+  std::vector<std::string> segments;
+  std::string current;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    const std::string line = out.substr(pos, eol - pos);
+    current += line + "\n";
+    if (line.rfind("ok ", 0) == 0 || line.rfind("err ", 0) == 0) {
+      segments.push_back(current);
+      current.clear();
+    }
+    pos = eol == std::string::npos ? out.size() : eol + 1;
+  }
+  EXPECT_TRUE(current.empty()) << "unterminated response: " << current;
+  return segments;
+}
+
+TEST(Serve, PingStatsAndQuit) {
+  const ServeResult r = run_script("ping\nstats\nquit\n", fast_options());
+  EXPECT_EQ(r.status, 0);
+  const std::vector<std::string> seg = split_responses(r.out);
+  ASSERT_EQ(seg.size(), 3u);
+  EXPECT_EQ(seg[0], "ok ping\n");
+  EXPECT_NE(seg[1].find("session: universe 0/0"), std::string::npos);
+  EXPECT_NE(seg[1].find("store: none"), std::string::npos);
+  EXPECT_NE(seg[1].find("ok stats"), std::string::npos);
+  EXPECT_EQ(seg[2], "ok quit\n");
+}
+
+TEST(Serve, EofAndBlankLinesExitCleanly) {
+  EXPECT_EQ(run_script("", fast_options()).status, 0);
+  EXPECT_EQ(run_script("\n\n", fast_options()).status, 0);
+}
+
+TEST(Serve, ErrorsKeepTheLoopAlive) {
+  const ServeResult r = run_script(
+      "bogus\ncampaign div\nconform run /nonexistent-dir\nping\nquit\n",
+      fast_options());
+  EXPECT_EQ(r.status, 0);
+  const std::vector<std::string> seg = split_responses(r.out);
+  ASSERT_EQ(seg.size(), 5u);
+  EXPECT_EQ(seg[0], "err unknown command: bogus\n");
+  EXPECT_NE(seg[1].find("err campaign: div is not an injectable CUT"),
+            std::string::npos);
+  EXPECT_EQ(seg[2].rfind("err conform:", 0), 0u);
+  EXPECT_EQ(seg[3], "ok ping\n");
+  EXPECT_EQ(seg[4], "ok quit\n");
+}
+
+TEST(Serve, RepeatedCampaignRendersIdenticalBytesWarm) {
+  const ServeResult r =
+      run_script("campaign alu\ncampaign alu\nquit\n", fast_options());
+  EXPECT_EQ(r.status, 0);
+  const std::vector<std::string> seg = split_responses(r.out);
+  ASSERT_EQ(seg.size(), 3u);
+  // Second request runs fully warm off the shared session yet renders the
+  // exact same bytes as the cold first request.
+  EXPECT_GT(seg[0].size(), std::string("ok campaign\n").size());
+  EXPECT_EQ(seg[0], seg[1]);
+  EXPECT_NE(seg[0].find("ok campaign"), std::string::npos);
+}
+
+TEST(Serve, CampaignResponseMatchesOneShotRenderer) {
+  const ServeOptions options = fast_options();
+  const ServeResult r = run_script("campaign alu\nquit\n", options);
+  const std::vector<std::string> seg = split_responses(r.out);
+  ASSERT_EQ(seg.size(), 2u);
+
+  // Render the same campaign through the renderer directly (what the
+  // one-shot CLI command does) and compare bytes.
+  core::SessionOptions sopts;
+  sopts.num_threads = options.sim.num_threads;
+  sopts.budget_factor = options.budget_factor;
+  core::GradingSession session(model(), sopts);
+  char* buf = nullptr;
+  std::size_t len = 0;
+  std::FILE* out = open_memstream(&buf, &len);
+  char* err_buf = nullptr;
+  std::size_t err_len = 0;
+  std::FILE* err = open_memstream(&err_buf, &err_len);
+  const int status = render_campaign(session, options.sim,
+                                     options.max_faults,
+                                     {core::CutId::kAlu}, out, err);
+  std::fclose(out);
+  std::fclose(err);
+  EXPECT_EQ(status, 0);
+  const std::string direct(buf, len);
+  std::free(buf);
+  std::free(err_buf);
+  EXPECT_EQ(seg[0], direct + "ok campaign\n");
+}
+
+TEST(Serve, StatsReflectWorkAndStoreUsage) {
+  const ServeResult r =
+      run_script("campaign alu\nstats\nquit\n", fast_options());
+  const std::vector<std::string> seg = split_responses(r.out);
+  ASSERT_EQ(seg.size(), 3u);
+  // After a campaign the session has built artifacts; with no store
+  // configured the store line stays "none".
+  EXPECT_EQ(seg[1].find("universe 0/0"), std::string::npos);
+  EXPECT_NE(seg[1].find("store: none"), std::string::npos);
+}
+
+TEST(Serve, ParseCutNameAndInjectableCut) {
+  core::CutId id;
+  ASSERT_TRUE(parse_cut_name("alu", id));
+  EXPECT_EQ(id, core::CutId::kAlu);
+  ASSERT_TRUE(parse_cut_name("div", id));
+  EXPECT_EQ(id, core::CutId::kDivider);
+  EXPECT_FALSE(parse_cut_name("nope", id));
+  EXPECT_TRUE(injectable_cut(core::CutId::kAlu));
+  EXPECT_TRUE(injectable_cut(core::CutId::kShifter));
+  EXPECT_TRUE(injectable_cut(core::CutId::kMultiplier));
+  EXPECT_FALSE(injectable_cut(core::CutId::kDivider));
+  EXPECT_FALSE(injectable_cut(core::CutId::kControl));
+}
+
+}  // namespace
+}  // namespace sbst::serve

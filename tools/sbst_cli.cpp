@@ -8,6 +8,9 @@
 //   sbst evaluate                      run + fault-grade the full program
 //   sbst campaign [<cut>...]           guarded injection campaign with the
 //                                      RunOutcome taxonomy table
+//   sbst serve                         long-running line-protocol daemon:
+//                                      evaluate / campaign / conform run /
+//                                      stats requests over one warm session
 //   sbst conform generate --seed N --count M --out DIR
 //                                      write a randomized conformance corpus
 //   sbst conform run DIR               three-executor differential replay of
@@ -33,15 +36,22 @@
 //                        reuse grading artifacts (fault universes, compiled
 //                        netlists, observe cones) across gradings (default
 //                        on; results are identical either way)
+//   --store DIR          persistent content-addressed artifact store; "auto"
+//                        = $XDG_CACHE_HOME/sbst or ~/.cache/sbst (also
+//                        SBST_STORE env var; results are identical with the
+//                        store on, off, cold, or warm)
+//   --no-store           ignore SBST_STORE; no persistent store
 //   --budget-factor K    watchdog budget for faulty runs: K x the good
 //                        machine's instructions/cycles/stores (default 8;
 //                        0 = legacy unlimited 1<<24 instruction cap)
 //   --max-faults N       cap the per-CUT fault list of `campaign`
 //                        (default 32; 0 = the full collapsed universe)
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,6 +61,8 @@
 #include "core/evaluate.hpp"
 #include "isa/disasm.hpp"
 #include "netlist/export.hpp"
+#include "serve/serve.hpp"
+#include "store/artifact_store.hpp"
 
 using namespace sbst;
 using namespace sbst::core;
@@ -68,6 +80,10 @@ int usage() {
       "  evaluate                      run + fault-grade the program\n"
       "  campaign [<cut>...]           guarded injection campaign outcome\n"
       "                                table (default: alu shifter mul)\n"
+      "  serve                         line-protocol daemon on stdin/stdout\n"
+      "                                (evaluate | campaign [<cut>...] |\n"
+      "                                conform run DIR | stats | ping | "
+      "quit)\n"
       "  conform generate --seed N --count M --out DIR\n"
       "                                write a randomized conformance "
       "corpus\n"
@@ -94,6 +110,12 @@ int usage() {
       "                              reuse grading artifacts across "
       "gradings\n"
       "                              (default on; identical results)\n"
+      "         --store DIR          persistent artifact store; \"auto\" = \n"
+      "                              ~/.cache/sbst (env SBST_STORE; "
+      "identical\n"
+      "                              results cold or warm)\n"
+      "         --no-store           ignore SBST_STORE; no persistent "
+      "store\n"
       "         --cpu-stats          print the CPU-time-equation breakdown\n"
       "                              (cycles, stalls, miss rates) to "
       "stderr\n"
@@ -105,25 +127,8 @@ int usage() {
   return 2;
 }
 
-struct CutName {
-  const char* name;
-  CutId id;
-};
-constexpr CutName kCuts[] = {
-    {"mul", CutId::kMultiplier}, {"div", CutId::kDivider},
-    {"rf", CutId::kRegisterFile}, {"mem", CutId::kMemCtrl},
-    {"shifter", CutId::kShifter}, {"alu", CutId::kAlu},
-    {"ctrl", CutId::kControl},
-};
-
 bool parse_cut(const char* arg, CutId& out) {
-  for (const CutName& c : kCuts) {
-    if (std::strcmp(arg, c.name) == 0) {
-      out = c.id;
-      return true;
-    }
-  }
-  return false;
+  return serve::parse_cut_name(arg, out);
 }
 
 Routine make_routine(const ProcessorModel& model, CutId cut) {
@@ -205,170 +210,17 @@ int cmd_export(const ProcessorModel& model, CutId cut, const char* format) {
   return 0;
 }
 
-// --cpu-stats: the paper's §2 CPU-time equation, term by term. Goes to
-// stderr so the determinism-checked stdout stays untouched.
-void print_cpu_stats(const sim::ExecStats& s) {
-  const double imiss =
-      s.icache_accesses == 0
-          ? 0.0
-          : 100.0 * static_cast<double>(s.icache_misses) /
-                static_cast<double>(s.icache_accesses);
-  const double dmiss =
-      s.dcache_accesses == 0
-          ? 0.0
-          : 100.0 * static_cast<double>(s.dcache_misses) /
-                static_cast<double>(s.dcache_accesses);
-  std::fprintf(stderr, "# cpu-stats: instructions %llu\n",
-               static_cast<unsigned long long>(s.instructions));
-  std::fprintf(stderr,
-               "# cpu-stats: cpu cycles %llu + pipeline stalls %llu + "
-               "memory stalls %llu = %llu total\n",
-               static_cast<unsigned long long>(s.cpu_cycles),
-               static_cast<unsigned long long>(s.pipeline_stall_cycles),
-               static_cast<unsigned long long>(s.memory_stall_cycles),
-               static_cast<unsigned long long>(s.total_cycles()));
-  std::fprintf(stderr,
-               "# cpu-stats: loads %llu stores %llu (data refs %llu)\n",
-               static_cast<unsigned long long>(s.loads),
-               static_cast<unsigned long long>(s.stores),
-               static_cast<unsigned long long>(s.data_references()));
-  std::fprintf(stderr,
-               "# cpu-stats: icache %llu/%llu misses (%.2f%%), dcache "
-               "%llu/%llu misses (%.2f%%)\n",
-               static_cast<unsigned long long>(s.icache_misses),
-               static_cast<unsigned long long>(s.icache_accesses), imiss,
-               static_cast<unsigned long long>(s.dcache_misses),
-               static_cast<unsigned long long>(s.dcache_accesses), dmiss);
-  std::fprintf(stderr,
-               "# cpu-stats: analytic total (5%% miss, 20-cycle penalty) "
-               "%llu cycles\n",
-               static_cast<unsigned long long>(
-                   s.analytic_total_cycles(0.05, 20)));
-  std::fprintf(stderr, "# cpu-stats: %.1f us at 57 MHz\n",
-               1e6 * s.seconds(57e6));
-}
-
-// Selected engine / lane / optimization configuration, resolved to what the
-// gradings will actually run. Stderr only: stdout is golden-diffed across
-// widths and engines.
-void print_engine_config(const fault::SimOptions& sim) {
-  const bool reference = sim.engine == fault::Engine::kReference;
-  const unsigned lanes =
-      reference ? 1
-                : (sim.lanes == 0 ? fault::default_lanes()
-                                  : (sim.lanes == 4 ? 4u : 1u));
-  const bool opt = !reference &&
-                   (sim.netlist_opt < 0 ? fault::default_netlist_opt()
-                                        : sim.netlist_opt != 0);
-  std::fprintf(stderr,
-               "# config: engine %s, lanes %u (%u fault lanes/pass), "
-               "netlist-opt %s\n",
-               fault::engine_name(sim.engine), lanes, 64 * lanes - 1,
-               opt ? "on" : "off");
-}
-
-int cmd_evaluate(const ProcessorModel& model, const fault::SimOptions& sim,
-                 bool session_cache, bool cpu_stats) {
-  print_engine_config(sim);
-  TestProgramBuilder builder;
-  builder.add_default_routines(model);
-  const TestProgram program = builder.build();
-  EvalOptions options;
-  options.sim = sim;
-  GradingSession session(model, {.num_threads = sim.num_threads,
-                                 .cache = session_cache,
-                                 .lanes = sim.lanes,
-                                 .netlist_opt = sim.netlist_opt});
-  const ProgramEvaluation ev =
-      evaluate_program(session, builder, program, options);
-  Table t({"Component", "FC (%)", "Miss. FC (%)"});
-  for (const CutCoverage& c : ev.cuts) {
-    t.add_row({model.component(c.id).name,
-               Table::num(c.coverage.percent(), 1),
-               Table::num(ev.missing_fc(c.id), 2)});
-  }
-  t.print();
-  std::printf("overall FC %.2f%%; %llu cycles, %llu stalls, %llu data refs\n",
-              ev.overall_fc(),
-              static_cast<unsigned long long>(ev.total.cpu_cycles),
-              static_cast<unsigned long long>(
-                  ev.total.pipeline_stall_cycles),
-              static_cast<unsigned long long>(ev.total.data_references()));
-  // Stage timings go to stderr: stdout must stay byte-identical for every
-  // thread count / engine / cache setting (the CI determinism check diffs
-  // it), while wall-clock never is.
-  std::fprintf(stderr,
-               "# stages (s): trace %.3f collapse %.3f compile %.3f "
-               "grade %.3f standalone %.3f\n",
-               ev.stages.trace, ev.stages.collapse, ev.stages.compile,
-               ev.stages.grade, ev.stages.standalone);
-  if (cpu_stats) print_cpu_stats(ev.total);
-  return 0;
-}
-
-// Guarded injection campaign over the injectable CUTs: every fault gets a
-// classified RunOutcome; the table splits detections into signature vs
-// symptom. Stdout is deterministic for any thread count / cache setting
-// (the CI smoke diffs it); wall-clock goes to stderr.
-int cmd_campaign(const ProcessorModel& model, const fault::SimOptions& sim,
-                 bool session_cache, double budget_factor,
-                 std::size_t max_faults, const std::vector<CutId>& cuts) {
-  print_engine_config(sim);
-  TestProgramBuilder builder;
-  builder.add_default_routines(model);
-  const TestProgram program = builder.build();
-  GradingSession session(model, {.num_threads = sim.num_threads,
-                                 .cache = session_cache,
-                                 .lanes = sim.lanes,
-                                 .netlist_opt = sim.netlist_opt,
-                                 .budget_factor = budget_factor});
-  const auto t0 = std::chrono::steady_clock::now();
-  OutcomeHistogram total;
-  Table t({"Component", "Faults", "Sig", "Hang", "Trap", "Wild", "Ok",
-           "Infra", "Det (%)"});
-  for (const CutId cut : cuts) {
-    std::vector<fault::Fault> faults = session.universe(cut).collapsed();
-    if (max_faults != 0 && faults.size() > max_faults) {
-      faults.resize(max_faults);
-    }
-    const OutcomeHistogram h = histogram_of(
-        run_injection_campaign(session, program, cut, faults, {}));
-    for (std::size_t k = 0; k < kRunOutcomeCount; ++k) {
-      total.counts[k] += h.counts[k];
-    }
-    const double det =
-        h.total() == 0 ? 0.0
-                       : 100.0 * static_cast<double>(h.detected()) /
-                             static_cast<double>(h.total());
-    t.add_row({model.component(cut).name,
-               Table::num(static_cast<std::uint64_t>(h.total())),
-               Table::num(static_cast<std::uint64_t>(
-                   h.detected_by_signature())),
-               Table::num(static_cast<std::uint64_t>(
-                   h.count(RunOutcome::kDetectedHang))),
-               Table::num(static_cast<std::uint64_t>(
-                   h.count(RunOutcome::kDetectedTrap))),
-               Table::num(static_cast<std::uint64_t>(
-                   h.count(RunOutcome::kDetectedWildStore))),
-               Table::num(static_cast<std::uint64_t>(
-                   h.count(RunOutcome::kOkMatch))),
-               Table::num(static_cast<std::uint64_t>(
-                   h.count(RunOutcome::kInfraError))),
-               Table::num(det, 1)});
-  }
-  t.print();
-  std::printf(
-      "campaign: %zu faults, detected %zu (signature %zu, symptom %zu), "
-      "infra errors %zu\n",
-      total.total(), total.detected(), total.detected_by_signature(),
-      total.detected_by_symptom(), total.count(RunOutcome::kInfraError));
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  std::fprintf(stderr,
-               "# campaign: budget factor %.1f, %.3f s wall, %zu faults\n",
-               budget_factor, wall, total.total());
-  return 0;
+GradingSession make_session(const ProcessorModel& model,
+                            const serve::ServeOptions& options,
+                            std::shared_ptr<store::ArtifactStore> store) {
+  SessionOptions sopts;
+  sopts.num_threads = options.sim.num_threads;
+  sopts.cache = options.session_cache;
+  sopts.lanes = options.sim.lanes;
+  sopts.netlist_opt = options.sim.netlist_opt;
+  sopts.budget_factor = options.budget_factor;
+  sopts.store = std::move(store);
+  return GradingSession(model, sopts);
 }
 
 // `conform generate`: write a randomized corpus directory. The summary on
@@ -400,48 +252,10 @@ int cmd_conform_generate(std::uint64_t seed, std::size_t count,
   return 0;
 }
 
-// `conform run`: three-executor differential replay. Stdout (per-class
-// table, failure details, summary) is deterministic for any thread count /
-// cache setting — the CI golden diff depends on it. Timings go to stderr.
-int cmd_conform_run(const ProcessorModel& model, const fault::SimOptions& sim,
-                    bool session_cache, const char* dir) {
-  const auto t0 = std::chrono::steady_clock::now();
-  const conform::Corpus corpus = conform::load_corpus(dir);
-  const auto t1 = std::chrono::steady_clock::now();
-  GradingSession session(model, {.num_threads = sim.num_threads,
-                                 .cache = session_cache,
-                                 .lanes = sim.lanes,
-                                 .netlist_opt = sim.netlist_opt});
-  const conform::ConformRunner runner(&session);
-  const conform::ConformReport report = runner.run(corpus);
-  const auto t2 = std::chrono::steady_clock::now();
-  Table t({"Class", "Cases", "Pass", "Fail"});
-  for (const conform::ClassTally& tally : report.by_class) {
-    t.add_row({tally.cls,
-               Table::num(static_cast<std::uint64_t>(tally.cases)),
-               Table::num(static_cast<std::uint64_t>(tally.pass)),
-               Table::num(static_cast<std::uint64_t>(tally.fail))});
-  }
-  t.print();
-  for (const conform::CaseFailure& f : report.failures) {
-    std::printf("FAIL %s [%s]: %s\n", f.name.c_str(),
-                conform::executor_name(f.exec), f.detail.c_str());
-  }
-  std::printf("conform: %zu cases, passed %zu, failed %zu "
-              "(%s, seed %llu, content hash %016llx)\n",
-              report.cases, report.passed, report.failed,
-              corpus.version.c_str(),
-              static_cast<unsigned long long>(corpus.seed),
-              static_cast<unsigned long long>(
-                  conform::corpus_content_hash(corpus)));
-  std::fprintf(stderr, "# conform: load %.3f s, replay %.3f s, %zu cases\n",
-               std::chrono::duration<double>(t1 - t0).count(),
-               std::chrono::duration<double>(t2 - t1).count(), report.cases);
-  return report.ok() ? 0 : 1;
-}
-
-int cmd_conform(const ProcessorModel& model, const fault::SimOptions& sim,
-                bool session_cache, const std::vector<const char*>& args) {
+int cmd_conform(const ProcessorModel& model,
+                const serve::ServeOptions& options,
+                std::shared_ptr<store::ArtifactStore> store,
+                const std::vector<const char*>& args) {
   if (args.size() < 2) return usage();
   const std::string sub = args[1];
   if (sub == "generate") {
@@ -469,7 +283,11 @@ int cmd_conform(const ProcessorModel& model, const fault::SimOptions& sim,
   }
   if (sub == "run") {
     if (args.size() != 3) return usage();
-    return cmd_conform_run(model, sim, session_cache, args[2]);
+    GradingSession session = make_session(model, options, store);
+    const int status =
+        serve::render_conform_run(session, args[2], stdout, stderr);
+    serve::print_store_summary(session, store.get(), stderr);
+    return status;
   }
   return usage();
 }
@@ -478,11 +296,8 @@ int cmd_conform(const ProcessorModel& model, const fault::SimOptions& sim,
 
 int main(int argc, char** argv) {
   // Strip global options; everything else stays positional.
-  fault::SimOptions sim;
-  bool session_cache = true;
-  bool cpu_stats = false;
-  double budget_factor = 8.0;
-  std::size_t max_faults = 32;
+  serve::ServeOptions options;
+  const char* store_spec = std::getenv("SBST_STORE");
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -490,25 +305,25 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return usage();
       const long v = std::strtol(argv[++i], nullptr, 10);
       if (v <= 0) return usage();
-      sim.num_threads = static_cast<unsigned>(v);
+      options.sim.num_threads = static_cast<unsigned>(v);
     } else if (std::strcmp(a, "--no-lane-parallel") == 0) {
-      sim.lane_parallel = false;
+      options.sim.lane_parallel = false;
     } else if (std::strcmp(a, "--session-cache") == 0) {
-      session_cache = true;
+      options.session_cache = true;
     } else if (std::strcmp(a, "--no-session-cache") == 0) {
-      session_cache = false;
+      options.session_cache = false;
     } else if (std::strcmp(a, "--cpu-stats") == 0) {
-      cpu_stats = true;
+      options.cpu_stats = true;
     } else if (std::strcmp(a, "--budget-factor") == 0) {
       if (i + 1 >= argc) return usage();
       char* end = nullptr;
-      budget_factor = std::strtod(argv[++i], &end);
+      options.budget_factor = std::strtod(argv[++i], &end);
       if (end == argv[i] || *end != '\0') return usage();
     } else if (std::strcmp(a, "--max-faults") == 0) {
       if (i + 1 >= argc) return usage();
       const long v = std::strtol(argv[++i], nullptr, 10);
       if (v < 0) return usage();
-      max_faults = static_cast<std::size_t>(v);
+      options.max_faults = static_cast<std::size_t>(v);
     } else if (std::strcmp(a, "--engine") == 0 ||
                std::strncmp(a, "--engine=", 9) == 0) {
       const char* name = a[8] == '=' ? a + 9 : nullptr;
@@ -516,7 +331,7 @@ int main(int argc, char** argv) {
         if (i + 1 >= argc) return usage();
         name = argv[++i];
       }
-      if (!fault::parse_engine(name, sim.engine)) return usage();
+      if (!fault::parse_engine(name, options.sim.engine)) return usage();
     } else if (std::strcmp(a, "--lanes") == 0 ||
                std::strncmp(a, "--lanes=", 8) == 0) {
       const char* value = a[7] == '=' ? a + 8 : nullptr;
@@ -524,31 +339,52 @@ int main(int argc, char** argv) {
         if (i + 1 >= argc) return usage();
         value = argv[++i];
       }
-      if (!fault::parse_lanes(value, sim.lanes)) return usage();
+      if (!fault::parse_lanes(value, options.sim.lanes)) return usage();
     } else if (std::strcmp(a, "--netlist-opt") == 0) {
-      sim.netlist_opt = 1;
+      options.sim.netlist_opt = 1;
     } else if (std::strcmp(a, "--no-netlist-opt") == 0) {
-      sim.netlist_opt = 0;
+      options.sim.netlist_opt = 0;
+    } else if (std::strcmp(a, "--store") == 0 ||
+               std::strncmp(a, "--store=", 8) == 0) {
+      const char* value = a[7] == '=' ? a + 8 : nullptr;
+      if (!value) {
+        if (i + 1 >= argc) return usage();
+        value = argv[++i];
+      }
+      store_spec = value;
+    } else if (std::strcmp(a, "--no-store") == 0) {
+      store_spec = nullptr;
     } else {
       args.push_back(a);
     }
   }
   if (args.empty()) return usage();
+
+  std::shared_ptr<store::ArtifactStore> store;
+  if (store_spec) {
+    store = std::make_shared<store::ArtifactStore>(
+        store::ArtifactStore::resolve_dir(store_spec));
+    options.sim.store = store.get();
+  }
+
   const std::string cmd = args[0];
   ProcessorModel model;
   if (cmd == "inventory") return cmd_inventory(model);
   if (cmd == "program") return cmd_program(model, false);
   if (cmd == "listing") return cmd_program(model, true);
   if (cmd == "evaluate") {
-    return cmd_evaluate(model, sim, session_cache, cpu_stats);
+    GradingSession session = make_session(model, options, store);
+    const int status = serve::render_evaluate(
+        session, options.sim, options.cpu_stats, stdout, stderr);
+    serve::print_store_summary(session, store.get(), stderr);
+    return status;
   }
   if (cmd == "campaign") {
     std::vector<CutId> cuts;
     for (std::size_t k = 1; k < args.size(); ++k) {
       CutId cut;
       if (!parse_cut(args[k], cut)) return usage();
-      if (cut != CutId::kAlu && cut != CutId::kShifter &&
-          cut != CutId::kMultiplier) {
+      if (!serve::injectable_cut(cut)) {
         std::fprintf(stderr,
                      "campaign: %s is not an injectable CUT "
                      "(alu / shifter / mul)\n",
@@ -560,12 +396,19 @@ int main(int argc, char** argv) {
     if (cuts.empty()) {
       cuts = {CutId::kAlu, CutId::kShifter, CutId::kMultiplier};
     }
-    return cmd_campaign(model, sim, session_cache, budget_factor, max_faults,
-                        cuts);
+    GradingSession session = make_session(model, options, store);
+    const int status = serve::render_campaign(
+        session, options.sim, options.max_faults, cuts, stdout, stderr);
+    serve::print_store_summary(session, store.get(), stderr);
+    return status;
+  }
+  if (cmd == "serve") {
+    if (args.size() != 1) return usage();
+    return serve::run_serve(model, options, store, stdin, stdout, stderr);
   }
   if (cmd == "conform") {
     try {
-      return cmd_conform(model, sim, session_cache, args);
+      return cmd_conform(model, options, store, args);
     } catch (const conform::ConformError& e) {
       std::fprintf(stderr, "conform: %s\n", e.what());
       return 1;
