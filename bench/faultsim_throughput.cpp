@@ -277,6 +277,42 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fault-model sweep: the full collapsed universe of each taxonomy model
+  // graded through the same engine front door (event engine, single-thread
+  // lane-packed, W=4, compile passes on — the fast configuration). Every
+  // model rides the identical scheduling/lane machinery; only the
+  // per-model activation semantics differ, so these rows price the
+  // taxonomy itself.
+  struct ModelRow {
+    fault::FaultModel model;
+    std::size_t faults = 0;
+    double seconds = 0;
+    double faults_per_sec = 0;
+    std::size_t detected = 0;
+  };
+  std::vector<ModelRow> model_rows;
+  for (const fault::FaultModel fm :
+       {fault::FaultModel::kStuckAt, fault::FaultModel::kTransition,
+        fault::FaultModel::kTransientSEU, fault::FaultModel::kIntermittent}) {
+    const fault::FaultUniverse mu(nl, fm);
+    ModelRow mr;
+    mr.model = fm;
+    mr.faults = mu.size();
+    const auto t0 = std::chrono::steady_clock::now();
+    fault::SimOptions so;
+    so.num_threads = 1;
+    so.lane_parallel = true;  // kTransition takes its block-major path
+    so.engine = Engine::kEvent;
+    so.lanes = 4;
+    so.netlist_opt = 1;
+    const CoverageResult res =
+        fault::simulate_comb_parallel(nl, mu.collapsed(), patterns, {}, so);
+    mr.seconds = seconds_since(t0);
+    mr.faults_per_sec = static_cast<double>(mr.faults) / mr.seconds;
+    mr.detected = res.detected;
+    model_rows.push_back(mr);
+  }
+
   Table t({"Config", "Engine", "W", "Opt", "Gates", "Patterns", "Seconds",
            "Faults x pat / s", "Faults / s", "Detected"});
   for (const BenchRow& r : rows) {
@@ -289,6 +325,15 @@ int main(int argc, char** argv) {
                Table::num(static_cast<std::uint64_t>(r.detected))});
   }
   t.print();
+
+  Table mt({"Model", "Faults", "Seconds", "Faults / s", "Detected"});
+  for (const ModelRow& r : model_rows) {
+    mt.add_row({fault::fault_model_name(r.model),
+                Table::num(static_cast<std::uint64_t>(r.faults)),
+                Table::num(r.seconds, 3), Table::num(r.faults_per_sec, 0),
+                Table::num(static_cast<std::uint64_t>(r.detected))});
+  }
+  mt.print();
 
   // Every full-pattern configuration must agree flag-for-flag (the serial
   // row uses fewer patterns and is excluded).
@@ -346,6 +391,18 @@ int main(int argc, char** argv) {
                  rows[i].gates_after_opt, rows[i].patterns, rows[i].seconds,
                  rows[i].throughput, rows[i].faults_per_sec,
                  rows[i].detected, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  },\n  \"fault_models\": {\n");
+  for (std::size_t i = 0; i < model_rows.size(); ++i) {
+    const ModelRow& r = model_rows[i];
+    std::fprintf(json,
+                 "    \"%s\": {\"model\": \"%s\", \"faults\": %zu, "
+                 "\"seconds\": %.6f, \"faults_graded_per_sec\": %.0f, "
+                 "\"detected\": %zu}%s\n",
+                 fault::fault_model_name(r.model),
+                 fault::fault_model_name(r.model), r.faults, r.seconds,
+                 r.faults_per_sec, r.detected,
+                 i + 1 < model_rows.size() ? "," : "");
   }
   std::fprintf(json,
                "  },\n"

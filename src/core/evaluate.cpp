@@ -168,6 +168,14 @@ const CutCoverage& ProgramEvaluation::cut(CutId id) const {
   throw std::out_of_range("ProgramEvaluation: unknown cut");
 }
 
+const CutCoverage& ProgramEvaluation::cut(CutId id,
+                                          fault::FaultModel model) const {
+  for (const CutCoverage& c : cuts) {
+    if (c.id == id && c.model == model) return c;
+  }
+  throw std::out_of_range("ProgramEvaluation: cut not graded under model");
+}
+
 double ProgramEvaluation::overall_fc() const {
   std::size_t total = 0, detected = 0;
   for (const CutCoverage& c : cuts) {
@@ -237,15 +245,15 @@ ProgramEvaluation evaluate_program(GradingSession& session,
   // replace the object) and decompose each CUT's grading into chunk tasks.
   const ObserveMode mode = observe_mode(options);
   const bool reference = options.sim.engine == fault::Engine::kReference;
+  const std::vector<fault::FaultModel> models =
+      options.fault_models.empty()
+          ? std::vector<fault::FaultModel>{fault::FaultModel::kStuckAt}
+          : options.fault_models;
   std::vector<fault::EngineContext> ctxs;
   ctxs.reserve(model.components().size());  // plan tasks keep pointers in
-  out.cuts.reserve(model.components().size());
+  out.cuts.reserve(model.components().size() * models.size());
   fault::GradingPlan plan;
   for (const ComponentInfo& info : model.components()) {
-    auto t_collapse = Clock::now();
-    const fault::FaultUniverse& universe = session.universe(info.id);
-    out.stages.collapse += seconds_since(t_collapse);
-
     auto t_compile = Clock::now();
     const std::uint8_t* reach = nullptr;
     const netlist::CompiledNetlist* compiled = nullptr;
@@ -266,10 +274,6 @@ ProgramEvaluation evaluate_program(GradingSession& session,
         options.sim.lanes, options.sim.netlist_opt);
     out.stages.compile += seconds_since(t_compile);
 
-    CutCoverage cc;
-    cc.id = info.id;
-    cc.collapsed_faults = universe.size();
-    cc.uncollapsed_faults = universe.uncollapsed_count();
     const fault::PatternSet* patterns = nullptr;
     const fault::SeqStimulus* stimulus = nullptr;
     switch (info.id) {
@@ -286,16 +290,32 @@ ProgramEvaluation evaluate_program(GradingSession& session,
       case CutId::kMemCtrl: stimulus = &trace.memctrl_stimulus(); break;
       case CutId::kPipeline: stimulus = &trace.pipeline_stimulus(); break;
     }
-    cc.stimulus_size = patterns ? patterns->size() : stimulus->size();
-    out.cuts.push_back(std::move(cc));
-    // detected_flags lives on the heap, so the chunk tasks' flag pointers
-    // survive out.cuts growing.
-    if (patterns) {
-      plan.add_comb(ctx, universe.collapsed(), *patterns,
-                    options.sim.lane_parallel, out.cuts.back().coverage);
-    } else {
-      plan.add_seq(ctx, universe.collapsed(), *stimulus,
-                   out.cuts.back().coverage);
+
+    for (const fault::FaultModel fm : models) {
+      // Transition detection needs launch/capture pattern PAIRS; the clocked
+      // stimuli have no pairing semantics, so sequential CUTs get no row.
+      if (fm == fault::FaultModel::kTransition && !patterns) continue;
+
+      auto t_collapse = Clock::now();
+      const fault::FaultUniverse& universe = session.universe(info.id, fm);
+      out.stages.collapse += seconds_since(t_collapse);
+
+      CutCoverage cc;
+      cc.id = info.id;
+      cc.model = fm;
+      cc.collapsed_faults = universe.size();
+      cc.uncollapsed_faults = universe.uncollapsed_count();
+      cc.stimulus_size = patterns ? patterns->size() : stimulus->size();
+      out.cuts.push_back(std::move(cc));
+      // detected_flags lives on the heap, so the chunk tasks' flag pointers
+      // survive out.cuts growing.
+      if (patterns) {
+        plan.add_comb(ctx, universe.collapsed(), *patterns,
+                      options.sim.lane_parallel, out.cuts.back().coverage);
+      } else {
+        plan.add_seq(ctx, universe.collapsed(), *stimulus,
+                     out.cuts.back().coverage);
+      }
     }
   }
 
@@ -343,7 +363,7 @@ ProgramEvaluation evaluate_program(GradingSession& session,
         continue;
       }
       const std::vector<fault::Fault>& all =
-          session.universe(cc.id).collapsed();
+          session.universe(cc.id, cc.model).collapsed();
       std::vector<fault::Fault> sample = all;
       if (options.outcome_sample != 0 &&
           sample.size() > options.outcome_sample) {

@@ -150,6 +150,13 @@ struct EvalOptions {
   /// Hardened-runtime knobs (watchdog budgets, store guard, retry) for the
   /// classify_outcomes campaigns.
   InjectOptions inject{};
+  /// Fault models to grade each component under: one CutCoverage row per
+  /// (component, model) pair, every model graded against the SAME captured
+  /// trace. The default — stuck-at only — reproduces the legacy single-model
+  /// evaluation exactly. Transition faults are combinational-only, so the
+  /// sequential CUTs (divider, register file, memory controller, pipeline)
+  /// get no transition row. Empty behaves as {kStuckAt}.
+  std::vector<fault::FaultModel> fault_models = {fault::FaultModel::kStuckAt};
 };
 
 /// The observe-set cache mode EvalOptions' observability flags select.
@@ -157,6 +164,8 @@ ObserveMode observe_mode(const EvalOptions& options);
 
 struct CutCoverage {
   CutId id;
+  /// The fault model this row was graded under (EvalOptions::fault_models).
+  fault::FaultModel model = fault::FaultModel::kStuckAt;
   fault::CoverageResult coverage;
   std::size_t collapsed_faults = 0;
   std::size_t uncollapsed_faults = 0;
@@ -190,7 +199,10 @@ struct ProgramEvaluation {
   EvalStageTimes stages;
 
   const CutCoverage& cut(CutId id) const;
-  /// Overall processor fault coverage: detected / total over all components.
+  /// The (component, model) row; throws if that model was not graded.
+  const CutCoverage& cut(CutId id, fault::FaultModel model) const;
+  /// Overall processor fault coverage: detected / total over all graded
+  /// (component, model) rows.
   double overall_fc() const;
   /// Contribution of a CUT's undetected faults to the missing overall
   /// coverage (the paper's "Miss. FC" column).

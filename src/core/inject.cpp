@@ -102,6 +102,31 @@ void validate_fault_site(const netlist::Netlist& nl,
 
 }  // namespace
 
+void GateLevelFaultInjector::init_fault(const fault::Fault& fault) {
+  fault_ = fault;
+  stream_key_ = fault::fault_stream_key(fault);
+  switch (fault.model) {
+    case fault::FaultModel::kStuckAt:
+      // Always-on: arm once, never toggle (the legacy code path).
+      if (comp_eval_) {
+        comp_eval_->inject_broadcast(fault.site, fault.stuck_value);
+      } else {
+        ref_eval_->inject_broadcast(fault.site, fault.stuck_value);
+      }
+      active_ = true;
+      break;
+    case fault::FaultModel::kTransition:
+      line_ = fault.site.is_output()
+                  ? fault.site.gate
+                  : nl_->gate(fault.site.gate).in[fault.site.pin];
+      line_eval_ = std::make_unique<netlist::Evaluator>(*nl_);
+      break;
+    case fault::FaultModel::kTransientSEU:
+    case fault::FaultModel::kIntermittent:
+      break;  // armed per operation by the activation stream
+  }
+}
+
 GateLevelFaultInjector::GateLevelFaultInjector(const ProcessorModel& model,
                                                CutId target,
                                                const fault::Fault& fault)
@@ -109,7 +134,7 @@ GateLevelFaultInjector::GateLevelFaultInjector(const ProcessorModel& model,
   check_target(target);
   validate_fault_site(*nl_, fault);
   ref_eval_ = std::make_unique<netlist::Evaluator>(*nl_);
-  ref_eval_->inject(fault.site, fault.stuck_value, ~std::uint64_t{0});
+  init_fault(fault);
 }
 
 GateLevelFaultInjector::GateLevelFaultInjector(GradingSession& session,
@@ -120,7 +145,7 @@ GateLevelFaultInjector::GateLevelFaultInjector(GradingSession& session,
   validate_fault_site(*nl_, fault);
   comp_eval_ = std::make_unique<netlist::CompiledEvaluator>(
       session.compiled(target), /*event_driven=*/true);
-  comp_eval_->inject(fault.site, fault.stuck_value, ~std::uint64_t{0});
+  init_fault(fault);
 }
 
 GateLevelFaultInjector::GateLevelFaultInjector(
@@ -131,7 +156,7 @@ GateLevelFaultInjector::GateLevelFaultInjector(
   validate_fault_site(nl, fault);
   comp_eval_ = std::make_unique<netlist::CompiledEvaluator>(
       compiled, /*event_driven=*/true);
-  comp_eval_->inject(fault.site, fault.stuck_value, ~std::uint64_t{0});
+  init_fault(fault);
 }
 
 void GateLevelFaultInjector::drive(const char* port, std::uint64_t value) {
@@ -140,9 +165,50 @@ void GateLevelFaultInjector::drive(const char* port, std::uint64_t value) {
   } else {
     ref_eval_->set_bus(nl_->input_port(port), value);
   }
+  if (line_eval_) line_eval_->set_bus(nl_->input_port(port), value);
+}
+
+void GateLevelFaultInjector::update_activation() {
+  bool on = active_;
+  switch (fault_.model) {
+    case fault::FaultModel::kStuckAt:
+      return;  // armed at construction, nothing to do per op
+    case fault::FaultModel::kTransition: {
+      // Launch/capture at operation granularity: the slow transition only
+      // corrupts this operation if the fault-free line sat at the slow value
+      // sv on the previous operation and should be !sv now. The first
+      // operation has no launch partner and is never corrupted.
+      line_eval_->eval();
+      const bool lv = line_eval_->value(line_) & 1u;
+      on = prev_line_sv_ && lv != fault_.stuck_value;
+      prev_line_sv_ = lv == fault_.stuck_value;
+      break;
+    }
+    case fault::FaultModel::kTransientSEU:
+    case fault::FaultModel::kIntermittent:
+      on = fault::fault_active(stream_key_, fault_.model, op_index_);
+      break;
+  }
+  ++op_index_;
+  if (on == active_) return;
+  if (comp_eval_) {
+    if (on) {
+      comp_eval_->inject_broadcast(fault_.site, fault_.stuck_value);
+    } else {
+      comp_eval_->release_broadcast(fault_.site);
+    }
+  } else {
+    if (on) {
+      ref_eval_->inject_broadcast(fault_.site, fault_.stuck_value);
+    } else {
+      ref_eval_->release_broadcast(fault_.site);
+    }
+  }
+  active_ = on;
 }
 
 std::uint64_t GateLevelFaultInjector::read(const char* port) {
+  update_activation();
   if (comp_eval_) {
     comp_eval_->eval();
     return comp_eval_->bus_value(nl_->output_port(port));

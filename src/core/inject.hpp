@@ -129,6 +129,18 @@ class GateLevelFaultInjector final : public sim::CpuHooks {
  public:
   /// Supported targets: kAlu, kShifter, kMultiplier (the components whose
   /// results flow through the CpuHooks override points).
+  ///
+  /// All four fault models inject through the same hooks; the model decides
+  /// WHEN the gate-level force is armed:
+  ///  * kStuckAt — armed for every operation (the legacy behaviour).
+  ///  * kTransition — armed for an operation only when the fault-free value
+  ///    of the faulted line transitions from the slow value on the previous
+  ///    operation to its complement now (the launch/capture pair of the
+  ///    gate-level grader, at operation granularity).
+  ///  * kTransientSEU / kIntermittent — armed per operation by the fault's
+  ///    deterministic activation stream (fault_active), indexed by the
+  ///    injector's private operation counter — so outcomes depend only on
+  ///    the program and the fault, never on scheduling.
   GateLevelFaultInjector(const ProcessorModel& model, CutId target,
                          const fault::Fault& fault);
   /// Session form: evaluates through the session's cached compiled netlist
@@ -156,13 +168,28 @@ class GateLevelFaultInjector final : public sim::CpuHooks {
 
  private:
   void check_target(CutId target) const;
+  void init_fault(const fault::Fault& fault);
   void drive(const char* port, std::uint64_t value);
+  /// Arms / disarms the force for the operation about to be evaluated,
+  /// per the fault model's activation semantics. Called once per hooked
+  /// operation, before the faulty eval.
+  void update_activation();
   std::uint64_t read(const char* port);
 
   CutId target_;
   const netlist::Netlist* nl_;
   std::unique_ptr<netlist::Evaluator> ref_eval_;
   std::unique_ptr<netlist::CompiledEvaluator> comp_eval_;
+  fault::Fault fault_;
+  std::uint64_t stream_key_ = 0;  // fault_stream_key(fault_)
+  std::uint64_t op_index_ = 0;    // operations evaluated through the hooks
+  bool active_ = false;           // force currently armed
+  bool prev_line_sv_ = false;     // transition: previous op's line == sv
+  netlist::NetId line_ = netlist::kNoNet;  // transition: the faulted line
+  // Transition only: un-faulted reference evaluator for the line's
+  // fault-free value (compiled evaluators cannot provide it — optimization
+  // passes may fuse the line away).
+  std::unique_ptr<netlist::Evaluator> line_eval_;
   std::uint64_t corrupted_ = 0;
 };
 

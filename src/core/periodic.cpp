@@ -64,6 +64,17 @@ PeriodicResult simulate_periodic(const PeriodicConfig& config,
   double latency_sum = 0.0;
   double hang_latency_sum = 0.0;
 
+  // Per-kind measured overrides; with the defaults (< 0) these resolve to
+  // the config globals and every RNG draw below is unchanged.
+  const ModelMeasurement& mm =
+      config.measured[static_cast<std::size_t>(fault.kind)];
+  const double coverage =
+      mm.coverage >= 0 ? mm.coverage : config.fault_coverage;
+  const double hang_fraction =
+      mm.hang_fraction >= 0 ? mm.hang_fraction : config.hang_fraction;
+  const double detect_exec_s =
+      mm.detect_exec_s >= 0 ? mm.detect_exec_s : config.test_exec_s;
+
   for (std::size_t trial = 0; trial < trials; ++trial) {
     // Randomise the fault arrival within one test period so results do not
     // depend on phase alignment.
@@ -90,18 +101,18 @@ PeriodicResult simulate_periodic(const PeriodicConfig& config,
       // executes and the fault lies in the covered set.
       const bool active = fault_active_at(f, launch) ||
                           fault_active_at(f, launch + config.test_exec_s / 2);
-      if (active && rng.chance(config.fault_coverage)) {
+      if (active && rng.chance(coverage)) {
         // Symptom detections (hang/trap/wild store) complete when the OS
         // watchdog fires, not when the signature unload would have run.
         // The hang_fraction > 0 gate keeps the legacy draw stream intact
         // when the symptom split is not modelled.
-        if (config.hang_fraction > 0 && rng.chance(config.hang_fraction)) {
+        if (hang_fraction > 0 && rng.chance(hang_fraction)) {
           by_hang = true;
           detection = launch + (config.watchdog_s > 0 ? config.watchdog_s
-                                                      : config.test_exec_s);
+                                                      : detect_exec_s);
         } else {
           by_hang = false;
-          detection = launch + config.test_exec_s;
+          detection = launch + detect_exec_s;
         }
         break;
       }

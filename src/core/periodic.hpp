@@ -9,11 +9,13 @@
 // coverage scales the detection probability).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 
 namespace sbst::fault {
 class ThreadPool;
@@ -32,6 +34,33 @@ struct FaultProcess {
   double arrival_s = 0.0;
   double period_s = 0.0;  // intermittent: activation period
   double active_s = 0.0;  // intermittent/transient: active duration
+};
+
+inline constexpr std::size_t kFaultKinds = 3;
+
+/// Gate-level fault model whose measured grading feeds an operational fault
+/// kind: a permanent operational fault is a stuck-at at the gate level, an
+/// intermittent process maps to the duty-cycled intermittent model, and a
+/// transient process to the single-event-upset model.
+inline fault::FaultModel fault_model_for(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPermanent: return fault::FaultModel::kStuckAt;
+    case FaultKind::kIntermittent: return fault::FaultModel::kIntermittent;
+    case FaultKind::kTransient: return fault::FaultModel::kTransientSEU;
+  }
+  return fault::FaultModel::kStuckAt;
+}
+
+/// Measured grading results for one fault model — an injection campaign's
+/// coverage and symptom split plus the detection-completion time — consumed
+/// by the scheduling model for the matching operational fault kind. Negative
+/// fields fall back to the corresponding PeriodicConfig global, so a
+/// default-constructed measurement changes nothing (including the RNG draw
+/// stream).
+struct ModelMeasurement {
+  double coverage = -1.0;       // overrides PeriodicConfig::fault_coverage
+  double hang_fraction = -1.0;  // overrides PeriodicConfig::hang_fraction
+  double detect_exec_s = -1.0;  // overrides test_exec_s for detection latency
 };
 
 /// Launch policies of paper §2.
@@ -58,6 +87,11 @@ struct PeriodicConfig {
   /// the overrunning test after this budget instead of waiting for the
   /// signature unload. <= 0 falls back to test_exec_s.
   double watchdog_s = 0.0;
+  /// Per-fault-kind measured overrides (indexed by FaultKind), fed from
+  /// per-model injection campaigns: a transient operational fault is graded
+  /// by the transient-SEU campaign, not the stuck-at one. All fields
+  /// negative (the default) keeps the global knobs above authoritative.
+  std::array<ModelMeasurement, kFaultKinds> measured{};
 };
 
 struct PeriodicResult {

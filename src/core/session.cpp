@@ -61,10 +61,12 @@ bool cpu_config_equal(const sim::CpuConfig& a, const sim::CpuConfig& b) {
 // Compiled netlists use fault::compiled_store_key so the session and
 // EngineContext agree on the key.
 
-store::ArtifactKey universe_key(const netlist::Netlist& nl) {
+store::ArtifactKey universe_key(const netlist::Netlist& nl,
+                                fault::FaultModel model) {
   store::ArtifactKey k;
   k.kind = "universe";
   k.version = fault::FaultUniverse::kSerialVersion;
+  k.mode = static_cast<std::uint8_t>(model);
   k.content = nl.content_hash();
   return k;
 }
@@ -258,16 +260,25 @@ void GradingSession::write_store(const std::string& kind,
 }
 
 const fault::FaultUniverse& GradingSession::universe(CutId id) {
+  return universe(id, fault::FaultModel::kStuckAt);
+}
+
+const fault::FaultUniverse& GradingSession::universe(CutId id,
+                                                     fault::FaultModel model) {
   std::lock_guard<std::mutex> lock(mutex_);
   const netlist::Netlist& nl = model_->component(id).netlist;
-  ArtifactSlot& slot = artifacts_[universe_key(nl)];
+  const store::ArtifactKey key = universe_key(nl, model);
+  ArtifactSlot& slot = artifacts_[key];
   if (slot.universe && options_.cache) {
     ++stats_.universe_hits;
     return *slot.universe;
   }
-  if (auto payload = probe_store(universe_key(nl))) {
+  if (auto payload = probe_store(key)) {
     common::ByteReader r(*payload);
-    if (auto u = fault::FaultUniverse::deserialize(nl, r)) {
+    auto u = fault::FaultUniverse::deserialize(nl, r);
+    // A payload whose embedded model disagrees with the key is corrupt (or
+    // hand-edited); treat it like any other invalid entry and rebuild.
+    if (u && u->model() == model) {
       ++stats_.store_hits;
       slot.universe = std::move(u);
       return *slot.universe;
@@ -275,11 +286,11 @@ const fault::FaultUniverse& GradingSession::universe(CutId id) {
     ++stats_.store_invalid;
   }
   ++stats_.universe_builds;
-  slot.universe = std::make_unique<fault::FaultUniverse>(nl);
+  slot.universe = std::make_unique<fault::FaultUniverse>(nl, model);
   if (options_.store) {
     common::ByteWriter w;
     slot.universe->serialize(w);
-    write_store(universe_key(nl), w.bytes());
+    write_store(key, w.bytes());
   }
   return *slot.universe;
 }

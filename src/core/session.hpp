@@ -131,8 +131,12 @@ class GradingSession {
   /// (all passes on, or none, per SessionOptions::netlist_opt).
   netlist::CompileOptions compile_options() const;
 
-  /// Collapsed fault universe of a component.
+  /// Collapsed stuck-at fault universe of a component.
   const fault::FaultUniverse& universe(CutId id);
+  /// Collapsed fault universe of a component under an explicit fault model.
+  /// Each model gets its own cache / store slot (the model is an axis of the
+  /// artifact key), so mixed-model sessions never alias universes.
+  const fault::FaultUniverse& universe(CutId id, fault::FaultModel model);
   /// Compiled netlist of a component under the session's compile options
   /// (shared read-only across workers).
   const netlist::CompiledNetlist& compiled(CutId id);

@@ -1,5 +1,6 @@
 #include "fault/fault.hpp"
 
+#include <cctype>
 #include <numeric>
 #include <stdexcept>
 
@@ -11,12 +12,178 @@ using netlist::Netlist;
 using netlist::NetId;
 using netlist::Site;
 
+const char* fault_model_name(FaultModel model) {
+  switch (model) {
+    case FaultModel::kStuckAt: return "stuck-at";
+    case FaultModel::kTransition: return "transition";
+    case FaultModel::kTransientSEU: return "transient";
+    case FaultModel::kIntermittent: return "intermittent";
+  }
+  return "unknown";
+}
+
+bool parse_fault_model(const std::string& name, FaultModel& out) {
+  if (name == "stuck-at" || name == "stuck" || name == "sa") {
+    out = FaultModel::kStuckAt;
+  } else if (name == "transition") {
+    out = FaultModel::kTransition;
+  } else if (name == "transient" || name == "seu") {
+    out = FaultModel::kTransientSEU;
+  } else if (name == "intermittent") {
+    out = FaultModel::kIntermittent;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Per-model name suffixes, indexed [model][stuck_value]. kTransition's
+// stuck_value is the captured value, so 0 renders as slow-to-rise.
+constexpr const char* kSuffix[kFaultModels][2] = {
+    {"/sa0", "/sa1"},
+    {"/STR", "/STF"},
+    {"/seu0", "/seu1"},
+    {"/int0", "/int1"},
+};
+
+}  // namespace
+
 std::string fault_name(const Netlist& nl, const Fault& f) {
   std::string s = "g" + std::to_string(f.site.gate) + "(" +
                   kind_name(nl.gate(f.site.gate).kind) + ").";
   s += f.site.is_output() ? "out" : "in" + std::to_string(f.site.pin);
-  s += f.stuck_value ? "/sa1" : "/sa0";
+  s += kSuffix[static_cast<std::size_t>(f.model)][f.stuck_value ? 1 : 0];
   return s;
+}
+
+bool parse_fault_name(const Netlist& nl, const std::string& name,
+                      Fault& out) {
+  std::size_t i = 0;
+  auto eat = [&](char c) {
+    if (i >= name.size() || name[i] != c) return false;
+    ++i;
+    return true;
+  };
+  auto digits = [&](std::uint64_t& v) {
+    if (i >= name.size() || !std::isdigit(static_cast<unsigned char>(name[i])))
+      return false;
+    v = 0;
+    while (i < name.size() &&
+           std::isdigit(static_cast<unsigned char>(name[i]))) {
+      v = v * 10 + static_cast<std::uint64_t>(name[i] - '0');
+      if (v > 0xffffffffull) return false;
+      ++i;
+    }
+    return true;
+  };
+
+  Fault f;
+  std::uint64_t gate = 0;
+  if (!eat('g') || !digits(gate) || gate >= nl.size()) return false;
+  f.site.gate = static_cast<NetId>(gate);
+  // "(<kind>)": validated against the netlist, not trusted.
+  if (!eat('(')) return false;
+  const std::size_t kind_begin = i;
+  while (i < name.size() && name[i] != ')') ++i;
+  if (i >= name.size()) return false;
+  if (name.substr(kind_begin, i - kind_begin) !=
+      kind_name(nl.gate(f.site.gate).kind)) {
+    return false;
+  }
+  ++i;  // ')'
+  if (!eat('.')) return false;
+  if (name.compare(i, 3, "out") == 0) {
+    f.site.pin = Site::kOutputPin;
+    i += 3;
+  } else if (name.compare(i, 2, "in") == 0) {
+    i += 2;
+    std::uint64_t pin = 0;
+    if (!digits(pin) || pin >= fanin_count(nl.gate(f.site.gate).kind)) {
+      return false;
+    }
+    f.site.pin = static_cast<std::uint8_t>(pin);
+  } else {
+    return false;
+  }
+  const std::string suffix = name.substr(i);
+  for (std::size_t m = 0; m < kFaultModels; ++m) {
+    for (unsigned sv = 0; sv < 2; ++sv) {
+      if (suffix == kSuffix[m][sv]) {
+        f.model = static_cast<FaultModel>(m);
+        f.stuck_value = sv != 0;
+        out = f;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::uint64_t fault_stream_key(const Fault& f) {
+  // Unique packing: gate in the high bits, pin (0xff for stems) below,
+  // polarity and model in the low nibble.
+  std::uint64_t s = (std::uint64_t{f.site.gate} << 12) |
+                    (std::uint64_t{f.site.pin} << 4) |
+                    (std::uint64_t{f.stuck_value ? 1u : 0u} << 3) |
+                    static_cast<std::uint64_t>(f.model);
+  return splitmix64(s);
+}
+
+namespace {
+
+/// Hash of (stream key, window index): one golden-ratio splitmix64 draw per
+/// window, so streams are random-access — any engine can ask about any
+/// window without replaying the ones before it.
+std::uint64_t activation_hash(std::uint64_t key, std::uint64_t index) {
+  std::uint64_t s = key ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  return splitmix64(s);
+}
+
+}  // namespace
+
+bool fault_active(std::uint64_t key, FaultModel model, std::uint64_t t) {
+  switch (model) {
+    case FaultModel::kTransientSEU:
+      return t % kSeuWindow ==
+             activation_hash(key, t / kSeuWindow) % kSeuWindow;
+    case FaultModel::kIntermittent:
+      return activation_hash(key, t / kIntermittentBurst) %
+                 kIntermittentPeriod ==
+             0;
+    default:
+      return true;
+  }
+}
+
+std::uint64_t fault_active_word(std::uint64_t key, FaultModel model,
+                                std::uint64_t block) {
+  switch (model) {
+    case FaultModel::kTransientSEU: {
+      std::uint64_t word = 0;
+      for (unsigned i = 0; i < 64 / kSeuWindow; ++i) {
+        const std::uint64_t win = block * (64 / kSeuWindow) + i;
+        word |= std::uint64_t{1}
+                << (i * kSeuWindow + activation_hash(key, win) % kSeuWindow);
+      }
+      return word;
+    }
+    case FaultModel::kIntermittent: {
+      constexpr std::uint64_t kBurstMask =
+          ~std::uint64_t{0} >> (64 - kIntermittentBurst);
+      std::uint64_t word = 0;
+      for (unsigned i = 0; i < 64 / kIntermittentBurst; ++i) {
+        const std::uint64_t burst = block * (64 / kIntermittentBurst) + i;
+        if (activation_hash(key, burst) % kIntermittentPeriod == 0) {
+          word |= kBurstMask << (i * kIntermittentBurst);
+        }
+      }
+      return word;
+    }
+    default:
+      return ~std::uint64_t{0};
+  }
 }
 
 namespace {
@@ -42,7 +209,8 @@ class UnionFind {
 
 }  // namespace
 
-FaultUniverse::FaultUniverse(const Netlist& nl) : nl_(&nl) {
+FaultUniverse::FaultUniverse(const Netlist& nl, FaultModel model)
+    : nl_(&nl), model_(model) {
   // Enumerate: id = (gate * (max_pins+1) + pin_slot) * 2 + stuck_value,
   // where pin_slot 0 = output, 1..3 = input pins.
   constexpr unsigned kSlots = 4;
@@ -137,6 +305,7 @@ FaultUniverse::FaultUniverse(const Netlist& nl) : nl_(&nl) {
   auto decode = [&](std::size_t id) {
     Fault f;
     f.stuck_value = id & 1;
+    f.model = model_;
     const std::size_t rest = id >> 1;
     f.site.gate = static_cast<NetId>(rest / kSlots);
     const unsigned slot = rest % kSlots;
@@ -166,6 +335,9 @@ FaultUniverse::FaultUniverse(const Netlist& nl) : nl_(&nl) {
 
 void FaultUniverse::serialize(common::ByteWriter& w) const {
   w.put_u32(kSerialVersion);
+  // The universe is homogeneous, so the model is a header byte rather than
+  // a per-fault field (v2 layout; v1 had no model and reads as invalid).
+  w.put_u8(static_cast<std::uint8_t>(model_));
   w.put_u64(uncollapsed_count_);
   w.put_u64(representatives_.size());
   for (const Fault& f : representatives_) {
@@ -178,8 +350,11 @@ void FaultUniverse::serialize(common::ByteWriter& w) const {
 std::unique_ptr<FaultUniverse> FaultUniverse::deserialize(
     const Netlist& nl, common::ByteReader& r) {
   if (r.get_u32() != kSerialVersion) return nullptr;
+  const std::uint8_t model_byte = r.get_u8();
+  if (model_byte >= kFaultModels) return nullptr;
   auto u = std::unique_ptr<FaultUniverse>(
       new FaultUniverse(nl, DeserializeTag{}));
+  u->model_ = static_cast<FaultModel>(model_byte);
   u->uncollapsed_count_ = static_cast<std::size_t>(r.get_u64());
   const std::size_t count = r.get_count(6);
   u->representatives_.reserve(count);
@@ -188,6 +363,7 @@ std::unique_ptr<FaultUniverse> FaultUniverse::deserialize(
     f.site.gate = r.get_u32();
     f.site.pin = r.get_u8();
     f.stuck_value = r.get_bool();
+    f.model = u->model_;
     u->representatives_.push_back(f);
   }
   if (!r.ok()) return nullptr;
@@ -228,4 +404,17 @@ std::vector<Fault> CoverageResult::undetected(
   return out;
 }
 
+std::array<ModelCoverage, kFaultModels> split_by_model(
+    const std::vector<Fault>& faults, const CoverageResult& result) {
+  std::array<ModelCoverage, kFaultModels> out{};
+  for (std::size_t i = 0;
+       i < faults.size() && i < result.detected_flags.size(); ++i) {
+    ModelCoverage& mc = out[static_cast<std::size_t>(faults[i].model)];
+    ++mc.total;
+    if (result.detected_flags[i]) ++mc.detected;
+  }
+  return out;
+}
+
 }  // namespace sbst::fault
+

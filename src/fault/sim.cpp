@@ -31,6 +31,42 @@ void require_combinational(const Netlist& nl, const char* who) {
   }
 }
 
+FaultModel list_model(const std::vector<Fault>& faults) {
+  if (faults.empty()) return FaultModel::kStuckAt;
+  const FaultModel model = faults.front().model;
+  for (const Fault& f : faults) {
+    if (f.model != model) {
+      throw std::invalid_argument(
+          "fault sim: mixed fault models in one grading call; "
+          "grade each model separately");
+    }
+  }
+  return model;
+}
+
+TransitionBaseline make_transition_baseline(const Netlist& nl,
+                                            const PatternSet& patterns,
+                                            const ObserveSet& observe) {
+  TransitionBaseline base;
+  const std::size_t n_blocks = patterns.block_count();
+  base.vals.resize(n_blocks);
+  base.out.resize(n_blocks);
+  Evaluator good(nl);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    apply_block(good, patterns, b);
+    good.eval();
+    base.vals[b].resize(nl.size());
+    for (NetId id = 0; id < nl.size(); ++id) {
+      base.vals[b][id] = good.value(id);
+    }
+    base.out[b].resize(observe.size());
+    for (std::size_t o = 0; o < observe.size(); ++o) {
+      base.out[b][o] = good.value(observe[o]);
+    }
+  }
+  return base;
+}
+
 }  // namespace detail
 
 namespace {
@@ -59,11 +95,37 @@ CoverageResult simulate_serial(const Netlist& nl,
   CoverageResult res;
   res.total = faults.size();
   res.detected_flags.assign(faults.size(), 0);
-  with_engine(engine, nl, observe, lanes,
-              [&](auto& ev, const std::uint8_t* reach) {
-    detail::grade_serial(ev, faults, patterns, observe, reach,
-                         res.detected_flags.data());
-  });
+  switch (detail::list_model(faults)) {
+    case FaultModel::kStuckAt:
+      with_engine(engine, nl, observe, lanes,
+                  [&](auto& ev, const std::uint8_t* reach) {
+        detail::grade_serial(ev, faults, patterns, observe, reach,
+                             res.detected_flags.data());
+      });
+      break;
+    case FaultModel::kTransition: {
+      // Transition faults have no meaningful one-pattern-at-a-time oracle:
+      // detection is a property of pattern PAIRS, so the block grader (which
+      // is the canonical pairing algorithm) serves as the serial path too.
+      const auto baseline =
+          detail::make_transition_baseline(nl, patterns, observe);
+      with_engine(engine, nl, observe, lanes,
+                  [&](auto& ev, const std::uint8_t* reach) {
+        detail::grade_transition_blocks(ev, faults, 0, faults.size(),
+                                        patterns, observe, baseline, reach,
+                                        res.detected_flags.data());
+      });
+      break;
+    }
+    case FaultModel::kTransientSEU:
+    case FaultModel::kIntermittent:
+      with_engine(engine, nl, observe, lanes,
+                  [&](auto& ev, const std::uint8_t* reach) {
+        detail::grade_windowed_serial(ev, faults, patterns, observe, reach,
+                                      res.detected_flags.data());
+      });
+      break;
+  }
   res.recount();
   return res;
 }
@@ -79,11 +141,34 @@ CoverageResult simulate_comb(const Netlist& nl,
   CoverageResult res;
   res.total = faults.size();
   res.detected_flags.assign(faults.size(), 0);
-  with_engine(engine, nl, observe, lanes,
-              [&](auto& ev, const std::uint8_t* reach) {
-    detail::grade_comb(ev, faults, patterns, observe, reach,
-                       res.detected_flags.data());
-  });
+  switch (detail::list_model(faults)) {
+    case FaultModel::kStuckAt:
+      with_engine(engine, nl, observe, lanes,
+                  [&](auto& ev, const std::uint8_t* reach) {
+        detail::grade_comb(ev, faults, patterns, observe, reach,
+                           res.detected_flags.data());
+      });
+      break;
+    case FaultModel::kTransition: {
+      const auto baseline =
+          detail::make_transition_baseline(nl, patterns, observe);
+      with_engine(engine, nl, observe, lanes,
+                  [&](auto& ev, const std::uint8_t* reach) {
+        detail::grade_transition_blocks(ev, faults, 0, faults.size(),
+                                        patterns, observe, baseline, reach,
+                                        res.detected_flags.data());
+      });
+      break;
+    }
+    case FaultModel::kTransientSEU:
+    case FaultModel::kIntermittent:
+      with_engine(engine, nl, observe, lanes,
+                  [&](auto& ev, const std::uint8_t* reach) {
+        detail::grade_windowed(ev, faults, patterns, observe, reach,
+                               res.detected_flags.data());
+      });
+      break;
+  }
   res.recount();
   return res;
 }
@@ -98,11 +183,28 @@ CoverageResult simulate_seq(const Netlist& nl,
   CoverageResult res;
   res.total = faults.size();
   res.detected_flags.assign(faults.size(), 0);
-  with_engine(engine, nl, observe, lanes,
-              [&](auto& ev, const std::uint8_t* reach) {
-    detail::grade_seq_batches(ev, faults, 0, faults.size(), stimulus, observe,
-                              reach, res.detected_flags.data());
-  });
+  switch (detail::list_model(faults)) {
+    case FaultModel::kStuckAt:
+      with_engine(engine, nl, observe, lanes,
+                  [&](auto& ev, const std::uint8_t* reach) {
+        detail::grade_seq_batches(ev, faults, 0, faults.size(), stimulus,
+                                  observe, reach, res.detected_flags.data());
+      });
+      break;
+    case FaultModel::kTransition:
+      throw std::invalid_argument(
+          "simulate_seq: transition faults are combinational-only "
+          "(launch/capture pattern pairs); use simulate_comb");
+    case FaultModel::kTransientSEU:
+    case FaultModel::kIntermittent:
+      with_engine(engine, nl, observe, lanes,
+                  [&](auto& ev, const std::uint8_t* reach) {
+        detail::grade_windowed_seq_batches(ev, faults, 0, faults.size(),
+                                           stimulus, observe, reach,
+                                           res.detected_flags.data());
+      });
+      break;
+  }
   res.recount();
   return res;
 }
@@ -111,10 +213,31 @@ void simulate_comb_into(const EngineContext& ctx,
                         const std::vector<Fault>& faults,
                         const PatternSet& patterns, std::uint8_t* flags) {
   detail::require_combinational(ctx.netlist(), "simulate_comb_into");
-  ctx.grade_with_evaluator([&](auto& ev) {
-    detail::grade_comb(ev, faults, patterns, ctx.observe(), ctx.reach(),
-                       flags);
-  });
+  switch (detail::list_model(faults)) {
+    case FaultModel::kStuckAt:
+      ctx.grade_with_evaluator([&](auto& ev) {
+        detail::grade_comb(ev, faults, patterns, ctx.observe(), ctx.reach(),
+                           flags);
+      });
+      break;
+    case FaultModel::kTransition: {
+      const auto baseline = detail::make_transition_baseline(
+          ctx.netlist(), patterns, ctx.observe());
+      ctx.grade_with_evaluator([&](auto& ev) {
+        detail::grade_transition_blocks(ev, faults, 0, faults.size(),
+                                        patterns, ctx.observe(), baseline,
+                                        ctx.reach(), flags);
+      });
+      break;
+    }
+    case FaultModel::kTransientSEU:
+    case FaultModel::kIntermittent:
+      ctx.grade_with_evaluator([&](auto& ev) {
+        detail::grade_windowed(ev, faults, patterns, ctx.observe(),
+                               ctx.reach(), flags);
+      });
+      break;
+  }
 }
 
 std::vector<std::vector<bool>> good_responses(const Netlist& nl,

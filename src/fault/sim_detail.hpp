@@ -281,5 +281,373 @@ void grade_seq_batches(Ev& ev, const std::vector<Fault>& faults,
   }
 }
 
+// ---- fault-model routing ---------------------------------------------------
+
+/// The (single) model of a homogeneous fault list; throws std::invalid_argument
+/// on mixed lists. Empty lists grade as stuck-at (all paths no-op anyway).
+FaultModel list_model(const std::vector<Fault>& faults);
+
+// ---- transition grading ----------------------------------------------------
+
+/// Fault-free per-block net values and observe-point responses, precomputed
+/// ONCE with the reference Evaluator. Transition grading needs the good value
+/// of the faulted LINE itself for launch/capture pairing, and optimized
+/// compiled evaluators cannot provide it: dead-sweep liveness is computed on
+/// post-fusion edges, so a fused-away gate's value array is stale.
+struct TransitionBaseline {
+  std::vector<std::vector<std::uint64_t>> vals;  // [block][net]
+  std::vector<std::vector<std::uint64_t>> out;   // [block][observe index]
+};
+
+TransitionBaseline make_transition_baseline(const netlist::Netlist& nl,
+                                            const PatternSet& patterns,
+                                            const ObserveSet& observe);
+
+/// Transition grading of faults [begin, end) against a precomputed baseline,
+/// block-major so the event engine pays one stimulus propagation per block
+/// group. Bitwise-identical flags to the legacy simulate_transition: per
+/// block, launch lanes carry the fault-free value sv, capture lanes carry
+/// !sv AND the equivalent stuck-at-sv is observed; a fault is detected by a
+/// launch at global pattern L and capture at L + 1 (lane 63 chains into lane
+/// 0 of the next block, and across group words, via prev_msb).
+template <class Ev>
+void grade_transition_blocks(Ev& ev, const std::vector<Fault>& faults,
+                             std::size_t begin, std::size_t end,
+                             const PatternSet& patterns,
+                             const ObserveSet& observe,
+                             const TransitionBaseline& baseline,
+                             const std::uint8_t* reach, std::uint8_t* flags) {
+  constexpr unsigned W = Ev::kWords;
+  const netlist::Netlist& nl = patterns.netlist();
+  const std::size_t n_blocks = patterns.block_count();
+  if (patterns.size() < 2) return;
+
+  // Per-fault cross-block state: the launch bit of the previous block's
+  // lane 63 (blocks are visited strictly in order, so one word suffices).
+  std::vector<std::uint8_t> prev_msb(end - begin, 0);
+  std::size_t undetected = end - begin;
+  std::uint64_t valid[W];
+  for (std::size_t b = 0; b < n_blocks && undetected > 0; b += W) {
+    for (unsigned w = 0; w < W; ++w) {
+      valid[w] = b + w < n_blocks ? patterns.valid_lanes(b + w) : 0;
+    }
+    apply_block_group(ev, patterns, b);
+    ev.eval();  // good-machine baseline (the event engine branches from it)
+    for (std::size_t f = begin; f < end; ++f) {
+      if (flags[f]) continue;  // fault dropping
+      const Fault& fault = faults[f];
+      const bool sv = fault.stuck_value;  // captured (faulty) value
+      const netlist::NetId line =
+          fault.site.is_output() ? fault.site.gate
+                                 : nl.gate(fault.site.gate).in[fault.site.pin];
+      std::uint64_t launch[W], capture_value[W];
+      std::uint64_t any_capture = 0;
+      for (unsigned w = 0; w < W; ++w) {
+        const std::uint64_t lv =
+            valid[w] ? baseline.vals[b + w][line] : 0;
+        launch[w] = (sv ? lv : ~lv) & valid[w];
+        capture_value[w] = (sv ? ~lv : lv) & valid[w];
+        any_capture |= capture_value[w];
+      }
+      std::uint64_t detect[W] = {};
+      const bool reachable = !reach || reach[fault.site.gate];
+      if (any_capture != 0 && reachable) {
+        ev.inject_broadcast(fault.site, sv);
+        ev.eval();
+        for (std::size_t o = 0; o < observe.size(); ++o) {
+          for (unsigned w = 0; w < W; ++w) {
+            if (valid[w] == 0) continue;  // padded word: no baseline row
+            detect[w] |=
+                baseline.out[b + w][o] ^ ev.value_word(observe[o], w);
+          }
+        }
+        ev.clear_faults();
+      }
+      std::uint8_t msb = prev_msb[f - begin];
+      for (unsigned w = 0; w < W; ++w) {
+        const std::uint64_t capture = capture_value[w] & detect[w];
+        if (((launch[w] << 1) & capture) || (msb && (capture & 1u))) {
+          flags[f] = 1;
+        }
+        msb = static_cast<std::uint8_t>((launch[w] >> 63) & 1u);
+      }
+      prev_msb[f - begin] = msb;
+      if (flags[f]) --undetected;
+    }
+  }
+}
+
+// ---- windowed grading (transient SEU / intermittent) -----------------------
+
+/// PPSFP windowed grading, inline good pass (the serial simulate_comb shape):
+/// pattern p grades a fault only in lanes where its activation stream is on
+/// at global index p.
+template <class Ev>
+void grade_windowed(Ev& ev, const std::vector<Fault>& faults,
+                    const PatternSet& patterns, const ObserveSet& observe,
+                    const std::uint8_t* reach, std::uint8_t* flags) {
+  constexpr unsigned W = Ev::kWords;
+  const std::size_t n_blocks = patterns.block_count();
+  std::vector<std::uint64_t> good_out(observe.size() * W);
+  std::vector<std::uint64_t> keys(faults.size());
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    keys[f] = fault_stream_key(faults[f]);
+  }
+  std::uint64_t valid[W];
+  for (std::size_t b = 0; b < n_blocks; b += W) {
+    for (unsigned w = 0; w < W; ++w) {
+      valid[w] = b + w < n_blocks ? patterns.valid_lanes(b + w) : 0;
+    }
+    apply_block_group(ev, patterns, b);
+    ev.eval();
+    for (std::size_t o = 0; o < observe.size(); ++o) {
+      for (unsigned w = 0; w < W; ++w) {
+        good_out[o * W + w] = ev.value_word(observe[o], w);
+      }
+    }
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (flags[f]) continue;  // fault dropping
+      if (reach && !reach[faults[f].site.gate]) continue;
+      std::uint64_t act[W];
+      std::uint64_t any = 0;
+      for (unsigned w = 0; w < W; ++w) {
+        act[w] =
+            fault_active_word(keys[f], faults[f].model, b + w) & valid[w];
+        any |= act[w];
+      }
+      if (any == 0) continue;  // fault dormant for this whole block group
+      ev.inject_block(faults[f].site, faults[f].stuck_value, act);
+      ev.eval();
+      for (std::size_t o = 0; o < observe.size() && !flags[f]; ++o) {
+        for (unsigned w = 0; w < W; ++w) {
+          if ((good_out[o * W + w] ^ ev.value_word(observe[o], w)) &
+              valid[w]) {
+            flags[f] = 1;
+            break;
+          }
+        }
+      }
+      ev.clear_faults();
+    }
+  }
+}
+
+/// Windowed grading of faults [begin, end) against fault-free responses
+/// precomputed once for all workers (the threaded block engine's shape).
+template <class Ev>
+void grade_windowed_blocks(
+    Ev& ev, const std::vector<Fault>& faults, std::size_t begin,
+    std::size_t end, const PatternSet& patterns, const ObserveSet& observe,
+    const std::vector<std::vector<std::uint64_t>>& good_out,
+    const std::uint8_t* reach, std::uint8_t* flags) {
+  constexpr unsigned W = Ev::kWords;
+  const std::size_t n_blocks = patterns.block_count();
+  std::size_t undetected = end - begin;
+  std::vector<std::uint64_t> keys(end - begin);
+  for (std::size_t f = begin; f < end; ++f) {
+    keys[f - begin] = fault_stream_key(faults[f]);
+  }
+  std::uint64_t valid[W];
+  for (std::size_t b = 0; b < n_blocks && undetected > 0; b += W) {
+    for (unsigned w = 0; w < W; ++w) {
+      valid[w] = b + w < n_blocks ? patterns.valid_lanes(b + w) : 0;
+    }
+    apply_block_group(ev, patterns, b);
+    ev.eval();  // good-machine baseline (the event engine branches from it)
+    for (std::size_t f = begin; f < end; ++f) {
+      if (flags[f]) continue;  // fault dropping
+      if (reach && !reach[faults[f].site.gate]) continue;
+      std::uint64_t act[W];
+      std::uint64_t any = 0;
+      for (unsigned w = 0; w < W; ++w) {
+        act[w] = fault_active_word(keys[f - begin], faults[f].model, b + w) &
+                 valid[w];
+        any |= act[w];
+      }
+      if (any == 0) continue;  // fault dormant for this whole block group
+      ev.inject_block(faults[f].site, faults[f].stuck_value, act);
+      ev.eval();
+      bool det = false;
+      for (std::size_t o = 0; o < observe.size() && !det; ++o) {
+        for (unsigned w = 0; w < W; ++w) {
+          if (valid[w] == 0) continue;  // padded word: no good_out row
+          if ((good_out[b + w][o] ^ ev.value_word(observe[o], w)) &
+              valid[w]) {
+            det = true;
+            break;
+          }
+        }
+      }
+      if (det) {
+        flags[f] = 1;
+        --undetected;
+      }
+      ev.clear_faults();
+    }
+  }
+}
+
+/// Lane-packed windowed grading of faults [begin, end): lane 0 is the
+/// fault-free machine, lanes 1.. carry faulty machines whose forces are
+/// toggled per pattern as their activation streams switch on/off (the
+/// release API keeps other lanes' forces intact). A fault's detection
+/// depends only on its own lane, so flags are independent of batch
+/// composition — chunk boundaries, thread count, and lane width all wash
+/// out.
+template <class Ev>
+void grade_windowed_lanes(Ev& ev, const std::vector<Fault>& faults,
+                          std::size_t begin, std::size_t end,
+                          const PatternSet& patterns,
+                          const ObserveSet& observe, const std::uint8_t* reach,
+                          std::uint8_t* flags) {
+  constexpr unsigned W = Ev::kWords;
+  constexpr std::size_t kFaultLanes = 64 * W - 1;  // lane 0 = good machine
+  std::vector<std::uint64_t> keys(end - begin);
+  for (std::size_t f = begin; f < end; ++f) {
+    keys[f - begin] = fault_stream_key(faults[f]);
+  }
+  std::vector<std::uint8_t> active(kFaultLanes);
+  for (std::size_t base = begin; base < end; base += kFaultLanes) {
+    const std::size_t batch = std::min<std::size_t>(kFaultLanes, end - base);
+    ev.clear_faults();
+    std::fill(active.begin(), active.begin() + batch, 0);
+    std::uint64_t batch_lanes[W] = {};
+    for (std::size_t j = 0; j < batch; ++j) {
+      if (reach && !reach[faults[base + j].site.gate]) continue;
+      batch_lanes[(j + 1) / 64] |= std::uint64_t{1} << ((j + 1) % 64);
+    }
+    std::uint64_t detected[W] = {};
+    auto all_done = [&] {
+      for (unsigned w = 0; w < W; ++w) {
+        if ((detected[w] & batch_lanes[w]) != batch_lanes[w]) return false;
+      }
+      return true;
+    };
+    for (std::size_t p = 0; p < patterns.size() && !all_done(); ++p) {
+      for (std::size_t j = 0; j < batch; ++j) {
+        const Fault& f = faults[base + j];
+        if (reach && !reach[f.site.gate]) continue;
+        const bool on =
+            fault_active(keys[base + j - begin], f.model, p);
+        if (on == static_cast<bool>(active[j])) continue;
+        if (on) {
+          ev.inject_lane(f.site, f.stuck_value, static_cast<unsigned>(j + 1));
+        } else {
+          ev.release_lane(f.site, static_cast<unsigned>(j + 1));
+        }
+        active[j] = on;
+      }
+      apply_pattern_broadcast(ev, patterns, p);
+      ev.eval();
+      for (netlist::NetId out : observe) {
+        for (unsigned w = 0; w < W; ++w) {
+          detected[w] |= ev.diff_word(out, w, 0);
+        }
+      }
+    }
+    for (std::size_t j = 0; j < batch; ++j) {
+      if ((detected[(j + 1) / 64] >> ((j + 1) % 64)) & 1u) {
+        flags[base + j] = 1;
+      }
+    }
+  }
+}
+
+/// Parallel-fault sequential grading with per-cycle activation toggling.
+/// Deactivating a lane's force mid-run releases only the FORCE — any state
+/// divergence the active window seeded persists in that lane's flip-flops,
+/// which is exactly the transient-SEU / intermittent semantics: a one-cycle
+/// flip can be caught many cycles later.
+template <class Ev>
+void grade_windowed_seq_batches(Ev& ev, const std::vector<Fault>& faults,
+                                std::size_t begin, std::size_t end,
+                                const SeqStimulus& stimulus,
+                                const ObserveSet& observe,
+                                const std::uint8_t* reach,
+                                std::uint8_t* flags) {
+  constexpr unsigned W = Ev::kWords;
+  constexpr std::size_t kFaultLanes = 64 * W - 1;  // lane 0 = good machine
+  const auto& inputs = ev.netlist().inputs();
+  std::vector<std::uint64_t> keys(end - begin);
+  for (std::size_t f = begin; f < end; ++f) {
+    keys[f - begin] = fault_stream_key(faults[f]);
+  }
+  std::vector<std::uint8_t> active(kFaultLanes);
+  for (std::size_t base = begin; base < end; base += kFaultLanes) {
+    const std::size_t batch = std::min<std::size_t>(kFaultLanes, end - base);
+    ev.clear_faults();
+    ev.reset_state(false);
+    std::fill(active.begin(), active.begin() + batch, 0);
+    std::uint64_t detected[W] = {};
+    for (std::size_t c = 0; c < stimulus.size(); ++c) {
+      for (std::size_t j = 0; j < batch; ++j) {
+        const Fault& f = faults[base + j];
+        if (reach && !reach[f.site.gate]) continue;
+        const bool on = fault_active(keys[base + j - begin], f.model, c);
+        if (on == static_cast<bool>(active[j])) continue;
+        if (on) {
+          ev.inject_lane(f.site, f.stuck_value, static_cast<unsigned>(j + 1));
+        } else {
+          ev.release_lane(f.site, static_cast<unsigned>(j + 1));
+        }
+        active[j] = on;
+      }
+      for (std::size_t k = 0; k < inputs.size(); ++k) {
+        ev.set_input(inputs[k], stimulus.input_bit(c, k));
+      }
+      // Every input changes each cycle, so the frontier is netlist-wide.
+      ev.request_full_eval();
+      ev.step();
+      if (stimulus.observed(c)) {
+        for (netlist::NetId out : observe) {
+          for (unsigned w = 0; w < W; ++w) {
+            detected[w] |= ev.diff_word(out, w, 0);
+          }
+        }
+      }
+    }
+    for (std::size_t j = 0; j < batch; ++j) {
+      if ((detected[(j + 1) / 64] >> ((j + 1) % 64)) & 1u) {
+        flags[base + j] = 1;
+      }
+    }
+  }
+}
+
+/// Serial windowed oracle: the grade_serial loop with activation gating — a
+/// dormant fault is simply not injected for that pattern.
+template <class Ev>
+void grade_windowed_serial(Ev& ev, const std::vector<Fault>& faults,
+                           const PatternSet& patterns,
+                           const ObserveSet& observe,
+                           const std::uint8_t* reach, std::uint8_t* flags) {
+  std::vector<std::uint64_t> good_out(observe.size());
+  std::vector<std::uint64_t> keys(faults.size());
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    keys[f] = fault_stream_key(faults[f]);
+  }
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    apply_pattern_broadcast(ev, patterns, p);
+    ev.eval();
+    for (std::size_t o = 0; o < observe.size(); ++o) {
+      good_out[o] = ev.value(observe[o]);
+    }
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (flags[f]) continue;
+      if (reach && !reach[faults[f].site.gate]) continue;
+      if (!fault_active(keys[f], faults[f].model, p)) continue;
+      ev.inject(faults[f].site, faults[f].stuck_value, ~std::uint64_t{0});
+      ev.eval();
+      for (std::size_t o = 0; o < observe.size(); ++o) {
+        if ((good_out[o] ^ ev.value(observe[o])) & 1u) {
+          flags[f] = 1;
+          break;
+        }
+      }
+      ev.clear_faults();
+    }
+  }
+}
+
 }  // namespace detail
 }  // namespace sbst::fault

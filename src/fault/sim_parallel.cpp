@@ -1,6 +1,7 @@
 #include "fault/sim_parallel.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <type_traits>
 
 #include "common/bits.hpp"
@@ -45,7 +46,45 @@ void GradingPlan::add_comb(const EngineContext& ctx,
   if (faults.empty()) return;
   std::uint8_t* flags = out.detected_flags.data();
 
+  const FaultModel model = detail::list_model(faults);
   const std::size_t chunk = chunk_faults(ctx);
+
+  if (model == FaultModel::kTransition) {
+    // The launch/capture pairing needs good LINE values, which only the
+    // reference evaluator can provide post-fusion — precomputed once here,
+    // shared read-only by every chunk task.
+    auto& baseline = transition_storage_.emplace_back(
+        detail::make_transition_baseline(ctx.netlist(), patterns,
+                                         ctx.observe()));
+    for (std::size_t begin = 0; begin < faults.size(); begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, faults.size());
+      tasks_.push_back([&ctx, &faults, &patterns, &baseline, flags, begin,
+                        end] {
+        ctx.grade_with_evaluator([&](auto& ev) {
+          detail::grade_transition_blocks(ev, faults, begin, end, patterns,
+                                          ctx.observe(), baseline,
+                                          ctx.reach(), flags);
+        });
+      });
+    }
+    return;
+  }
+
+  const bool windowed = model == FaultModel::kTransientSEU ||
+                        model == FaultModel::kIntermittent;
+  if (windowed && lane_parallel) {
+    for (std::size_t begin = 0; begin < faults.size(); begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, faults.size());
+      tasks_.push_back([&ctx, &faults, &patterns, flags, begin, end] {
+        ctx.grade_with_evaluator([&](auto& ev) {
+          detail::grade_windowed_lanes(ev, faults, begin, end, patterns,
+                                       ctx.observe(), ctx.reach(), flags);
+        });
+      });
+    }
+    return;
+  }
+
   if (!lane_parallel) {
     // Fault-free responses, computed once here and shared read-only by every
     // chunk task of this grading.
@@ -67,11 +106,17 @@ void GradingPlan::add_comb(const EngineContext& ctx,
     for (std::size_t begin = 0; begin < faults.size(); begin += chunk) {
       const std::size_t end = std::min(begin + chunk, faults.size());
       tasks_.push_back([&ctx, &faults, &patterns, &good_out, flags, begin,
-                        end] {
+                        end, windowed] {
         ctx.grade_with_evaluator([&](auto& ev) {
-          detail::grade_comb_blocks(ev, faults, begin, end, patterns,
-                                    ctx.observe(), good_out, ctx.reach(),
-                                    flags);
+          if (windowed) {
+            detail::grade_windowed_blocks(ev, faults, begin, end, patterns,
+                                          ctx.observe(), good_out,
+                                          ctx.reach(), flags);
+          } else {
+            detail::grade_comb_blocks(ev, faults, begin, end, patterns,
+                                      ctx.observe(), good_out, ctx.reach(),
+                                      flags);
+          }
         });
       });
     }
@@ -97,13 +142,26 @@ void GradingPlan::add_seq(const EngineContext& ctx,
   if (faults.empty()) return;
   std::uint8_t* flags = out.detected_flags.data();
 
+  const FaultModel model = detail::list_model(faults);
+  if (model == FaultModel::kTransition) {
+    throw std::invalid_argument(
+        "GradingPlan::add_seq: transition faults are combinational-only "
+        "(launch/capture pattern pairs); use add_comb");
+  }
+  const bool windowed = model != FaultModel::kStuckAt;
   const std::size_t chunk = chunk_faults(ctx);
   for (std::size_t begin = 0; begin < faults.size(); begin += chunk) {
     const std::size_t end = std::min(begin + chunk, faults.size());
-    tasks_.push_back([&ctx, &faults, &stimulus, flags, begin, end] {
+    tasks_.push_back([&ctx, &faults, &stimulus, flags, begin, end, windowed] {
       ctx.grade_with_evaluator([&](auto& ev) {
-        detail::grade_seq_batches(ev, faults, begin, end, stimulus,
-                                  ctx.observe(), ctx.reach(), flags);
+        if (windowed) {
+          detail::grade_windowed_seq_batches(ev, faults, begin, end, stimulus,
+                                             ctx.observe(), ctx.reach(),
+                                             flags);
+        } else {
+          detail::grade_seq_batches(ev, faults, begin, end, stimulus,
+                                    ctx.observe(), ctx.reach(), flags);
+        }
       });
     });
   }
@@ -125,6 +183,7 @@ std::vector<ThreadPool::TaskFailure> GradingPlan::run_capture(
   }
   tasks_.clear();
   good_storage_.clear();
+  transition_storage_.clear();
   return failures;
 }
 

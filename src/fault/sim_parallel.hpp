@@ -40,6 +40,7 @@
 
 #include "fault/engine.hpp"
 #include "fault/sim.hpp"
+#include "fault/sim_detail.hpp"
 #include "fault/thread_pool.hpp"
 
 namespace sbst::fault {
@@ -129,6 +130,9 @@ class GradingPlan {
   // Fault-free responses for block-scheduled gradings; deque keeps the
   // references captured by queued tasks stable.
   std::deque<std::vector<std::vector<std::uint64_t>>> good_storage_;
+  // Reference-evaluator baselines for transition gradings (same stable-
+  // reference contract as good_storage_).
+  std::deque<detail::TransitionBaseline> transition_storage_;
 };
 
 CoverageResult simulate_comb_parallel(const netlist::Netlist& nl,

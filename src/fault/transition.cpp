@@ -10,19 +10,20 @@ using netlist::NetId;
 
 std::string transition_fault_name(const Netlist& nl,
                                   const TransitionFault& f) {
-  std::string s = "g" + std::to_string(f.site.gate) + "(" +
-                  kind_name(nl.gate(f.site.gate).kind) + ").";
-  s += f.site.is_output() ? "out" : "in" + std::to_string(f.site.pin);
-  s += f.slow_to_rise ? "/STR" : "/STF";
-  return s;
+  // Delegates to the unified namer: the captured (faulty) value of an STR
+  // fault is 0, so stuck_value = !slow_to_rise.
+  return fault_name(
+      nl, Fault{f.site, !f.slow_to_rise, FaultModel::kTransition});
 }
 
 std::vector<TransitionFault> enumerate_transition_faults(const Netlist& nl) {
-  const FaultUniverse universe(nl);
+  // Rides on the unified taxonomy universe; entry i here and entry i of
+  // FaultUniverse(nl, kTransition).collapsed() are the SAME fault, so
+  // detection-flag vectors from the two paths compare index-for-index.
+  const FaultUniverse universe(nl, FaultModel::kTransition);
   std::vector<TransitionFault> out;
   out.reserve(universe.size());
   for (const Fault& f : universe.collapsed()) {
-    // The faulty (captured) value of an STR fault is 0 == sa0's value.
     out.push_back({f.site, /*slow_to_rise=*/!f.stuck_value});
   }
   return out;

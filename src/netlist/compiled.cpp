@@ -590,6 +590,7 @@ CompiledEvaluatorT<W>::CompiledEvaluatorT(
       pin_f1_(cn.size() * 3 * W, 0),
       out_forced_(cn.size(), 0),
       pin_forced_(cn.size(), 0),
+      pin_listed_(cn.size() * 3, 0),
       fallback_cnt_(opt_ ? cn.size() : 0, 0),
       dispatch_(cn.size(), 0),
       queue_(cn.levels()),
@@ -677,16 +678,16 @@ void CompiledEvaluatorT<W>::update_dispatch(NetId g) {
 template <unsigned W>
 void CompiledEvaluatorT<W>::force_slot(std::uint32_t slot, bool stuck_value,
                                        const std::uint64_t* lane_mask) {
-  std::uint64_t* f0 = &pin_f0_[slot * W];
-  std::uint64_t* f1 = &pin_f1_[slot * W];
-  std::uint64_t nonzero = 0;
-  for (unsigned i = 0; i < W; ++i) nonzero |= f0[i] | f1[i];
-  if (nonzero == 0) {
+  // List on the explicit flag, not on "blocks were zero": release_block can
+  // zero an already-listed slot, and re-listing it would double-count
+  // pin_forced_ (underflowing at teardown).
+  if (!pin_listed_[slot]) {
+    pin_listed_[slot] = 1;
     touched_pin_.push_back(slot);
     ++pin_forced_[slot / 3];
     update_dispatch(slot / 3);
   }
-  std::uint64_t* f = stuck_value ? f1 : f0;
+  std::uint64_t* f = stuck_value ? &pin_f1_[slot * W] : &pin_f0_[slot * W];
   for (unsigned i = 0; i < W; ++i) f[i] |= lane_mask[i];
 }
 
@@ -701,16 +702,16 @@ void CompiledEvaluatorT<W>::inject_block(const Site& site, bool stuck_value,
     has_faults_ = true;
   }
   if (site.is_output()) {
-    std::uint64_t* f0 = &out_f0_[site.gate * W];
-    std::uint64_t* f1 = &out_f1_[site.gate * W];
-    std::uint64_t nonzero = 0;
-    for (unsigned i = 0; i < W; ++i) nonzero |= f0[i] | f1[i];
-    if (nonzero == 0) {
-      touched_out_.push_back(site.gate);
+    // Same listing discipline as force_slot: the flag, not the block
+    // contents, decides whether the gate joins touched_out_ (release_block
+    // can zero a listed gate's blocks without delisting it).
+    if (!out_forced_[site.gate]) {
       out_forced_[site.gate] = 1;
+      touched_out_.push_back(site.gate);
       update_dispatch(site.gate);
     }
-    std::uint64_t* f = stuck_value ? f1 : f0;
+    std::uint64_t* f = stuck_value ? &out_f1_[site.gate * W]
+                                   : &out_f0_[site.gate * W];
     for (unsigned i = 0; i < W; ++i) f[i] |= lane_mask[i];
   } else {
     force_slot(site.gate * 3 + site.pin, stuck_value, lane_mask);
@@ -757,6 +758,40 @@ void CompiledEvaluatorT<W>::inject_block(const Site& site, bool stuck_value,
 }
 
 template <unsigned W>
+void CompiledEvaluatorT<W>::release_block(const Site& site,
+                                          const std::uint64_t* lane_mask) {
+  if (!has_faults_) return;
+  auto strip = [&](std::uint64_t* f0, std::uint64_t* f1) {
+    for (unsigned i = 0; i < W; ++i) {
+      f0[i] &= ~lane_mask[i];
+      f1[i] &= ~lane_mask[i];
+    }
+  };
+  if (site.is_output()) {
+    strip(&out_f0_[site.gate * W], &out_f1_[site.gate * W]);
+  } else {
+    strip(&pin_f0_[(site.gate * 3 + site.pin) * W],
+          &pin_f1_[(site.gate * 3 + site.pin) * W]);
+  }
+  if (event_driven_ && !full_pending_) schedule_live(site.gate);
+  if (!opt_) return;
+  // Strip the fusion-remapped copies too. Both polarities go, so the remap
+  // inversion parity is irrelevant. Const-prop fallback activations are
+  // deliberately left in place: with zero forces the original evaluation
+  // computes the same value as the folded one, and keeping the refcount
+  // symmetric with inject/clear avoids underflow at teardown.
+  const std::uint32_t rb = cn_->remap_begin_[site.gate];
+  const std::uint32_t re = cn_->remap_begin_[site.gate + 1];
+  for (std::uint32_t r = rb; r < re; ++r) {
+    const CompiledNetlist::Remap& m = cn_->remap_[r];
+    const NetId target = m.slot / 3;
+    if (!cn_->live_[target]) continue;
+    strip(&pin_f0_[m.slot * W], &pin_f1_[m.slot * W]);
+    if (event_driven_ && !full_pending_) schedule(target);
+  }
+}
+
+template <unsigned W>
 void CompiledEvaluatorT<W>::clear_faults() {
   if (!has_faults_) return;
   if (undo_active_) {
@@ -785,6 +820,7 @@ void CompiledEvaluatorT<W>::clear_faults() {
     for (unsigned i = 0; i < W; ++i) {
       pin_f0_[slot * W + i] = pin_f1_[slot * W + i] = 0;
     }
+    pin_listed_[slot] = 0;
     --pin_forced_[slot / 3];
     update_dispatch(slot / 3);
   }

@@ -262,6 +262,29 @@ class CompiledEvaluatorT {
   /// Forces `site` to `stuck_value` in the lanes selected per word.
   void inject_block(const Site& site, bool stuck_value,
                     const std::uint64_t* lane_mask);
+  /// Removes any force on `site` — both polarities, including the fused
+  /// remap slots — in the lanes selected per word, leaving forces in other
+  /// lanes (and on other sites) untouched. The site stays listed for
+  /// clear_faults() teardown and its const-prop fallback activations stay
+  /// in place (the original evaluation computes the same values as the
+  /// folded form once the force is zero), so releasing and re-injecting
+  /// between evaluations is cheap and safe. This is the cycle-windowed
+  /// injection primitive the transient-SEU / intermittent fault models use
+  /// to toggle a lane's fault between sequential cycles; the block-granular
+  /// undo log keeps working across it.
+  void release_block(const Site& site, const std::uint64_t* lane_mask);
+  /// Releases a single lane in [0, 64*W).
+  void release_lane(const Site& site, unsigned lane) {
+    std::uint64_t mask[W] = {};
+    mask[lane / 64] = std::uint64_t{1} << (lane % 64);
+    release_block(site, mask);
+  }
+  /// Releases every lane of every word of one site.
+  void release_broadcast(const Site& site) {
+    std::uint64_t mask[W];
+    for (unsigned i = 0; i < W; ++i) mask[i] = ~std::uint64_t{0};
+    release_block(site, mask);
+  }
   void clear_faults();
   bool has_faults() const { return has_faults_; }
 
@@ -346,6 +369,11 @@ class CompiledEvaluatorT {
   std::vector<std::uint64_t> pin_f0_, pin_f1_;  // (gate*3 + pin) * W + word
   std::vector<std::uint8_t> out_forced_;        // per gate
   std::vector<std::uint8_t> pin_forced_;        // forced slots per gate (0..3)
+  // Per-slot membership of touched_pin_. Listing is decided by this flag —
+  // NOT by whether the force blocks are nonzero — so a slot whose lanes were
+  // all release_block()ed (blocks back to zero) is not double-listed (and
+  // pin_forced_ not double-counted) when re-injected.
+  std::vector<std::uint8_t> pin_listed_;
   std::vector<std::uint16_t> fallback_cnt_;     // const-marker activations
   // Per-gate compute dispatch, folded from the force state above so the hot
   // loops do one predictable byte test instead of three scattered loads:

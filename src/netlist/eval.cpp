@@ -45,6 +45,23 @@ void Evaluator::inject(const Site& site, bool stuck_value,
   }
 }
 
+void Evaluator::release(const Site& site, std::uint64_t lane_mask) {
+  if (!has_faults_) return;
+  if (site.is_output()) {
+    // The net stays on touched_forces_ (a zero force is identity, and
+    // clear_faults() zeroing it again is harmless), so a later re-inject
+    // pushing a duplicate entry costs nothing.
+    force0_[site.gate] &= ~lane_mask;
+    force1_[site.gate] &= ~lane_mask;
+  } else {
+    auto it = pin_forces_.find(std::uint64_t{site.gate} * 4 + site.pin);
+    if (it != pin_forces_.end()) {
+      it->second.f0 &= ~lane_mask;
+      it->second.f1 &= ~lane_mask;
+    }
+  }
+}
+
 void Evaluator::clear_faults() {
   if (!has_faults_) return;
   // Only the injected sites carry nonzero masks; reverting just those makes

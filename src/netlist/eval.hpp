@@ -72,6 +72,30 @@ class Evaluator {
   void inject_broadcast(const Site& site, bool stuck_value) {
     inject(site, stuck_value, ~std::uint64_t{0});
   }
+  /// Block form (kWords words) of inject, for lane-generic callers.
+  void inject_block(const Site& site, bool stuck_value,
+                    const std::uint64_t* lane_mask) {
+    inject(site, stuck_value, lane_mask[0]);
+  }
+  /// Removes any force on `site` — both polarities — in the lanes selected
+  /// by `lane_mask`, leaving forces in other lanes (and on other sites)
+  /// untouched. The windowed fault models (transient SEU, intermittent) use
+  /// this to deactivate a lane's fault between evaluations / cycles;
+  /// re-injecting a released site later is safe. clear_faults() still
+  /// reverts everything.
+  void release(const Site& site, std::uint64_t lane_mask);
+  /// Releases a single lane in [0, kLanes).
+  void release_lane(const Site& site, unsigned lane) {
+    release(site, std::uint64_t{1} << lane);
+  }
+  /// Releases every lane of one site (other sites' forces stay).
+  void release_broadcast(const Site& site) {
+    release(site, ~std::uint64_t{0});
+  }
+  /// Block form (kWords words) of release, for lane-generic callers.
+  void release_block(const Site& site, const std::uint64_t* lane_mask) {
+    release(site, lane_mask[0]);
+  }
   void clear_faults();
   bool has_faults() const { return has_faults_; }
 

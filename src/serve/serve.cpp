@@ -1,5 +1,6 @@
 #include "serve/serve.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -78,6 +79,31 @@ bool read_line(std::FILE* in, std::string& line) {
   return !line.empty();
 }
 
+// The effective model list: an empty selection means the stuck-at default.
+std::vector<fault::FaultModel> resolve_models(
+    const std::vector<fault::FaultModel>& models) {
+  if (models.empty()) return {fault::FaultModel::kStuckAt};
+  return models;
+}
+
+// True when the selection is exactly the legacy single-model default; only
+// then do the renderers keep the historical (golden-diffed) table shape.
+bool default_models(const std::vector<fault::FaultModel>& models) {
+  return models.size() == 1 && models[0] == fault::FaultModel::kStuckAt;
+}
+
+// Selected fault models, resolved. Stderr only, like the engine config: the
+// golden-diffed stdout must not change with the default selection.
+void print_fault_model_config(const std::vector<fault::FaultModel>& models,
+                              std::FILE* err) {
+  std::string joined;
+  for (const fault::FaultModel m : models) {
+    if (!joined.empty()) joined += ",";
+    joined += fault::fault_model_name(m);
+  }
+  std::fprintf(err, "# config: fault models %s\n", joined.c_str());
+}
+
 std::vector<std::string> tokenize(const std::string& line) {
   std::vector<std::string> tokens;
   std::string cur;
@@ -102,6 +128,29 @@ bool parse_cut_name(const std::string& name, CutId& out) {
     }
   }
   return false;
+}
+
+bool parse_fault_model_list(const std::string& spec,
+                            std::vector<fault::FaultModel>& out) {
+  std::vector<fault::FaultModel> models;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t comma = spec.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    fault::FaultModel m;
+    if (end == begin || !fault::parse_fault_model(
+                            spec.substr(begin, end - begin), m)) {
+      return false;
+    }
+    if (std::find(models.begin(), models.end(), m) == models.end()) {
+      models.push_back(m);
+    }
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  if (models.empty()) return false;
+  out = std::move(models);
+  return true;
 }
 
 bool injectable_cut(CutId id) {
@@ -140,22 +189,49 @@ void print_store_summary(const core::GradingSession& session,
 }
 
 int render_evaluate(GradingSession& session, const fault::SimOptions& sim,
-                    bool cpu_stats, std::FILE* out, std::FILE* err) {
+                    bool cpu_stats, std::FILE* out, std::FILE* err,
+                    const std::vector<fault::FaultModel>& fault_models) {
+  const std::vector<fault::FaultModel> models = resolve_models(fault_models);
   print_engine_config(sim, err);
+  print_fault_model_config(models, err);
   TestProgramBuilder builder;
   builder.add_default_routines(session.model());
   const TestProgram program = builder.build();
   EvalOptions options;
   options.sim = sim;
+  options.fault_models = models;
   const ProgramEvaluation ev =
       evaluate_program(session, builder, program, options);
-  Table t({"Component", "FC (%)", "Miss. FC (%)"});
-  for (const CutCoverage& c : ev.cuts) {
-    t.add_row({session.model().component(c.id).name,
-               Table::num(c.coverage.percent(), 1),
-               Table::num(ev.missing_fc(c.id), 2)});
+  if (default_models(models)) {
+    // The legacy single-model table, byte-identical to the golden output.
+    Table t({"Component", "FC (%)", "Miss. FC (%)"});
+    for (const CutCoverage& c : ev.cuts) {
+      t.add_row({session.model().component(c.id).name,
+                 Table::num(c.coverage.percent(), 1),
+                 Table::num(ev.missing_fc(c.id), 2)});
+    }
+    std::fputs(t.str().c_str(), out);
+  } else {
+    // One row per graded (component, model) pair. Miss. FC is each row's
+    // undetected share of the combined fault population, so the column
+    // still sums to 100 - overall FC.
+    std::size_t population = 0;
+    for (const CutCoverage& c : ev.cuts) population += c.coverage.total;
+    Table t({"Component", "Model", "FC (%)", "Miss. FC (%)"});
+    for (const CutCoverage& c : ev.cuts) {
+      const double miss =
+          population == 0
+              ? 0.0
+              : 100.0 *
+                    static_cast<double>(c.coverage.total -
+                                        c.coverage.detected) /
+                    static_cast<double>(population);
+      t.add_row({session.model().component(c.id).name,
+                 fault::fault_model_name(c.model),
+                 Table::num(c.coverage.percent(), 1), Table::num(miss, 2)});
+    }
+    std::fputs(t.str().c_str(), out);
   }
-  std::fputs(t.str().c_str(), out);
   std::fprintf(out,
                "overall FC %.2f%%; %llu cycles, %llu stalls, %llu data refs\n",
                ev.overall_fc(),
@@ -180,45 +256,56 @@ int render_evaluate(GradingSession& session, const fault::SimOptions& sim,
 // (the CI smoke diffs it); wall-clock goes to stderr.
 int render_campaign(GradingSession& session, const fault::SimOptions& sim,
                     std::size_t max_faults, const std::vector<CutId>& cuts,
-                    std::FILE* out, std::FILE* err) {
+                    std::FILE* out, std::FILE* err,
+                    const std::vector<fault::FaultModel>& fault_models) {
+  const std::vector<fault::FaultModel> models = resolve_models(fault_models);
   print_engine_config(sim, err);
+  print_fault_model_config(models, err);
+  const bool legacy = default_models(models);
   const ProcessorModel& model = session.model();
   TestProgramBuilder builder;
   builder.add_default_routines(model);
   const TestProgram program = builder.build();
   const auto t0 = std::chrono::steady_clock::now();
   OutcomeHistogram total;
-  Table t({"Component", "Faults", "Sig", "Hang", "Trap", "Wild", "Ok",
-           "Infra", "Det (%)"});
+  std::vector<std::string> header = {"Component", "Faults", "Sig", "Hang",
+                                     "Trap", "Wild", "Ok", "Infra",
+                                     "Det (%)"};
+  if (!legacy) header.insert(header.begin() + 1, "Model");
+  Table t(header);
   for (const CutId cut : cuts) {
-    std::vector<fault::Fault> faults = session.universe(cut).collapsed();
-    if (max_faults != 0 && faults.size() > max_faults) {
-      faults.resize(max_faults);
+    for (const fault::FaultModel fm : models) {
+      std::vector<fault::Fault> faults = session.universe(cut, fm).collapsed();
+      if (max_faults != 0 && faults.size() > max_faults) {
+        faults.resize(max_faults);
+      }
+      const OutcomeHistogram h = histogram_of(
+          run_injection_campaign(session, program, cut, faults, {}));
+      for (std::size_t k = 0; k < kRunOutcomeCount; ++k) {
+        total.counts[k] += h.counts[k];
+      }
+      const double det =
+          h.total() == 0 ? 0.0
+                         : 100.0 * static_cast<double>(h.detected()) /
+                               static_cast<double>(h.total());
+      std::vector<std::string> row = {
+          model.component(cut).name,
+          Table::num(static_cast<std::uint64_t>(h.total())),
+          Table::num(static_cast<std::uint64_t>(h.detected_by_signature())),
+          Table::num(static_cast<std::uint64_t>(
+              h.count(RunOutcome::kDetectedHang))),
+          Table::num(static_cast<std::uint64_t>(
+              h.count(RunOutcome::kDetectedTrap))),
+          Table::num(static_cast<std::uint64_t>(
+              h.count(RunOutcome::kDetectedWildStore))),
+          Table::num(static_cast<std::uint64_t>(
+              h.count(RunOutcome::kOkMatch))),
+          Table::num(static_cast<std::uint64_t>(
+              h.count(RunOutcome::kInfraError))),
+          Table::num(det, 1)};
+      if (!legacy) row.insert(row.begin() + 1, fault::fault_model_name(fm));
+      t.add_row(row);
     }
-    const OutcomeHistogram h = histogram_of(
-        run_injection_campaign(session, program, cut, faults, {}));
-    for (std::size_t k = 0; k < kRunOutcomeCount; ++k) {
-      total.counts[k] += h.counts[k];
-    }
-    const double det =
-        h.total() == 0 ? 0.0
-                       : 100.0 * static_cast<double>(h.detected()) /
-                             static_cast<double>(h.total());
-    t.add_row({model.component(cut).name,
-               Table::num(static_cast<std::uint64_t>(h.total())),
-               Table::num(static_cast<std::uint64_t>(
-                   h.detected_by_signature())),
-               Table::num(static_cast<std::uint64_t>(
-                   h.count(RunOutcome::kDetectedHang))),
-               Table::num(static_cast<std::uint64_t>(
-                   h.count(RunOutcome::kDetectedTrap))),
-               Table::num(static_cast<std::uint64_t>(
-                   h.count(RunOutcome::kDetectedWildStore))),
-               Table::num(static_cast<std::uint64_t>(
-                   h.count(RunOutcome::kOkMatch))),
-               Table::num(static_cast<std::uint64_t>(
-                   h.count(RunOutcome::kInfraError))),
-               Table::num(det, 1)});
   }
   std::fputs(t.str().c_str(), out);
   std::fprintf(
@@ -332,7 +419,8 @@ int run_serve(const ProcessorModel& model, const ServeOptions& options,
       if (tokens.size() != 1) {
         std::fputs("err evaluate takes no arguments\n", out);
       } else {
-        render_evaluate(session, options.sim, options.cpu_stats, out, err);
+        render_evaluate(session, options.sim, options.cpu_stats, out, err,
+                        options.fault_models);
         std::fputs("ok evaluate\n", out);
       }
     } else if (verb == "campaign") {
@@ -354,7 +442,7 @@ int run_serve(const ProcessorModel& model, const ServeOptions& options,
           cuts = {CutId::kAlu, CutId::kShifter, CutId::kMultiplier};
         }
         render_campaign(session, options.sim, options.max_faults, cuts, out,
-                        err);
+                        err, options.fault_models);
         std::fputs("ok campaign\n", out);
       }
     } else if (verb == "conform" && tokens.size() == 3 &&

@@ -46,10 +46,23 @@ struct ServeOptions {
   bool cpu_stats = false;
   double budget_factor = 8.0;
   std::size_t max_faults = 32;
+  /// Fault models evaluate/campaign grade under (--fault-model /
+  /// SBST_FAULT_MODEL). The default — stuck-at only — renders the exact
+  /// legacy stdout; any other selection adds a Model column. Empty behaves
+  /// as {kStuckAt}.
+  std::vector<fault::FaultModel> fault_models = {fault::FaultModel::kStuckAt};
 };
 
 /// Parses a CLI/protocol cut name (mul div rf mem shifter alu ctrl).
 bool parse_cut_name(const std::string& name, core::CutId& out);
+
+/// Parses a comma-separated fault-model list ("stuck-at,transient"; the
+/// per-model aliases of fault::parse_fault_model apply). Repeated models
+/// collapse to one entry, first occurrence wins the order. Returns false on
+/// an empty spec, an empty element, or an unknown name; `out` is then left
+/// untouched.
+bool parse_fault_model_list(const std::string& spec,
+                            std::vector<fault::FaultModel>& out);
 
 /// True for the CUTs the injection campaign can target (alu, shifter, mul).
 bool injectable_cut(core::CutId id);
@@ -66,11 +79,13 @@ void print_store_summary(const core::GradingSession& session,
 // returns the command's exit status (0 = success).
 int render_evaluate(core::GradingSession& session,
                     const fault::SimOptions& sim, bool cpu_stats,
-                    std::FILE* out, std::FILE* err);
+                    std::FILE* out, std::FILE* err,
+                    const std::vector<fault::FaultModel>& fault_models = {});
 int render_campaign(core::GradingSession& session,
                     const fault::SimOptions& sim, std::size_t max_faults,
                     const std::vector<core::CutId>& cuts, std::FILE* out,
-                    std::FILE* err);
+                    std::FILE* err,
+                    const std::vector<fault::FaultModel>& fault_models = {});
 int render_conform_run(core::GradingSession& session, const char* dir,
                        std::FILE* out, std::FILE* err);
 

@@ -41,6 +41,12 @@
 //                        SBST_STORE env var; results are identical with the
 //                        store on, off, cold, or warm)
 //   --no-store           ignore SBST_STORE; no persistent store
+//   --fault-model M[,M...]
+//                        fault models for evaluate/campaign: stuck-at |
+//                        transition | transient | intermittent, comma
+//                        separated (also SBST_FAULT_MODEL env var; default
+//                        stuck-at keeps the legacy output; any other
+//                        selection adds a Model column)
 //   --budget-factor K    watchdog budget for faulty runs: K x the good
 //                        machine's instructions/cycles/stores (default 8;
 //                        0 = legacy unlimited 1<<24 instruction cap)
@@ -116,6 +122,12 @@ int usage() {
       "                              results cold or warm)\n"
       "         --no-store           ignore SBST_STORE; no persistent "
       "store\n"
+      "         --fault-model M[,M...]\n"
+      "                              evaluate/campaign fault models: "
+      "stuck-at |\n"
+      "                              transition | transient | intermittent\n"
+      "                              (env SBST_FAULT_MODEL; default "
+      "stuck-at)\n"
       "         --cpu-stats          print the CPU-time-equation breakdown\n"
       "                              (cycles, stalls, miss rates) to "
       "stderr\n"
@@ -298,6 +310,7 @@ int main(int argc, char** argv) {
   // Strip global options; everything else stays positional.
   serve::ServeOptions options;
   const char* store_spec = std::getenv("SBST_STORE");
+  const char* model_spec = std::getenv("SBST_FAULT_MODEL");
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -354,11 +367,27 @@ int main(int argc, char** argv) {
       store_spec = value;
     } else if (std::strcmp(a, "--no-store") == 0) {
       store_spec = nullptr;
+    } else if (std::strcmp(a, "--fault-model") == 0 ||
+               std::strncmp(a, "--fault-model=", 14) == 0) {
+      const char* value = a[13] == '=' ? a + 14 : nullptr;
+      if (!value) {
+        if (i + 1 >= argc) return usage();
+        value = argv[++i];
+      }
+      model_spec = value;
     } else {
       args.push_back(a);
     }
   }
   if (args.empty()) return usage();
+  if (model_spec &&
+      !serve::parse_fault_model_list(model_spec, options.fault_models)) {
+    std::fprintf(stderr,
+                 "sbst: bad fault-model list \"%s\" (stuck-at | transition "
+                 "| transient | intermittent, comma separated)\n",
+                 model_spec);
+    return usage();
+  }
 
   std::shared_ptr<store::ArtifactStore> store;
   if (store_spec) {
@@ -374,8 +403,9 @@ int main(int argc, char** argv) {
   if (cmd == "listing") return cmd_program(model, true);
   if (cmd == "evaluate") {
     GradingSession session = make_session(model, options, store);
-    const int status = serve::render_evaluate(
-        session, options.sim, options.cpu_stats, stdout, stderr);
+    const int status =
+        serve::render_evaluate(session, options.sim, options.cpu_stats,
+                               stdout, stderr, options.fault_models);
     serve::print_store_summary(session, store.get(), stderr);
     return status;
   }
@@ -397,8 +427,10 @@ int main(int argc, char** argv) {
       cuts = {CutId::kAlu, CutId::kShifter, CutId::kMultiplier};
     }
     GradingSession session = make_session(model, options, store);
-    const int status = serve::render_campaign(
-        session, options.sim, options.max_faults, cuts, stdout, stderr);
+    const int status = serve::render_campaign(session, options.sim,
+                                              options.max_faults, cuts,
+                                              stdout, stderr,
+                                              options.fault_models);
     serve::print_store_summary(session, store.get(), stderr);
     return status;
   }
