@@ -1,0 +1,257 @@
+// `sbst serve` request-latency benchmark: percentile latencies, overload
+// shedding, and write-ahead-journal overhead for the hardened daemon.
+//
+// Three measurements, all driven through run_serve() with in-memory
+// streams (the same harness the serve tests use, so the numbers describe
+// the daemon loop itself, not pipe or process overhead):
+//
+//   shed     a burst of campaign requests against the concurrent loop
+//            (--serve-threads 2) at queue depths 1 / 4 / 16: how many
+//            complete, how many shed with `err overloaded`, and the
+//            p50/p99 execution wall of the completed ones
+//   journal  the same serial request sequence with and without --journal,
+//            isolating the cost of the two fwrite+fflush records that
+//            bracket every work request
+//
+// Per-request walls come from the daemon's own `# serve: <verb> <wall> s`
+// stderr lines — execution time, not queue wait, which is what the journal
+// and deadline machinery act on.
+//
+// Campaigns run with a reduced fault sample (--max-faults analogue) so the
+// full burst matrix finishes in seconds; the ratios, not the absolute
+// walls, are the product here.
+//
+// Usage: serve_latency   Emits a table to stdout and BENCH_serve.json.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/tablefmt.hpp"
+#include "core/component.hpp"
+#include "serve/serve.hpp"
+
+using namespace sbst;
+using namespace sbst::common;
+
+namespace {
+
+struct ServeRun {
+  int status = 0;
+  std::string out;
+  std::string err;
+};
+
+ServeRun run_script(const core::ProcessorModel& model, const std::string& script,
+                    const serve::ServeOptions& options) {
+  std::FILE* in = fmemopen(const_cast<char*>(script.data()), script.size(), "r");
+  char* out_buf = nullptr;
+  std::size_t out_len = 0;
+  std::FILE* out = open_memstream(&out_buf, &out_len);
+  char* err_buf = nullptr;
+  std::size_t err_len = 0;
+  std::FILE* err = open_memstream(&err_buf, &err_len);
+
+  ServeRun r;
+  r.status = serve::run_serve(model, options, nullptr, in, out, err);
+  std::fclose(in);
+  std::fclose(out);
+  std::fclose(err);
+  r.out.assign(out_buf, out_len);
+  r.err.assign(err_buf, err_len);
+  std::free(out_buf);
+  std::free(err_buf);
+  return r;
+}
+
+// Execution walls from the daemon's own `# serve: <verb> <wall> s` lines.
+std::vector<double> request_walls(const std::string& err) {
+  std::vector<double> walls;
+  std::size_t pos = 0;
+  while ((pos = err.find("# serve: ", pos)) != std::string::npos) {
+    const std::size_t eol = err.find('\n', pos);
+    const std::string line = err.substr(pos, eol - pos);
+    double w = 0;
+    char verb[32];
+    if (std::sscanf(line.c_str(), "# serve: %31s %lf s", verb, &w) == 2) {
+      walls.push_back(w);
+    }
+    pos = eol == std::string::npos ? err.size() : eol + 1;
+  }
+  return walls;
+}
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0, pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string::npos) {
+    ++n;
+    pos += needle.size();
+  }
+  return n;
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double idx = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+struct ShedPoint {
+  std::size_t queue_depth = 0;
+  std::size_t requests = 0;
+  std::size_t shed = 0;
+  std::size_t completed = 0;
+  double p50 = 0, p99 = 0;
+};
+
+struct JournalPoint {
+  std::string key;
+  std::size_t requests = 0;
+  double p50 = 0, p99 = 0, mean = 0;
+};
+
+constexpr std::size_t kBurst = 24;
+constexpr std::size_t kSerial = 8;
+
+std::string burst_script(std::size_t n) {
+  static const char* kCuts[] = {"alu", "shifter", "mul"};
+  std::string s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s += "campaign ";
+    s += kCuts[i % 3];
+    s += '\n';
+  }
+  s += "quit\n";
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  core::ProcessorModel model;
+  serve::ServeOptions base;
+  base.sim.num_threads = 2;
+  base.max_faults = 8;  // sampled campaigns: burst matrix in seconds
+
+  // --- shedding vs queue depth (concurrent loop, 2 workers) ---------------
+  std::vector<ShedPoint> shed_points;
+  for (std::size_t depth : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    serve::ServeOptions options = base;
+    options.serve_threads = 2;
+    options.queue_depth = depth;
+    const ServeRun r = run_script(model, burst_script(kBurst), options);
+    if (r.status != 0) {
+      std::fprintf(stderr, "FAIL: burst at queue depth %zu exited %d\n", depth,
+                   r.status);
+      return 1;
+    }
+    ShedPoint p;
+    p.queue_depth = depth;
+    p.requests = kBurst;
+    p.shed = count_of(r.out, "err overloaded");
+    p.completed = count_of(r.out, "ok campaign");
+    if (p.shed + p.completed != kBurst) {
+      std::fprintf(stderr, "FAIL: burst accounting %zu shed + %zu ok != %zu\n",
+                   p.shed, p.completed, kBurst);
+      return 1;
+    }
+    const std::vector<double> walls = request_walls(r.err);
+    p.p50 = percentile(walls, 0.50);
+    p.p99 = percentile(walls, 0.99);
+    shed_points.push_back(p);
+  }
+
+  // --- journal on/off overhead (serial loop, identical request stream) ----
+  const std::string wal = "BENCH_serve.wal";
+  std::vector<JournalPoint> journal_points;
+  for (const bool journaled : {false, true}) {
+    serve::ServeOptions options = base;
+    if (journaled) {
+      std::filesystem::remove(wal);
+      options.journal_path = wal;
+    }
+    const ServeRun r = run_script(model, burst_script(kSerial), options);
+    if (r.status != 0) {
+      std::fprintf(stderr, "FAIL: serial %s run exited %d\n",
+                   journaled ? "journaled" : "unjournaled", r.status);
+      return 1;
+    }
+    const std::vector<double> walls = request_walls(r.err);
+    JournalPoint p;
+    p.key = journaled ? "on" : "off";
+    p.requests = walls.size();
+    p.p50 = percentile(walls, 0.50);
+    p.p99 = percentile(walls, 0.99);
+    for (double w : walls) p.mean += w;
+    if (!walls.empty()) p.mean /= static_cast<double>(walls.size());
+    journal_points.push_back(p);
+  }
+  std::filesystem::remove(wal);
+  const double journal_overhead =
+      journal_points[1].mean - journal_points[0].mean;
+
+  Table shed_table({"Queue depth", "Requests", "Completed", "Shed",
+                    "Shed rate", "p50 (s)", "p99 (s)"});
+  for (const ShedPoint& p : shed_points) {
+    shed_table.add_row(
+        {Table::num(static_cast<std::uint64_t>(p.queue_depth)),
+         Table::num(static_cast<std::uint64_t>(p.requests)),
+         Table::num(static_cast<std::uint64_t>(p.completed)),
+         Table::num(static_cast<std::uint64_t>(p.shed)),
+         Table::num(static_cast<double>(p.shed) / p.requests, 3),
+         Table::num(p.p50, 4), Table::num(p.p99, 4)});
+  }
+  shed_table.print();
+
+  Table journal_table({"Journal", "Requests", "p50 (s)", "p99 (s)",
+                       "Mean (s)"});
+  for (const JournalPoint& p : journal_points) {
+    journal_table.add_row({p.key,
+                           Table::num(static_cast<std::uint64_t>(p.requests)),
+                           Table::num(p.p50, 4), Table::num(p.p99, 4),
+                           Table::num(p.mean, 4)});
+  }
+  journal_table.print();
+  std::printf("journal overhead: %+.4f s mean per request\n", journal_overhead);
+
+  std::FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (!json) {
+    std::perror("BENCH_serve.json");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"shed\": [\n");
+  bool first = true;
+  for (const ShedPoint& p : shed_points) {
+    std::fprintf(json,
+                 "%s    {\"queue_depth\": %zu, \"requests\": %zu, "
+                 "\"completed\": %zu, \"shed\": %zu, \"shed_rate\": %.4f, "
+                 "\"p50_s\": %.6f, \"p99_s\": %.6f}",
+                 first ? "" : ",\n", p.queue_depth, p.requests, p.completed,
+                 p.shed, static_cast<double>(p.shed) / p.requests, p.p50,
+                 p.p99);
+    first = false;
+  }
+  std::fprintf(json, "\n  ],\n  \"journal\": [\n");
+  first = true;
+  for (const JournalPoint& p : journal_points) {
+    std::fprintf(json,
+                 "%s    {\"journal\": \"%s\", \"requests\": %zu, "
+                 "\"p50_s\": %.6f, \"p99_s\": %.6f, \"mean_s\": %.6f}",
+                 first ? "" : ",\n", p.key.c_str(), p.requests, p.p50, p.p99,
+                 p.mean);
+    first = false;
+  }
+  std::fprintf(json,
+               "\n  ],\n  \"journal_overhead_mean_s\": %.6f\n}\n",
+               journal_overhead);
+  std::fclose(json);
+  std::puts("wrote BENCH_serve.json");
+  return 0;
+}

@@ -1,0 +1,254 @@
+#include "serve/journal.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/hash.hpp"
+#include "common/serialize.hpp"
+
+namespace sbst::serve {
+
+namespace {
+
+// "SBSTWAL\0" little-endian; leads every record and doubles as the resync
+// marker when a damaged record has to be skipped.
+constexpr std::uint64_t kMagic = 0x004c415754534253ull;
+
+// magic + type + seq + payload_len.
+constexpr std::size_t kHeaderSize = 8 + 1 + 8 + 8;
+constexpr std::size_t kChecksumSize = 8;
+// A begin line is protocol-bounded (kMaxRequestLine), a seal payload is 17
+// bytes; anything past this is damage, not data.
+constexpr std::uint64_t kMaxPayload = 1 << 20;
+
+std::vector<std::uint8_t> encode(const JournalRecord& r) {
+  common::ByteWriter payload;
+  if (r.type == JournalRecord::Type::kBegin) {
+    payload.put_bytes(r.line.data(), r.line.size());
+  } else {
+    payload.put_u8(r.status);
+    payload.put_u64(r.response_size);
+    payload.put_u64(r.response_hash);
+  }
+  common::ByteWriter w;
+  w.put_u64(kMagic);
+  w.put_u8(static_cast<std::uint8_t>(r.type));
+  w.put_u64(r.seq);
+  w.put_u64(payload.size());
+  w.put_bytes(payload.bytes().data(), payload.size());
+  w.put_u64(common::fnv1a_bytes(w.bytes().data(), w.size()));
+  return w.take();
+}
+
+// Attempts to parse one record at `pos`. Outcomes:
+//   kOk        — record valid; *out filled, *consumed = record length
+//   kTruncated — magic matches but the file ends inside the record
+//   kBad       — no valid record here (resync past this byte)
+enum class ParseResult { kOk, kTruncated, kBad };
+
+ParseResult parse_at(const std::vector<std::uint8_t>& bytes, std::size_t pos,
+                     JournalRecord* out, std::size_t* consumed) {
+  const std::size_t size = bytes.size();
+  if (pos + 8 > size) return ParseResult::kBad;
+  common::ByteReader header(bytes.data() + pos, size - pos);
+  if (header.get_u64() != kMagic) return ParseResult::kBad;
+  if (pos + kHeaderSize > size) return ParseResult::kTruncated;
+  const std::uint8_t type = header.get_u8();
+  const std::uint64_t seq = header.get_u64();
+  const std::uint64_t payload_len = header.get_u64();
+  if (type != static_cast<std::uint8_t>(JournalRecord::Type::kBegin) &&
+      type != static_cast<std::uint8_t>(JournalRecord::Type::kSeal)) {
+    return ParseResult::kBad;
+  }
+  if (payload_len > kMaxPayload) return ParseResult::kBad;
+  const std::size_t total =
+      kHeaderSize + static_cast<std::size_t>(payload_len) + kChecksumSize;
+  if (pos + total > size) return ParseResult::kTruncated;
+
+  const std::size_t checked = kHeaderSize + payload_len;
+  common::ByteReader tail(bytes.data() + pos + checked, kChecksumSize);
+  if (tail.get_u64() != common::fnv1a_bytes(bytes.data() + pos, checked)) {
+    return ParseResult::kBad;
+  }
+
+  JournalRecord r;
+  r.type = static_cast<JournalRecord::Type>(type);
+  r.seq = seq;
+  const std::uint8_t* payload = bytes.data() + pos + kHeaderSize;
+  if (r.type == JournalRecord::Type::kBegin) {
+    r.line.assign(reinterpret_cast<const char*>(payload),
+                  static_cast<std::size_t>(payload_len));
+  } else {
+    if (payload_len != 1 + 8 + 8) return ParseResult::kBad;
+    common::ByteReader p(payload, static_cast<std::size_t>(payload_len));
+    r.status = p.get_u8();
+    r.response_size = p.get_u64();
+    r.response_hash = p.get_u64();
+  }
+  *out = std::move(r);
+  *consumed = total;
+  return ParseResult::kOk;
+}
+
+// First magic occurrence at or after `pos`, or npos.
+std::size_t find_magic(const std::vector<std::uint8_t>& bytes,
+                       std::size_t pos) {
+  if (pos >= bytes.size()) return std::string::npos;
+  std::uint8_t needle[8];
+  for (int i = 0; i < 8; ++i) {
+    needle[i] = static_cast<std::uint8_t>((kMagic >> (i * 8)) & 0xffu);
+  }
+  const auto it = std::search(bytes.begin() + static_cast<long>(pos),
+                              bytes.end(), needle, needle + 8);
+  return it == bytes.end() ? std::string::npos
+                           : static_cast<std::size_t>(it - bytes.begin());
+}
+
+}  // namespace
+
+std::vector<JournalEntry> JournalScan::entries() const {
+  std::map<std::uint64_t, JournalEntry> by_seq;
+  for (const JournalRecord& r : records) {
+    if (r.type == JournalRecord::Type::kBegin) {
+      JournalEntry& e = by_seq[r.seq];
+      e.seq = r.seq;
+      e.line = r.line;
+    }
+  }
+  for (const JournalRecord& r : records) {
+    if (r.type == JournalRecord::Type::kSeal) {
+      const auto it = by_seq.find(r.seq);
+      if (it == by_seq.end()) continue;  // seal without a begin: drop
+      it->second.sealed = true;
+      it->second.status = r.status;
+      it->second.response_size = r.response_size;
+      it->second.response_hash = r.response_hash;
+    }
+  }
+  std::vector<JournalEntry> out;
+  out.reserve(by_seq.size());
+  for (auto& [seq, e] : by_seq) out.push_back(std::move(e));
+  return out;
+}
+
+Journal::Journal(std::string path) : path_(std::move(path)) {}
+
+Journal::~Journal() {
+  if (file_) std::fclose(file_);
+}
+
+bool Journal::open_append() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_) return true;
+  file_ = std::fopen(path_.c_str(), "ab");
+  return file_ != nullptr;
+}
+
+bool Journal::append_locked(const std::vector<std::uint8_t>& record) {
+  if (!file_) return false;
+  const bool ok =
+      std::fwrite(record.data(), 1, record.size(), file_) == record.size() &&
+      std::fflush(file_) == 0;
+  if (!ok) ++stats_.append_failures;
+  return ok;
+}
+
+bool Journal::append_begin(std::uint64_t seq, std::string_view line) {
+  JournalRecord r;
+  r.type = JournalRecord::Type::kBegin;
+  r.seq = seq;
+  r.line.assign(line.data(), line.size());
+  const std::vector<std::uint8_t> bytes = encode(r);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!append_locked(bytes)) return false;
+  ++stats_.begins;
+  return true;
+}
+
+bool Journal::append_seal(std::uint64_t seq, std::uint8_t status,
+                          std::uint64_t response_size,
+                          std::uint64_t response_hash) {
+  JournalRecord r;
+  r.type = JournalRecord::Type::kSeal;
+  r.seq = seq;
+  r.status = status;
+  r.response_size = response_size;
+  r.response_hash = response_hash;
+  const std::vector<std::uint8_t> bytes = encode(r);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!append_locked(bytes)) return false;
+  ++stats_.seals;
+  return true;
+}
+
+JournalStats Journal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Journal::note_replay(std::uint64_t replayed, std::uint64_t verified,
+                          std::uint64_t verify_mismatches,
+                          std::uint64_t corrupt_skipped) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.replayed = replayed;
+  stats_.verified = verified;
+  stats_.verify_mismatches = verify_mismatches;
+  stats_.corrupt_skipped = corrupt_skipped;
+}
+
+JournalScan Journal::scan_file(const std::string& path) {
+  JournalScan scan;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    scan.missing = true;
+    return scan;
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    scan.missing = true;
+    return scan;
+  }
+
+  scan.file_size = bytes.size();
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    JournalRecord record;
+    std::size_t consumed = 0;
+    switch (parse_at(bytes, pos, &record, &consumed)) {
+      case ParseResult::kOk:
+        scan.records.push_back(std::move(record));
+        pos += consumed;
+        scan.valid_end = pos;
+        break;
+      case ParseResult::kTruncated:
+        // A magic header whose record runs past EOF: a torn final write.
+        // Nothing after it can be sound — stop.
+        scan.truncated_tail = true;
+        return scan;
+      case ParseResult::kBad: {
+        // Damaged bytes. Resync to the next magic strictly after pos so a
+        // corrupt record is skipped, not spun on. No further magic means
+        // the damage reaches EOF — that is a torn tail (e.g. a partial
+        // magic cut off mid-append), not interior corruption.
+        const std::size_t next = find_magic(bytes, pos + 1);
+        if (next == std::string::npos) {
+          scan.truncated_tail = true;
+          return scan;
+        }
+        ++scan.corrupt_skipped;
+        pos = next;
+        break;
+      }
+    }
+  }
+  return scan;
+}
+
+}  // namespace sbst::serve

@@ -1,0 +1,134 @@
+// Write-ahead request journal for the `sbst serve` daemon.
+//
+// The daemon's crash-safety story (ROADMAP open item 2; the BISSO
+// controller's journaled selftest is the exemplar): every work request is
+// appended to an append-only journal BEFORE it executes (a `begin` record
+// carrying the raw request line) and sealed AFTER its response has been
+// emitted and flushed (a `seal` record carrying the response's byte count
+// and FNV-1a hash). A crash therefore never loses a request: on restart,
+// `sbst serve --replay-journal` re-runs every begin without a matching seal
+// and re-emits its response, and re-renders every sealed request to verify
+// the recorded response hash still matches (an audit that the recovered
+// daemon computes the same answers the crashed one did).
+//
+// Record format (all integers little-endian via common::ByteWriter):
+//
+//   u64  magic        "SBSTWAL\0"
+//   u8   type         1 = begin, 2 = seal
+//   u64  seq          request sequence number (same seq pairs begin/seal)
+//   u64  payload_len  length prefix of the payload that follows
+//   ...  payload      begin: the raw request line bytes
+//                     seal:  u8 status + u64 response_size + u64 response_fnv
+//   u64  checksum     FNV-1a over every preceding byte of the record
+//
+// Scan robustness contract (tests/test_serve_faults.cpp): scanning NEVER
+// crashes and NEVER trusts a damaged record. A damaged record in the
+// interior of the file is skipped by resyncing to the next magic
+// occurrence (counted in `corrupt_skipped`); damage that reaches EOF —
+// a record cut off mid-write, or trailing bytes with no further magic to
+// resync to — marks `truncated_tail` and stops. `valid_end` is the byte
+// offset just past the last valid record; the daemon truncates the file
+// there before reopening for append, so recovery seals are never written
+// after unreachable garbage. Appends fflush() after every record so a
+// begin is on disk before its request starts executing even if the
+// process is killed with SIGKILL mid-request.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbst::serve {
+
+/// One parsed journal record.
+struct JournalRecord {
+  enum class Type : std::uint8_t { kBegin = 1, kSeal = 2 };
+  Type type = Type::kBegin;
+  std::uint64_t seq = 0;
+  std::string line;                  // begin: the raw request line
+  std::uint8_t status = 0;           // seal: 0 = ok, nonzero = err class
+  std::uint64_t response_size = 0;   // seal: emitted response bytes
+  std::uint64_t response_hash = 0;   // seal: FNV-1a of the response bytes
+};
+
+/// A begin record paired (by seq) with its seal, if one exists.
+struct JournalEntry {
+  std::uint64_t seq = 0;
+  std::string line;
+  bool sealed = false;
+  std::uint8_t status = 0;
+  std::uint64_t response_size = 0;
+  std::uint64_t response_hash = 0;
+};
+
+/// Result of scanning a journal file. Damage is counted, never fatal.
+struct JournalScan {
+  std::vector<JournalRecord> records;
+  std::size_t corrupt_skipped = 0;  // interior damage resynced over
+  bool truncated_tail = false;      // damage reaching EOF (torn write)
+  bool missing = false;             // file absent or unreadable
+  std::size_t valid_end = 0;        // offset just past the last valid record
+  std::size_t file_size = 0;        // total bytes scanned
+
+  /// Begin records in seq order, each annotated with its seal (a seal with
+  /// no begin — possible only through targeted corruption — is dropped).
+  std::vector<JournalEntry> entries() const;
+};
+
+/// Append counters, reported by the serve `stats` verb.
+struct JournalStats {
+  std::uint64_t begins = 0;
+  std::uint64_t seals = 0;
+  std::uint64_t append_failures = 0;
+  // Populated by the startup replay pass (zero otherwise):
+  std::uint64_t replayed = 0;          // unsealed requests re-run
+  std::uint64_t verified = 0;          // sealed requests re-rendered, hash ok
+  std::uint64_t verify_mismatches = 0; // sealed requests whose hash diverged
+  std::uint64_t corrupt_skipped = 0;   // damaged records skipped by the scan
+};
+
+class Journal {
+ public:
+  explicit Journal(std::string path);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Opens (creates) the journal for appending. False when the filesystem
+  /// refuses — the daemon then runs unjournaled (fail-soft, with a stderr
+  /// warning from the caller).
+  bool open_append();
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Appends + flushes a begin record. Thread-safe. False (and counted)
+  /// when the write fails; the request still executes.
+  bool append_begin(std::uint64_t seq, std::string_view line);
+  /// Appends + flushes a seal record after the response was emitted.
+  bool append_seal(std::uint64_t seq, std::uint8_t status,
+                   std::uint64_t response_size, std::uint64_t response_hash);
+
+  JournalStats stats() const;
+  /// Folds the startup replay pass's outcome into the reported stats.
+  void note_replay(std::uint64_t replayed, std::uint64_t verified,
+                   std::uint64_t verify_mismatches,
+                   std::uint64_t corrupt_skipped);
+
+  /// Parses a journal file; never throws, never crashes on damage.
+  static JournalScan scan_file(const std::string& path);
+
+ private:
+  bool append_locked(const std::vector<std::uint8_t>& record);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  mutable std::mutex mu_;
+  JournalStats stats_;
+};
+
+}  // namespace sbst::serve

@@ -25,8 +25,28 @@
 // Timings, engine config, and store summaries go to `err` only, so the
 // response stream stays byte-deterministic for any engine / lanes / thread
 // count / store temperature.
+// Robustness layer (the hardened daemon):
+//
+//  * Concurrent request handling (`--serve-threads N`): N workers drain a
+//    bounded admission queue; each response is rendered into a per-request
+//    buffer and emitted strictly in admission order, so the byte stream is
+//    identical to the serial loop for any worker count.
+//  * Overload shedding: when the admission queue is full, new work requests
+//    are answered immediately with `err overloaded retry-after=<ms>`
+//    instead of growing an unbounded backlog.
+//  * Per-request deadlines (`--request-deadline`): a RequestBudget turns a
+//    runaway request into a structured `err timeout deadline=<ms>ms`
+//    response — checked before execution (queue wait counts against the
+//    budget) and cooperatively between campaign gradings.
+//  * Write-ahead journal (`--journal FILE`, see journal.hpp): work requests
+//    are journaled before execution and sealed after their response is
+//    flushed; `--replay-journal` re-runs unsealed requests after a crash
+//    and re-renders sealed ones to verify the recorded response hashes.
+//  * Bounded request lines: anything longer than kMaxRequestLine answers
+//    `err request-too-long` and the loop survives.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -34,9 +54,19 @@
 
 #include "core/evaluate.hpp"
 #include "core/session.hpp"
+#include "serve/journal.hpp"
 #include "store/artifact_store.hpp"
 
 namespace sbst::serve {
+
+/// Upper bound on one request line; longer lines are consumed and answered
+/// with `err request-too-long` instead of growing an unbounded std::string
+/// from a hostile or broken client.
+inline constexpr std::size_t kMaxRequestLine = 4096;
+
+/// render_campaign's status when a RequestBudget expired mid-render (the
+/// partial response is discarded and replaced by `err timeout ...`).
+inline constexpr int kTimeoutStatus = 124;
 
 /// Request configuration shared by every command a serve loop (or one-shot
 /// CLI invocation) runs.
@@ -51,6 +81,49 @@ struct ServeOptions {
   /// legacy stdout; any other selection adds a Model column. Empty behaves
   /// as {kStuckAt}.
   std::vector<fault::FaultModel> fault_models = {fault::FaultModel::kStuckAt};
+
+  /// Request workers for `serve` (--serve-threads). 1 = the classic serial
+  /// read→execute→respond loop. N > 1 runs a reader + N workers + an
+  /// ordered emitter; response bytes stay identical to the serial loop.
+  unsigned serve_threads = 1;
+  /// Bounded admission queue (--serve-queue): work requests waiting for a
+  /// worker beyond this depth shed with `err overloaded retry-after=<ms>`.
+  /// Only the concurrent loop sheds — the serial loop reads one request at
+  /// a time, which is its own bound.
+  std::size_t queue_depth = 16;
+  /// Per-request wall-clock deadline in milliseconds (--request-deadline).
+  /// 0 = unlimited (the default); a positive value applies to every work
+  /// request; negative = "auto": each verb's deadline is derived from the
+  /// cached wall time of its last completed good run (deadline_factor ×
+  /// that, floored at kMinAutoDeadlineMs), mirroring the campaign
+  /// watchdog's k × good-run budget at the request level. The first run of
+  /// a verb is unlimited (nothing cached yet).
+  double request_deadline_ms = 0;
+  /// Multiplier for auto deadlines (k in k × cached good wall time).
+  double deadline_factor = 8.0;
+  /// Write-ahead journal file (--journal). Empty = unjournaled. Open
+  /// failures degrade to an unjournaled daemon with one stderr warning.
+  std::string journal_path;
+  /// Replay the journal before serving (--replay-journal): unsealed
+  /// requests re-run and emit their responses (crash recovery); sealed
+  /// requests re-render and verify the recorded response hash.
+  bool replay_journal = false;
+};
+
+/// Floor for auto-derived deadlines (a verb measured at ~0 ms must not get
+/// an impossible budget).
+inline constexpr double kMinAutoDeadlineMs = 50.0;
+
+/// Wall-clock budget of one request — PR 5's watchdog design lifted to the
+/// request level. `ms <= 0` means unlimited.
+struct RequestBudget {
+  std::chrono::steady_clock::time_point deadline{};
+  double ms = 0;
+
+  bool limited() const { return ms > 0; }
+  bool expired() const {
+    return limited() && std::chrono::steady_clock::now() >= deadline;
+  }
 };
 
 /// Parses a CLI/protocol cut name (mul div rf mem shifter alu ctrl).
@@ -85,15 +158,18 @@ int render_campaign(core::GradingSession& session,
                     const fault::SimOptions& sim, std::size_t max_faults,
                     const std::vector<core::CutId>& cuts, std::FILE* out,
                     std::FILE* err,
-                    const std::vector<fault::FaultModel>& fault_models = {});
+                    const std::vector<fault::FaultModel>& fault_models = {},
+                    const RequestBudget* budget = nullptr);
 int render_conform_run(core::GradingSession& session, const char* dir,
                        std::FILE* out, std::FILE* err);
 
-/// The `stats` verb: session build/hit counters and store counters. Purely
-/// counter-valued (no wall-clock), so repeated identical request sequences
-/// produce identical output.
+/// The `stats` verb: session build/hit counters, store counters, and — when
+/// the daemon is journaled — journal totals. Purely counter-valued (no
+/// wall-clock), so repeated identical request sequences produce identical
+/// output.
 void render_stats(const core::GradingSession& session,
-                  const store::ArtifactStore* store, std::FILE* out);
+                  const store::ArtifactStore* store, std::FILE* out,
+                  const Journal* journal = nullptr);
 
 /// Runs the serve loop until `quit` or EOF on `in`. Returns the process
 /// exit status.

@@ -1,5 +1,7 @@
 #include "store/artifact_store.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -77,6 +79,16 @@ std::string ArtifactStore::entry_path(
   return p;
 }
 
+void ArtifactStore::set_budget(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = bytes;
+}
+
+std::uint64_t ArtifactStore::budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_;
+}
+
 std::optional<std::vector<std::uint8_t>> ArtifactStore::load(
     std::string_view kind, const std::vector<std::uint8_t>& key) {
   const std::string path = entry_path(kind, key);
@@ -118,6 +130,13 @@ std::optional<std::vector<std::uint8_t>> ArtifactStore::load(
     return std::nullopt;
   }
   ++stats_.hits;
+  // With a budget set, a hit refreshes the entry's mtime so the eviction
+  // sweep's oldest-mtime-first order really is least-recently-USED, not
+  // least-recently-written.
+  if (budget_ > 0) {
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  }
   return payload;
 }
 
@@ -160,7 +179,71 @@ bool ArtifactStore::save(std::string_view kind,
     return false;
   }
   ++stats_.writes;
+  if (budget_ > 0) evict_over_budget_locked(path);
   return true;
+}
+
+// LRU-by-mtime eviction sweep, run after a budgeted save (mu_ held).
+// Scans the versioned entry directory once: stale temporary files (crashed
+// writers' leftovers, older than a grace window so a live writer's tmp is
+// never pulled out from under it) are removed unconditionally; entry files
+// are removed oldest-mtime-first (name as the deterministic tie-break)
+// until the remaining total fits the budget. The just-written entry
+// `keep_path` is exempt so a sweep can never undo its own save.
+void ArtifactStore::evict_over_budget_locked(const std::string& keep_path) {
+  struct EntryFile {
+    std::string path;
+    std::uint64_t size = 0;
+    fs::file_time_type mtime;
+  };
+  const fs::path root = fs::path(dir_) / ("v" + std::to_string(kFormatVersion));
+  std::error_code ec;
+  std::vector<EntryFile> entries;
+  std::uint64_t total = 0;
+  const auto stale_cutoff =
+      fs::file_time_type::clock::now() - std::chrono::minutes(10);
+  for (fs::directory_iterator it(root, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    std::error_code fec;
+    if (!it->is_regular_file(fec) || fec) continue;
+    const std::string path = it->path().string();
+    const std::uint64_t size = it->file_size(fec);
+    if (fec) continue;
+    const fs::file_time_type mtime = it->last_write_time(fec);
+    if (fec) continue;
+    if (path.find(".tmp") != std::string::npos) {
+      if (mtime < stale_cutoff) {
+        std::error_code rec;
+        if (fs::remove(path, rec) && !rec) ++stats_.stale_tmp_removed;
+      }
+      continue;
+    }
+    if (path == keep_path) continue;
+    entries.push_back({path, size, mtime});
+    total += size;
+  }
+  std::uint64_t keep_size = 0;
+  {
+    std::error_code fec;
+    const std::uintmax_t s = fs::file_size(keep_path, fec);
+    if (!fec) keep_size = static_cast<std::uint64_t>(s);
+  }
+  total += keep_size;
+  if (total <= budget_) return;
+  std::sort(entries.begin(), entries.end(),
+            [](const EntryFile& a, const EntryFile& b) {
+              if (a.mtime != b.mtime) return a.mtime < b.mtime;
+              return a.path < b.path;
+            });
+  for (const EntryFile& e : entries) {
+    if (total <= budget_) break;
+    std::error_code rec;
+    if (fs::remove(e.path, rec) && !rec) {
+      total -= e.size;
+      ++stats_.evictions;
+      stats_.evicted_bytes += e.size;
+    }
+  }
 }
 
 StoreStats ArtifactStore::stats() const {
@@ -175,7 +258,11 @@ std::string ArtifactStore::default_dir() {
   if (const char* home = std::getenv("HOME"); home && *home) {
     return std::string(home) + "/.cache/sbst";
   }
-  return ".sbst-store";
+  // No $XDG_CACHE_HOME and no $HOME: there is nowhere sensible to persist.
+  // Empty means "store disabled" — callers warn once and run without
+  // persistence instead of dropping a .sbst-store into whatever the
+  // current directory happens to be.
+  return std::string();
 }
 
 std::string ArtifactStore::resolve_dir(std::string_view spec) {

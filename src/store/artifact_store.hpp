@@ -79,6 +79,12 @@ struct StoreStats {
   std::uint64_t invalid = 0;
   std::uint64_t writes = 0;
   std::uint64_t write_failures = 0;
+  /// Size-budget enforcement (zero unless a budget is set): entries removed
+  /// by LRU-by-mtime eviction, bytes they held, and stale temporary files
+  /// (a crashed writer's leftovers) swept during eviction scans.
+  std::uint64_t evictions = 0;
+  std::uint64_t evicted_bytes = 0;
+  std::uint64_t stale_tmp_removed = 0;
 };
 
 class ArtifactStore {
@@ -91,6 +97,17 @@ class ArtifactStore {
   explicit ArtifactStore(std::string dir);
 
   const std::string& dir() const { return dir_; }
+
+  /// Total-size budget in bytes; 0 (the default) = unlimited. With a budget
+  /// set, every save() ends with an eviction sweep: entry files are removed
+  /// oldest-mtime-first (load hits touch the mtime, so eviction order is
+  /// LRU) until the store fits the budget, and stale temporary files left
+  /// by crashed writers are swept. The entry just written is never evicted
+  /// by its own sweep. Deletes are single atomic unlink()s, so a concurrent
+  /// reader sees either the full entry or a plain miss — a full disk
+  /// degrades to cold rebuilds, never to write failures or torn reads.
+  void set_budget(std::uint64_t bytes);
+  std::uint64_t budget() const;
 
   /// Loads the payload for (kind, key), or nullopt when absent or invalid.
   std::optional<std::vector<std::uint8_t>> load(
@@ -113,21 +130,27 @@ class ArtifactStore {
 
   StoreStats stats() const;
 
-  /// `$XDG_CACHE_HOME/sbst` when set, else `$HOME/.cache/sbst`, else
-  /// `.sbst-store` in the working directory (no home at all).
+  /// `$XDG_CACHE_HOME/sbst` when set, else `$HOME/.cache/sbst`. When BOTH
+  /// are unset there is no sane cache root: returns empty, which callers
+  /// must treat as "store disabled" (fail soft with one stderr warning, run
+  /// without persistence) rather than scribbling into the working
+  /// directory.
   static std::string default_dir();
 
   /// Maps a user-facing store spec to a directory: "auto" (or empty) means
-  /// default_dir(), anything else is taken literally.
+  /// default_dir() — possibly empty, see above — anything else is taken
+  /// literally.
   static std::string resolve_dir(std::string_view spec);
 
  private:
   std::string entry_path(std::string_view kind,
                          const std::vector<std::uint8_t>& key) const;
+  void evict_over_budget_locked(const std::string& keep_path);
 
   std::string dir_;
   mutable std::mutex mu_;
   StoreStats stats_;
+  std::uint64_t budget_ = 0;
 };
 
 }  // namespace sbst::store

@@ -1,14 +1,18 @@
 // `sbst serve` protocol loop: sequential requests over one warm session,
 // deterministic response bytes (a repeated request renders identically, and
-// identically to the one-shot renderer), error handling that keeps the loop
-// alive, and clean EOF/quit shutdown.
+// identically to the one-shot renderer — for ANY worker count), error
+// handling that keeps the loop alive, clean EOF/quit shutdown, per-request
+// deadlines, overload shedding, bounded request lines, and the write-ahead
+// journal round trip.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "serve/journal.hpp"
 #include "serve/serve.hpp"
 
 namespace sbst::serve {
@@ -169,6 +173,219 @@ TEST(Serve, StatsReflectWorkAndStoreUsage) {
   // configured the store line stays "none".
   EXPECT_EQ(seg[1].find("universe 0/0"), std::string::npos);
   EXPECT_NE(seg[1].find("store: none"), std::string::npos);
+}
+
+// ---- concurrent loop ------------------------------------------------------
+
+TEST(Serve, ConcurrentLoopRendersIdenticalBytesToSerial) {
+  // A mixed script — work verbs, probes, errors — through the serial loop
+  // and through 2- and 4-worker concurrent loops. The ordered emitter must
+  // make the response streams byte-identical, including the stats barrier
+  // (whose counters depend on every earlier request having finished).
+  const std::string script =
+      "ping\ncampaign alu\nbogus\ncampaign alu shifter\nstats\n"
+      "campaign mul\nping\nstats\nquit\n";
+  ServeOptions serial = fast_options();
+  const ServeResult base = run_script(script, serial);
+  EXPECT_EQ(base.status, 0);
+  for (const unsigned threads : {2u, 4u}) {
+    ServeOptions options = fast_options();
+    options.serve_threads = threads;
+    const ServeResult r = run_script(script, options);
+    EXPECT_EQ(r.status, 0);
+    EXPECT_EQ(r.out, base.out) << "serve_threads=" << threads;
+  }
+}
+
+TEST(Serve, ConcurrentLoopHandlesErrorsAndQuit) {
+  ServeOptions options = fast_options();
+  options.serve_threads = 2;
+  const ServeResult r = run_script(
+      "bogus\ncampaign div\nconform run /nonexistent-dir\nping\nquit\n",
+      options);
+  EXPECT_EQ(r.status, 0);
+  const std::vector<std::string> seg = split_responses(r.out);
+  ASSERT_EQ(seg.size(), 5u);
+  EXPECT_EQ(seg[0], "err unknown command: bogus\n");
+  EXPECT_NE(seg[1].find("err campaign: div is not an injectable CUT"),
+            std::string::npos);
+  EXPECT_EQ(seg[2].rfind("err conform:", 0), 0u);
+  EXPECT_EQ(seg[3], "ok ping\n");
+  EXPECT_EQ(seg[4], "ok quit\n");
+}
+
+TEST(Serve, ConcurrentLoopShedsWhenQueueIsFull) {
+  ServeOptions options = fast_options();
+  options.serve_threads = 2;
+  options.queue_depth = 1;
+  std::string script;
+  const std::size_t kRequests = 8;
+  for (std::size_t k = 0; k < kRequests; ++k) script += "campaign alu\n";
+  script += "quit\n";
+  const ServeResult r = run_script(script, options);
+  EXPECT_EQ(r.status, 0);
+  const std::vector<std::string> seg = split_responses(r.out);
+  ASSERT_EQ(seg.size(), kRequests + 1);
+  std::size_t ok = 0, shed = 0;
+  for (std::size_t k = 0; k < kRequests; ++k) {
+    if (seg[k].find("ok campaign") != std::string::npos) {
+      ++ok;
+    } else {
+      EXPECT_EQ(seg[k].rfind("err overloaded retry-after=", 0), 0u)
+          << seg[k];
+      ++shed;
+    }
+  }
+  // The first request always admits; the reader outpaces sub-second
+  // campaigns so at least one later request must find the queue full.
+  EXPECT_GE(ok, 1u);
+  EXPECT_GE(shed, 1u);
+  EXPECT_EQ(seg[kRequests], "ok quit\n");
+}
+
+// ---- deadlines ------------------------------------------------------------
+
+TEST(Serve, DeadlineTimeoutIsStructuredAndKeepsTheLoopAlive) {
+  for (const unsigned threads : {1u, 2u}) {
+    ServeOptions options = fast_options();
+    options.serve_threads = threads;
+    options.request_deadline_ms = 1;  // no campaign finishes in 1 ms
+    const ServeResult r =
+        run_script("campaign alu\nping\nquit\n", options);
+    EXPECT_EQ(r.status, 0);
+    const std::vector<std::string> seg = split_responses(r.out);
+    ASSERT_EQ(seg.size(), 3u) << "threads=" << threads;
+    // The timed-out response is ONE structured line — the partially
+    // rendered table is discarded, never emitted torn.
+    EXPECT_EQ(seg[0], "err timeout deadline=1ms\n");
+    EXPECT_EQ(seg[1], "ok ping\n");
+    EXPECT_EQ(seg[2], "ok quit\n");
+  }
+}
+
+TEST(Serve, AutoDeadlineLeavesHealthyRequestsAlone) {
+  // "auto" derives each verb's deadline from its last good run: the first
+  // campaign runs unlimited, the second warm one finishes far inside
+  // 8 x the cold wall time. Both must succeed.
+  ServeOptions options = fast_options();
+  options.request_deadline_ms = -1;
+  const ServeResult r =
+      run_script("campaign alu\ncampaign alu\nquit\n", options);
+  EXPECT_EQ(r.status, 0);
+  const std::vector<std::string> seg = split_responses(r.out);
+  ASSERT_EQ(seg.size(), 3u);
+  EXPECT_NE(seg[0].find("ok campaign"), std::string::npos);
+  EXPECT_EQ(seg[0], seg[1]);
+}
+
+// ---- bounded request lines ------------------------------------------------
+
+TEST(Serve, OversizedRequestLineAnswersAndSurvives) {
+  const std::string huge(2 * kMaxRequestLine, 'x');
+  for (const unsigned threads : {1u, 2u}) {
+    ServeOptions options = fast_options();
+    options.serve_threads = threads;
+    const ServeResult r =
+        run_script(huge + "\nping\nquit\n", options);
+    EXPECT_EQ(r.status, 0);
+    const std::vector<std::string> seg = split_responses(r.out);
+    ASSERT_EQ(seg.size(), 3u) << "threads=" << threads;
+    EXPECT_EQ(seg[0], "err request-too-long\n");
+    EXPECT_EQ(seg[1], "ok ping\n");
+    EXPECT_EQ(seg[2], "ok quit\n");
+  }
+}
+
+// ---- write-ahead journal --------------------------------------------------
+
+struct TempJournal {
+  std::filesystem::path path;
+  explicit TempJournal(const std::string& tag) {
+    path = std::filesystem::path(::testing::TempDir()) /
+           (std::string("sbst-journal-") + tag + ".wal");
+    std::filesystem::remove(path);
+  }
+  ~TempJournal() {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+TEST(Serve, JournalRecordsBeginsAndSealsForWorkVerbs) {
+  TempJournal journal("roundtrip");
+  ServeOptions options = fast_options();
+  options.journal_path = journal.str();
+  const ServeResult r =
+      run_script("ping\ncampaign alu\nstats\nquit\n", options);
+  EXPECT_EQ(r.status, 0);
+  // Only the work verb is journaled: ping and stats are probes whose
+  // replayed bytes could never verify.
+  const JournalScan scan = Journal::scan_file(journal.str());
+  EXPECT_FALSE(scan.missing);
+  EXPECT_FALSE(scan.truncated_tail);
+  EXPECT_EQ(scan.corrupt_skipped, 0u);
+  const std::vector<JournalEntry> entries = scan.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].line, "campaign alu");
+  EXPECT_TRUE(entries[0].sealed);
+  EXPECT_EQ(entries[0].status, 0);
+  EXPECT_GT(entries[0].response_size, 0u);
+  // The stats response reports the journal's counters.
+  const std::vector<std::string> seg = split_responses(r.out);
+  ASSERT_EQ(seg.size(), 4u);
+  EXPECT_NE(seg[2].find("journal: begins 1 seals 1"), std::string::npos);
+}
+
+TEST(Serve, JournalSequencesContinueAcrossRestarts) {
+  TempJournal journal("restart");
+  ServeOptions options = fast_options();
+  options.journal_path = journal.str();
+  EXPECT_EQ(run_script("campaign alu\nquit\n", options).status, 0);
+  EXPECT_EQ(run_script("campaign alu\nquit\n", options).status, 0);
+  const std::vector<JournalEntry> entries =
+      Journal::scan_file(journal.str()).entries();
+  ASSERT_EQ(entries.size(), 2u);
+  // The second daemon scanned the existing file and continued numbering —
+  // colliding sequence numbers would corrupt begin/seal pairing on replay.
+  EXPECT_EQ(entries[0].seq, 0u);
+  EXPECT_EQ(entries[1].seq, 1u);
+  EXPECT_TRUE(entries[0].sealed);
+  EXPECT_TRUE(entries[1].sealed);
+}
+
+TEST(Serve, ReplayRecoversUnsealedRequestByteIdentically) {
+  TempJournal journal("replay");
+  // Simulate a crash between begin and seal: a begin record with no seal,
+  // exactly what a SIGKILL mid-campaign leaves behind.
+  {
+    Journal j(journal.str());
+    ASSERT_TRUE(j.open_append());
+    ASSERT_TRUE(j.append_begin(0, "campaign alu"));
+  }
+  ServeOptions options = fast_options();
+  options.journal_path = journal.str();
+  options.replay_journal = true;
+  const ServeResult recovered = run_script("quit\n", options);
+  EXPECT_EQ(recovered.status, 0);
+
+  // The recovered response must be byte-identical to serving the request
+  // normally (minus the trailing quit acknowledgement).
+  const ServeResult direct = run_script("campaign alu\nquit\n",
+                                        fast_options());
+  const std::vector<std::string> direct_seg = split_responses(direct.out);
+  ASSERT_EQ(direct_seg.size(), 2u);
+  EXPECT_EQ(recovered.out, direct_seg[0] + "ok quit\n");
+
+  // The replay sealed the entry: a second replay verifies instead of
+  // re-emitting.
+  const std::vector<JournalEntry> entries =
+      Journal::scan_file(journal.str()).entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_TRUE(entries[0].sealed);
+  const ServeResult verified = run_script("quit\n", options);
+  EXPECT_EQ(verified.out, "ok quit\n");
+  EXPECT_NE(verified.err.find("verified"), std::string::npos);
 }
 
 TEST(Serve, ParseCutNameAndInjectableCut) {

@@ -1,0 +1,354 @@
+// Fault-injection harness for the hardened `sbst serve` daemon: every
+// scenario here must end in a structured `err ...` response or a clean
+// recovery — never a crash, never a torn response stream.
+//
+//   * journal damage: truncated tails, byte flips, garbage files
+//   * crash windows: begin-without-seal (SIGKILL mid-request), seal with a
+//     diverged response hash
+//   * storage failure: an unwritable artifact-store directory under load
+//   * hostile input: malformed, oversized, and binary request lines
+//
+// The container runs as root (permission bits are bypassed), so failure
+// injection uses filesystem shapes — a regular file squatting on a
+// directory path — rather than chmod.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/journal.hpp"
+#include "serve/serve.hpp"
+
+namespace fs = std::filesystem;
+
+namespace sbst::serve {
+namespace {
+
+using core::ProcessorModel;
+
+ProcessorModel& model() {
+  static ProcessorModel m;
+  return m;
+}
+
+ServeOptions fast_options() {
+  ServeOptions options;
+  options.sim.num_threads = 2;
+  options.max_faults = 2;
+  return options;
+}
+
+struct ServeResult {
+  int status;
+  std::string out;
+  std::string err;
+};
+
+ServeResult run_script(const std::string& script, const ServeOptions& options,
+                       std::shared_ptr<store::ArtifactStore> store = nullptr) {
+  std::FILE* in = fmemopen(const_cast<char*>(script.data()),
+                           script.size() ? script.size() : 1, "r");
+  if (script.empty()) std::fgetc(in);
+  char* out_buf = nullptr;
+  std::size_t out_len = 0;
+  std::FILE* out = open_memstream(&out_buf, &out_len);
+  char* err_buf = nullptr;
+  std::size_t err_len = 0;
+  std::FILE* err = open_memstream(&err_buf, &err_len);
+
+  ServeResult r;
+  r.status = run_serve(model(), options, std::move(store), in, out, err);
+  std::fclose(in);
+  std::fclose(out);
+  std::fclose(err);
+  r.out.assign(out_buf, out_len);
+  r.err.assign(err_buf, err_len);
+  std::free(out_buf);
+  std::free(err_buf);
+  return r;
+}
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::path(::testing::TempDir()) / (std::string("sbst-sf-") + tag);
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+std::vector<std::uint8_t> read_all(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_all(const fs::path& p, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// A journal holding one sealed work request, as a crashed-then-recovered
+// daemon would leave it. Returns the file's bytes.
+std::vector<std::uint8_t> sealed_journal_bytes(const fs::path& path) {
+  ServeOptions options = fast_options();
+  options.journal_path = path.string();
+  const ServeResult r = run_script("campaign alu\nquit\n", options);
+  EXPECT_EQ(r.status, 0);
+  return read_all(path);
+}
+
+// ---- journal damage -------------------------------------------------------
+
+TEST(ServeFaults, TruncatedJournalTailIsDetectedNotFatal) {
+  TempDir dir("trunc");
+  const fs::path wal = dir.path / "j.wal";
+  const std::vector<std::uint8_t> full = sealed_journal_bytes(wal);
+  ASSERT_GT(full.size(), 30u);
+  // Every truncation point: the scan must never crash, and a cut inside a
+  // record must raise truncated_tail (damage is counted, never trusted).
+  for (std::size_t keep = 0; keep < full.size(); ++keep) {
+    write_all(wal, std::vector<std::uint8_t>(full.begin(),
+                                             full.begin() + keep));
+    const JournalScan scan = Journal::scan_file(wal.string());
+    EXPECT_LE(scan.records.size(), 2u) << "keep=" << keep;
+    if (keep > 0 && scan.records.empty()) {
+      EXPECT_TRUE(scan.truncated_tail || scan.corrupt_skipped > 0)
+          << "keep=" << keep;
+    }
+  }
+}
+
+TEST(ServeFaults, TruncatedSealReplaysAsUnsealedRequest) {
+  TempDir dir("trunc-seal");
+  const fs::path wal = dir.path / "j.wal";
+  {
+    // Begin-only journal, the exact on-disk state a SIGKILL between begin
+    // and seal leaves: build it by truncating a sealed journal to its
+    // begin record (found by re-scanning prefixes).
+    const std::vector<std::uint8_t> full = sealed_journal_bytes(wal);
+    std::size_t begin_end = 0;
+    for (std::size_t keep = 1; keep <= full.size(); ++keep) {
+      write_all(wal, std::vector<std::uint8_t>(full.begin(),
+                                               full.begin() + keep));
+      const JournalScan scan = Journal::scan_file(wal.string());
+      if (scan.records.size() == 1 && !scan.truncated_tail) {
+        begin_end = keep;
+        break;
+      }
+    }
+    ASSERT_GT(begin_end, 0u);
+    write_all(wal, std::vector<std::uint8_t>(full.begin(),
+                                             full.begin() + begin_end));
+  }
+  ServeOptions options = fast_options();
+  options.journal_path = wal.string();
+  options.replay_journal = true;
+  const ServeResult r = run_script("quit\n", options);
+  EXPECT_EQ(r.status, 0);
+  // The unsealed request was re-run and its full response emitted.
+  EXPECT_NE(r.out.find("ok campaign"), std::string::npos);
+  EXPECT_NE(r.err.find("recovered"), std::string::npos);
+}
+
+TEST(ServeFaults, CorruptJournalRecordIsSkippedAndCounted) {
+  TempDir dir("flip");
+  const fs::path wal = dir.path / "j.wal";
+  const std::vector<std::uint8_t> full = sealed_journal_bytes(wal);
+  // Flip one byte somewhere inside the first (begin) record's payload.
+  std::vector<std::uint8_t> bad = full;
+  bad[20] ^= 0xff;
+  write_all(wal, bad);
+  const JournalScan scan = Journal::scan_file(wal.string());
+  EXPECT_GT(scan.corrupt_skipped, 0u);
+  // Replaying over the damage must not crash; the orphaned seal (its begin
+  // was destroyed) is dropped, so nothing executes or emits.
+  ServeOptions options = fast_options();
+  options.journal_path = wal.string();
+  options.replay_journal = true;
+  const ServeResult r = run_script("quit\n", options);
+  EXPECT_EQ(r.status, 0);
+  EXPECT_EQ(r.out, "ok quit\n");
+}
+
+TEST(ServeFaults, GarbageJournalFileIsHarmless) {
+  TempDir dir("garbage");
+  const fs::path wal = dir.path / "j.wal";
+  std::vector<std::uint8_t> noise;
+  for (int i = 0; i < 4096; ++i) {
+    noise.push_back(static_cast<std::uint8_t>(i * 37 + 11));
+  }
+  write_all(wal, noise);
+  const JournalScan scan = Journal::scan_file(wal.string());
+  EXPECT_TRUE(scan.records.empty());
+  ServeOptions options = fast_options();
+  options.journal_path = wal.string();
+  options.replay_journal = true;
+  // The daemon trims the unusable bytes and serves from a clean journal.
+  const ServeResult r = run_script("campaign alu\nquit\n", options);
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.out.find("ok campaign"), std::string::npos);
+  const std::vector<JournalEntry> entries =
+      Journal::scan_file(wal.string()).entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_TRUE(entries[0].sealed);
+}
+
+TEST(ServeFaults, SealedResponseHashMismatchIsReportedNotReemitted) {
+  TempDir dir("mismatch");
+  const fs::path wal = dir.path / "j.wal";
+  {
+    Journal j(wal.string());
+    ASSERT_TRUE(j.open_append());
+    ASSERT_TRUE(j.append_begin(0, "campaign alu"));
+    // A seal whose recorded hash can never match the re-rendered bytes.
+    ASSERT_TRUE(j.append_seal(0, 0, 12345, 0xdeadbeefull));
+  }
+  ServeOptions options = fast_options();
+  options.journal_path = wal.string();
+  options.replay_journal = true;
+  const ServeResult r = run_script("stats\nquit\n", options);
+  EXPECT_EQ(r.status, 0);
+  // Sealed entries are audited, never re-emitted — even when they diverge.
+  EXPECT_EQ(r.out.find("ok campaign"), std::string::npos);
+  EXPECT_NE(r.err.find("MISMATCH"), std::string::npos);
+  EXPECT_NE(r.out.find("mismatches 1"), std::string::npos);
+}
+
+TEST(ServeFaults, UnopenableJournalFailsSoftToUnjournaledServing) {
+  TempDir dir("nojournal");
+  const fs::path blocker = dir.path / "blocker";
+  write_all(blocker, {0x00});  // a FILE where the journal's parent dir
+  ServeOptions options = fast_options();
+  options.journal_path = (blocker / "j.wal").string();
+  const ServeResult r = run_script("ping\ncampaign alu\nquit\n", options);
+  EXPECT_EQ(r.status, 0);
+  EXPECT_NE(r.out.find("ok campaign"), std::string::npos);
+  EXPECT_NE(r.err.find("unavailable; running unjournaled"),
+            std::string::npos);
+}
+
+// ---- storage failure under load -------------------------------------------
+
+TEST(ServeFaults, UnwritableStoreDirectoryDegradesToStorelessServing) {
+  TempDir dir("badstore");
+  const fs::path vdir =
+      dir.path / ("v" + std::to_string(store::ArtifactStore::kFormatVersion));
+  write_all(vdir, {0x00});  // regular file squats on the entry directory
+  auto store = std::make_shared<store::ArtifactStore>(dir.str());
+  ServeOptions options = fast_options();
+  options.sim.store = store.get();
+  // Work requests still succeed — every failed save is counted, none is
+  // fatal, and the response bytes match a storeless daemon's.
+  const ServeResult r =
+      run_script("campaign alu\ncampaign alu\nquit\n", options, store);
+  EXPECT_EQ(r.status, 0);
+  const ServeResult baseline =
+      run_script("campaign alu\ncampaign alu\nquit\n", fast_options());
+  EXPECT_EQ(r.out, baseline.out);
+  EXPECT_GT(store->stats().write_failures, 0u);
+  EXPECT_EQ(store->stats().writes, 0u);
+}
+
+// ---- hostile input --------------------------------------------------------
+
+TEST(ServeFaults, MalformedAndBinaryRequestLinesNeverKillTheLoop) {
+  for (const unsigned threads : {1u, 2u}) {
+    ServeOptions options = fast_options();
+    options.serve_threads = threads;
+    std::string script;
+    script += "campaign alu extra junk words\n";
+    script += "evaluate now\n";
+    script += "conform\n";
+    script += "conform run\n";
+    script += "conform run a b c\n";
+    script += "\x01\x02\x7f\n";
+    script += "   \t  \n";
+    script += "ping\nquit\n";
+    const ServeResult r = run_script(script, options);
+    EXPECT_EQ(r.status, 0) << "threads=" << threads;
+    // Every malformed line answered `err ...`, blank/whitespace lines were
+    // ignored, and the loop reached ping and quit.
+    EXPECT_NE(r.out.find("err campaign: extra is not an injectable CUT"),
+              std::string::npos);
+    EXPECT_NE(r.out.find("err evaluate takes no arguments"),
+              std::string::npos);
+    EXPECT_NE(r.out.find("err unknown command: conform"), std::string::npos);
+    EXPECT_NE(r.out.find("ok ping\nok quit\n"), std::string::npos);
+  }
+}
+
+TEST(ServeFaults, OversizedRequestFloodKeepsRespondingInOrder) {
+  const std::string huge(kMaxRequestLine + 100, 'A');
+  for (const unsigned threads : {1u, 4u}) {
+    ServeOptions options = fast_options();
+    options.serve_threads = threads;
+    std::string script;
+    for (int k = 0; k < 5; ++k) script += huge + "\n";
+    script += "ping\nquit\n";
+    const ServeResult r = run_script(script, options);
+    EXPECT_EQ(r.status, 0) << "threads=" << threads;
+    std::string expected;
+    for (int k = 0; k < 5; ++k) expected += "err request-too-long\n";
+    expected += "ok ping\nok quit\n";
+    EXPECT_EQ(r.out, expected) << "threads=" << threads;
+  }
+}
+
+// ---- crash window: kill between begin and seal, then full recovery --------
+
+TEST(ServeFaults, MidRequestCrashReplaysByteIdenticallyUnderDamage) {
+  TempDir dir("crashmix");
+  const fs::path wal = dir.path / "j.wal";
+  // A journal carrying one sealed request, one unsealed request (the
+  // "crash"), and trailing garbage (a torn in-flight append).
+  {
+    ServeOptions options = fast_options();
+    options.journal_path = wal.string();
+    EXPECT_EQ(run_script("campaign alu\nquit\n", options).status, 0);
+    Journal j(wal.string());
+    ASSERT_TRUE(j.open_append());
+    ASSERT_TRUE(j.append_begin(1, "campaign shifter"));
+  }
+  {
+    std::ofstream torn(wal, std::ios::binary | std::ios::app);
+    torn.write("SBSTWAL", 7);  // a magic prefix cut off mid-header
+  }
+
+  ServeOptions options = fast_options();
+  options.journal_path = wal.string();
+  options.replay_journal = true;
+  const ServeResult r = run_script("quit\n", options);
+  EXPECT_EQ(r.status, 0);
+
+  // Only the unsealed campaign re-emits, byte-identical to a normal serve
+  // of the same request.
+  const ServeResult direct =
+      run_script("campaign shifter\nquit\n", fast_options());
+  const std::size_t cut = direct.out.rfind("ok quit\n");
+  ASSERT_NE(cut, std::string::npos);
+  EXPECT_EQ(r.out, direct.out.substr(0, cut) + "ok quit\n");
+  EXPECT_NE(r.err.find("verified"), std::string::npos);
+  EXPECT_NE(r.err.find("recovered"), std::string::npos);
+  EXPECT_NE(r.err.find("truncated tail"), std::string::npos);
+
+  // After recovery the journal is fully sealed: a second replay audits
+  // both entries and emits nothing.
+  const ServeResult again = run_script("quit\n", options);
+  EXPECT_EQ(again.out, "ok quit\n");
+  EXPECT_EQ(again.err.find("campaign recovered"), std::string::npos);
+  EXPECT_NE(again.err.find("recovered 0 verified 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sbst::serve

@@ -5,13 +5,16 @@
 // store off, cold, or warm, for every engine / lane width / thread count.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "common/serialize.hpp"
 #include "core/evaluate.hpp"
 #include "store/artifact_store.hpp"
@@ -188,11 +191,161 @@ TEST(ArtifactStore, SaveOverwritesACorruptEntry) {
   EXPECT_EQ(*s.load("universe", kKey), kPayload);
 }
 
-TEST(ArtifactStore, ResolveDirHonorsExplicitPathAndAuto) {
+// ---- write-failure paths --------------------------------------------------
+// The container runs as root, where permission bits are bypassed, so the
+// failure injections use filesystem-shape tricks instead of chmod: a regular
+// file where the entry DIRECTORY should be kills create_directories/fopen,
+// and a non-empty directory at the entry FILE path kills the rename.
+
+// The exact path a save("<kind>", key, ...) writes: the layout is part of
+// the store's documented contract (header comment of artifact_store.hpp).
+fs::path entry_path_for(const fs::path& dir, const std::string& kind,
+                        const std::vector<std::uint8_t>& key) {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(
+                    common::fnv1a_bytes(key.data(), key.size())));
+  return dir /
+         ("v" + std::to_string(store::ArtifactStore::kFormatVersion)) /
+         (kind + "-" + hex + ".bin");
+}
+
+TEST(ArtifactStore, UnwritableEntryDirCountsWriteFailureAndRecovers) {
+  TempStoreDir dir("wfail-dir");
+  const fs::path vdir =
+      dir.path / ("v" + std::to_string(store::ArtifactStore::kFormatVersion));
+  write_all(vdir, {0x00});  // a FILE squats on the entry-directory path
+  store::ArtifactStore s(dir.str());
+  EXPECT_FALSE(s.save("universe", kKey, kPayload));
+  EXPECT_EQ(s.stats().write_failures, 1u);
+  EXPECT_EQ(s.stats().writes, 0u);
+  // Loads through the broken dir are plain misses, never crashes.
+  EXPECT_FALSE(s.load("universe", kKey).has_value());
+  // Once the obstruction is gone the same store object works again.
+  fs::remove(vdir);
+  EXPECT_TRUE(s.save("universe", kKey, kPayload));
+  EXPECT_EQ(*s.load("universe", kKey), kPayload);
+}
+
+TEST(ArtifactStore, RenameFailureCountsWriteFailureAndCleansTmp) {
+  TempStoreDir dir("wfail-rename");
+  const fs::path entry = entry_path_for(dir.path, "universe", kKey);
+  // A non-empty directory at the entry path: the tmp write succeeds but the
+  // atomic rename over it cannot.
+  fs::create_directories(entry / "occupied");
+  store::ArtifactStore s(dir.str());
+  EXPECT_FALSE(s.save("universe", kKey, kPayload));
+  EXPECT_EQ(s.stats().write_failures, 1u);
+  // The failed save removed its own temporary file.
+  std::size_t tmp_files = 0;
+  for (const auto& e : fs::recursive_directory_iterator(dir.path)) {
+    if (e.is_regular_file() &&
+        e.path().string().find(".tmp") != std::string::npos) {
+      ++tmp_files;
+    }
+  }
+  EXPECT_EQ(tmp_files, 0u);
+  EXPECT_FALSE(s.load("universe", kKey).has_value());
+}
+
+// ---- size budget / LRU eviction -------------------------------------------
+
+TEST(ArtifactStore, EvictsLeastRecentlyUsedWhenOverBudget) {
+  TempStoreDir dir("evict-lru");
+  store::ArtifactStore s(dir.str());
+  const std::vector<std::uint8_t> key_a = {1};
+  const std::vector<std::uint8_t> key_b = {2};
+  const std::vector<std::uint8_t> key_c = {3};
+  ASSERT_TRUE(s.save("universe", key_a, kPayload));
+  ASSERT_TRUE(s.save("universe", key_b, kPayload));
+  const fs::path entry_a = entry_path_for(dir.path, "universe", key_a);
+  const fs::path entry_b = entry_path_for(dir.path, "universe", key_b);
+  const std::uint64_t entry_size = fs::file_size(entry_a);
+  ASSERT_EQ(entry_size, fs::file_size(entry_b));
+
+  // Backdate both entries, A older than B, then touch A through a budgeted
+  // load hit — the hit must refresh A's recency or eviction is
+  // least-recently-WRITTEN, not least-recently-used.
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(entry_a, now - std::chrono::hours(2));
+  fs::last_write_time(entry_b, now - std::chrono::hours(1));
+  s.set_budget(2 * entry_size);
+  ASSERT_TRUE(s.load("universe", key_a).has_value());
+
+  // Budget holds two entries; saving C must evict exactly one, and it must
+  // be B (A was just used, C is the entry being written).
+  ASSERT_TRUE(s.save("universe", key_c, kPayload));
+  EXPECT_TRUE(s.load("universe", key_a).has_value());
+  EXPECT_FALSE(s.load("universe", key_b).has_value());
+  EXPECT_TRUE(s.load("universe", key_c).has_value());
+  const store::StoreStats st = s.stats();
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.evicted_bytes, entry_size);
+  EXPECT_EQ(s.budget(), 2 * entry_size);
+}
+
+TEST(ArtifactStore, EvictionSweepsStaleTmpFilesOnly) {
+  TempStoreDir dir("evict-tmp");
+  store::ArtifactStore s(dir.str());
+  ASSERT_TRUE(s.save("universe", kKey, kPayload));
+  const fs::path vdir =
+      dir.path / ("v" + std::to_string(store::ArtifactStore::kFormatVersion));
+  // A crashed writer's leftover (old) and a live writer's tmp (fresh).
+  const fs::path stale = vdir / "universe-0000000000000000.bin.tmp12345";
+  const fs::path fresh = vdir / "universe-1111111111111111.bin.tmp67890";
+  write_all(stale, {1, 2, 3});
+  write_all(fresh, {4, 5, 6});
+  fs::last_write_time(stale, fs::file_time_type::clock::now() -
+                                 std::chrono::hours(1));
+
+  s.set_budget(1 << 20);  // comfortably over the total: no entry evictions
+  ASSERT_TRUE(s.save("compiled", kKey, kPayload));
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(fs::exists(fresh));
+  const store::StoreStats st = s.stats();
+  EXPECT_EQ(st.stale_tmp_removed, 1u);
+  EXPECT_EQ(st.evictions, 0u);
+  // Entries are untouched by the sweep.
+  EXPECT_TRUE(s.load("universe", kKey).has_value());
+  EXPECT_TRUE(s.load("compiled", kKey).has_value());
+}
+
+// ---- directory resolution -------------------------------------------------
+
+TEST(ArtifactStore, ResolveDirHonorsExplicitPathAutoAndFailsSoft) {
   EXPECT_EQ(store::ArtifactStore::resolve_dir("/tmp/explicit"),
             "/tmp/explicit");
-  EXPECT_FALSE(store::ArtifactStore::resolve_dir("auto").empty());
-  EXPECT_FALSE(store::ArtifactStore::default_dir().empty());
+
+  const char* xdg = std::getenv("XDG_CACHE_HOME");
+  const char* home = std::getenv("HOME");
+  const std::string saved_xdg = xdg ? xdg : "";
+  const std::string saved_home = home ? home : "";
+  const bool had_xdg = xdg != nullptr;
+  const bool had_home = home != nullptr;
+
+  setenv("XDG_CACHE_HOME", "/xdg-cache", 1);
+  EXPECT_EQ(store::ArtifactStore::resolve_dir("auto"), "/xdg-cache/sbst");
+  unsetenv("XDG_CACHE_HOME");
+  setenv("HOME", "/home/u", 1);
+  EXPECT_EQ(store::ArtifactStore::default_dir(), "/home/u/.cache/sbst");
+  // Both unset: no sane cache root exists. The contract is an EMPTY result
+  // (callers run storeless with a warning), not a .sbst-store dropped into
+  // the current directory.
+  unsetenv("HOME");
+  EXPECT_TRUE(store::ArtifactStore::default_dir().empty());
+  EXPECT_TRUE(store::ArtifactStore::resolve_dir("auto").empty());
+  EXPECT_TRUE(store::ArtifactStore::resolve_dir("").empty());
+
+  if (had_xdg) {
+    setenv("XDG_CACHE_HOME", saved_xdg.c_str(), 1);
+  } else {
+    unsetenv("XDG_CACHE_HOME");
+  }
+  if (had_home) {
+    setenv("HOME", saved_home.c_str(), 1);
+  } else {
+    unsetenv("HOME");
+  }
 }
 
 // ---- artifact codec round-trips -------------------------------------------

@@ -52,6 +52,29 @@
 //                        0 = legacy unlimited 1<<24 instruction cap)
 //   --max-faults N       cap the per-CUT fault list of `campaign`
 //                        (default 32; 0 = the full collapsed universe)
+//   --store-budget BYTES total-size budget for the persistent store; after
+//                        each save the store evicts least-recently-used
+//                        entries (oldest mtime first) until it fits
+//                        (default 0 = unlimited)
+//
+// Serve options (the hardened daemon):
+//   --serve-threads N    request workers for `serve` (default 1 = the
+//                        serial loop; N > 1 handles requests concurrently
+//                        with responses emitted in admission order, so the
+//                        byte stream is identical for every N)
+//   --serve-queue N      bounded admission queue depth; excess work
+//                        requests shed with `err overloaded retry-after=MS`
+//                        (default 16; concurrent loop only)
+//   --request-deadline MS|auto
+//                        per-request wall-clock deadline; exceeded requests
+//                        answer `err timeout deadline=MSms`. "auto" derives
+//                        each verb's deadline from its last good run
+//                        (default: unlimited)
+//   --journal FILE       write-ahead request journal: work requests are
+//                        journaled before execution and sealed after their
+//                        response is flushed
+//   --replay-journal     on startup, re-run unsealed journal entries (crash
+//                        recovery) and verify sealed ones, then serve
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -134,7 +157,23 @@ int usage() {
       "         --budget-factor K    faulty-run watchdog budget: K x the\n"
       "                              good run (default 8; 0 = legacy cap)\n"
       "         --max-faults N       per-CUT fault cap for campaign\n"
-      "                              (default 32; 0 = full universe)\n",
+      "                              (default 32; 0 = full universe)\n"
+      "         --store-budget BYTES LRU size budget for the persistent "
+      "store\n"
+      "                              (default 0 = unlimited)\n"
+      "serve options:\n"
+      "         --serve-threads N    request workers (default 1 = serial; "
+      "any N\n"
+      "                              emits identical response bytes)\n"
+      "         --serve-queue N      admission queue depth before shedding\n"
+      "                              (default 16)\n"
+      "         --request-deadline MS|auto\n"
+      "                              per-request deadline -> `err timeout`\n"
+      "                              (auto = 8 x last good run; default "
+      "off)\n"
+      "         --journal FILE       write-ahead request journal\n"
+      "         --replay-journal     recover/verify the journal, then "
+      "serve\n",
       stderr);
   return 2;
 }
@@ -311,6 +350,7 @@ int main(int argc, char** argv) {
   serve::ServeOptions options;
   const char* store_spec = std::getenv("SBST_STORE");
   const char* model_spec = std::getenv("SBST_FAULT_MODEL");
+  std::uint64_t store_budget = 0;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -337,6 +377,38 @@ int main(int argc, char** argv) {
       const long v = std::strtol(argv[++i], nullptr, 10);
       if (v < 0) return usage();
       options.max_faults = static_cast<std::size_t>(v);
+    } else if (std::strcmp(a, "--serve-threads") == 0) {
+      if (i + 1 >= argc) return usage();
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      if (v <= 0) return usage();
+      options.serve_threads = static_cast<unsigned>(v);
+    } else if (std::strcmp(a, "--serve-queue") == 0) {
+      if (i + 1 >= argc) return usage();
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      if (v <= 0) return usage();
+      options.queue_depth = static_cast<std::size_t>(v);
+    } else if (std::strcmp(a, "--request-deadline") == 0) {
+      if (i + 1 >= argc) return usage();
+      const char* value = argv[++i];
+      if (std::strcmp(value, "auto") == 0) {
+        options.request_deadline_ms = -1;  // derive from cached good runs
+      } else {
+        char* end = nullptr;
+        options.request_deadline_ms = std::strtod(value, &end);
+        if (end == value || *end != '\0' || options.request_deadline_ms < 0) {
+          return usage();
+        }
+      }
+    } else if (std::strcmp(a, "--journal") == 0) {
+      if (i + 1 >= argc) return usage();
+      options.journal_path = argv[++i];
+    } else if (std::strcmp(a, "--replay-journal") == 0) {
+      options.replay_journal = true;
+    } else if (std::strcmp(a, "--store-budget") == 0) {
+      if (i + 1 >= argc) return usage();
+      char* end = nullptr;
+      store_budget = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') return usage();
     } else if (std::strcmp(a, "--engine") == 0 ||
                std::strncmp(a, "--engine=", 9) == 0) {
       const char* name = a[8] == '=' ? a + 9 : nullptr;
@@ -391,9 +463,19 @@ int main(int argc, char** argv) {
 
   std::shared_ptr<store::ArtifactStore> store;
   if (store_spec) {
-    store = std::make_shared<store::ArtifactStore>(
-        store::ArtifactStore::resolve_dir(store_spec));
-    options.sim.store = store.get();
+    const std::string dir = store::ArtifactStore::resolve_dir(store_spec);
+    if (dir.empty()) {
+      // "auto" with neither $XDG_CACHE_HOME nor $HOME set: fail soft. Warn
+      // once and run storeless rather than scribbling into the working
+      // directory or refusing to run at all.
+      std::fprintf(stderr,
+                   "sbst: store \"auto\" has no cache root ($XDG_CACHE_HOME "
+                   "and $HOME unset); running without a persistent store\n");
+    } else {
+      store = std::make_shared<store::ArtifactStore>(dir);
+      if (store_budget > 0) store->set_budget(store_budget);
+      options.sim.store = store.get();
+    }
   }
 
   const std::string cmd = args[0];
